@@ -1,0 +1,123 @@
+// Package adaptive makes flow collection adapt to traffic variation — the
+// first of the two future-work directions the paper's conclusion names.
+//
+// A fixed measurement epoch wastes table capacity under light traffic and
+// overflows under bursts. The adaptive Manager watches the recorder's load
+// (its cardinality estimate against a configured capacity) and flushes an
+// epoch early when the structure approaches saturation, so record accuracy
+// is maintained across traffic swings without shrinking quiet-period
+// epochs.
+package adaptive
+
+import (
+	"fmt"
+
+	"repro/flow"
+	"repro/flowmon"
+)
+
+// FlushFunc receives the records of a completed epoch. The recorder is
+// reset after the callback returns.
+type FlushFunc func(epoch int, records []flow.Record)
+
+// Config parameterizes the adaptive manager.
+type Config struct {
+	// Capacity is the flow capacity of the recorder (for HashFlow, its
+	// main-table cell count is the natural choice).
+	Capacity int
+	// HighWatermark flushes the epoch when the estimated flow count
+	// exceeds HighWatermark*Capacity. Default 0.9.
+	HighWatermark float64
+	// MaxEpochPackets flushes after this many packets even if the
+	// watermark is never hit, bounding epoch length under light traffic.
+	// Default 1<<22.
+	MaxEpochPackets uint64
+	// CheckEvery controls how often (in packets) the cardinality estimate
+	// is consulted; estimation is O(table size), so it is amortized.
+	// Default 4096.
+	CheckEvery uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.HighWatermark == 0 {
+		c.HighWatermark = 0.9
+	}
+	if c.MaxEpochPackets == 0 {
+		c.MaxEpochPackets = 1 << 22
+	}
+	if c.CheckEvery == 0 {
+		c.CheckEvery = 4096
+	}
+	return c
+}
+
+// Manager wraps a recorder with adaptive epoch control.
+type Manager struct {
+	rec    flowmon.Recorder
+	cfg    Config
+	flush  FlushFunc
+	epoch  int
+	inEp   uint64 // packets in the current epoch
+	checks uint64 // packets since the last watermark check
+	total  uint64
+}
+
+// NewManager wraps rec. flush may be nil if the caller only needs the
+// epoch boundaries' side effect (reset).
+func NewManager(rec flowmon.Recorder, cfg Config, flush FlushFunc) (*Manager, error) {
+	cfg = cfg.withDefaults()
+	if rec == nil {
+		return nil, fmt.Errorf("adaptive: nil recorder")
+	}
+	if cfg.Capacity <= 0 {
+		return nil, fmt.Errorf("adaptive: capacity must be positive, got %d", cfg.Capacity)
+	}
+	if cfg.HighWatermark <= 0 || cfg.HighWatermark > 1 {
+		return nil, fmt.Errorf("adaptive: high watermark must be in (0,1], got %v", cfg.HighWatermark)
+	}
+	return &Manager{rec: rec, cfg: cfg, flush: flush}, nil
+}
+
+// Update processes one packet, flushing the epoch first if the recorder is
+// saturated or the epoch packet budget is exhausted.
+func (m *Manager) Update(p flow.Packet) {
+	m.rec.Update(p)
+	m.inEp++
+	m.checks++
+	m.total++
+
+	if m.inEp >= m.cfg.MaxEpochPackets {
+		m.Flush()
+		return
+	}
+	if m.checks >= m.cfg.CheckEvery {
+		m.checks = 0
+		if m.rec.EstimateCardinality() >= m.cfg.HighWatermark*float64(m.cfg.Capacity) {
+			m.Flush()
+		}
+	}
+}
+
+// Flush ends the current epoch: hands the records to the flush callback,
+// resets the recorder, and starts the next epoch.
+func (m *Manager) Flush() {
+	if m.flush != nil {
+		m.flush(m.epoch, m.rec.Records())
+	}
+	m.rec.Reset()
+	m.epoch++
+	m.inEp = 0
+	m.checks = 0
+}
+
+// Epoch returns the index of the epoch currently being filled.
+func (m *Manager) Epoch() int { return m.epoch }
+
+// EpochPackets returns how many packets the current epoch has absorbed.
+func (m *Manager) EpochPackets() uint64 { return m.inEp }
+
+// TotalPackets returns the number of packets processed across all epochs.
+func (m *Manager) TotalPackets() uint64 { return m.total }
+
+// Recorder exposes the wrapped recorder for queries between flushes.
+func (m *Manager) Recorder() flowmon.Recorder { return m.rec }

@@ -1,0 +1,210 @@
+// Command flowbench regenerates the tables and figures of the HashFlow
+// paper's evaluation section as TSV on stdout.
+//
+// Usage:
+//
+//	flowbench [flags] <experiment>
+//
+// Experiments: table1, fig2, fig3, fig4, fig5, fig6, fig7, fig8, fig9,
+// fig10, fig11, all — plus extras, which compares the beyond-paper
+// recorders (sampled NetFlow, cuckoo, Space-Saving) against HashFlow.
+//
+// Flags:
+//
+//	-mem bytes    memory budget per algorithm (default 1 MiB, the paper's)
+//	-seed n       RNG seed (default 1)
+//	-quick        reduced scale for a fast smoke run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/experiments"
+	"repro/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "flowbench:", err)
+		os.Exit(1)
+	}
+}
+
+type config struct {
+	mem   int
+	seed  uint64
+	quick bool
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("flowbench", flag.ContinueOnError)
+	mem := fs.Int("mem", experiments.DefaultMemory, "memory budget in bytes per algorithm")
+	seed := fs.Uint64("seed", experiments.DefaultSeed, "RNG seed")
+	quick := fs.Bool("quick", false, "reduced scale for a fast run")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: flowbench [flags] <table1|fig2|...|fig11|extras|all>")
+	}
+	cfg := config{mem: *mem, seed: *seed, quick: *quick}
+
+	name := fs.Arg(0)
+	if name == "all" {
+		for _, exp := range []string{"table1", "fig2", "fig3", "fig4", "fig5",
+			"fig6", "fig7", "fig8", "fig9", "fig10", "fig11"} {
+			if _, err := fmt.Fprintf(w, "## %s\n", exp); err != nil {
+				return err
+			}
+			if err := runOne(exp, cfg, w); err != nil {
+				return fmt.Errorf("%s: %w", exp, err)
+			}
+			if _, err := fmt.Fprintln(w); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return runOne(name, cfg, w)
+}
+
+// scales returns experiment sizes, shrunk in quick mode.
+func (c config) flows(full int) int {
+	if c.quick {
+		return full / 10
+	}
+	return full
+}
+
+func (c config) sweep(full []int) []int {
+	if !c.quick {
+		return full
+	}
+	out := make([]int, len(full))
+	for i, v := range full {
+		out[i] = v / 10
+	}
+	return out
+}
+
+func runOne(name string, cfg config, w io.Writer) error {
+	switch name {
+	case "table1":
+		header, rows, err := experiments.Table1Rows(cfg.flows(250000), cfg.seed)
+		if err != nil {
+			return err
+		}
+		return experiments.WriteTSV(w, header, rows)
+
+	case "fig2":
+		n := 100000
+		if cfg.quick {
+			n = 10000
+		}
+		pts := experiments.Fig2MultiHash(n, []float64{1, 2, 3, 4}, 10, cfg.seed)
+		for _, load := range []float64{1.0, 2.0} {
+			pts = append(pts, experiments.Fig2Pipelined(n, load, []float64{0.5, 0.6, 0.7, 0.8}, 10, cfg.seed)...)
+		}
+		header, rows := experiments.Fig2Rows(pts)
+		if err := experiments.WriteTSV(w, header, rows); err != nil {
+			return err
+		}
+		alphas := []float64{0.5, 0.55, 0.6, 0.65, 0.7, 0.75, 0.8, 0.85, 0.9, 0.95}
+		loads := []float64{1.0, 1.2, 1.4, 1.6, 1.8, 2.0, 3.0, 4.0}
+		h2, r2 := experiments.Fig2ImprovementRows(alphas, loads, 3)
+		if _, err := fmt.Fprintln(w, "# fig2d improvement"); err != nil {
+			return err
+		}
+		return experiments.WriteTSV(w, h2, r2)
+
+	case "fig3":
+		header, rows, err := experiments.Fig3Rows(cfg.flows(250000), cfg.seed, 200)
+		if err != nil {
+			return err
+		}
+		return experiments.WriteTSV(w, header, rows)
+
+	case "fig4":
+		header, rows, err := experiments.Fig4Rows(cfg.flows(50000), cfg.mem, []int{1, 2, 3, 4}, cfg.seed)
+		if err != nil {
+			return err
+		}
+		return experiments.WriteTSV(w, header, rows)
+
+	case "fig5":
+		counts := cfg.sweep([]int{10000, 20000, 30000, 40000, 50000, 60000})
+		header, rows, err := experiments.Fig5Rows(counts, cfg.mem, cfg.seed)
+		if err != nil {
+			return err
+		}
+		return experiments.WriteTSV(w, header, rows)
+
+	case "fig6", "fig7", "fig8":
+		var counts []int
+		if name == "fig8" {
+			counts = cfg.sweep([]int{20000, 40000, 60000, 80000, 100000})
+		} else {
+			counts = cfg.sweep([]int{25000, 50000, 100000, 150000, 200000, 250000})
+		}
+		metric := map[string]string{"fig6": "FSC", "fig7": "RE", "fig8": "ARE"}[name]
+		for _, p := range trace.Profiles() {
+			ms, err := experiments.AppPerformance(p, counts, cfg.mem, cfg.seed)
+			if err != nil {
+				return err
+			}
+			header, rows := experiments.AppMetricsRows(ms, metric)
+			if p.Name == trace.Profiles()[0].Name {
+				if err := experiments.WriteTSV(w, header, rows); err != nil {
+					return err
+				}
+				continue
+			}
+			if err := experiments.WriteTSV(w, nil, rows); err != nil {
+				return err
+			}
+		}
+		return nil
+
+	case "fig9", "fig10":
+		flows := cfg.flows(250000)
+		first := true
+		for _, p := range trace.Profiles() {
+			ms, err := experiments.HeavyHitterSweep(p, flows, cfg.mem, experiments.HHThresholds(p.Name), cfg.seed)
+			if err != nil {
+				return err
+			}
+			header, rows := experiments.HHRows(ms)
+			if first {
+				first = false
+				if err := experiments.WriteTSV(w, header, rows); err != nil {
+					return err
+				}
+				continue
+			}
+			if err := experiments.WriteTSV(w, nil, rows); err != nil {
+				return err
+			}
+		}
+		return nil
+
+	case "fig11":
+		header, rows, err := experiments.Fig11Rows(cfg.flows(100000), cfg.mem, cfg.seed)
+		if err != nil {
+			return err
+		}
+		return experiments.WriteTSV(w, header, rows)
+
+	case "extras":
+		header, rows, err := experiments.ExtrasRows(cfg.flows(100000), cfg.mem, cfg.seed)
+		if err != nil {
+			return err
+		}
+		return experiments.WriteTSV(w, header, rows)
+
+	default:
+		return fmt.Errorf("unknown experiment %q", name)
+	}
+}

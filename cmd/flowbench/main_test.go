@@ -1,0 +1,77 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunRejectsBadArgs(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(nil, &buf); err == nil {
+		t.Error("accepted missing experiment name")
+	}
+	if err := run([]string{"nope"}, &buf); err == nil {
+		t.Error("accepted unknown experiment")
+	}
+	if err := run([]string{"-bogus-flag", "table1"}, &buf); err == nil {
+		t.Error("accepted unknown flag")
+	}
+}
+
+func TestRunQuickExperiments(t *testing.T) {
+	// Every experiment must produce a header and at least one data row in
+	// quick mode. fig6/fig9 subsume the cost of their siblings; run a
+	// representative subset to keep the test fast.
+	for _, exp := range []string{"table1", "fig3", "fig4", "fig5", "fig11"} {
+		t.Run(exp, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := run([]string{"-quick", "-mem", "65536", exp}, &buf); err != nil {
+				t.Fatal(err)
+			}
+			lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+			if len(lines) < 2 {
+				t.Fatalf("%s produced %d lines", exp, len(lines))
+			}
+			cols := len(strings.Split(lines[0], "\t"))
+			if cols < 3 {
+				t.Errorf("%s header has %d columns", exp, cols)
+			}
+			for i, l := range lines[1:] {
+				if strings.HasPrefix(l, "#") { // section separator
+					continue
+				}
+				if got := len(strings.Split(l, "\t")); got < 3 {
+					t.Errorf("%s row %d has %d columns: %q", exp, i, got, l)
+				}
+			}
+		})
+	}
+}
+
+func TestRunFig2(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-quick", "fig2"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "multihash") || !strings.Contains(out, "pipelined") {
+		t.Error("fig2 output missing table kinds")
+	}
+	if !strings.Contains(out, "# fig2d improvement") {
+		t.Error("fig2 output missing improvement section")
+	}
+}
+
+func TestRunHeavyHitterQuick(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-quick", "-mem", "65536", "fig9"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, name := range []string{"HashFlow", "HashPipe", "ElasticSketch", "FlowRadar"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("fig9 output missing %s", name)
+		}
+	}
+}

@@ -1,0 +1,249 @@
+// Command flowcollect runs the two halves of a flow-record collection
+// pipeline.
+//
+// Export mode reads packets (from a pcap file or a generated trace), feeds
+// them through a measurement algorithm, and exports the resulting flow
+// records as NetFlow v5 over UDP:
+//
+//	flowcollect export -algo HashFlow -mem 1048576 -pcap trace.pcap -to 127.0.0.1:2055
+//	flowcollect export -algo HashFlow -profile Campus -flows 20000 -to 127.0.0.1:2055
+//
+// Collect mode listens for NetFlow v5 datagrams and prints a summary after
+// the exporter goes quiet:
+//
+//	flowcollect collect -listen 127.0.0.1:2055 -idle 3s
+//
+// Serve mode runs a persistent collector that writes each quiet-gap
+// delimited epoch to a record store file (query it with flowquery):
+//
+//	flowcollect serve -listen 127.0.0.1:2055 -store records.frec -for 1m
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/collector"
+	"repro/flow"
+	"repro/flowmon"
+	"repro/netflow"
+	"repro/pcapio"
+	"repro/recordstore"
+	"repro/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "flowcollect:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	if len(args) < 1 {
+		return errors.New("usage: flowcollect <export|collect> [flags]")
+	}
+	switch args[0] {
+	case "export":
+		return runExport(args[1:], w)
+	case "collect":
+		return runCollect(args[1:], w)
+	case "serve":
+		return runServe(args[1:], w)
+	default:
+		return fmt.Errorf("unknown mode %q", args[0])
+	}
+}
+
+func runServe(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	listen := fs.String("listen", "127.0.0.1:2055", "UDP listen address")
+	storePath := fs.String("store", "records.frec", "record store output file")
+	gap := fs.Duration("gap", time.Second, "quiet gap that closes an epoch")
+	runFor := fs.Duration("for", 30*time.Second, "how long to serve before shutting down")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	f, err := os.Create(*storePath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	store := recordstore.NewWriter(f)
+
+	var mu sync.Mutex
+	srv, err := collector.Start(collector.Config{Listen: *listen, EpochGap: *gap},
+		func(ts time.Time, records []flow.Record) {
+			mu.Lock()
+			defer mu.Unlock()
+			if len(records) == 0 {
+				return
+			}
+			if err := store.WriteEpoch(ts, records); err != nil {
+				fmt.Fprintf(w, "store write failed: %v\n", err)
+			}
+		})
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "serving on %s for %v, storing to %s\n",
+		srv.Addr(), *runFor, *storePath); err != nil {
+		srv.Shutdown()
+		return err
+	}
+
+	time.Sleep(*runFor)
+	srv.Shutdown()
+	if err := store.Flush(); err != nil {
+		return err
+	}
+	st := srv.Stats()
+	_, err = fmt.Fprintf(w, "done: %d datagrams, %d records, %d epochs, %d lost, %d bad\n",
+		st.Datagrams, st.Records, st.Epochs, st.Lost, st.BadData)
+	return err
+}
+
+func runExport(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("export", flag.ContinueOnError)
+	algo := fs.String("algo", "HashFlow", "measurement algorithm")
+	mem := fs.Int("mem", 1<<20, "memory budget in bytes")
+	pcapPath := fs.String("pcap", "", "read packets from this pcap file")
+	profile := fs.String("profile", "CAIDA", "generate this trace profile when no pcap is given")
+	flows := fs.Int("flows", 10000, "flows to generate when no pcap is given")
+	seed := fs.Uint64("seed", 1, "RNG seed")
+	to := fs.String("to", "127.0.0.1:2055", "collector address")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	a, err := flowmon.ParseAlgorithm(*algo)
+	if err != nil {
+		return err
+	}
+	rec, err := flowmon.New(a, flowmon.Config{MemoryBytes: *mem, Seed: *seed})
+	if err != nil {
+		return err
+	}
+
+	var pkts int
+	if *pcapPath != "" {
+		f, err := os.Open(*pcapPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r := pcapio.NewReader(f)
+		for {
+			p, _, err := r.ReadPacket()
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			if err != nil {
+				return err
+			}
+			rec.Update(p)
+			pkts++
+		}
+	} else {
+		prof, err := trace.ProfileByName(*profile)
+		if err != nil {
+			return err
+		}
+		tr, err := trace.Generate(prof, *flows, *seed)
+		if err != nil {
+			return err
+		}
+		s := tr.Stream(*seed)
+		for {
+			p, ok := s.Next()
+			if !ok {
+				break
+			}
+			rec.Update(p)
+			pkts++
+		}
+	}
+
+	conn, err := net.Dial("udp", *to)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	exp := netflow.NewExporter(func(b []byte) error {
+		_, err := conn.Write(b)
+		return err
+	})
+	recs := rec.Records()
+	if err := exp.Export(recs, 700); err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "processed %d packets, exported %d flow records to %s\n",
+		pkts, len(recs), *to)
+	return err
+}
+
+func runCollect(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("collect", flag.ContinueOnError)
+	listen := fs.String("listen", "127.0.0.1:2055", "UDP listen address")
+	idle := fs.Duration("idle", 3*time.Second, "stop after this long without datagrams")
+	top := fs.Int("top", 10, "print this many largest flows")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	addr, err := net.ResolveUDPAddr("udp", *listen)
+	if err != nil {
+		return err
+	}
+	conn, err := net.ListenUDP("udp", addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	if _, err := fmt.Fprintf(w, "listening on %s\n", conn.LocalAddr()); err != nil {
+		return err
+	}
+
+	col := netflow.NewCollector()
+	buf := make([]byte, netflow.MaxDatagramLen)
+	got := false
+	for {
+		if err := conn.SetReadDeadline(time.Now().Add(*idle)); err != nil {
+			return err
+		}
+		n, _, err := conn.ReadFromUDP(buf)
+		if err != nil {
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				if got {
+					break // exporter went quiet; summarize
+				}
+				continue // keep waiting for the first datagram
+			}
+			return err
+		}
+		got = true
+		if err := col.Ingest(buf[:n]); err != nil {
+			fmt.Fprintf(w, "bad datagram: %v\n", err)
+		}
+	}
+
+	recs := col.FlowRecords()
+	sort.Slice(recs, func(i, j int) bool { return recs[i].Count > recs[j].Count })
+	fmt.Fprintf(w, "collected %d flow records (%d lost)\n", len(recs), col.Lost())
+	for i, r := range recs {
+		if i >= *top {
+			break
+		}
+		fmt.Fprintf(w, "%3d. %-45s %d pkts\n", i+1, r.Key, r.Count)
+	}
+	return nil
+}

@@ -1,0 +1,191 @@
+package main
+
+import (
+	"bytes"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/flow"
+	"repro/pcapio"
+	"repro/recordstore"
+)
+
+func TestRunModes(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(nil, &buf); err == nil {
+		t.Error("accepted missing mode")
+	}
+	if err := run([]string{"bogus"}, &buf); err == nil {
+		t.Error("accepted unknown mode")
+	}
+}
+
+func TestExportErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"export", "-algo", "nope"}, &buf); err == nil {
+		t.Error("accepted unknown algorithm")
+	}
+	if err := run([]string{"export", "-pcap", "/does/not/exist"}, &buf); err == nil {
+		t.Error("accepted missing pcap")
+	}
+}
+
+func TestExportCollectLoopback(t *testing.T) {
+	// Start the collector on an ephemeral port, export a generated trace
+	// to it, and check both halves report consistent record counts.
+	addr, err := net.ResolveUDPAddr("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe, err := net.ListenUDP("udp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	port := probe.LocalAddr().String()
+	probe.Close()
+
+	var (
+		wg         sync.WaitGroup
+		collectOut bytes.Buffer
+		collectErr error
+	)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		collectErr = run([]string{"collect", "-listen", port, "-idle", "500ms", "-top", "3"}, &collectOut)
+	}()
+
+	// Give the listener a moment to bind, then export.
+	time.Sleep(200 * time.Millisecond)
+	var exportOut bytes.Buffer
+	err = run([]string{"export", "-profile", "ISP2", "-flows", "500",
+		"-mem", "65536", "-to", port}, &exportOut)
+	if err != nil {
+		t.Fatalf("export: %v", err)
+	}
+	wg.Wait()
+	if collectErr != nil {
+		t.Fatalf("collect: %v", collectErr)
+	}
+	if !strings.Contains(exportOut.String(), "exported") {
+		t.Errorf("export output: %q", exportOut.String())
+	}
+	if !strings.Contains(collectOut.String(), "collected") {
+		t.Errorf("collect output: %q", collectOut.String())
+	}
+}
+
+func TestExportFromPcap(t *testing.T) {
+	// Write a small pcap, then export from it to a local collector socket
+	// we drain manually.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "in.pcap")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := pcapio.NewWriter(f)
+	k := flow.Key{SrcIP: 1, DstIP: 2, SrcPort: 3, DstPort: 4, Proto: 6}
+	for i := 0; i < 10; i++ {
+		if err := w.WritePacket(flow.Packet{Key: k, Size: 100}, time.Unix(0, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	sink, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sink.Close()
+
+	var out bytes.Buffer
+	err = run([]string{"export", "-pcap", path, "-mem", "65536",
+		"-to", sink.LocalAddr().String()}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "processed 10 packets, exported 1 flow records") {
+		t.Errorf("export output: %q", out.String())
+	}
+}
+
+func TestServeStoresEpochs(t *testing.T) {
+	// Pick an ephemeral port, serve briefly, export into it, then verify
+	// the record store holds the epoch.
+	addr, err := net.ResolveUDPAddr("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe, err := net.ListenUDP("udp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	port := probe.LocalAddr().String()
+	probe.Close()
+
+	store := filepath.Join(t.TempDir(), "out.frec")
+	var (
+		wg       sync.WaitGroup
+		serveOut bytes.Buffer
+		serveErr error
+	)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		serveErr = run([]string{"serve", "-listen", port, "-store", store,
+			"-gap", "200ms", "-for", "2s"}, &serveOut)
+	}()
+
+	time.Sleep(300 * time.Millisecond)
+	var exportOut bytes.Buffer
+	err = run([]string{"export", "-profile", "ISP2", "-flows", "300",
+		"-mem", "65536", "-to", port}, &exportOut)
+	if err != nil {
+		t.Fatalf("export: %v", err)
+	}
+	wg.Wait()
+	if serveErr != nil {
+		t.Fatalf("serve: %v", serveErr)
+	}
+
+	f, err := os.Open(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	epochs, err := recordstore.NewReader(f).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(epochs) == 0 {
+		t.Fatal("no epochs stored")
+	}
+	total := 0
+	for _, ep := range epochs {
+		total += len(ep.Records)
+	}
+	if total == 0 {
+		t.Error("stored epochs carry no records")
+	}
+	if !strings.Contains(serveOut.String(), "done:") {
+		t.Errorf("serve output: %q", serveOut.String())
+	}
+}
+
+func TestServeBadArgs(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"serve", "-store", "/no/such/dir/x.frec", "-for", "1ms"}, &buf); err == nil {
+		t.Error("accepted uncreatable store path")
+	}
+}

@@ -1,0 +1,80 @@
+// Command flowquery inspects record-store files written by a collector.
+//
+// Usage:
+//
+//	flowquery -store records.frec                          # per-epoch summary
+//	flowquery -store records.frec -filter dport=443        # filtered records
+//	flowquery -store records.frec -top 10                  # largest flows
+//	flowquery -store records.frec -filter proto=17 -top 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/apps"
+	"repro/flow"
+	"repro/recordstore"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "flowquery:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("flowquery", flag.ContinueOnError)
+	store := fs.String("store", "", "record store file (required)")
+	filterExpr := fs.String("filter", "", "filter, e.g. src=10.0.0.1,dport=443,minpkts=10")
+	top := fs.Int("top", 0, "print only the N largest matching flows")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *store == "" {
+		return fmt.Errorf("usage: flowquery -store <file> [-filter expr] [-top n]")
+	}
+	filter, err := recordstore.ParseFilter(*filterExpr)
+	if err != nil {
+		return err
+	}
+
+	f, err := os.Open(*store)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	epochs, err := recordstore.NewReader(f).ReadAll()
+	if err != nil {
+		return err
+	}
+
+	var matched []flow.Record
+	var totalRecords int
+	for i, ep := range epochs {
+		hits := filter.Apply(ep.Records)
+		totalRecords += len(ep.Records)
+		matched = append(matched, hits...)
+		if _, err := fmt.Fprintf(w, "epoch %d  %s  %d records, %d matched\n",
+			i, ep.Time.Format("2006-01-02T15:04:05.000Z07:00"), len(ep.Records), len(hits)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "total: %d epochs, %d records, %d matched\n",
+		len(epochs), totalRecords, len(matched)); err != nil {
+		return err
+	}
+
+	if *top > 0 {
+		for i, r := range apps.TopTalkers(matched, *top) {
+			if _, err := fmt.Fprintf(w, "%3d. %-45s %d pkts\n", i+1, r.Key, r.Count); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

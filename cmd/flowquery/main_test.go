@@ -1,0 +1,84 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/flow"
+	"repro/recordstore"
+)
+
+func writeStore(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "r.frec")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	w := recordstore.NewWriter(f)
+	epoch1 := []flow.Record{
+		{Key: flow.Key{SrcIP: 0x0A000001, DstIP: 2, DstPort: 443, Proto: 6}, Count: 100},
+		{Key: flow.Key{SrcIP: 0x0A000002, DstIP: 2, DstPort: 80, Proto: 6}, Count: 10},
+	}
+	epoch2 := []flow.Record{
+		{Key: flow.Key{SrcIP: 0x0A000003, DstIP: 3, DstPort: 53, Proto: 17}, Count: 7},
+	}
+	if err := w.WriteEpoch(time.Unix(1700000000, 0), epoch1); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteEpoch(time.Unix(1700000300, 0), epoch2); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestQuerySummary(t *testing.T) {
+	path := writeStore(t)
+	var buf bytes.Buffer
+	if err := run([]string{"-store", path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "total: 2 epochs, 3 records, 3 matched") {
+		t.Errorf("summary output: %q", out)
+	}
+}
+
+func TestQueryFilterAndTop(t *testing.T) {
+	path := writeStore(t)
+	var buf bytes.Buffer
+	if err := run([]string{"-store", path, "-filter", "proto=6", "-top", "1"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "3 records, 2 matched") && !strings.Contains(out, "2 matched") {
+		t.Errorf("filter output: %q", out)
+	}
+	if !strings.Contains(out, "100 pkts") {
+		t.Errorf("top output missing largest flow: %q", out)
+	}
+	if strings.Contains(out, "10 pkts") {
+		t.Errorf("-top 1 printed more than one flow: %q", out)
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(nil, &buf); err == nil {
+		t.Error("accepted missing -store")
+	}
+	if err := run([]string{"-store", "/does/not/exist"}, &buf); err == nil {
+		t.Error("accepted missing file")
+	}
+	if err := run([]string{"-store", writeStore(t), "-filter", "bogus"}, &buf); err == nil {
+		t.Error("accepted bad filter")
+	}
+}

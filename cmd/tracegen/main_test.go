@@ -1,0 +1,61 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/pcapio"
+)
+
+func TestRunPcap(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "t.pcap")
+	err := run([]string{"-profile", "ISP2", "-flows", "200", "-seed", "3", "-out", out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	pkts, err := pcapio.NewReader(f).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkts) < 200 {
+		t.Errorf("pcap has %d packets, want >= 200 (one per flow at minimum)", len(pkts))
+	}
+}
+
+func TestRunCSV(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "t.csv")
+	err := run([]string{"-profile", "CAIDA", "-flows", "100", "-format", "csv", "-out", out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 101 { // header + 100 flows
+		t.Fatalf("CSV has %d lines, want 101", len(lines))
+	}
+	if lines[0] != "src_ip,dst_ip,src_port,dst_port,proto,packets" {
+		t.Errorf("bad header: %q", lines[0])
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-profile", "nope"}); err == nil {
+		t.Error("accepted unknown profile")
+	}
+	if err := run([]string{"-format", "xml"}); err == nil {
+		t.Error("accepted unknown format")
+	}
+	if err := run([]string{"-flows", "0"}); err == nil {
+		t.Error("accepted zero flows")
+	}
+}

@@ -1,0 +1,168 @@
+// Package collector runs the receive side of the flow-record collection
+// pipeline as a managed service: a UDP listener decodes NetFlow v5
+// datagrams and hands completed epochs to a sink (typically a
+// recordstore.Writer). The server owns its goroutine per the "no
+// fire-and-forget" rule: Start spawns it, Shutdown signals it and waits.
+package collector
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/flow"
+	"repro/netflow"
+)
+
+// Sink receives one completed epoch of flow records. Implementations must
+// not retain the slice.
+type Sink func(ts time.Time, records []flow.Record)
+
+// Config parameterizes a collector server.
+type Config struct {
+	// Listen is the UDP address to bind, e.g. "127.0.0.1:2055".
+	Listen string
+	// EpochGap closes an epoch after this long without datagrams
+	// (default 1s).
+	EpochGap time.Duration
+	// ReadBuffer sizes the socket receive buffer (default 4 MiB).
+	ReadBuffer int
+}
+
+// Stats summarizes a collector's lifetime counters.
+type Stats struct {
+	Datagrams uint64
+	Records   uint64
+	Epochs    uint64
+	Lost      uint64 // inferred from sequence gaps
+	BadData   uint64 // undecodable datagrams
+}
+
+// Server is a running collector.
+type Server struct {
+	cfg  Config
+	conn *net.UDPConn
+	sink Sink
+
+	stop chan struct{}
+	done chan struct{}
+
+	mu    sync.Mutex
+	stats Stats
+}
+
+// Start binds the socket and spawns the receive loop. The returned server
+// must be stopped with Shutdown.
+func Start(cfg Config, sink Sink) (*Server, error) {
+	if sink == nil {
+		return nil, errors.New("collector: nil sink")
+	}
+	if cfg.EpochGap <= 0 {
+		cfg.EpochGap = time.Second
+	}
+	if cfg.ReadBuffer <= 0 {
+		cfg.ReadBuffer = 4 << 20
+	}
+	addr, err := net.ResolveUDPAddr("udp", cfg.Listen)
+	if err != nil {
+		return nil, fmt.Errorf("collector: resolve %q: %w", cfg.Listen, err)
+	}
+	conn, err := net.ListenUDP("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("collector: listen: %w", err)
+	}
+	if err := conn.SetReadBuffer(cfg.ReadBuffer); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("collector: set read buffer: %w", err)
+	}
+	s := &Server{
+		cfg:  cfg,
+		conn: conn,
+		sink: sink,
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	go s.loop()
+	return s, nil
+}
+
+// Addr returns the bound address (useful with a ":0" listen port).
+func (s *Server) Addr() net.Addr { return s.conn.LocalAddr() }
+
+// Stats returns a snapshot of the lifetime counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Shutdown stops the receive loop, flushes any open epoch to the sink, and
+// waits for the goroutine to exit. It is safe to call once.
+func (s *Server) Shutdown() {
+	close(s.stop)
+	s.conn.Close() // unblocks the read
+	<-s.done
+}
+
+func (s *Server) loop() {
+	defer close(s.done)
+
+	buf := make([]byte, netflow.MaxDatagramLen)
+	dec := netflow.NewCollector()
+	var epochStart time.Time
+	epochOpen := false
+
+	flush := func() {
+		if !epochOpen {
+			return
+		}
+		records := dec.FlowRecords()
+		s.mu.Lock()
+		s.stats.Epochs++
+		s.stats.Lost += dec.Lost()
+		s.mu.Unlock()
+		s.sink(epochStart, records)
+		dec = netflow.NewCollector()
+		epochOpen = false
+	}
+	defer flush()
+
+	for {
+		select {
+		case <-s.stop:
+			return
+		default:
+		}
+		if err := s.conn.SetReadDeadline(time.Now().Add(s.cfg.EpochGap)); err != nil {
+			return
+		}
+		n, _, err := s.conn.ReadFromUDP(buf)
+		if err != nil {
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				flush() // quiet period closes the epoch
+				continue
+			}
+			return // socket closed (Shutdown) or fatal
+		}
+		if !epochOpen {
+			epochStart = time.Now().UTC()
+			epochOpen = true
+		}
+		s.mu.Lock()
+		s.stats.Datagrams++
+		s.mu.Unlock()
+		before := dec.Count()
+		if err := dec.Ingest(buf[:n]); err != nil {
+			s.mu.Lock()
+			s.stats.BadData++
+			s.mu.Unlock()
+			continue
+		}
+		s.mu.Lock()
+		s.stats.Records += uint64(dec.Count() - before)
+		s.mu.Unlock()
+	}
+}

@@ -1,0 +1,169 @@
+package collector
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/flow"
+	"repro/netflow"
+)
+
+// epochSink collects flushed epochs under a lock.
+type epochSink struct {
+	mu     sync.Mutex
+	epochs [][]flow.Record
+}
+
+func (e *epochSink) sink(_ time.Time, records []flow.Record) {
+	cp := make([]flow.Record, len(records))
+	copy(cp, records)
+	e.mu.Lock()
+	e.epochs = append(e.epochs, cp)
+	e.mu.Unlock()
+}
+
+func (e *epochSink) snapshot() [][]flow.Record {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([][]flow.Record, len(e.epochs))
+	copy(out, e.epochs)
+	return out
+}
+
+func startTestServer(t *testing.T, gap time.Duration) (*Server, *epochSink) {
+	t.Helper()
+	sink := &epochSink{}
+	srv, err := Start(Config{Listen: "127.0.0.1:0", EpochGap: gap}, sink.sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Shutdown)
+	return srv, sink
+}
+
+func export(t *testing.T, to net.Addr, records []flow.Record) {
+	t.Helper()
+	conn, err := net.Dial("udp", to.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	exp := netflow.NewExporter(func(b []byte) error {
+		_, err := conn.Write(b)
+		return err
+	})
+	if err := exp.Export(records, 100); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func waitFor(t *testing.T, timeout time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("condition not met before timeout")
+}
+
+func TestStartValidation(t *testing.T) {
+	if _, err := Start(Config{Listen: "127.0.0.1:0"}, nil); err == nil {
+		t.Error("accepted nil sink")
+	}
+	if _, err := Start(Config{Listen: "999.0.0.1:x"}, func(time.Time, []flow.Record) {}); err == nil {
+		t.Error("accepted bad listen address")
+	}
+}
+
+func TestCollectOneEpoch(t *testing.T) {
+	srv, sink := startTestServer(t, 150*time.Millisecond)
+
+	records := make([]flow.Record, 75)
+	for i := range records {
+		records[i] = flow.Record{Key: flow.Key{SrcIP: uint32(i + 1), Proto: 6}, Count: uint32(i + 1)}
+	}
+	export(t, srv.Addr(), records)
+
+	waitFor(t, 3*time.Second, func() bool { return len(sink.snapshot()) >= 1 })
+	epochs := sink.snapshot()
+	if len(epochs[0]) != len(records) {
+		t.Fatalf("epoch has %d records, want %d", len(epochs[0]), len(records))
+	}
+	st := srv.Stats()
+	if st.Records != 75 || st.Datagrams != 3 || st.Epochs != 1 || st.BadData != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestQuietGapSplitsEpochs(t *testing.T) {
+	srv, sink := startTestServer(t, 100*time.Millisecond)
+
+	recs := []flow.Record{{Key: flow.Key{SrcIP: 1}, Count: 1}}
+	export(t, srv.Addr(), recs)
+	waitFor(t, 3*time.Second, func() bool { return len(sink.snapshot()) >= 1 })
+	export(t, srv.Addr(), recs)
+	waitFor(t, 3*time.Second, func() bool { return len(sink.snapshot()) >= 2 })
+
+	if got := srv.Stats().Epochs; got != 2 {
+		t.Errorf("Epochs = %d, want 2", got)
+	}
+}
+
+func TestBadDatagramCounted(t *testing.T) {
+	srv, sink := startTestServer(t, 100*time.Millisecond)
+
+	conn, err := net.Dial("udp", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("garbage datagram")); err != nil {
+		t.Fatal(err)
+	}
+	export(t, srv.Addr(), []flow.Record{{Key: flow.Key{SrcIP: 1}, Count: 1}})
+
+	waitFor(t, 3*time.Second, func() bool { return len(sink.snapshot()) >= 1 })
+	st := srv.Stats()
+	if st.BadData != 1 {
+		t.Errorf("BadData = %d, want 1", st.BadData)
+	}
+	if st.Records != 1 {
+		t.Errorf("Records = %d, want 1", st.Records)
+	}
+}
+
+func TestShutdownFlushesOpenEpoch(t *testing.T) {
+	// Use a long gap so the epoch is still open when Shutdown runs.
+	sink := &epochSink{}
+	srv, err := Start(Config{Listen: "127.0.0.1:0", EpochGap: time.Hour}, sink.sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	export(t, srv.Addr(), []flow.Record{{Key: flow.Key{SrcIP: 9}, Count: 3}})
+	waitFor(t, 3*time.Second, func() bool { return srv.Stats().Records == 1 })
+
+	srv.Shutdown()
+	epochs := sink.snapshot()
+	if len(epochs) != 1 || len(epochs[0]) != 1 {
+		t.Fatalf("shutdown flushed %v", epochs)
+	}
+	if epochs[0][0].Count != 3 {
+		t.Errorf("flushed record = %+v", epochs[0][0])
+	}
+}
+
+func TestShutdownIdempotentGoroutine(t *testing.T) {
+	sink := &epochSink{}
+	srv, err := Start(Config{Listen: "127.0.0.1:0"}, sink.sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Shutdown()
+	// The loop goroutine must have exited; a second Stats call still works.
+	_ = srv.Stats()
+}

@@ -1,0 +1,57 @@
+// Comparison: run all four algorithms on the same trace with the same
+// memory budget and print the paper's three application metrics side by
+// side (flow record coverage, size-estimation error, cardinality error).
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/flowmon"
+	"repro/metrics"
+	"repro/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "comparison:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	const memory = 1 << 20 // the paper's 1 MB
+	for _, flows := range []int{30000, 100000} {
+		tr, err := trace.Generate(trace.ISP1, flows, 11)
+		if err != nil {
+			return err
+		}
+		pkts := tr.Packets(11)
+		truth := tr.Truth()
+
+		fmt.Printf("ISP1 trace, %d flows, %d packets, %d KB per algorithm\n",
+			flows, len(pkts), memory>>10)
+		fmt.Printf("  %-14s %8s %8s %8s %10s %8s\n",
+			"algorithm", "records", "FSC", "sizeARE", "cardinal.", "cardRE")
+		for _, a := range flowmon.All() {
+			rec, err := flowmon.New(a, flowmon.Config{MemoryBytes: memory, Seed: 5})
+			if err != nil {
+				return err
+			}
+			for _, p := range pkts {
+				rec.Update(p)
+			}
+			records := rec.Records()
+			fmt.Printf("  %-14s %8d %8.4f %8.4f %10.0f %8.4f\n",
+				a,
+				len(records),
+				metrics.FSC(records, truth),
+				metrics.SizeARE(rec.EstimateSize, truth),
+				rec.EstimateCardinality(),
+				metrics.CardinalityRE(rec.EstimateCardinality(), truth),
+			)
+		}
+		fmt.Println()
+	}
+	return nil
+}

@@ -1,0 +1,56 @@
+// Heavy-hitter detection: find the flows above a packet threshold on a
+// backbone-like trace, compare all four algorithms against ground truth,
+// and show HashFlow's advantage as the paper's Fig. 9/10 do.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/flowmon"
+	"repro/metrics"
+	"repro/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "heavyhitter:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	const (
+		memory = 512 << 10
+		flows  = 60000
+	)
+	tr, err := trace.Generate(trace.CAIDA, flows, 7)
+	if err != nil {
+		return err
+	}
+	pkts := tr.Packets(7)
+	truth := tr.Truth()
+
+	fmt.Printf("trace: %d flows, %d packets, memory budget %d KB\n\n",
+		flows, len(pkts), memory>>10)
+	fmt.Printf("%-14s %9s %6s %6s %6s %8s\n",
+		"algorithm", "threshold", "prec", "recall", "F1", "sizeARE")
+
+	for _, a := range flowmon.All() {
+		rec, err := flowmon.New(a, flowmon.Config{MemoryBytes: memory, Seed: 3})
+		if err != nil {
+			return err
+		}
+		for _, p := range pkts {
+			rec.Update(p)
+		}
+		records := rec.Records()
+		for _, threshold := range []uint32{50, 100, 200} {
+			rep := metrics.HeavyHitters(records, truth, threshold)
+			fmt.Printf("%-14s %9d %6.3f %6.3f %6.3f %8.4f\n",
+				a, threshold, rep.Precision, rep.Recall, rep.F1, rep.SizeARE)
+		}
+		fmt.Println()
+	}
+	return nil
+}

@@ -1,0 +1,104 @@
+// Security: detect a synthetic DDoS attack and a port scan hidden inside
+// background traffic, using only the flow records a memory-bounded HashFlow
+// recorder kept — the "detect network attacks" application the paper's
+// introduction motivates.
+package main
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"net/netip"
+	"os"
+
+	"repro/apps"
+	"repro/flow"
+	"repro/flowmon"
+	"repro/trace"
+)
+
+const (
+	victimIP  = 0xC0A80164 // 192.168.1.100
+	scannerIP = 0x0A00002A // 10.0.0.42
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "security:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// Background: 20K benign flows.
+	tr, err := trace.Generate(trace.ISP1, 20000, 99)
+	if err != nil {
+		return err
+	}
+	pkts := tr.Packets(99)
+
+	// Inject a DDoS: 400 distinct sources flooding one victim, and a port
+	// scan: one source probing 300 ports on one target.
+	rng := rand.New(rand.NewPCG(7, 7))
+	var attack []flow.Packet
+	for i := 0; i < 400; i++ {
+		k := flow.Key{SrcIP: rng.Uint32(), DstIP: victimIP, SrcPort: uint16(rng.Uint32()), DstPort: 80, Proto: 6}
+		for j := 0; j < 3; j++ {
+			attack = append(attack, flow.Packet{Key: k, Size: 64})
+		}
+	}
+	for port := uint16(1); port <= 300; port++ {
+		k := flow.Key{SrcIP: scannerIP, DstIP: 0x0A000001, SrcPort: 40000, DstPort: port, Proto: 6}
+		attack = append(attack, flow.Packet{Key: k, Size: 64})
+	}
+	// Interleave the attack into the background.
+	for i, p := range attack {
+		pos := (i * len(pkts)) / len(attack)
+		pkts[pos], p = p, pkts[pos]
+		pkts = append(pkts, p)
+	}
+
+	rec, err := flowmon.New(flowmon.AlgorithmHashFlow, flowmon.Config{
+		MemoryBytes: 512 << 10,
+		Seed:        13,
+	})
+	if err != nil {
+		return err
+	}
+	for _, p := range pkts {
+		rec.Update(p)
+	}
+	records := rec.Records()
+	fmt.Printf("%d packets observed, %d flow records kept in %d KB\n\n",
+		len(pkts), len(records), rec.MemoryBytes()>>10)
+
+	victims := apps.DDoSVictims(records, 100)
+	fmt.Printf("DDoS victims (>=100 distinct sources): %d\n", len(victims))
+	for _, v := range victims {
+		fmt.Printf("  %s hit by %d sources, %d packets%s\n",
+			ipString(v.DstIP), v.Sources, v.Packets, tag(v.DstIP == victimIP))
+	}
+
+	scanners := apps.PortScanners(records, 100)
+	fmt.Printf("\nport scanners (>=100 distinct targets): %d\n", len(scanners))
+	for _, s := range scanners {
+		fmt.Printf("  %s probed %d targets%s\n",
+			ipString(s.SrcIP), s.Targets, tag(s.SrcIP == scannerIP))
+	}
+
+	fmt.Println("\ntop talkers:")
+	for _, r := range apps.TopTalkers(records, 3) {
+		fmt.Printf("  %-45s %d pkts\n", r.Key, r.Count)
+	}
+	return nil
+}
+
+func ipString(ip uint32) string {
+	return netip.AddrFrom4([4]byte{byte(ip >> 24), byte(ip >> 16), byte(ip >> 8), byte(ip)}).String()
+}
+
+func tag(injected bool) string {
+	if injected {
+		return "   <- injected attack"
+	}
+	return ""
+}

@@ -1,0 +1,121 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation section. Each function returns structured rows; cmd/flowbench
+// renders them as TSV, and bench_test.go runs reduced-scale versions as Go
+// benchmarks.
+//
+// Scale parameters default to the paper's settings (1 MB of memory, up to
+// 250K flows); callers may shrink them for quick runs.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/flow"
+	"repro/flowmon"
+	"repro/metrics"
+	"repro/trace"
+)
+
+// DefaultMemory is the paper's 1 MB memory budget.
+const DefaultMemory = 1 << 20
+
+// DefaultSeed keeps every experiment reproducible.
+const DefaultSeed = 1
+
+// WriteTSV renders a header and rows as tab-separated values. A nil or
+// empty header is skipped, so multi-section output can share one header.
+func WriteTSV(w io.Writer, header []string, rows [][]string) error {
+	if len(header) > 0 {
+		if _, err := fmt.Fprintln(w, strings.Join(header, "\t")); err != nil {
+			return err
+		}
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintln(w, strings.Join(r, "\t")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
+func f4(v float64) string { return fmt.Sprintf("%.4f", v) }
+
+// runRecorder replays pkts into a fresh recorder of algorithm a.
+func runRecorder(a flowmon.Algorithm, cfg flowmon.Config, pkts []flow.Packet) (flowmon.Recorder, error) {
+	rec, err := flowmon.New(a, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: new %v: %w", a, err)
+	}
+	for _, p := range pkts {
+		rec.Update(p)
+	}
+	return rec, nil
+}
+
+// genTrace builds the packet stream and ground truth for one profile/size.
+func genTrace(p trace.Profile, flows int, seed uint64) ([]flow.Packet, *flow.Truth, error) {
+	tr, err := trace.Generate(p, flows, seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	return tr.Packets(seed), tr.Truth(), nil
+}
+
+// AppMetrics is one (trace, flow count, algorithm) measurement covering the
+// metrics of Figs. 6, 7 and 8.
+type AppMetrics struct {
+	Trace         string
+	Flows         int
+	Algorithm     string
+	FSC           float64 // Fig. 6
+	CardinalityRE float64 // Fig. 7
+	SizeARE       float64 // Fig. 8
+}
+
+// AppPerformance sweeps flow counts on one trace profile and scores every
+// algorithm, producing the data behind Figs. 6-8.
+func AppPerformance(p trace.Profile, flowCounts []int, memory int, seed uint64) ([]AppMetrics, error) {
+	var out []AppMetrics
+	for _, n := range flowCounts {
+		pkts, truth, err := genTrace(p, n, seed)
+		if err != nil {
+			return nil, err
+		}
+		for _, a := range flowmon.All() {
+			rec, err := runRecorder(a, flowmon.Config{MemoryBytes: memory, Seed: seed}, pkts)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, AppMetrics{
+				Trace:         p.Name,
+				Flows:         n,
+				Algorithm:     a.String(),
+				FSC:           metrics.FSC(rec.Records(), truth),
+				CardinalityRE: metrics.CardinalityRE(rec.EstimateCardinality(), truth),
+				SizeARE:       metrics.SizeARE(rec.EstimateSize, truth),
+			})
+		}
+	}
+	return out, nil
+}
+
+// AppMetricsRows renders AppMetrics for one of the three figures.
+func AppMetricsRows(ms []AppMetrics, metric string) (header []string, rows [][]string) {
+	header = []string{"trace", "flows", "algorithm", metric}
+	for _, m := range ms {
+		var v float64
+		switch metric {
+		case "FSC":
+			v = m.FSC
+		case "RE":
+			v = m.CardinalityRE
+		case "ARE":
+			v = m.SizeARE
+		}
+		rows = append(rows, []string{m.Trace, fmt.Sprint(m.Flows), m.Algorithm, f4(v)})
+	}
+	return header, rows
+}

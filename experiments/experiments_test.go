@@ -1,0 +1,205 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/trace"
+)
+
+func TestWriteTSV(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteTSV(&buf, []string{"a", "b"}, [][]string{{"1", "2"}, {"3", "4"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "a\tb\n1\t2\n3\t4\n"
+	if buf.String() != want {
+		t.Errorf("got %q, want %q", buf.String(), want)
+	}
+}
+
+func TestWriteTSVNoHeader(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTSV(&buf, nil, [][]string{{"x"}}); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != "x\n" {
+		t.Errorf("got %q", buf.String())
+	}
+}
+
+func TestTable1Rows(t *testing.T) {
+	header, rows, err := Table1Rows(5000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(header) != 6 || len(rows) != 4 {
+		t.Fatalf("header %d cols, %d rows", len(header), len(rows))
+	}
+	names := map[string]bool{}
+	for _, r := range rows {
+		names[r[0]] = true
+	}
+	for _, p := range trace.Profiles() {
+		if !names[p.Name] {
+			t.Errorf("missing trace %s", p.Name)
+		}
+	}
+}
+
+func TestFig2MultiHashShape(t *testing.T) {
+	pts := Fig2MultiHash(5000, []float64{1, 2}, 3, 1)
+	if len(pts) != 6 {
+		t.Fatalf("got %d points, want 6", len(pts))
+	}
+	for _, p := range pts {
+		if p.Theory < 0 || p.Theory > 1 || p.Sim < 0 || p.Sim > 1 {
+			t.Errorf("utilization out of range: %+v", p)
+		}
+		if d := p.Theory - p.Sim; d > 0.05 || d < -0.05 {
+			t.Errorf("model deviates from simulation by %.3f: %+v", d, p)
+		}
+	}
+}
+
+func TestFig2PipelinedShape(t *testing.T) {
+	pts := Fig2Pipelined(5000, 1.0, []float64{0.6, 0.7}, 3, 1)
+	if len(pts) != 6 {
+		t.Fatalf("got %d points, want 6", len(pts))
+	}
+	for _, p := range pts {
+		if d := p.Theory - p.Sim; d > 0.05 || d < -0.05 {
+			t.Errorf("model deviates from simulation by %.3f: %+v", d, p)
+		}
+	}
+	header, rows := Fig2Rows(pts)
+	if len(header) != 6 || len(rows) != len(pts) {
+		t.Error("Fig2Rows shape mismatch")
+	}
+}
+
+func TestFig2ImprovementRows(t *testing.T) {
+	header, rows := Fig2ImprovementRows([]float64{0.7}, []float64{1.0}, 3)
+	if len(header) != 3 || len(rows) != 1 {
+		t.Fatal("unexpected shape")
+	}
+	if !strings.HasPrefix(rows[0][2], "0.0") {
+		t.Errorf("improvement at alpha 0.7, load 1 = %s, want ~0.05", rows[0][2])
+	}
+}
+
+func TestFig3Rows(t *testing.T) {
+	_, rows, err := Fig3Rows(2000, 1, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perTrace := map[string]int{}
+	for _, r := range rows {
+		perTrace[r[0]]++
+	}
+	for _, p := range trace.Profiles() {
+		if perTrace[p.Name] == 0 {
+			t.Errorf("no CDF points for %s", p.Name)
+		}
+		if perTrace[p.Name] > 60 {
+			t.Errorf("%s has %d points, want <= ~50 after downsampling", p.Name, perTrace[p.Name])
+		}
+	}
+	// Last row of each trace reaches CDF 1.
+	last := map[string]string{}
+	for _, r := range rows {
+		last[r[0]] = r[2]
+	}
+	for name, v := range last {
+		if v != "1.0000" {
+			t.Errorf("%s CDF ends at %s, want 1.0000", name, v)
+		}
+	}
+}
+
+func TestFig4Rows(t *testing.T) {
+	header, rows, err := Fig4Rows(2000, 64<<10, []int{1, 3}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(header) != 3 || len(rows) != 8 { // 4 traces x 2 depths
+		t.Fatalf("got %d rows, want 8", len(rows))
+	}
+}
+
+func TestFig5Rows(t *testing.T) {
+	_, rows, err := Fig5Rows([]int{2000}, 64<<10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(Fig5Variants()) {
+		t.Fatalf("got %d rows, want %d", len(rows), len(Fig5Variants()))
+	}
+}
+
+func TestAppPerformance(t *testing.T) {
+	ms, err := AppPerformance(trace.ISP1, []int{3000}, 64<<10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 4 {
+		t.Fatalf("got %d measurements, want 4", len(ms))
+	}
+	for _, m := range ms {
+		if m.FSC < 0 || m.FSC > 1 {
+			t.Errorf("%s FSC = %v", m.Algorithm, m.FSC)
+		}
+		if m.SizeARE < 0 {
+			t.Errorf("%s ARE = %v", m.Algorithm, m.SizeARE)
+		}
+	}
+	for _, metric := range []string{"FSC", "RE", "ARE"} {
+		header, rows := AppMetricsRows(ms, metric)
+		if len(header) != 4 || len(rows) != 4 {
+			t.Errorf("%s rows shape mismatch", metric)
+		}
+	}
+}
+
+func TestHHThresholds(t *testing.T) {
+	for _, p := range trace.Profiles() {
+		if len(HHThresholds(p.Name)) == 0 {
+			t.Errorf("no thresholds for %s", p.Name)
+		}
+	}
+	if len(HHThresholds("unknown")) == 0 {
+		t.Error("no default thresholds")
+	}
+}
+
+func TestHeavyHitterSweep(t *testing.T) {
+	ms, err := HeavyHitterSweep(trace.Campus, 3000, 64<<10, []uint32{10, 50}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 8 { // 4 algorithms x 2 thresholds
+		t.Fatalf("got %d measurements, want 8", len(ms))
+	}
+	header, rows := HHRows(ms)
+	if len(header) != 7 || len(rows) != 8 {
+		t.Error("HHRows shape mismatch")
+	}
+	// HashFlow detects essentially all heavy hitters at light load.
+	for _, m := range ms {
+		if m.Algorithm == "HashFlow" && m.F1 < 0.95 {
+			t.Errorf("HashFlow F1 at threshold %d = %v", m.Threshold, m.F1)
+		}
+	}
+}
+
+func TestFig11Rows(t *testing.T) {
+	header, rows, err := Fig11Rows(2000, 64<<10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(header) != 6 || len(rows) != 16 { // 4 traces x 4 algorithms
+		t.Fatalf("got %d rows, want 16", len(rows))
+	}
+}

@@ -1,0 +1,349 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/flowmon"
+	"repro/metrics"
+	"repro/model"
+	"repro/switchsim"
+	"repro/trace"
+)
+
+// Table1Rows regenerates Table I: per-trace flow statistics.
+func Table1Rows(flows int, seed uint64) (header []string, rows [][]string, err error) {
+	header = []string{"trace", "flows", "packets", "max_flow_size", "avg_flow_size", "top7.7%_pkt_share"}
+	for _, p := range trace.Profiles() {
+		tr, err := trace.Generate(p, flows, seed)
+		if err != nil {
+			return nil, nil, err
+		}
+		st := trace.ComputeStats(tr)
+		rows = append(rows, []string{
+			st.Name, fmt.Sprint(st.Flows), fmt.Sprint(st.Packets),
+			fmt.Sprint(st.MaxSize), fmt.Sprintf("%.1f", st.MeanSize), f3(st.Skew),
+		})
+	}
+	return header, rows, nil
+}
+
+// Fig2Point is one utilization measurement: model vs simulation.
+type Fig2Point struct {
+	Kind   string // "multihash" or "pipelined"
+	Load   float64
+	Alpha  float64 // 0 for multihash
+	Depth  int
+	Theory float64
+	Sim    float64
+}
+
+// Fig2MultiHash produces Fig. 2a: multi-hash utilization for d = 1..maxDepth
+// under each load, theory and simulation (n buckets).
+func Fig2MultiHash(n int, loads []float64, maxDepth int, seed uint64) []Fig2Point {
+	var out []Fig2Point
+	for _, load := range loads {
+		for d := 1; d <= maxDepth; d++ {
+			out = append(out, Fig2Point{
+				Kind:   "multihash",
+				Load:   load,
+				Depth:  d,
+				Theory: model.MultiHashUtilization(load, d),
+				Sim:    model.SimulateMultiHash(n, int(load*float64(n)), d, seed),
+			})
+		}
+	}
+	return out
+}
+
+// Fig2Pipelined produces Fig. 2b/2c: pipelined utilization at one load for
+// each alpha and d = 1..maxDepth.
+func Fig2Pipelined(n int, load float64, alphas []float64, maxDepth int, seed uint64) []Fig2Point {
+	var out []Fig2Point
+	for _, alpha := range alphas {
+		for d := 1; d <= maxDepth; d++ {
+			out = append(out, Fig2Point{
+				Kind:   "pipelined",
+				Load:   load,
+				Alpha:  alpha,
+				Depth:  d,
+				Theory: model.PipelinedUtilization(load, alpha, d),
+				Sim:    model.SimulatePipelined(n, int(load*float64(n)), d, alpha, seed),
+			})
+		}
+	}
+	return out
+}
+
+// Fig2Rows renders Fig2 points.
+func Fig2Rows(pts []Fig2Point) (header []string, rows [][]string) {
+	header = []string{"kind", "m/n", "alpha", "depth", "theory", "simulation"}
+	for _, p := range pts {
+		rows = append(rows, []string{
+			p.Kind, fmt.Sprint(p.Load), fmt.Sprint(p.Alpha), fmt.Sprint(p.Depth),
+			f4(p.Theory), f4(p.Sim),
+		})
+	}
+	return header, rows
+}
+
+// Fig2ImprovementRows produces Fig. 2d: utilization improvement of pipelined
+// tables over multi-hash at depth d, per alpha and load.
+func Fig2ImprovementRows(alphas, loads []float64, depth int) (header []string, rows [][]string) {
+	header = []string{"alpha", "m/n", "improvement"}
+	for _, a := range alphas {
+		for _, l := range loads {
+			rows = append(rows, []string{
+				fmt.Sprint(a), fmt.Sprint(l), f4(model.PipelinedImprovement(l, a, depth)),
+			})
+		}
+	}
+	return header, rows
+}
+
+// Fig3Rows regenerates Fig. 3: the flow-size CDF of each trace, downsampled
+// to at most maxPoints points per trace.
+func Fig3Rows(flows int, seed uint64, maxPoints int) (header []string, rows [][]string, err error) {
+	header = []string{"trace", "flow_size", "cdf"}
+	for _, p := range trace.Profiles() {
+		tr, err := trace.Generate(p, flows, seed)
+		if err != nil {
+			return nil, nil, err
+		}
+		cdf := trace.SizeCDF(tr)
+		stride := 1
+		if maxPoints > 0 && len(cdf) > maxPoints {
+			stride = (len(cdf) + maxPoints - 1) / maxPoints
+		}
+		for i := 0; i < len(cdf); i += stride {
+			rows = append(rows, []string{p.Name, fmt.Sprint(cdf[i].Size), f4(cdf[i].CumFrac)})
+		}
+		if len(cdf) > 0 && (len(cdf)-1)%stride != 0 {
+			last := cdf[len(cdf)-1]
+			rows = append(rows, []string{p.Name, fmt.Sprint(last.Size), f4(last.CumFrac)})
+		}
+	}
+	return header, rows, nil
+}
+
+// Fig4Rows regenerates Fig. 4: size-estimation ARE per trace as the main
+// table depth varies, at a fixed flow count.
+func Fig4Rows(flows, memory int, depths []int, seed uint64) (header []string, rows [][]string, err error) {
+	header = []string{"trace", "depth", "ARE"}
+	for _, p := range trace.Profiles() {
+		pkts, truth, err := genTrace(p, flows, seed)
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, d := range depths {
+			rec, err := runRecorder(flowmon.AlgorithmHashFlow,
+				flowmon.Config{MemoryBytes: memory, Seed: seed, Depth: d}, pkts)
+			if err != nil {
+				return nil, nil, err
+			}
+			rows = append(rows, []string{p.Name, fmt.Sprint(d), f4(metrics.SizeARE(rec.EstimateSize, truth))})
+		}
+	}
+	return header, rows, nil
+}
+
+// Fig5Variant identifies one main-table organization of Fig. 5.
+type Fig5Variant struct {
+	Name      string
+	Multihash bool
+	Alpha     float64
+}
+
+// Fig5Variants returns the paper's four variants: multi-hash and pipelined
+// with alpha 0.6 / 0.7 / 0.8.
+func Fig5Variants() []Fig5Variant {
+	return []Fig5Variant{
+		{Name: "Multi-hash", Multihash: true},
+		{Name: "alpha=0.6", Alpha: 0.6},
+		{Name: "alpha=0.7", Alpha: 0.7},
+		{Name: "alpha=0.8", Alpha: 0.8},
+	}
+}
+
+// Fig5Rows regenerates Fig. 5: FSC and ARE on the Campus trace for each
+// main-table organization across flow counts.
+func Fig5Rows(flowCounts []int, memory int, seed uint64) (header []string, rows [][]string, err error) {
+	header = []string{"variant", "flows", "FSC", "ARE"}
+	for _, n := range flowCounts {
+		pkts, truth, err := genTrace(trace.Campus, n, seed)
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, v := range Fig5Variants() {
+			rec, err := runRecorder(flowmon.AlgorithmHashFlow, flowmon.Config{
+				MemoryBytes: memory, Seed: seed, Multihash: v.Multihash, Alpha: v.Alpha,
+			}, pkts)
+			if err != nil {
+				return nil, nil, err
+			}
+			rows = append(rows, []string{
+				v.Name, fmt.Sprint(n),
+				f4(metrics.FSC(rec.Records(), truth)),
+				f4(metrics.SizeARE(rec.EstimateSize, truth)),
+			})
+		}
+	}
+	return header, rows, nil
+}
+
+// HHThresholds returns the per-trace threshold sweeps of Figs. 9 and 10.
+func HHThresholds(name string) []uint32 {
+	switch name {
+	case "CAIDA":
+		return []uint32{100, 200, 300, 400, 500, 600, 700, 800}
+	case "Campus":
+		return []uint32{10, 25, 50, 75, 100}
+	case "ISP1":
+		return []uint32{25, 50, 100, 150, 200}
+	case "ISP2":
+		return []uint32{1, 2, 3, 4, 5}
+	default:
+		return []uint32{50, 100, 200}
+	}
+}
+
+// HHMetrics is one heavy-hitter measurement (Figs. 9 and 10).
+type HHMetrics struct {
+	Trace     string
+	Algorithm string
+	Threshold uint32
+	F1        float64
+	SizeARE   float64
+	Precision float64
+	Recall    float64
+}
+
+// HeavyHitterSweep regenerates Figs. 9 and 10 for one trace: F1 score and
+// size-estimation ARE of detected heavy hitters across thresholds.
+func HeavyHitterSweep(p trace.Profile, flows, memory int, thresholds []uint32, seed uint64) ([]HHMetrics, error) {
+	pkts, truth, err := genTrace(p, flows, seed)
+	if err != nil {
+		return nil, err
+	}
+	var out []HHMetrics
+	for _, a := range flowmon.All() {
+		rec, err := runRecorder(a, flowmon.Config{MemoryBytes: memory, Seed: seed}, pkts)
+		if err != nil {
+			return nil, err
+		}
+		recs := rec.Records()
+		for _, th := range thresholds {
+			rep := metrics.HeavyHitters(recs, truth, th)
+			out = append(out, HHMetrics{
+				Trace:     p.Name,
+				Algorithm: a.String(),
+				Threshold: th,
+				F1:        rep.F1,
+				SizeARE:   rep.SizeARE,
+				Precision: rep.Precision,
+				Recall:    rep.Recall,
+			})
+		}
+	}
+	return out, nil
+}
+
+// HHRows renders heavy-hitter metrics.
+func HHRows(ms []HHMetrics) (header []string, rows [][]string) {
+	header = []string{"trace", "algorithm", "threshold", "F1", "ARE", "precision", "recall"}
+	for _, m := range ms {
+		rows = append(rows, []string{
+			m.Trace, m.Algorithm, fmt.Sprint(m.Threshold),
+			f4(m.F1), f4(m.SizeARE), f4(m.Precision), f4(m.Recall),
+		})
+	}
+	return header, rows
+}
+
+// ExtrasRows compares the beyond-paper comparators (sampled NetFlow at
+// rates 100 and 1000, bucketized cuckoo) against HashFlow on the Fig. 6/8
+// metrics plus per-packet cost, for each trace profile.
+func ExtrasRows(flows, memory int, seed uint64) (header []string, rows [][]string, err error) {
+	header = []string{"trace", "algorithm", "FSC", "ARE", "RE", "hashes_per_pkt", "mem_access_per_pkt"}
+	type variant struct {
+		name string
+		alg  flowmon.Algorithm
+		cfg  flowmon.Config
+	}
+	base := flowmon.Config{MemoryBytes: memory, Seed: seed}
+	variants := []variant{
+		{"HashFlow", flowmon.AlgorithmHashFlow, base},
+		{"SampledNetFlow(1:100)", flowmon.AlgorithmSampledNetFlow, withRate(base, 100)},
+		{"SampledNetFlow(1:1000)", flowmon.AlgorithmSampledNetFlow, withRate(base, 1000)},
+		{"Cuckoo", flowmon.AlgorithmCuckoo, base},
+		{"SpaceSaving", flowmon.AlgorithmSpaceSaving, base},
+	}
+	for _, p := range trace.Profiles() {
+		pkts, truth, err := genTrace(p, flows, seed)
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, v := range variants {
+			rec, err := runRecorder(v.alg, v.cfg, pkts)
+			if err != nil {
+				return nil, nil, err
+			}
+			ops := rec.OpStats()
+			rows = append(rows, []string{
+				p.Name, v.name,
+				f4(metrics.FSC(rec.Records(), truth)),
+				f4(metrics.SizeARE(rec.EstimateSize, truth)),
+				f4(metrics.CardinalityRE(rec.EstimateCardinality(), truth)),
+				fmt.Sprintf("%.2f", ops.HashesPerPacket()),
+				fmt.Sprintf("%.2f", ops.MemAccessesPerPacket()),
+			})
+		}
+	}
+	return header, rows, nil
+}
+
+func withRate(cfg flowmon.Config, rate int) flowmon.Config {
+	cfg.SampleRate = rate
+	return cfg
+}
+
+// Fig11Row is one throughput/cost measurement (Fig. 11a-c).
+type Fig11Row struct {
+	Trace        string
+	Algorithm    string
+	ModeledKpps  float64
+	MeasuredMpps float64
+	HashesPerPkt float64
+	MemPerPkt    float64
+}
+
+// Fig11Rows regenerates Fig. 11: modeled bmv2-anchored throughput, real Go
+// throughput, and per-packet hash / memory-access counts per trace.
+func Fig11Rows(flows, memory int, seed uint64) (header []string, rows [][]string, err error) {
+	header = []string{"trace", "algorithm", "modeled_Kpps", "measured_Mpps", "hashes_per_pkt", "mem_access_per_pkt"}
+	cost := switchsim.DefaultCostModel()
+	for _, p := range trace.Profiles() {
+		tr, err := trace.Generate(p, flows, seed)
+		if err != nil {
+			return nil, nil, err
+		}
+		pkts := tr.Packets(seed)
+		for _, a := range flowmon.All() {
+			rec, err := flowmon.New(a, flowmon.Config{MemoryBytes: memory, Seed: seed})
+			if err != nil {
+				return nil, nil, err
+			}
+			res, err := switchsim.Run(rec, pkts, cost)
+			if err != nil {
+				return nil, nil, err
+			}
+			rows = append(rows, []string{
+				p.Name, a.String(),
+				fmt.Sprintf("%.2f", res.ModeledKpps),
+				fmt.Sprintf("%.2f", res.MeasuredMpps),
+				fmt.Sprintf("%.2f", res.Ops.HashesPerPacket()),
+				fmt.Sprintf("%.2f", res.Ops.MemAccessesPerPacket()),
+			})
+		}
+	}
+	return header, rows, nil
+}

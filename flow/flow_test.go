@@ -1,0 +1,102 @@
+package flow
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func randKey(rng *rand.Rand) Key {
+	return Key{
+		SrcIP:   rng.Uint32(),
+		DstIP:   rng.Uint32(),
+		SrcPort: uint16(rng.Uint32()),
+		DstPort: uint16(rng.Uint32()),
+		Proto:   uint8(rng.Uint32()),
+	}
+}
+
+func TestKeyBytesRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	for i := 0; i < 1000; i++ {
+		k := randKey(rng)
+		enc := k.AppendBytes(nil)
+		if len(enc) != KeyBytes {
+			t.Fatalf("encoded length = %d, want %d", len(enc), KeyBytes)
+		}
+		dec, err := KeyFromBytes(enc)
+		if err != nil {
+			t.Fatalf("KeyFromBytes: %v", err)
+		}
+		if dec != k {
+			t.Fatalf("round trip mismatch: %+v != %+v", dec, k)
+		}
+	}
+}
+
+func TestKeyFromBytesRejectsWrongLength(t *testing.T) {
+	for _, n := range []int{0, 1, 12, 14, 26} {
+		if _, err := KeyFromBytes(make([]byte, n)); err == nil {
+			t.Errorf("KeyFromBytes accepted %d bytes", n)
+		}
+	}
+}
+
+func TestKeyWordsInjective(t *testing.T) {
+	// Two keys with equal packed words must be the same key.
+	rng := rand.New(rand.NewPCG(3, 4))
+	seen := make(map[[2]uint64]Key)
+	for i := 0; i < 100000; i++ {
+		k := randKey(rng)
+		w1, w2 := k.Words()
+		if prev, ok := seen[[2]uint64{w1, w2}]; ok && prev != k {
+			t.Fatalf("word collision between distinct keys %v and %v", prev, k)
+		}
+		seen[[2]uint64{w1, w2}] = k
+	}
+}
+
+func TestKeyXORInvolution(t *testing.T) {
+	f := func(a, b Key) bool {
+		return a.XOR(b).XOR(b) == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKeyXORZero(t *testing.T) {
+	f := func(a Key) bool {
+		return a.XOR(a).IsZero() && a.XOR(Key{}) == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKeyString(t *testing.T) {
+	k := Key{SrcIP: 0x0A000001, DstIP: 0xC0A80101, SrcPort: 1234, DstPort: 80, Proto: 6}
+	want := "10.0.0.1:1234 -> 192.168.1.1:80/6"
+	if got := k.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestOpStats(t *testing.T) {
+	var zero OpStats
+	if zero.HashesPerPacket() != 0 || zero.MemAccessesPerPacket() != 0 {
+		t.Error("zero OpStats should report 0 averages")
+	}
+	s := OpStats{Packets: 4, Hashes: 12, MemAccesses: 20}
+	if got := s.HashesPerPacket(); got != 3 {
+		t.Errorf("HashesPerPacket = %v, want 3", got)
+	}
+	if got := s.MemAccessesPerPacket(); got != 5 {
+		t.Errorf("MemAccessesPerPacket = %v, want 5", got)
+	}
+	sum := s.Add(OpStats{Packets: 1, Hashes: 2, MemAccesses: 3})
+	want := OpStats{Packets: 5, Hashes: 14, MemAccesses: 23}
+	if sum != want {
+		t.Errorf("Add = %+v, want %+v", sum, want)
+	}
+}

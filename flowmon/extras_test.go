@@ -1,0 +1,112 @@
+package flowmon
+
+import (
+	"testing"
+
+	"repro/flow"
+	"repro/metrics"
+	"repro/trace"
+)
+
+func TestExtrasConstructAndRecord(t *testing.T) {
+	for _, a := range Extras() {
+		t.Run(a.String(), func(t *testing.T) {
+			rec, err := New(a, Config{MemoryBytes: 1 << 16, Seed: 1, SampleRate: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			k := flow.Key{SrcIP: 1, DstIP: 2, Proto: 6}
+			for i := 0; i < 9; i++ {
+				rec.Update(flow.Packet{Key: k})
+			}
+			if got := rec.EstimateSize(k); got != 9 {
+				t.Errorf("EstimateSize = %d, want 9", got)
+			}
+			parsed, err := ParseAlgorithm(a.String())
+			if err != nil || parsed != a {
+				t.Errorf("ParseAlgorithm(%q) = %v, %v", a.String(), parsed, err)
+			}
+		})
+	}
+}
+
+func TestExtrasNotInAll(t *testing.T) {
+	inAll := make(map[Algorithm]bool)
+	for _, a := range All() {
+		inAll[a] = true
+	}
+	for _, a := range Extras() {
+		if inAll[a] {
+			t.Errorf("%v is both an extra and a paper algorithm", a)
+		}
+	}
+}
+
+// TestSamplingVsHashFlowAccuracy verifies the paper's §I motivation:
+// sampling reduces per-packet work but costs accuracy. At the same memory
+// budget, sampled NetFlow misses the mice entirely and HashFlow's size
+// estimates are far more accurate.
+func TestSamplingVsHashFlowAccuracy(t *testing.T) {
+	tr, err := trace.Generate(trace.CAIDA, 20000, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkts := tr.Packets(31)
+	truth := tr.Truth()
+
+	hf, err := New(AlgorithmHashFlow, Config{MemoryBytes: 512 << 10, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampledRec, err := New(AlgorithmSampledNetFlow, Config{
+		MemoryBytes: 512 << 10, Seed: 2, SampleRate: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pkts {
+		hf.Update(p)
+		sampledRec.Update(p)
+	}
+
+	hfARE := metrics.SizeARE(hf.EstimateSize, truth)
+	smARE := metrics.SizeARE(sampledRec.EstimateSize, truth)
+	if hfARE >= smARE {
+		t.Errorf("HashFlow ARE %.3f not below sampled NetFlow ARE %.3f", hfARE, smARE)
+	}
+	// Sampling's per-packet cost is far lower — that is its entire appeal.
+	if hfOps, smOps := hf.OpStats(), sampledRec.OpStats(); smOps.MemAccessesPerPacket() >= hfOps.MemAccessesPerPacket() {
+		t.Errorf("sampling mem cost %.3f not below HashFlow's %.3f",
+			smOps.MemAccessesPerPacket(), hfOps.MemAccessesPerPacket())
+	}
+}
+
+// TestCuckooVsHashFlowUnderOverload verifies the §II objection to cuckoo
+// hashing: under overload the kick chains burn hash operations while whole
+// records are dropped, where HashFlow resolves in at most d+1 hashes.
+func TestCuckooVsHashFlowUnderOverload(t *testing.T) {
+	tr, err := trace.Generate(trace.CAIDA, 30000, 33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkts := tr.Packets(33)
+
+	hf, err := New(AlgorithmHashFlow, Config{MemoryBytes: 128 << 10, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck, err := New(AlgorithmCuckoo, Config{MemoryBytes: 128 << 10, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pkts {
+		hf.Update(p)
+		ck.Update(p)
+	}
+	if hpp := hf.OpStats().HashesPerPacket(); hpp > 4 {
+		t.Errorf("HashFlow hashes/packet = %.2f, bound is 4", hpp)
+	}
+	if hpp := ck.OpStats().HashesPerPacket(); hpp <= 4 {
+		t.Errorf("cuckoo hashes/packet = %.2f under overload, expected kick chains above HashFlow's bound", hpp)
+	}
+}

@@ -1,0 +1,165 @@
+package flowmon
+
+import (
+	"testing"
+
+	"repro/flow"
+	"repro/trace"
+)
+
+// Cross-algorithm invariants, checked on a common workload for every
+// implementation behind the Recorder interface.
+
+func invariantWorkload(t *testing.T) ([]flow.Packet, *flow.Truth) {
+	t.Helper()
+	tr, err := trace.Generate(trace.Campus, 8000, 41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr.Packets(41), tr.Truth()
+}
+
+func allWithExtras() []Algorithm {
+	return append(All(), Extras()...)
+}
+
+func TestInvariantPacketAccounting(t *testing.T) {
+	pkts, _ := invariantWorkload(t)
+	for _, a := range allWithExtras() {
+		t.Run(a.String(), func(t *testing.T) {
+			rec, err := New(a, Config{MemoryBytes: 64 << 10, Seed: 9})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, p := range pkts {
+				rec.Update(p)
+			}
+			if got := rec.OpStats().Packets; got != uint64(len(pkts)) {
+				t.Errorf("OpStats.Packets = %d, want %d", got, len(pkts))
+			}
+		})
+	}
+}
+
+func TestInvariantRecordsHaveRealKeys(t *testing.T) {
+	// Every reported record must name a flow that actually appeared in the
+	// trace. HashFlow, HashPipe, ElasticSketch, Cuckoo and SampledNetFlow
+	// store full keys, so their reports can never invent a flow; FlowRadar
+	// could in principle mis-decode, but its verification step prevents it.
+	pkts, truth := invariantWorkload(t)
+	for _, a := range allWithExtras() {
+		t.Run(a.String(), func(t *testing.T) {
+			rec, err := New(a, Config{MemoryBytes: 64 << 10, Seed: 9, SampleRate: 10})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, p := range pkts {
+				rec.Update(p)
+			}
+			for _, r := range rec.Records() {
+				if !truth.Contains(r.Key) {
+					t.Fatalf("reported key %v never appeared in the trace", r.Key)
+				}
+			}
+		})
+	}
+}
+
+func TestInvariantEstimateAfterReset(t *testing.T) {
+	pkts, _ := invariantWorkload(t)
+	k := pkts[0].Key
+	for _, a := range allWithExtras() {
+		t.Run(a.String(), func(t *testing.T) {
+			rec, err := New(a, Config{MemoryBytes: 64 << 10, Seed: 9, SampleRate: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, p := range pkts {
+				rec.Update(p)
+			}
+			rec.Reset()
+			if got := rec.EstimateSize(k); got != 0 {
+				t.Errorf("EstimateSize after Reset = %d", got)
+			}
+			if got := len(rec.Records()); got != 0 {
+				t.Errorf("Records after Reset = %d", got)
+			}
+			if got := rec.OpStats(); got != (flow.OpStats{}) {
+				t.Errorf("OpStats after Reset = %+v", got)
+			}
+		})
+	}
+}
+
+func TestInvariantCountsConserved(t *testing.T) {
+	// For algorithms that count raw packets (everything except sampled
+	// NetFlow's scaled estimates and ElasticSketch's light-part collisions),
+	// the sum of reported counts never exceeds the number of packets.
+	pkts, _ := invariantWorkload(t)
+	for _, a := range []Algorithm{
+		AlgorithmHashFlow, AlgorithmHashPipe, AlgorithmFlowRadar, AlgorithmCuckoo,
+	} {
+		t.Run(a.String(), func(t *testing.T) {
+			rec, err := New(a, Config{MemoryBytes: 64 << 10, Seed: 9})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, p := range pkts {
+				rec.Update(p)
+			}
+			var total uint64
+			for _, r := range rec.Records() {
+				total += uint64(r.Count)
+			}
+			if total > uint64(len(pkts)) {
+				t.Errorf("reported counts sum to %d, only %d packets seen", total, len(pkts))
+			}
+		})
+	}
+}
+
+func TestInvariantMemoryWithinBudget(t *testing.T) {
+	for _, budget := range []int{8 << 10, 64 << 10, 1 << 20} {
+		for _, a := range allWithExtras() {
+			rec, err := New(a, Config{MemoryBytes: budget, Seed: 1})
+			if err != nil {
+				t.Fatalf("%v at %d: %v", a, budget, err)
+			}
+			if got := rec.MemoryBytes(); got > budget {
+				t.Errorf("%v at %d: MemoryBytes = %d exceeds budget", a, budget, got)
+			}
+		}
+	}
+}
+
+func TestInvariantDeterminism(t *testing.T) {
+	// Same seed, same packets → identical record sets.
+	pkts, _ := invariantWorkload(t)
+	for _, a := range allWithExtras() {
+		t.Run(a.String(), func(t *testing.T) {
+			runOnce := func() map[flow.Key]uint32 {
+				rec, err := New(a, Config{MemoryBytes: 32 << 10, Seed: 77, SampleRate: 10})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, p := range pkts {
+					rec.Update(p)
+				}
+				out := make(map[flow.Key]uint32)
+				for _, r := range rec.Records() {
+					out[r.Key] = r.Count
+				}
+				return out
+			}
+			a1, a2 := runOnce(), runOnce()
+			if len(a1) != len(a2) {
+				t.Fatalf("record counts differ across identical runs: %d vs %d", len(a1), len(a2))
+			}
+			for k, v := range a1 {
+				if a2[k] != v {
+					t.Fatalf("record %v differs across identical runs: %d vs %d", k, v, a2[k])
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,371 @@
+package core
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"repro/flow"
+)
+
+func mustNew(t *testing.T, cfg Config) *HashFlow {
+	t.Helper()
+	h, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func randKey(rng *rand.Rand) flow.Key {
+	return flow.Key{
+		SrcIP:   rng.Uint32(),
+		DstIP:   rng.Uint32(),
+		SrcPort: uint16(rng.Uint32()),
+		DstPort: uint16(rng.Uint32()),
+		Proto:   6,
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	tests := []struct {
+		name    string
+		cfg     Config
+		wantErr bool
+	}{
+		{"defaults ok", Config{MemoryBytes: 1 << 16}, false},
+		{"multihash ok", Config{MemoryBytes: 1 << 16, Pipelined: false, Depth: 2}, false},
+		{"zero memory", Config{}, true},
+		{"negative memory", Config{MemoryBytes: -5}, true},
+		{"depth too large", Config{MemoryBytes: 1 << 16, Depth: 20}, true},
+		{"bad alpha", Config{MemoryBytes: 1 << 16, Pipelined: true, Alpha: 1.5}, true},
+		{"bad digest", Config{MemoryBytes: 1 << 16, DigestBits: 9}, true},
+		{"tiny budget", Config{MemoryBytes: 30, Depth: 3}, true},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := New(tc.cfg)
+			if (err != nil) != tc.wantErr {
+				t.Errorf("New(%+v) err = %v, wantErr = %v", tc.cfg, err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	h := mustNew(t, Config{MemoryBytes: 1 << 20, Pipelined: true})
+	if got := len(h.TableSizes()); got != DefaultDepth {
+		t.Errorf("default depth tables = %d, want %d", got, DefaultDepth)
+	}
+	// Cell budget: equal cells in main and ancillary at 19 bytes per pair.
+	wantCells := (1 << 20) / 19
+	if got := h.MainCells(); got != wantCells {
+		t.Errorf("MainCells = %d, want %d", got, wantCells)
+	}
+	if got := h.AncillaryCells(); got != wantCells {
+		t.Errorf("AncillaryCells = %d, want %d", got, wantCells)
+	}
+	if h.MemoryBytes() > 1<<20 {
+		t.Errorf("MemoryBytes = %d exceeds budget", h.MemoryBytes())
+	}
+}
+
+func TestPipelineSizes(t *testing.T) {
+	sizes := pipelineSizes(1000, 3, 0.7)
+	if len(sizes) != 3 {
+		t.Fatalf("got %d tables", len(sizes))
+	}
+	total := 0
+	for _, s := range sizes {
+		total += s
+	}
+	if total != 1000 {
+		t.Errorf("sizes sum to %d, want 1000", total)
+	}
+	// Geometric decrease by ~alpha.
+	if sizes[1] >= sizes[0] || sizes[2] >= sizes[1] {
+		t.Errorf("sizes not decreasing: %v", sizes)
+	}
+	ratio := float64(sizes[2]) / float64(sizes[1])
+	if math.Abs(ratio-0.7) > 0.05 {
+		t.Errorf("ratio n3/n2 = %.3f, want ~0.7", ratio)
+	}
+}
+
+func TestPipelineSizesTiny(t *testing.T) {
+	// Every sub-table must get at least one bucket even at tiny budgets.
+	for _, n := range []int{3, 4, 5, 10} {
+		sizes := pipelineSizes(n, 3, 0.5)
+		total := 0
+		for _, s := range sizes {
+			if s < 1 {
+				t.Errorf("n=%d: sub-table with %d buckets", n, s)
+			}
+			total += s
+		}
+		if total < n {
+			t.Errorf("n=%d: sizes %v sum below n", n, sizes)
+		}
+	}
+}
+
+func TestExactCountsNoCollision(t *testing.T) {
+	// With far fewer flows than buckets, every count must be exact.
+	for _, pipelined := range []bool{true, false} {
+		h := mustNew(t, Config{MemoryBytes: 1 << 20, Pipelined: pipelined, Seed: 3})
+		rng := rand.New(rand.NewPCG(1, 2))
+		truth := make(map[flow.Key]uint32)
+		for i := 0; i < 500; i++ {
+			k := randKey(rng)
+			n := uint32(rng.IntN(50) + 1)
+			truth[k] += n
+			for j := uint32(0); j < n; j++ {
+				h.Update(flow.Packet{Key: k})
+			}
+		}
+		for k, want := range truth {
+			if got := h.EstimateSize(k); got != want {
+				t.Fatalf("pipelined=%v: EstimateSize(%v) = %d, want %d", pipelined, k, got, want)
+			}
+		}
+		if got := h.Occupied(); got != len(truth) {
+			t.Errorf("pipelined=%v: Occupied = %d, want %d", pipelined, got, len(truth))
+		}
+	}
+}
+
+func TestMainTableCountsNeverExceedTruth(t *testing.T) {
+	// Main-table records are exact or (rarely, via digest-collision
+	// promotion) inflated; without promotion anomalies they must never
+	// exceed the true count. We check the strong invariant that holds with
+	// promotion disabled.
+	h := mustNew(t, Config{MemoryBytes: 10 << 10, Seed: 11, DisablePromotion: true})
+	rng := rand.New(rand.NewPCG(5, 6))
+	truth := flow.NewTruth(0)
+	keys := make([]flow.Key, 2000)
+	for i := range keys {
+		keys[i] = randKey(rng)
+	}
+	for i := 0; i < 50000; i++ {
+		p := flow.Packet{Key: keys[rng.IntN(len(keys))]}
+		truth.Observe(p)
+		h.Update(p)
+	}
+	for _, rec := range h.Records() {
+		if real := truth.Count(rec.Key); rec.Count > real {
+			t.Fatalf("record %v count %d exceeds true %d", rec.Key, rec.Count, real)
+		}
+	}
+}
+
+func TestRecordsAreExactWithPromotion(t *testing.T) {
+	// Even with promotion on, a main-table record never overstates the true
+	// count unless an 8-bit digest collision occurred in the ancillary
+	// table. With 2K flows and 4K ancillary cells the chance is tiny but
+	// nonzero, so allow a small number of inflated records.
+	h := mustNew(t, Config{MemoryBytes: 64 << 10, Seed: 12})
+	rng := rand.New(rand.NewPCG(7, 8))
+	truth := flow.NewTruth(0)
+	keys := make([]flow.Key, 2000)
+	for i := range keys {
+		keys[i] = randKey(rng)
+	}
+	for i := 0; i < 100000; i++ {
+		p := flow.Packet{Key: keys[rng.IntN(len(keys))]}
+		truth.Observe(p)
+		h.Update(p)
+	}
+	inflated := 0
+	for _, rec := range h.Records() {
+		if rec.Count > truth.Count(rec.Key) {
+			inflated++
+		}
+	}
+	if frac := float64(inflated) / float64(len(h.Records())); frac > 0.01 {
+		t.Errorf("%.2f%% of records inflated, want < 1%%", frac*100)
+	}
+}
+
+func TestPromotionRescuesElephant(t *testing.T) {
+	// Construct a scenario where an elephant collides everywhere and lands
+	// in the ancillary table, then grows past the sentinel: it must be
+	// promoted into the main table and be reported.
+	h := mustNew(t, Config{MemoryBytes: 19 * 8, Seed: 1}) // 8 main cells, 8 ancillary
+	rng := rand.New(rand.NewPCG(9, 10))
+
+	// Fill the main table completely with medium flows.
+	filler := make([]flow.Key, 0, 64)
+	for len(filler) < 64 {
+		filler = append(filler, randKey(rng))
+	}
+	for _, k := range filler {
+		for i := 0; i < 5; i++ {
+			h.Update(flow.Packet{Key: k})
+		}
+	}
+	if h.Occupied() != h.MainCells() {
+		t.Skip("main table not saturated by filler flows; adjust seed")
+	}
+
+	// Now hammer one elephant past every sentinel count.
+	elephant := randKey(rng)
+	for i := 0; i < 100; i++ {
+		h.Update(flow.Packet{Key: elephant})
+	}
+	found := false
+	for _, rec := range h.Records() {
+		if rec.Key == elephant {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("elephant was never promoted into the main table")
+	}
+}
+
+func TestPromotionDisabledKeepsElephantOut(t *testing.T) {
+	h := mustNew(t, Config{MemoryBytes: 19 * 8, Seed: 1, DisablePromotion: true})
+	rng := rand.New(rand.NewPCG(9, 10))
+	filler := make([]flow.Key, 0, 64)
+	for len(filler) < 64 {
+		filler = append(filler, randKey(rng))
+	}
+	for _, k := range filler {
+		for i := 0; i < 5; i++ {
+			h.Update(flow.Packet{Key: k})
+		}
+	}
+	if h.Occupied() != h.MainCells() {
+		t.Skip("main table not saturated by filler flows; adjust seed")
+	}
+	elephant := randKey(rng)
+	for i := 0; i < 100; i++ {
+		h.Update(flow.Packet{Key: elephant})
+	}
+	for _, rec := range h.Records() {
+		if rec.Key == elephant {
+			t.Fatal("elephant entered the main table despite disabled promotion")
+		}
+	}
+}
+
+func TestOpStatsBounds(t *testing.T) {
+	// Worst case per packet: d main probes + 1 ancillary hash = 4 hashes.
+	h := mustNew(t, Config{MemoryBytes: 1 << 12, Seed: 2})
+	rng := rand.New(rand.NewPCG(11, 12))
+	for i := 0; i < 10000; i++ {
+		h.Update(flow.Packet{Key: randKey(rng)})
+	}
+	s := h.OpStats()
+	if s.Packets != 10000 {
+		t.Fatalf("Packets = %d", s.Packets)
+	}
+	if hp := s.HashesPerPacket(); hp > 4 || hp < 1 {
+		t.Errorf("HashesPerPacket = %.2f, want in [1,4]", hp)
+	}
+}
+
+func TestUtilizationApproachesFull(t *testing.T) {
+	// Under heavy overload the collision-resolution strategy should fill
+	// nearly all main-table buckets (the paper's "fills up nearly all hash
+	// table buckets").
+	h := mustNew(t, Config{MemoryBytes: 19 * 4096, Seed: 5})
+	rng := rand.New(rand.NewPCG(13, 14))
+	for i := 0; i < 8*4096; i++ {
+		h.Update(flow.Packet{Key: randKey(rng)})
+	}
+	if u := h.Utilization(); u < 0.95 {
+		t.Errorf("utilization %.3f under 8x overload, want > 0.95", u)
+	}
+}
+
+func TestCardinalityEstimate(t *testing.T) {
+	h := mustNew(t, Config{MemoryBytes: 1 << 20, Seed: 6})
+	rng := rand.New(rand.NewPCG(15, 16))
+	const n = 20000
+	for i := 0; i < n; i++ {
+		k := randKey(rng)
+		h.Update(flow.Packet{Key: k})
+		h.Update(flow.Packet{Key: k})
+	}
+	est := h.EstimateCardinality()
+	if math.Abs(est/n-1) > 0.15 {
+		t.Errorf("cardinality estimate %.0f for %d flows", est, n)
+	}
+}
+
+func TestReset(t *testing.T) {
+	h := mustNew(t, Config{MemoryBytes: 1 << 12, Seed: 7})
+	rng := rand.New(rand.NewPCG(17, 18))
+	for i := 0; i < 1000; i++ {
+		h.Update(flow.Packet{Key: randKey(rng)})
+	}
+	h.Reset()
+	if h.Occupied() != 0 {
+		t.Error("Reset left occupied buckets")
+	}
+	if h.OpStats() != (flow.OpStats{}) {
+		t.Error("Reset left op stats")
+	}
+	if len(h.Records()) != 0 {
+		t.Error("Reset left records")
+	}
+}
+
+func TestEstimateSizeUnknownFlow(t *testing.T) {
+	h := mustNew(t, Config{MemoryBytes: 1 << 12, Seed: 8})
+	if got := h.EstimateSize(flow.Key{SrcIP: 42}); got != 0 {
+		t.Errorf("EstimateSize of unseen flow = %d, want 0", got)
+	}
+}
+
+func TestUpdateNeverLosesCurrentFlowEntirely(t *testing.T) {
+	// Property: immediately after updating with packet p, the flow is
+	// either in the main table, or the ancillary cell it maps to holds its
+	// digest (Algorithm 1 always stores the packet somewhere).
+	h := mustNew(t, Config{MemoryBytes: 19 * 256, Seed: 9})
+	f := func(src, dst uint32, sp, dp uint16) bool {
+		k := flow.Key{SrcIP: src, DstIP: dst, SrcPort: sp, DstPort: dp, Proto: 17}
+		h.Update(flow.Packet{Key: k})
+		return h.EstimateSize(k) >= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRecordsMatchOccupied(t *testing.T) {
+	h := mustNew(t, Config{MemoryBytes: 1 << 14, Seed: 10})
+	rng := rand.New(rand.NewPCG(19, 20))
+	for i := 0; i < 5000; i++ {
+		h.Update(flow.Packet{Key: randKey(rng)})
+	}
+	if got, want := len(h.Records()), h.Occupied(); got != want {
+		t.Errorf("len(Records) = %d, Occupied = %d", got, want)
+	}
+}
+
+func TestMultihashVsPipelinedBothWork(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"multihash d1", Config{MemoryBytes: 1 << 14, Depth: 1, Pipelined: false}},
+		{"multihash d4", Config{MemoryBytes: 1 << 14, Depth: 4, Pipelined: false}},
+		{"pipelined a0.5", Config{MemoryBytes: 1 << 14, Pipelined: true, Alpha: 0.5}},
+		{"pipelined a0.8", Config{MemoryBytes: 1 << 14, Pipelined: true, Alpha: 0.8}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			h := mustNew(t, tc.cfg)
+			rng := rand.New(rand.NewPCG(21, 22))
+			k := randKey(rng)
+			for i := 0; i < 10; i++ {
+				h.Update(flow.Packet{Key: k})
+			}
+			if got := h.EstimateSize(k); got != 10 {
+				t.Errorf("EstimateSize = %d, want 10", got)
+			}
+		})
+	}
+}

@@ -1,0 +1,136 @@
+package cuckoo
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/flow"
+)
+
+func mustNew(t *testing.T, cfg Config) *Table {
+	t.Helper()
+	tbl, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+func randKey(rng *rand.Rand) flow.Key {
+	return flow.Key{SrcIP: rng.Uint32(), DstIP: rng.Uint32(), SrcPort: uint16(rng.Uint32()), Proto: 6}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("accepted zero memory")
+	}
+	if _, err := New(Config{MemoryBytes: 1 << 12, MaxKicks: -1}); err == nil {
+		t.Error("accepted negative kicks")
+	}
+	if _, err := New(Config{MemoryBytes: 10}); err == nil {
+		t.Error("accepted budget below one cell")
+	}
+}
+
+func TestSingleFlowExact(t *testing.T) {
+	tbl := mustNew(t, Config{MemoryBytes: 1 << 14, Seed: 1})
+	k := flow.Key{SrcIP: 1, DstIP: 2, Proto: 6}
+	for i := 0; i < 100; i++ {
+		tbl.Update(flow.Packet{Key: k})
+	}
+	if got := tbl.EstimateSize(k); got != 100 {
+		t.Errorf("EstimateSize = %d, want 100", got)
+	}
+}
+
+func TestSparseFlowsExact(t *testing.T) {
+	tbl := mustNew(t, Config{MemoryBytes: 1 << 18, Seed: 2})
+	rng := rand.New(rand.NewPCG(1, 2))
+	truth := make(map[flow.Key]uint32)
+	for i := 0; i < 500; i++ {
+		k := randKey(rng)
+		n := uint32(rng.IntN(20) + 1)
+		truth[k] += n
+		for j := uint32(0); j < n; j++ {
+			tbl.Update(flow.Packet{Key: k})
+		}
+	}
+	for k, want := range truth {
+		if got := tbl.EstimateSize(k); got != want {
+			t.Errorf("EstimateSize(%v) = %d, want %d", k, got, want)
+		}
+	}
+}
+
+func TestHighUtilization(t *testing.T) {
+	// Cuckoo's selling point: near-full occupancy below capacity.
+	tbl := mustNew(t, Config{MemoryBytes: CellBytes * 1024, Seed: 3})
+	rng := rand.New(rand.NewPCG(3, 4))
+	for i := 0; i < 900; i++ { // 88% load
+		tbl.Update(flow.Packet{Key: randKey(rng)})
+	}
+	if got := len(tbl.Records()); got < 850 {
+		t.Errorf("stored %d of 900 flows at 88%% load", got)
+	}
+}
+
+func TestEvictionUnderOverload(t *testing.T) {
+	// Over capacity, the kick cap forces whole-record drops — the lossy
+	// behaviour HashFlow's design avoids.
+	tbl := mustNew(t, Config{MemoryBytes: CellBytes * 256, Seed: 4})
+	rng := rand.New(rand.NewPCG(5, 6))
+	for i := 0; i < 2000; i++ {
+		tbl.Update(flow.Packet{Key: randKey(rng)})
+	}
+	if tbl.Evicted() == 0 {
+		t.Error("no evictions at 8x overload")
+	}
+	if got := len(tbl.Records()); got > tbl.Cells() {
+		t.Errorf("stored %d records in %d cells", got, tbl.Cells())
+	}
+}
+
+func TestKickChainsCostHashes(t *testing.T) {
+	// Under overload the displacement chains drive hashes/packet far above
+	// the 2-hash fast path — the unbounded-insertion objection from §II.
+	tbl := mustNew(t, Config{MemoryBytes: CellBytes * 128, MaxKicks: 64, Seed: 5})
+	rng := rand.New(rand.NewPCG(7, 8))
+	for i := 0; i < 10000; i++ {
+		tbl.Update(flow.Packet{Key: randKey(rng)})
+	}
+	if hpp := tbl.OpStats().HashesPerPacket(); hpp < 3 {
+		t.Errorf("hashes/packet = %.2f under overload, expected kick chains to push it above 3", hpp)
+	}
+}
+
+func TestCountsNeverExceedTruth(t *testing.T) {
+	tbl := mustNew(t, Config{MemoryBytes: CellBytes * 64, Seed: 6})
+	rng := rand.New(rand.NewPCG(9, 10))
+	truth := make(map[flow.Key]uint32)
+	keys := make([]flow.Key, 300)
+	for i := range keys {
+		keys[i] = randKey(rng)
+	}
+	for i := 0; i < 20000; i++ {
+		k := keys[rng.IntN(len(keys))]
+		truth[k]++
+		tbl.Update(flow.Packet{Key: k})
+	}
+	for _, r := range tbl.Records() {
+		if r.Count > truth[r.Key] {
+			t.Fatalf("record %v count %d exceeds truth %d", r.Key, r.Count, truth[r.Key])
+		}
+	}
+}
+
+func TestReset(t *testing.T) {
+	tbl := mustNew(t, Config{MemoryBytes: 1 << 12, Seed: 7})
+	tbl.Update(flow.Packet{Key: flow.Key{SrcIP: 1}})
+	tbl.Reset()
+	if len(tbl.Records()) != 0 || tbl.OpStats() != (flow.OpStats{}) || tbl.Evicted() != 0 {
+		t.Error("Reset incomplete")
+	}
+	if got := tbl.EstimateCardinality(); got != 0 {
+		t.Errorf("cardinality after reset = %v", got)
+	}
+}

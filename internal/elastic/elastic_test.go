@@ -1,0 +1,224 @@
+package elastic
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"repro/flow"
+)
+
+func mustNew(t *testing.T, cfg Config) *Elastic {
+	t.Helper()
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func randKey(rng *rand.Rand) flow.Key {
+	return flow.Key{SrcIP: rng.Uint32(), DstIP: rng.Uint32(), DstPort: uint16(rng.Uint32()), Proto: 6}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("accepted zero memory")
+	}
+	if _, err := New(Config{MemoryBytes: 1 << 12, SubTables: 9}); err == nil {
+		t.Error("accepted 9 sub-tables")
+	}
+	if _, err := New(Config{MemoryBytes: 1 << 12, Lambda: -1}); err == nil {
+		t.Error("accepted negative lambda")
+	}
+	if _, err := New(Config{MemoryBytes: 10}); err == nil {
+		t.Error("accepted budget below one cell")
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	e := mustNew(t, Config{MemoryBytes: 1 << 20})
+	if got := len(e.heavy); got != DefaultSubTables {
+		t.Errorf("sub-tables = %d, want %d", got, DefaultSubTables)
+	}
+	if e.cfg.Lambda != DefaultLambda {
+		t.Errorf("lambda = %d, want %d", e.cfg.Lambda, DefaultLambda)
+	}
+	if e.MemoryBytes() > 1<<20 {
+		t.Errorf("MemoryBytes = %d exceeds budget", e.MemoryBytes())
+	}
+	// Heavy and light cell counts match (paper setup).
+	if e.HeavyCells() > e.light.Width() {
+		t.Errorf("heavy cells %d exceed light cells %d", e.HeavyCells(), e.light.Width())
+	}
+}
+
+func TestSingleFlowExact(t *testing.T) {
+	e := mustNew(t, Config{MemoryBytes: 1 << 16, Seed: 1})
+	k := flow.Key{SrcIP: 1, DstIP: 2, Proto: 6}
+	for i := 0; i < 500; i++ {
+		e.Update(flow.Packet{Key: k})
+	}
+	if got := e.EstimateSize(k); got != 500 {
+		t.Errorf("EstimateSize = %d, want 500", got)
+	}
+}
+
+func TestSparseFlowsExact(t *testing.T) {
+	e := mustNew(t, Config{MemoryBytes: 1 << 18, Seed: 2})
+	rng := rand.New(rand.NewPCG(1, 2))
+	truth := make(map[flow.Key]uint32)
+	for i := 0; i < 300; i++ {
+		k := randKey(rng)
+		n := uint32(rng.IntN(30) + 1)
+		truth[k] += n
+		for j := uint32(0); j < n; j++ {
+			e.Update(flow.Packet{Key: k})
+		}
+	}
+	for k, want := range truth {
+		if got := e.EstimateSize(k); got != want {
+			t.Errorf("EstimateSize(%v) = %d, want %d", k, got, want)
+		}
+	}
+}
+
+func TestEvictionToLightPart(t *testing.T) {
+	// Overload a tiny heavy part so evictions must happen; evicted flows
+	// should still be estimable via the light part.
+	e := mustNew(t, Config{MemoryBytes: 23 * 32, Seed: 3})
+	rng := rand.New(rand.NewPCG(3, 4))
+	truth := make(map[flow.Key]uint32)
+	keys := make([]flow.Key, 200)
+	for i := range keys {
+		keys[i] = randKey(rng)
+	}
+	for i := 0; i < 20000; i++ {
+		k := keys[rng.IntN(len(keys))]
+		truth[k]++
+		e.Update(flow.Packet{Key: k})
+	}
+	// Every flow must have a nonzero estimate: heavy or light.
+	zero := 0
+	for k := range truth {
+		if e.EstimateSize(k) == 0 {
+			zero++
+		}
+	}
+	if frac := float64(zero) / float64(len(truth)); frac > 0.05 {
+		t.Errorf("%.1f%% of flows have zero estimate", frac*100)
+	}
+}
+
+func TestNeverUnderestimatesWhenSaturationFree(t *testing.T) {
+	// ElasticSketch estimates = heavy exact + light CM (overestimate), so
+	// as long as 8-bit light counters don't saturate, estimate >= truth
+	// only holds for flows still fully in the heavy part; flows split
+	// between parts can undercount if counters saturate. Use small counts
+	// to avoid saturation and check estimate >= true.
+	e := mustNew(t, Config{MemoryBytes: 23 * 64, Seed: 4})
+	rng := rand.New(rand.NewPCG(5, 6))
+	truth := make(map[flow.Key]uint32)
+	keys := make([]flow.Key, 300)
+	for i := range keys {
+		keys[i] = randKey(rng)
+	}
+	for i := 0; i < 5000; i++ {
+		k := keys[rng.IntN(len(keys))]
+		truth[k]++
+		e.Update(flow.Packet{Key: k})
+	}
+	under := 0
+	for k, want := range truth {
+		if e.EstimateSize(k) < want {
+			under++
+		}
+	}
+	if frac := float64(under) / float64(len(truth)); frac > 0.10 {
+		t.Errorf("%.1f%% of flows underestimated, want < 10%%", frac*100)
+	}
+}
+
+func TestRecordsComeFromHeavyPart(t *testing.T) {
+	e := mustNew(t, Config{MemoryBytes: 23 * 128, Seed: 5})
+	rng := rand.New(rand.NewPCG(7, 8))
+	for i := 0; i < 10000; i++ {
+		e.Update(flow.Packet{Key: randKey(rng)})
+	}
+	recs := e.Records()
+	if len(recs) == 0 {
+		t.Fatal("no records reported")
+	}
+	if len(recs) > e.HeavyCells() {
+		t.Errorf("%d records exceed %d heavy cells", len(recs), e.HeavyCells())
+	}
+	for _, r := range recs {
+		if r.Count == 0 {
+			t.Error("record with zero count")
+		}
+	}
+}
+
+func TestCardinality(t *testing.T) {
+	e := mustNew(t, Config{MemoryBytes: 1 << 20, Seed: 6})
+	rng := rand.New(rand.NewPCG(9, 10))
+	const n = 20000
+	for i := 0; i < n; i++ {
+		e.Update(flow.Packet{Key: randKey(rng)})
+	}
+	est := e.EstimateCardinality()
+	if math.Abs(est/n-1) > 0.15 {
+		t.Errorf("cardinality estimate %.0f for %d flows", est, n)
+	}
+}
+
+func TestOpStatsBounds(t *testing.T) {
+	e := mustNew(t, Config{MemoryBytes: 1 << 12, Seed: 7})
+	rng := rand.New(rand.NewPCG(11, 12))
+	for i := 0; i < 5000; i++ {
+		e.Update(flow.Packet{Key: randKey(rng)})
+	}
+	s := e.OpStats()
+	if s.Packets != 5000 {
+		t.Fatalf("Packets = %d", s.Packets)
+	}
+	if hpp := s.HashesPerPacket(); hpp < 1 || hpp > 4 {
+		t.Errorf("HashesPerPacket = %.2f, want in [1,4]", hpp)
+	}
+}
+
+func TestReset(t *testing.T) {
+	e := mustNew(t, Config{MemoryBytes: 1 << 12, Seed: 8})
+	rng := rand.New(rand.NewPCG(13, 14))
+	for i := 0; i < 1000; i++ {
+		e.Update(flow.Packet{Key: randKey(rng)})
+	}
+	e.Reset()
+	if len(e.Records()) != 0 || e.OpStats() != (flow.OpStats{}) {
+		t.Error("Reset incomplete")
+	}
+	if got := e.EstimateCardinality(); got != 0 {
+		t.Errorf("cardinality after Reset = %v, want 0", got)
+	}
+}
+
+func TestLambdaControlsEviction(t *testing.T) {
+	// With an enormous lambda, eviction never happens: an incumbent with
+	// one vote survives arbitrarily many misses.
+	e := mustNew(t, Config{MemoryBytes: 23 * 4, Lambda: 1 << 20, Seed: 9})
+	incumbent := flow.Key{SrcIP: 1, Proto: 6}
+	e.Update(flow.Packet{Key: incumbent})
+	rng := rand.New(rand.NewPCG(15, 16))
+	for i := 0; i < 10000; i++ {
+		e.Update(flow.Packet{Key: randKey(rng)})
+	}
+	found := false
+	for _, r := range e.Records() {
+		if r.Key == incumbent {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("incumbent evicted despite huge lambda")
+	}
+}

@@ -1,0 +1,72 @@
+// Package fenwick provides a Fenwick (binary indexed) tree over uint64
+// weights with prefix-sum search. The trace generator uses it to stream a
+// random interleaving of per-flow packets in O(log n) per packet without
+// materializing the whole packet array.
+package fenwick
+
+import "math/bits"
+
+// Tree is a Fenwick tree of non-negative weights.
+type Tree struct {
+	tree []uint64 // 1-based
+	n    int
+	mask int // highest power of two <= n, for prefix search
+}
+
+// New builds a tree from the given weights.
+func New(weights []uint64) *Tree {
+	n := len(weights)
+	t := &Tree{tree: make([]uint64, n+1), n: n}
+	for i, w := range weights {
+		t.tree[i+1] = w
+	}
+	// In-place O(n) construction.
+	for i := 1; i <= n; i++ {
+		j := i + (i & -i)
+		if j <= n {
+			t.tree[j] += t.tree[i]
+		}
+	}
+	if n > 0 {
+		t.mask = 1 << (bits.Len(uint(n)) - 1)
+	}
+	return t
+}
+
+// Len returns the number of elements.
+func (t *Tree) Len() int { return t.n }
+
+// Total returns the sum of all weights.
+func (t *Tree) Total() uint64 { return t.Prefix(t.n) }
+
+// Prefix returns the sum of weights[0:i].
+func (t *Tree) Prefix(i int) uint64 {
+	var s uint64
+	for ; i > 0; i -= i & -i {
+		s += t.tree[i]
+	}
+	return s
+}
+
+// Add adds delta to weights[i]. delta may be negative as long as the weight
+// stays non-negative; the caller is responsible for that invariant.
+func (t *Tree) Add(i int, delta int64) {
+	for i++; i <= t.n; i += i & -i {
+		t.tree[i] = uint64(int64(t.tree[i]) + delta)
+	}
+}
+
+// FindPrefix returns the smallest index i such that Prefix(i+1) > target,
+// i.e. it locates the element owning position target in the cumulative
+// weight line. target must be < Total().
+func (t *Tree) FindPrefix(target uint64) int {
+	idx := 0
+	for step := t.mask; step > 0; step >>= 1 {
+		next := idx + step
+		if next <= t.n && t.tree[next] <= target {
+			target -= t.tree[next]
+			idx = next
+		}
+	}
+	return idx
+}

@@ -1,0 +1,47 @@
+package fenwick
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func benchTree(n int) *Tree {
+	w := make([]uint64, n)
+	rng := rand.New(rand.NewPCG(1, 2))
+	for i := range w {
+		w[i] = uint64(rng.IntN(100) + 1)
+	}
+	return New(w)
+}
+
+func BenchmarkFindPrefix(b *testing.B) {
+	t := benchTree(1 << 18)
+	total := t.Total()
+	rng := rand.New(rand.NewPCG(3, 4))
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink ^= t.FindPrefix(rng.Uint64N(total))
+	}
+	_ = sink
+}
+
+func BenchmarkDrawWithoutReplacement(b *testing.B) {
+	// The trace-stream inner loop: find a weighted element and decrement.
+	t := benchTree(1 << 16)
+	rng := rand.New(rand.NewPCG(5, 6))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		total := t.Total()
+		if total == 0 {
+			b.StopTimer()
+			t = benchTree(1 << 16)
+			b.StartTimer()
+			total = t.Total()
+		}
+		idx := t.FindPrefix(rng.Uint64N(total))
+		t.Add(idx, -1)
+	}
+}

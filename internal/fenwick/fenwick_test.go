@@ -1,0 +1,114 @@
+package fenwick
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func naivePrefix(w []uint64, i int) uint64 {
+	var s uint64
+	for _, v := range w[:i] {
+		s += v
+	}
+	return s
+}
+
+func TestPrefixMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	for trial := 0; trial < 20; trial++ {
+		n := rng.IntN(200) + 1
+		w := make([]uint64, n)
+		for i := range w {
+			w[i] = uint64(rng.IntN(100))
+		}
+		tree := New(w)
+		for i := 0; i <= n; i++ {
+			if got, want := tree.Prefix(i), naivePrefix(w, i); got != want {
+				t.Fatalf("trial %d: Prefix(%d) = %d, want %d", trial, i, got, want)
+			}
+		}
+	}
+}
+
+func TestAddThenPrefix(t *testing.T) {
+	w := []uint64{5, 0, 3, 7, 2}
+	tree := New(w)
+	tree.Add(1, 4)
+	tree.Add(3, -7)
+	want := []uint64{5, 4, 3, 0, 2}
+	for i := 0; i <= len(w); i++ {
+		if got := tree.Prefix(i); got != naivePrefix(want, i) {
+			t.Fatalf("Prefix(%d) = %d, want %d", i, got, naivePrefix(want, i))
+		}
+	}
+	if tree.Total() != 14 {
+		t.Errorf("Total = %d, want 14", tree.Total())
+	}
+}
+
+func TestFindPrefix(t *testing.T) {
+	w := []uint64{3, 0, 2, 5}
+	tree := New(w)
+	wantOwner := []int{0, 0, 0, 2, 2, 3, 3, 3, 3, 3}
+	for target, want := range wantOwner {
+		if got := tree.FindPrefix(uint64(target)); got != want {
+			t.Errorf("FindPrefix(%d) = %d, want %d", target, got, want)
+		}
+	}
+}
+
+func TestFindPrefixProperty(t *testing.T) {
+	f := func(raw []uint16, probe uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		w := make([]uint64, len(raw))
+		var total uint64
+		for i, v := range raw {
+			w[i] = uint64(v)
+			total += uint64(v)
+		}
+		if total == 0 {
+			return true
+		}
+		tree := New(w)
+		target := uint64(probe) % total
+		idx := tree.FindPrefix(target)
+		// Owner property: Prefix(idx) <= target < Prefix(idx+1).
+		return tree.Prefix(idx) <= target && target < tree.Prefix(idx+1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDrainToZero(t *testing.T) {
+	// Simulate the trace-stream use: repeatedly pick a random position and
+	// decrement until the tree drains; every pick must land on a positive
+	// weight.
+	w := []uint64{4, 1, 0, 6, 2}
+	tree := New(w)
+	rng := rand.New(rand.NewPCG(9, 10))
+	remaining := append([]uint64(nil), w...)
+	for total := tree.Total(); total > 0; total = tree.Total() {
+		idx := tree.FindPrefix(rng.Uint64N(total))
+		if remaining[idx] == 0 {
+			t.Fatalf("picked drained index %d", idx)
+		}
+		remaining[idx]--
+		tree.Add(idx, -1)
+	}
+	for i, r := range remaining {
+		if r != 0 {
+			t.Errorf("index %d not drained: %d left", i, r)
+		}
+	}
+}
+
+func TestEmptyTree(t *testing.T) {
+	tree := New(nil)
+	if tree.Len() != 0 || tree.Total() != 0 {
+		t.Error("empty tree should have zero length and total")
+	}
+}

@@ -1,0 +1,236 @@
+package flowradar
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"repro/flow"
+)
+
+func mustNew(t *testing.T, cfg Config) *FlowRadar {
+	t.Helper()
+	fr, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fr
+}
+
+func randKey(rng *rand.Rand) flow.Key {
+	return flow.Key{SrcIP: rng.Uint32(), DstIP: rng.Uint32(), SrcPort: uint16(rng.Uint32()), Proto: 17}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("accepted zero memory")
+	}
+	if _, err := New(Config{MemoryBytes: 26}); err == nil {
+		t.Error("accepted budget below hash count cells")
+	}
+	if _, err := New(Config{MemoryBytes: 1 << 12, CellHashes: -1}); err == nil {
+		t.Error("accepted negative cell hashes")
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	fr := mustNew(t, Config{MemoryBytes: 1 << 20})
+	wantCells := (1 << 20) / 26
+	if got := fr.Cells(); got != wantCells {
+		t.Errorf("Cells = %d, want %d", got, wantCells)
+	}
+	if fr.MemoryBytes() > 1<<20 {
+		t.Errorf("MemoryBytes = %d exceeds budget", fr.MemoryBytes())
+	}
+	if fr.bloom.Hashes() != DefaultBloomHashes {
+		t.Errorf("bloom hashes = %d, want %d", fr.bloom.Hashes(), DefaultBloomHashes)
+	}
+}
+
+func TestDecodeExactUnderLoad(t *testing.T) {
+	// Well under capacity, FlowRadar decodes every flow with its exact
+	// packet count.
+	fr := mustNew(t, Config{MemoryBytes: 26 * 2048, Seed: 1}) // 2048 cells
+	rng := rand.New(rand.NewPCG(1, 2))
+	truth := make(map[flow.Key]uint32)
+	keys := make([]flow.Key, 1000) // load factor ~0.5
+	for i := range keys {
+		keys[i] = randKey(rng)
+	}
+	for i := 0; i < 20000; i++ {
+		k := keys[rng.IntN(len(keys))]
+		truth[k]++
+		fr.Update(flow.Packet{Key: k})
+	}
+	if !fr.DecodeComplete() {
+		t.Fatal("decode incomplete at load factor 0.5")
+	}
+	recs := fr.Records()
+	if len(recs) != len(truth) {
+		t.Fatalf("decoded %d flows, want %d", len(recs), len(truth))
+	}
+	for _, r := range recs {
+		if truth[r.Key] != r.Count {
+			t.Fatalf("flow %v decoded count %d, want %d", r.Key, r.Count, truth[r.Key])
+		}
+	}
+}
+
+func TestDecodeCollapsesOverCapacity(t *testing.T) {
+	// Far over capacity, peeling finds almost no singletons: the paper's
+	// "drops abruptly after the turning point" behaviour.
+	fr := mustNew(t, Config{MemoryBytes: 26 * 512, Seed: 2}) // 512 cells
+	rng := rand.New(rand.NewPCG(3, 4))
+	const flows = 5000 // ~10x capacity
+	for i := 0; i < flows; i++ {
+		fr.Update(flow.Packet{Key: randKey(rng)})
+	}
+	if fr.DecodeComplete() {
+		t.Error("decode claimed completeness at 10x overload")
+	}
+	if got := len(fr.Records()); got > flows/10 {
+		t.Errorf("decoded %d of %d flows at 10x overload, expected near-total collapse", got, flows)
+	}
+}
+
+func TestDecodeTurningPoint(t *testing.T) {
+	// Decode rate should be near-perfect below ~1.2 flows/cell... actually
+	// IBLT peeling with 3 hashes succeeds w.h.p. below the ~0.81 load
+	// threshold and fails above ~1.3. Verify both sides.
+	const cells = 1024
+	low := mustNew(t, Config{MemoryBytes: 26 * cells, Seed: 3})
+	rng := rand.New(rand.NewPCG(5, 6))
+	for i := 0; i < cells*6/10; i++ { // load 0.6
+		low.Update(flow.Packet{Key: randKey(rng)})
+	}
+	if got := float64(len(low.Records())) / float64(cells*6/10); got < 0.99 {
+		t.Errorf("decode rate %.3f at load 0.6, want ~1", got)
+	}
+
+	high := mustNew(t, Config{MemoryBytes: 26 * cells, Seed: 4})
+	for i := 0; i < cells*2; i++ { // load 2.0
+		high.Update(flow.Packet{Key: randKey(rng)})
+	}
+	if got := float64(len(high.Records())) / float64(cells*2); got > 0.5 {
+		t.Errorf("decode rate %.3f at load 2.0, want collapse", got)
+	}
+}
+
+func TestRepeatPacketsDoNotGrowFlowSet(t *testing.T) {
+	fr := mustNew(t, Config{MemoryBytes: 26 * 256, Seed: 5})
+	k := flow.Key{SrcIP: 9, DstIP: 8, Proto: 17}
+	for i := 0; i < 1000; i++ {
+		fr.Update(flow.Packet{Key: k})
+	}
+	recs := fr.Records()
+	if len(recs) != 1 {
+		t.Fatalf("decoded %d flows, want 1", len(recs))
+	}
+	if recs[0].Count != 1000 {
+		t.Errorf("count = %d, want 1000", recs[0].Count)
+	}
+}
+
+func TestCardinalityFromBloom(t *testing.T) {
+	fr := mustNew(t, Config{MemoryBytes: 26 * 4096, Seed: 6})
+	rng := rand.New(rand.NewPCG(7, 8))
+	const n = 3000
+	for i := 0; i < n; i++ {
+		k := randKey(rng)
+		fr.Update(flow.Packet{Key: k})
+		fr.Update(flow.Packet{Key: k}) // repeats must not affect the estimate much
+	}
+	est := fr.EstimateCardinality()
+	if math.Abs(est/n-1) > 0.1 {
+		t.Errorf("cardinality estimate %.0f for %d flows", est, n)
+	}
+}
+
+func TestEstimateSizeUnknownFlow(t *testing.T) {
+	fr := mustNew(t, Config{MemoryBytes: 26 * 256, Seed: 7})
+	if got := fr.EstimateSize(flow.Key{SrcIP: 1}); got != 0 {
+		t.Errorf("EstimateSize of unseen flow = %d, want 0", got)
+	}
+}
+
+func TestOpStats(t *testing.T) {
+	fr := mustNew(t, Config{MemoryBytes: 26 * 1024, Seed: 8})
+	rng := rand.New(rand.NewPCG(9, 10))
+	for i := 0; i < 2000; i++ {
+		fr.Update(flow.Packet{Key: randKey(rng)})
+	}
+	s := fr.OpStats()
+	if s.Packets != 2000 {
+		t.Fatalf("Packets = %d", s.Packets)
+	}
+	// 4 bloom + 3 cell hashes per packet, the paper's worst case of 7.
+	if hpp := s.HashesPerPacket(); hpp != 7 {
+		t.Errorf("HashesPerPacket = %.2f, want 7", hpp)
+	}
+}
+
+func TestDecodeCacheInvalidation(t *testing.T) {
+	fr := mustNew(t, Config{MemoryBytes: 26 * 512, Seed: 9})
+	k1 := flow.Key{SrcIP: 1, Proto: 17}
+	k2 := flow.Key{SrcIP: 2, Proto: 17}
+	fr.Update(flow.Packet{Key: k1})
+	if got := len(fr.Records()); got != 1 {
+		t.Fatalf("decoded %d flows, want 1", got)
+	}
+	fr.Update(flow.Packet{Key: k2})
+	if got := len(fr.Records()); got != 2 {
+		t.Fatalf("after second flow decoded %d, want 2", got)
+	}
+}
+
+func TestDecodeMultisetProperty(t *testing.T) {
+	// Property: at modest load, the decoded record set is exactly the
+	// inserted flow set with exact counts.
+	cfg := Config{MemoryBytes: 26 * 512, Seed: 10}
+	f := func(seed uint64) bool {
+		fr, err := New(cfg)
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewPCG(seed, 0))
+		truth := make(map[flow.Key]uint32)
+		nflows := rng.IntN(200) + 1
+		for i := 0; i < nflows; i++ {
+			k := randKey(rng)
+			n := uint32(rng.IntN(10) + 1)
+			truth[k] += n
+			for j := uint32(0); j < n; j++ {
+				fr.Update(flow.Packet{Key: k})
+			}
+		}
+		recs := fr.Records()
+		if len(recs) != len(truth) {
+			return false
+		}
+		for _, r := range recs {
+			if truth[r.Key] != r.Count {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReset(t *testing.T) {
+	fr := mustNew(t, Config{MemoryBytes: 26 * 256, Seed: 11})
+	rng := rand.New(rand.NewPCG(11, 12))
+	for i := 0; i < 100; i++ {
+		fr.Update(flow.Packet{Key: randKey(rng)})
+	}
+	fr.Reset()
+	if len(fr.Records()) != 0 || fr.OpStats() != (flow.OpStats{}) {
+		t.Error("Reset incomplete")
+	}
+	if est := fr.EstimateCardinality(); est != 0 {
+		t.Errorf("cardinality after Reset = %v, want 0", est)
+	}
+}

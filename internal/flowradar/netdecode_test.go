@@ -1,0 +1,129 @@
+package flowradar
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/flow"
+)
+
+// TestNetDecodeRescuesOverloadedSwitch reproduces the FlowRadar paper's
+// NetDecode scenario: switch A is over its standalone decode capacity, but
+// every flow it saw also traversed switch B, which is big enough to decode
+// alone. A's table must then decode completely with exact counts.
+func TestNetDecodeRescuesOverloadedSwitch(t *testing.T) {
+	a := mustNew(t, Config{MemoryBytes: 26 * 512, Seed: 1})  // small switch
+	b := mustNew(t, Config{MemoryBytes: 26 * 8192, Seed: 2}) // big switch
+
+	rng := rand.New(rand.NewPCG(1, 2))
+	truth := make(map[flow.Key]uint32)
+	keys := make([]flow.Key, 1500) // ~3x switch A's standalone capacity
+	for i := range keys {
+		keys[i] = randKey(rng)
+	}
+	for i := 0; i < 30000; i++ {
+		k := keys[rng.IntN(len(keys))]
+		truth[k]++
+		p := flow.Packet{Key: k}
+		a.Update(p)
+		b.Update(p)
+	}
+
+	// Standalone, A collapses.
+	if solo := len(a.Records()); solo > len(keys)/2 {
+		t.Fatalf("switch A decoded %d flows standalone; overload assumption broken", solo)
+	}
+	// B decodes everything.
+	bRecs := b.Records()
+	if len(bRecs) != len(truth) {
+		t.Fatalf("switch B decoded %d of %d flows", len(bRecs), len(truth))
+	}
+
+	recs, ok := a.DecodeWithHints(bRecs)
+	if !ok {
+		t.Fatal("NetDecode did not fully resolve switch A")
+	}
+	if len(recs) != len(truth) {
+		t.Fatalf("NetDecode recovered %d of %d flows", len(recs), len(truth))
+	}
+	for _, r := range recs {
+		if truth[r.Key] != r.Count {
+			t.Fatalf("flow %v NetDecode count %d, want %d", r.Key, r.Count, truth[r.Key])
+		}
+	}
+}
+
+// TestNetDecodePartialOverlap: hints that never crossed switch A must be
+// rejected by its Bloom filter and not corrupt the decode.
+func TestNetDecodePartialOverlap(t *testing.T) {
+	a := mustNew(t, Config{MemoryBytes: 26 * 1024, Seed: 3})
+	rng := rand.New(rand.NewPCG(3, 4))
+
+	truth := make(map[flow.Key]uint32)
+	for i := 0; i < 900; i++ { // a little over the peeling threshold
+		k := randKey(rng)
+		n := uint32(rng.IntN(5) + 1)
+		truth[k] += n
+		for j := uint32(0); j < n; j++ {
+			a.Update(flow.Packet{Key: k})
+		}
+	}
+
+	// Hints: all true records plus 2000 foreign records A never saw.
+	hints := make([]flow.Record, 0, len(truth)+2000)
+	for k, c := range truth {
+		hints = append(hints, flow.Record{Key: k, Count: c})
+	}
+	for i := 0; i < 2000; i++ {
+		hints = append(hints, flow.Record{Key: randKey(rng), Count: uint32(rng.IntN(5) + 1)})
+	}
+	recs, ok := a.DecodeWithHints(hints)
+	if !ok {
+		t.Fatal("NetDecode failed with full hint coverage")
+	}
+	// Bloom false positives can only add flows with zero resolved count
+	// (they are filtered); every true flow must be exact.
+	got := make(map[flow.Key]uint32, len(recs))
+	for _, r := range recs {
+		got[r.Key] = r.Count
+	}
+	for k, want := range truth {
+		if got[k] != want {
+			t.Fatalf("flow %v count %d, want %d", k, got[k], want)
+		}
+	}
+}
+
+// TestNetDecodeNoHintsMatchesSingleDecode: with no hints the result must
+// not be worse than standalone decoding.
+func TestNetDecodeNoHints(t *testing.T) {
+	a := mustNew(t, Config{MemoryBytes: 26 * 1024, Seed: 5})
+	rng := rand.New(rand.NewPCG(5, 6))
+	for i := 0; i < 500; i++ {
+		a.Update(flow.Packet{Key: randKey(rng)})
+	}
+	recs, ok := a.DecodeWithHints(nil)
+	if !ok {
+		t.Fatal("NetDecode without hints failed below capacity")
+	}
+	if len(recs) != 500 {
+		t.Fatalf("recovered %d of 500 flows", len(recs))
+	}
+}
+
+// TestNetDecodeStillPartialWhenHintsInsufficient: hints covering only some
+// flows of a badly overloaded switch leave the decode incomplete, and the
+// function must say so.
+func TestNetDecodeInsufficientHints(t *testing.T) {
+	a := mustNew(t, Config{MemoryBytes: 26 * 256, Seed: 7})
+	rng := rand.New(rand.NewPCG(7, 8))
+	hints := make([]flow.Record, 2000)
+	for i := range hints {
+		hints[i] = flow.Record{Key: randKey(rng), Count: 1}
+		a.Update(flow.Packet{Key: hints[i].Key})
+	}
+	_, ok := a.DecodeWithHints(hints[:100])
+	if ok {
+		t.Error("NetDecode claimed completeness with 5% hint coverage at 8x overload")
+	}
+}

@@ -1,0 +1,138 @@
+package hashing
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitMix64Deterministic(t *testing.T) {
+	s1, o1 := SplitMix64(42)
+	s2, o2 := SplitMix64(42)
+	if s1 != s2 || o1 != o2 {
+		t.Fatal("SplitMix64 is not deterministic")
+	}
+	if _, o3 := SplitMix64(s1); o3 == o1 {
+		t.Fatal("consecutive SplitMix64 outputs should differ")
+	}
+}
+
+func TestKeyHashDeterministic(t *testing.T) {
+	if KeyHash(1, 2, 3) != KeyHash(1, 2, 3) {
+		t.Fatal("KeyHash is not deterministic")
+	}
+	if KeyHash(1, 2, 3) == KeyHash(2, 2, 3) {
+		t.Fatal("different seeds should yield different hashes")
+	}
+}
+
+func TestKeyHashAvalanche(t *testing.T) {
+	// Flipping one input bit should flip close to half the output bits on
+	// average; require at least a loose band.
+	rng := rand.New(rand.NewPCG(5, 6))
+	const trials = 2000
+	var totalFlipped int
+	for i := 0; i < trials; i++ {
+		w1, w2 := rng.Uint64(), rng.Uint64()
+		h := KeyHash(0xABCD, w1, w2)
+		bit := rng.IntN(104) // only 104 meaningful bits
+		var h2 uint64
+		if bit < 64 {
+			h2 = KeyHash(0xABCD, w1^(1<<bit), w2)
+		} else {
+			h2 = KeyHash(0xABCD, w1, w2^(1<<(bit-64)))
+		}
+		totalFlipped += popcount(h ^ h2)
+	}
+	avg := float64(totalFlipped) / trials
+	if avg < 28 || avg > 36 {
+		t.Errorf("avalanche average = %.2f flipped bits, want ~32", avg)
+	}
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+func TestFamilyIndependence(t *testing.T) {
+	// Family members must disagree: the probability two 64-bit hashes of
+	// the same key collide is negligible.
+	f := NewFamily(8, 99)
+	if f.Size() != 8 {
+		t.Fatalf("Size = %d, want 8", f.Size())
+	}
+	rng := rand.New(rand.NewPCG(7, 8))
+	for i := 0; i < 1000; i++ {
+		w1, w2 := rng.Uint64(), rng.Uint64()
+		seen := make(map[uint64]int)
+		for j := 0; j < f.Size(); j++ {
+			h := f.Hash(j, w1, w2)
+			if prev, dup := seen[h]; dup {
+				t.Fatalf("members %d and %d collide on input %d", prev, j, i)
+			}
+			seen[h] = j
+		}
+	}
+}
+
+func TestFamilySeedsDiffer(t *testing.T) {
+	a := NewFamily(4, 1)
+	b := NewFamily(4, 2)
+	same := 0
+	for i := 0; i < 4; i++ {
+		if a.Hash(i, 10, 20) == b.Hash(i, 10, 20) {
+			same++
+		}
+	}
+	if same != 0 {
+		t.Errorf("%d/4 members identical across different base seeds", same)
+	}
+}
+
+func TestReduceBounds(t *testing.T) {
+	f := func(h uint64, n uint32) bool {
+		if n == 0 {
+			return true
+		}
+		return Reduce(h, uint64(n)) < uint64(n)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReduceUniform(t *testing.T) {
+	// Chi-square-ish check: bucket a large random sample into 64 bins.
+	const bins = 64
+	const samples = 1 << 18
+	counts := make([]int, bins)
+	rng := rand.New(rand.NewPCG(11, 12))
+	for i := 0; i < samples; i++ {
+		counts[Reduce(KeyHash(7, rng.Uint64(), rng.Uint64()), bins)]++
+	}
+	expect := float64(samples) / bins
+	for b, c := range counts {
+		if math.Abs(float64(c)-expect) > 6*math.Sqrt(expect) {
+			t.Errorf("bin %d has %d entries, expected %.0f +- %.0f", b, c, expect, 6*math.Sqrt(expect))
+		}
+	}
+}
+
+func TestBucketMatchesReduce(t *testing.T) {
+	f := NewFamily(3, 77)
+	rng := rand.New(rand.NewPCG(13, 14))
+	for i := 0; i < 100; i++ {
+		w1, w2 := rng.Uint64(), rng.Uint64()
+		for j := 0; j < 3; j++ {
+			if f.Bucket(j, w1, w2, 1000) != Reduce(f.Hash(j, w1, w2), 1000) {
+				t.Fatal("Bucket disagrees with Reduce(Hash)")
+			}
+		}
+	}
+}

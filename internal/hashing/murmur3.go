@@ -1,0 +1,54 @@
+package hashing
+
+import "math/bits"
+
+// Murmur3 computes MurmurHash3 x86 32-bit of data with the given seed.
+// This is the textbook public-domain algorithm by Austin Appleby.
+func Murmur3(data []byte, seed uint32) uint32 {
+	const (
+		c1 = 0xcc9e2d51
+		c2 = 0x1b873593
+	)
+	h := seed
+	n := len(data)
+
+	// Body: 4-byte blocks.
+	for len(data) >= 4 {
+		k := uint32(data[0]) | uint32(data[1])<<8 | uint32(data[2])<<16 | uint32(data[3])<<24
+		data = data[4:]
+
+		k *= c1
+		k = bits.RotateLeft32(k, 15)
+		k *= c2
+
+		h ^= k
+		h = bits.RotateLeft32(h, 13)
+		h = h*5 + 0xe6546b64
+	}
+
+	// Tail.
+	var k uint32
+	switch len(data) {
+	case 3:
+		k ^= uint32(data[2]) << 16
+		fallthrough
+	case 2:
+		k ^= uint32(data[1]) << 8
+		fallthrough
+	case 1:
+		k ^= uint32(data[0])
+		k *= c1
+		k = bits.RotateLeft32(k, 15)
+		k *= c2
+		h ^= k
+	}
+
+	// Finalization.
+	h ^= uint32(n)
+	h ^= h >> 16
+	h *= 0x85ebca6b
+	h ^= h >> 13
+	h *= 0xc2b2ae35
+	h ^= h >> 16
+	return h
+}

@@ -1,0 +1,94 @@
+package hashing
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// Reference vectors for MurmurHash3 x86 32-bit, cross-checked against the
+// canonical C++ implementation (SMHasher) and widely published test suites.
+func TestMurmur3Vectors(t *testing.T) {
+	tests := []struct {
+		name string
+		data string
+		seed uint32
+		want uint32
+	}{
+		{"empty seed0", "", 0, 0},
+		{"empty seed1", "", 1, 0x514E28B7},
+		{"empty seedFF", "", 0xFFFFFFFF, 0x81F16F39},
+		{"zeros", "\x00\x00\x00\x00", 0, 0x2362F9DE},
+		{"a", "a", 0x9747B28C, 0x7FA09EA6},
+		{"aa", "aa", 0x9747B28C, 0x5D211726},
+		{"aaa", "aaa", 0x9747B28C, 0x283E0130},
+		{"aaaa", "aaaa", 0x9747B28C, 0x5A97808A},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := Murmur3([]byte(tc.data), tc.seed); got != tc.want {
+				t.Errorf("Murmur3(%q, %#x) = %#x, want %#x", tc.data, tc.seed, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestMurmur3AllTailLengths(t *testing.T) {
+	// Exercise every tail-length branch and check determinism plus
+	// sensitivity to the final byte.
+	data := []byte("0123456789abcdef")
+	for n := 0; n <= len(data); n++ {
+		h1 := Murmur3(data[:n], 42)
+		h2 := Murmur3(data[:n], 42)
+		if h1 != h2 {
+			t.Fatalf("len %d: not deterministic", n)
+		}
+		if n > 0 {
+			mutated := append([]byte(nil), data[:n]...)
+			mutated[n-1] ^= 0xFF
+			if Murmur3(mutated, 42) == h1 {
+				t.Errorf("len %d: insensitive to final byte", n)
+			}
+		}
+	}
+}
+
+func TestMurmur3Distribution(t *testing.T) {
+	// Low bits of the hash over sequential keys should be near-uniform.
+	const bins = 16
+	const samples = 1 << 16
+	counts := make([]int, bins)
+	var buf [8]byte
+	for i := 0; i < samples; i++ {
+		for j := range buf {
+			buf[j] = byte(i >> (8 * j))
+		}
+		counts[Murmur3(buf[:], 0)%bins]++
+	}
+	expect := samples / bins
+	for b, c := range counts {
+		if c < expect*9/10 || c > expect*11/10 {
+			t.Errorf("bin %d has %d entries, expected ~%d", b, c, expect)
+		}
+	}
+}
+
+func BenchmarkMurmur3Key13(b *testing.B) {
+	data := make([]byte, 13)
+	rng := rand.New(rand.NewPCG(1, 2))
+	for i := range data {
+		data[i] = byte(rng.Uint32())
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Murmur3(data, uint32(i))
+	}
+}
+
+func BenchmarkKeyHash(b *testing.B) {
+	b.ReportAllocs()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= KeyHash(uint64(i), 0x0123456789ABCDEF, 0xFEDCBA9876543210)
+	}
+	_ = sink
+}

@@ -1,0 +1,192 @@
+package hashpipe
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/flow"
+)
+
+func mustNew(t *testing.T, cfg Config) *HashPipe {
+	t.Helper()
+	hp, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return hp
+}
+
+func randKey(rng *rand.Rand) flow.Key {
+	return flow.Key{SrcIP: rng.Uint32(), DstIP: rng.Uint32(), SrcPort: uint16(rng.Uint32()), Proto: 6}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("accepted zero memory")
+	}
+	if _, err := New(Config{MemoryBytes: 1 << 12, Stages: 100}); err == nil {
+		t.Error("accepted 100 stages")
+	}
+	if _, err := New(Config{MemoryBytes: 10, Stages: 4}); err == nil {
+		t.Error("accepted budget below one cell per stage")
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	hp := mustNew(t, Config{MemoryBytes: 68 << 10})
+	if got := len(hp.stages); got != DefaultStages {
+		t.Errorf("stages = %d, want %d", got, DefaultStages)
+	}
+	if hp.MemoryBytes() > 68<<10 {
+		t.Errorf("MemoryBytes %d exceeds budget", hp.MemoryBytes())
+	}
+	wantCells := (68 << 10) / 4 / CellBytes * 4
+	if got := hp.Cells(); got != wantCells {
+		t.Errorf("Cells = %d, want %d", got, wantCells)
+	}
+}
+
+func TestSingleFlowExact(t *testing.T) {
+	hp := mustNew(t, Config{MemoryBytes: 1 << 14, Seed: 1})
+	k := flow.Key{SrcIP: 1, DstIP: 2, SrcPort: 3, DstPort: 4, Proto: 6}
+	for i := 0; i < 100; i++ {
+		hp.Update(flow.Packet{Key: k})
+	}
+	if got := hp.EstimateSize(k); got != 100 {
+		t.Errorf("EstimateSize = %d, want 100", got)
+	}
+}
+
+func TestSparseFlowsExact(t *testing.T) {
+	hp := mustNew(t, Config{MemoryBytes: 1 << 18, Seed: 2})
+	rng := rand.New(rand.NewPCG(1, 2))
+	truth := make(map[flow.Key]uint32)
+	for i := 0; i < 300; i++ {
+		k := randKey(rng)
+		n := uint32(rng.IntN(20) + 1)
+		truth[k] += n
+		for j := uint32(0); j < n; j++ {
+			hp.Update(flow.Packet{Key: k})
+		}
+	}
+	for k, want := range truth {
+		if got := hp.EstimateSize(k); got != want {
+			t.Errorf("EstimateSize(%v) = %d, want %d", k, got, want)
+		}
+	}
+}
+
+func TestTotalCountConserved(t *testing.T) {
+	// HashPipe only discards records evicted from the last stage, so the
+	// sum of all stored counts never exceeds the number of packets.
+	hp := mustNew(t, Config{MemoryBytes: 17 * 64, Seed: 3})
+	rng := rand.New(rand.NewPCG(3, 4))
+	const packets = 10000
+	for i := 0; i < packets; i++ {
+		hp.Update(flow.Packet{Key: randKey(rng)})
+	}
+	var total uint64
+	for _, r := range hp.Records() {
+		total += uint64(r.Count)
+	}
+	if total > packets {
+		t.Errorf("stored counts %d exceed %d packets", total, packets)
+	}
+}
+
+func TestFragmentationHappens(t *testing.T) {
+	// The known HashPipe defect: one flow's packets can be split across
+	// stages when it is evicted and re-inserted. Verify our implementation
+	// reproduces it (Records merges fragments; raw stages may hold the key
+	// twice). Under heavy collision pressure at least one flow should
+	// fragment.
+	hp := mustNew(t, Config{MemoryBytes: 17 * 16, Seed: 4})
+	rng := rand.New(rand.NewPCG(5, 6))
+	keys := make([]flow.Key, 64)
+	for i := range keys {
+		keys[i] = randKey(rng)
+	}
+	for i := 0; i < 20000; i++ {
+		hp.Update(flow.Packet{Key: keys[rng.IntN(len(keys))]})
+	}
+	fragmented := 0
+	for _, k := range keys {
+		n := 0
+		w1, w2 := k.Words()
+		for s, stage := range hp.stages {
+			idx := hp.family.Bucket(s, w1, w2, uint64(len(stage)))
+			if c := stage[idx]; c.count > 0 && c.key == k {
+				n++
+			}
+		}
+		if n > 1 {
+			fragmented++
+		}
+	}
+	if fragmented == 0 {
+		t.Log("no fragmentation observed at this seed (not an error, but unexpected)")
+	}
+}
+
+func TestRecordsMergeFragments(t *testing.T) {
+	hp := mustNew(t, Config{MemoryBytes: 17 * 16, Seed: 4})
+	rng := rand.New(rand.NewPCG(5, 6))
+	for i := 0; i < 5000; i++ {
+		hp.Update(flow.Packet{Key: randKey(rng)})
+	}
+	seen := make(map[flow.Key]struct{})
+	for _, r := range hp.Records() {
+		if _, dup := seen[r.Key]; dup {
+			t.Fatalf("Records reported key %v twice", r.Key)
+		}
+		seen[r.Key] = struct{}{}
+	}
+}
+
+func TestOpStats(t *testing.T) {
+	hp := mustNew(t, Config{MemoryBytes: 1 << 12, Seed: 7})
+	rng := rand.New(rand.NewPCG(7, 8))
+	for i := 0; i < 5000; i++ {
+		hp.Update(flow.Packet{Key: randKey(rng)})
+	}
+	s := hp.OpStats()
+	if s.Packets != 5000 {
+		t.Fatalf("Packets = %d", s.Packets)
+	}
+	if hpp := s.HashesPerPacket(); hpp < 1 || hpp > 4 {
+		t.Errorf("HashesPerPacket = %.2f, want in [1,4]", hpp)
+	}
+}
+
+func TestCardinalityUndercounts(t *testing.T) {
+	// HashPipe has no cardinality estimator; with many more flows than
+	// cells it must undercount (the paper's Fig. 7 behaviour).
+	hp := mustNew(t, Config{MemoryBytes: 17 * 256, Seed: 8})
+	rng := rand.New(rand.NewPCG(9, 10))
+	const flows = 10000
+	for i := 0; i < flows; i++ {
+		hp.Update(flow.Packet{Key: randKey(rng)})
+	}
+	if est := hp.EstimateCardinality(); est > flows/10 {
+		t.Errorf("cardinality estimate %.0f, expected heavy undercount of %d", est, flows)
+	}
+}
+
+func TestReset(t *testing.T) {
+	hp := mustNew(t, Config{MemoryBytes: 1 << 12, Seed: 9})
+	rng := rand.New(rand.NewPCG(11, 12))
+	for i := 0; i < 100; i++ {
+		hp.Update(flow.Packet{Key: randKey(rng)})
+	}
+	hp.Reset()
+	if len(hp.Records()) != 0 || hp.OpStats() != (flow.OpStats{}) {
+		t.Error("Reset incomplete")
+	}
+}
+
+func TestEstimateUnknownFlow(t *testing.T) {
+	hp := mustNew(t, Config{MemoryBytes: 1 << 12, Seed: 10})
+	if got := hp.EstimateSize(flow.Key{SrcIP: 7}); got != 0 {
+		t.Errorf("EstimateSize of unseen flow = %d, want 0", got)
+	}
+}

@@ -1,0 +1,160 @@
+package sampled
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"repro/flow"
+)
+
+func mustNew(t *testing.T, cfg Config) *Recorder {
+	t.Helper()
+	r, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func randKey(rng *rand.Rand) flow.Key {
+	return flow.Key{SrcIP: rng.Uint32(), DstIP: rng.Uint32(), Proto: 6}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("accepted zero memory")
+	}
+	if _, err := New(Config{MemoryBytes: 1 << 12, Rate: -1}); err == nil {
+		t.Error("accepted negative rate")
+	}
+	if _, err := New(Config{MemoryBytes: 5}); err == nil {
+		t.Error("accepted budget below one entry")
+	}
+}
+
+func TestRateOneIsExact(t *testing.T) {
+	r := mustNew(t, Config{MemoryBytes: 1 << 16, Rate: 1, Seed: 1})
+	k := flow.Key{SrcIP: 1, Proto: 6}
+	for i := 0; i < 123; i++ {
+		r.Update(flow.Packet{Key: k})
+	}
+	if got := r.EstimateSize(k); got != 123 {
+		t.Errorf("rate-1 estimate = %d, want 123", got)
+	}
+	if r.Sampled() != 123 {
+		t.Errorf("Sampled = %d", r.Sampled())
+	}
+}
+
+func TestSamplingScalesEstimates(t *testing.T) {
+	const rate = 10
+	r := mustNew(t, Config{MemoryBytes: 1 << 20, Rate: rate, Seed: 2})
+	k := flow.Key{SrcIP: 9, Proto: 6}
+	const pkts = 100000
+	for i := 0; i < pkts; i++ {
+		r.Update(flow.Packet{Key: k})
+	}
+	est := float64(r.EstimateSize(k))
+	if math.Abs(est/pkts-1) > 0.1 {
+		t.Errorf("estimate %v for %d packets at rate %d", est, pkts, rate)
+	}
+	// Roughly 1/rate of packets should be sampled.
+	if s := float64(r.Sampled()); math.Abs(s/(pkts/rate)-1) > 0.2 {
+		t.Errorf("sampled %v of %d packets at rate %d", s, pkts, rate)
+	}
+}
+
+func TestSmallFlowsMissed(t *testing.T) {
+	// At rate 100, most single-packet flows are invisible — sampling's
+	// core weakness.
+	r := mustNew(t, Config{MemoryBytes: 1 << 20, Rate: 100, Seed: 3})
+	rng := rand.New(rand.NewPCG(1, 2))
+	keys := make([]flow.Key, 5000)
+	for i := range keys {
+		keys[i] = randKey(rng)
+		r.Update(flow.Packet{Key: keys[i]})
+	}
+	missed := 0
+	for _, k := range keys {
+		if r.EstimateSize(k) == 0 {
+			missed++
+		}
+	}
+	if frac := float64(missed) / float64(len(keys)); frac < 0.9 {
+		t.Errorf("only %.2f of single-packet flows missed at rate 100, want > 0.9", frac)
+	}
+}
+
+func TestCacheBound(t *testing.T) {
+	r := mustNew(t, Config{MemoryBytes: CellBytes * 100, Rate: 1, Seed: 4})
+	rng := rand.New(rand.NewPCG(3, 4))
+	for i := 0; i < 1000; i++ {
+		r.Update(flow.Packet{Key: randKey(rng)})
+	}
+	if got := len(r.Records()); got != 100 {
+		t.Errorf("cache holds %d flows, capacity 100", got)
+	}
+	if r.Dropped() != 900 {
+		t.Errorf("Dropped = %d, want 900", r.Dropped())
+	}
+}
+
+func TestCardinalityInversion(t *testing.T) {
+	// With single-packet flows, distinct x rate is an unbiased estimator.
+	const flows = 20000
+	r := mustNew(t, Config{MemoryBytes: 1 << 20, Rate: 10, Seed: 5})
+	rng := rand.New(rand.NewPCG(5, 6))
+	for i := 0; i < flows; i++ {
+		r.Update(flow.Packet{Key: randKey(rng)})
+	}
+	est := r.EstimateCardinality()
+	if math.Abs(est/flows-1) > 0.15 {
+		t.Errorf("cardinality estimate %.0f for %d single-packet flows", est, flows)
+	}
+}
+
+func TestOpStatsCheap(t *testing.T) {
+	r := mustNew(t, Config{MemoryBytes: 1 << 16, Rate: 100, Seed: 6})
+	rng := rand.New(rand.NewPCG(7, 8))
+	for i := 0; i < 10000; i++ {
+		r.Update(flow.Packet{Key: randKey(rng)})
+	}
+	s := r.OpStats()
+	if s.Packets != 10000 {
+		t.Fatalf("Packets = %d", s.Packets)
+	}
+	if s.Hashes != 0 {
+		t.Errorf("Hashes = %d, want 0 (map-based)", s.Hashes)
+	}
+	// ~1% of packets touch memory.
+	if mpp := s.MemAccessesPerPacket(); mpp > 0.1 {
+		t.Errorf("MemAccessesPerPacket = %.3f, want ~0.02", mpp)
+	}
+}
+
+func TestEstimateSaturates(t *testing.T) {
+	r := mustNew(t, Config{MemoryBytes: 1 << 12, Rate: 1 << 30, Seed: 7})
+	k := flow.Key{SrcIP: 1}
+	// Force a sample by trying many packets.
+	for i := 0; i < 1<<20; i++ {
+		r.Update(flow.Packet{Key: k})
+		if r.Sampled() > 4 {
+			break
+		}
+	}
+	if r.Sampled() > 0 {
+		if got := r.EstimateSize(k); got != 0xFFFFFFFF {
+			t.Errorf("scaled estimate = %d, want saturation", got)
+		}
+	}
+}
+
+func TestReset(t *testing.T) {
+	r := mustNew(t, Config{MemoryBytes: 1 << 12, Rate: 1, Seed: 8})
+	r.Update(flow.Packet{Key: flow.Key{SrcIP: 1}})
+	r.Reset()
+	if len(r.Records()) != 0 || r.OpStats() != (flow.OpStats{}) || r.Sampled() != 0 {
+		t.Error("Reset incomplete")
+	}
+}

@@ -1,0 +1,145 @@
+// Package sketch implements the probabilistic substrates shared by the flow
+// recorders: count-min sketches, Bloom filters and linear counting.
+//
+// All structures hash packed 104-bit flow keys (two 64-bit words) through
+// the hashing.Family and are deterministic for a given seed.
+package sketch
+
+import (
+	"fmt"
+
+	"repro/internal/hashing"
+)
+
+// CountMin is a count-min sketch over flow keys with depth rows of width
+// counters each. Counters saturate at the maximum of their width.
+//
+// ElasticSketch's "light part" is a CountMin with depth 1 and 8-bit
+// counters, as specified in the HashFlow paper's evaluation setup.
+type CountMin struct {
+	rows    int
+	width   uint64
+	bits    int // counter width: 8 or 32
+	max     uint32
+	cnt8    []uint8  // rows*width when bits == 8
+	cnt32   []uint32 // rows*width when bits == 32
+	family  *hashing.Family
+	touched uint64 // memory accesses, for cost accounting
+}
+
+// NewCountMin builds a sketch with the given number of rows and counters per
+// row. counterBits must be 8 or 32.
+func NewCountMin(rows, width, counterBits int, seed uint64) (*CountMin, error) {
+	if rows <= 0 || width <= 0 {
+		return nil, fmt.Errorf("sketch: count-min needs positive rows and width, got %d x %d", rows, width)
+	}
+	cm := &CountMin{
+		rows:   rows,
+		width:  uint64(width),
+		bits:   counterBits,
+		family: hashing.NewFamily(rows, seed),
+	}
+	switch counterBits {
+	case 8:
+		cm.max = 0xFF
+		cm.cnt8 = make([]uint8, rows*width)
+	case 32:
+		cm.max = 0xFFFFFFFF
+		cm.cnt32 = make([]uint32, rows*width)
+	default:
+		return nil, fmt.Errorf("sketch: count-min counter width must be 8 or 32 bits, got %d", counterBits)
+	}
+	return cm, nil
+}
+
+// Rows returns the number of rows.
+func (cm *CountMin) Rows() int { return cm.rows }
+
+// Width returns the number of counters per row.
+func (cm *CountMin) Width() int { return int(cm.width) }
+
+// MemoryBytes returns the memory footprint of the counter arrays.
+func (cm *CountMin) MemoryBytes() int {
+	return cm.rows * int(cm.width) * cm.bits / 8
+}
+
+// Add increments the flow's counters by v (saturating).
+func (cm *CountMin) Add(w1, w2 uint64, v uint32) {
+	for r := 0; r < cm.rows; r++ {
+		idx := uint64(r)*cm.width + cm.family.Bucket(r, w1, w2, cm.width)
+		cm.touched += 2 // read + write
+		if cm.bits == 8 {
+			nv := uint32(cm.cnt8[idx]) + v
+			if nv > cm.max {
+				nv = cm.max
+			}
+			cm.cnt8[idx] = uint8(nv)
+		} else {
+			old := cm.cnt32[idx]
+			nv := old + v
+			if nv < old { // overflow
+				nv = cm.max
+			}
+			cm.cnt32[idx] = nv
+		}
+	}
+}
+
+// Estimate returns the count-min estimate (the row minimum) for the flow.
+func (cm *CountMin) Estimate(w1, w2 uint64) uint32 {
+	est := cm.max
+	for r := 0; r < cm.rows; r++ {
+		idx := uint64(r)*cm.width + cm.family.Bucket(r, w1, w2, cm.width)
+		cm.touched++
+		var v uint32
+		if cm.bits == 8 {
+			v = uint32(cm.cnt8[idx])
+		} else {
+			v = cm.cnt32[idx]
+		}
+		if v < est {
+			est = v
+		}
+	}
+	return est
+}
+
+// EmptyCounters returns the number of zero counters in the first row,
+// the input to linear counting for cardinality estimation.
+func (cm *CountMin) EmptyCounters() int {
+	empty := 0
+	if cm.bits == 8 {
+		for _, v := range cm.cnt8[:cm.width] {
+			if v == 0 {
+				empty++
+			}
+		}
+	} else {
+		for _, v := range cm.cnt32[:cm.width] {
+			if v == 0 {
+				empty++
+			}
+		}
+	}
+	return empty
+}
+
+// EstimateCardinality applies linear counting to the first row.
+func (cm *CountMin) EstimateCardinality() float64 {
+	return LinearCount(int(cm.width), cm.EmptyCounters())
+}
+
+// Touched returns the cumulative number of counter accesses and resets are
+// not included; used for Fig. 11 cost accounting.
+func (cm *CountMin) Touched() uint64 { return cm.touched }
+
+// Reset zeroes all counters and the access counter.
+func (cm *CountMin) Reset() {
+	for i := range cm.cnt8 {
+		cm.cnt8[i] = 0
+	}
+	for i := range cm.cnt32 {
+		cm.cnt32[i] = 0
+	}
+	cm.touched = 0
+}

@@ -1,0 +1,25 @@
+package sketch
+
+import "math"
+
+// LinearCount applies the linear counting estimator of Whang et al. (TODS
+// 1990): given a hash table (or bitmap) with m slots of which empty are
+// still unoccupied, the number of distinct inserted elements is estimated
+// as m · ln(m/empty).
+//
+// When the table is full (empty == 0) the estimator diverges; this
+// implementation clamps to one empty slot, yielding m · ln(m), the largest
+// finite estimate the table size supports. Both HashFlow (ancillary table)
+// and ElasticSketch (light part) use this estimator for flow cardinality.
+func LinearCount(m, empty int) float64 {
+	if m <= 0 {
+		return 0
+	}
+	if empty <= 0 {
+		empty = 1
+	}
+	if empty >= m {
+		return 0
+	}
+	return float64(m) * math.Log(float64(m)/float64(empty))
+}

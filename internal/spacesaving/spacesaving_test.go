@@ -1,0 +1,141 @@
+package spacesaving
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/flow"
+)
+
+func mustNew(t *testing.T, cfg Config) *Summary {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func randKey(rng *rand.Rand) flow.Key {
+	return flow.Key{SrcIP: rng.Uint32(), DstIP: rng.Uint32(), Proto: 6}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("accepted zero memory")
+	}
+	if _, err := New(Config{MemoryBytes: 3}); err == nil {
+		t.Error("accepted budget below one entry")
+	}
+}
+
+func TestExactUnderCapacity(t *testing.T) {
+	s := mustNew(t, Config{MemoryBytes: EntryBytes * 100})
+	rng := rand.New(rand.NewPCG(1, 2))
+	truth := make(map[flow.Key]uint32)
+	keys := make([]flow.Key, 50)
+	for i := range keys {
+		keys[i] = randKey(rng)
+	}
+	for i := 0; i < 5000; i++ {
+		k := keys[rng.IntN(len(keys))]
+		truth[k]++
+		s.Update(flow.Packet{Key: k})
+	}
+	for k, want := range truth {
+		if got := s.EstimateSize(k); got != want {
+			t.Errorf("EstimateSize(%v) = %d, want %d", k, got, want)
+		}
+		if got := s.GuaranteedCount(k); got != want {
+			t.Errorf("GuaranteedCount(%v) = %d, want %d", k, got, want)
+		}
+	}
+}
+
+func TestNeverUnderestimatesTracked(t *testing.T) {
+	// The Space-Saving guarantee: for tracked flows, estimate >= truth, and
+	// count − error <= truth.
+	s := mustNew(t, Config{MemoryBytes: EntryBytes * 64})
+	rng := rand.New(rand.NewPCG(3, 4))
+	truth := make(map[flow.Key]uint32)
+	keys := make([]flow.Key, 1000) // far over capacity
+	for i := range keys {
+		keys[i] = randKey(rng)
+	}
+	for i := 0; i < 50000; i++ {
+		k := keys[rng.IntN(len(keys))]
+		truth[k]++
+		s.Update(flow.Packet{Key: k})
+	}
+	for _, r := range s.Records() {
+		real := truth[r.Key]
+		if r.Count < real {
+			t.Fatalf("tracked flow %v estimated %d < true %d", r.Key, r.Count, real)
+		}
+		if g := s.GuaranteedCount(r.Key); g > real {
+			t.Fatalf("guaranteed count %d exceeds true %d", g, real)
+		}
+	}
+}
+
+func TestCapacityBound(t *testing.T) {
+	s := mustNew(t, Config{MemoryBytes: EntryBytes * 32})
+	rng := rand.New(rand.NewPCG(5, 6))
+	for i := 0; i < 10000; i++ {
+		s.Update(flow.Packet{Key: randKey(rng)})
+	}
+	if got := len(s.Records()); got != 32 {
+		t.Errorf("tracked %d flows, capacity 32", got)
+	}
+	if got := s.EstimateCardinality(); got != 32 {
+		t.Errorf("cardinality %v", got)
+	}
+}
+
+func TestElephantSurvivesMouseFlood(t *testing.T) {
+	// Space-Saving guarantees any flow with more than N/capacity packets is
+	// tracked. Give the elephant well above that share (20K of a 70K-packet
+	// stream, capacity 16 → bound 4375) and flood with one-packet mice.
+	s := mustNew(t, Config{MemoryBytes: EntryBytes * 16})
+	elephant := flow.Key{SrcIP: 1, Proto: 6}
+	for i := 0; i < 20000; i++ {
+		s.Update(flow.Packet{Key: elephant})
+	}
+	rng := rand.New(rand.NewPCG(7, 8))
+	for i := 0; i < 50000; i++ {
+		s.Update(flow.Packet{Key: randKey(rng)})
+	}
+	if got := s.EstimateSize(elephant); got < 20000 {
+		t.Errorf("elephant estimate %d after mouse flood, want >= 20000", got)
+	}
+}
+
+func TestTotalCountConservation(t *testing.T) {
+	// Invariant: the heap total equals the number of processed packets,
+	// because replacement transfers counts instead of dropping them.
+	s := mustNew(t, Config{MemoryBytes: EntryBytes * 16})
+	rng := rand.New(rand.NewPCG(9, 10))
+	const packets = 20000
+	for i := 0; i < packets; i++ {
+		s.Update(flow.Packet{Key: randKey(rng)})
+	}
+	var total uint64
+	for _, r := range s.Records() {
+		total += uint64(r.Count)
+	}
+	if total != packets {
+		t.Errorf("tracked counts sum to %d, want exactly %d", total, packets)
+	}
+}
+
+func TestReset(t *testing.T) {
+	s := mustNew(t, Config{MemoryBytes: EntryBytes * 8})
+	s.Update(flow.Packet{Key: flow.Key{SrcIP: 1}})
+	s.Reset()
+	if len(s.Records()) != 0 || s.OpStats() != (flow.OpStats{}) {
+		t.Error("Reset incomplete")
+	}
+	if got := s.EstimateSize(flow.Key{SrcIP: 1}); got != 0 {
+		t.Errorf("estimate after reset = %d", got)
+	}
+}

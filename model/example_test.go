@@ -1,0 +1,27 @@
+package model_test
+
+import (
+	"fmt"
+
+	"repro/model"
+)
+
+// Reproduce the utilization numbers §III-B quotes for a full table
+// (m/n = 1): 63% at depth 1, ~80% at depth 3, ~92% at depth 10.
+func ExampleMultiHashUtilization() {
+	for _, d := range []int{1, 3, 10} {
+		fmt.Printf("d=%d: %.2f\n", d, model.MultiHashUtilization(1.0, d))
+	}
+	// Output:
+	// d=1: 0.63
+	// d=3: 0.80
+	// d=10: 0.92
+}
+
+// The pipelined organization at the paper's default α = 0.7 improves on the
+// multi-hash table by several percent at full load (Fig. 2d).
+func ExamplePipelinedImprovement() {
+	imp := model.PipelinedImprovement(1.0, 0.7, 3)
+	fmt.Printf("%.3f\n", imp)
+	// Output: 0.044
+}

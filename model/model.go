@@ -1,0 +1,220 @@
+// Package model implements the probabilistic utilization model of §III-B of
+// the paper, for both main-table organizations:
+//
+//   - Multi-hash table: one table of n buckets probed by d hash functions.
+//     Round k feeds the m_k flows left over from round k−1 through hash h_k,
+//     giving the empty-bucket recursion of Eq. (1):
+//     p_k = p_{k−1} · exp(1 − m/n − p_{k−1}),  p_1 = exp(−m/n).
+//   - Pipelined tables: d sub-tables with n_{k+1} = α·n_k. Eq. (4) gives
+//     p_{k+1} = p_k^{1/α} · exp((1 − p_k)/α), and Eq. (5) the aggregate
+//     utilization.
+//
+// The package also contains pure insertion simulators that replay the exact
+// collision-resolution procedure on random flows, which Fig. 2 compares
+// against the model curves.
+package model
+
+import (
+	"math"
+	"math/rand/v2"
+
+	"repro/internal/hashing"
+)
+
+// MultiHashEmptyProbs returns p_1..p_d of Eq. (1) for traffic load
+// load = m/n.
+func MultiHashEmptyProbs(load float64, d int) []float64 {
+	if d <= 0 {
+		return nil
+	}
+	ps := make([]float64, d)
+	ps[0] = math.Exp(-load)
+	for k := 1; k < d; k++ {
+		ps[k] = ps[k-1] * math.Exp(1-load-ps[k-1])
+	}
+	return ps
+}
+
+// MultiHashUtilization returns the modeled utilization 1 − p_d of a
+// multi-hash table with d hash functions under load m/n.
+func MultiHashUtilization(load float64, d int) float64 {
+	ps := MultiHashEmptyProbs(load, d)
+	if len(ps) == 0 {
+		return 0
+	}
+	return 1 - ps[len(ps)-1]
+}
+
+// PipelinedEmptyProbs returns p_1..p_d of Eq. (4) for pipelined sub-tables
+// with weight alpha under aggregate load m/n (n is the total bucket count).
+func PipelinedEmptyProbs(load, alpha float64, d int) []float64 {
+	if d <= 0 {
+		return nil
+	}
+	ps := make([]float64, d)
+	// n_1 = n·(1−α)/(1−α^d), so m_1/n_1 = load·(1−α^d)/(1−α).
+	load1 := load * (1 - math.Pow(alpha, float64(d))) / (1 - alpha)
+	ps[0] = math.Exp(-load1)
+	for k := 1; k < d; k++ {
+		p := math.Pow(ps[k-1], 1/alpha) * math.Exp((1-ps[k-1])/alpha)
+		// At very light load the recursion converges to 1 and floating-point
+		// error can push it epsilon above; clamp to a valid probability.
+		ps[k] = math.Min(p, 1)
+	}
+	return ps
+}
+
+// PipelinedUtilization returns the modeled aggregate utilization of Eq. (5).
+func PipelinedUtilization(load, alpha float64, d int) float64 {
+	ps := PipelinedEmptyProbs(load, alpha, d)
+	if len(ps) == 0 {
+		return 0
+	}
+	var weighted float64
+	for k, p := range ps {
+		weighted += math.Pow(alpha, float64(k)) * p
+	}
+	return 1 - (1-alpha)/(1-math.Pow(alpha, float64(d)))*weighted
+}
+
+// PipelinedImprovement returns the utilization gain of pipelined tables
+// over a multi-hash table at the same depth and load (Fig. 2d).
+func PipelinedImprovement(load, alpha float64, d int) float64 {
+	return PipelinedUtilization(load, alpha, d) - MultiHashUtilization(load, d)
+}
+
+// SimulateMultiHash inserts m distinct random flows into a multi-hash table
+// of n buckets with d hash functions using HashFlow's collision resolution
+// (first empty probe wins, no eviction) and returns the resulting
+// utilization.
+func SimulateMultiHash(n, m, d int, seed uint64) float64 {
+	family := hashing.NewFamily(d, seed)
+	occupied := make([]bool, n)
+	used := 0
+	rng := rand.New(rand.NewPCG(seed, 0x51a0))
+	for i := 0; i < m; i++ {
+		w1, w2 := rng.Uint64(), rng.Uint64()
+		for k := 0; k < d; k++ {
+			idx := family.Bucket(k, w1, w2, uint64(n))
+			if !occupied[idx] {
+				occupied[idx] = true
+				used++
+				break
+			}
+		}
+	}
+	return float64(used) / float64(n)
+}
+
+// SimulatePipelined inserts m distinct random flows into d pipelined
+// sub-tables totalling n buckets with weight alpha, and returns the
+// aggregate utilization.
+func SimulatePipelined(n, m, d int, alpha float64, seed uint64) float64 {
+	sizes := PipelineSizes(n, d, alpha)
+	family := hashing.NewFamily(d, seed)
+	tables := make([][]bool, d)
+	for k, sz := range sizes {
+		tables[k] = make([]bool, sz)
+	}
+	used := 0
+	rng := rand.New(rand.NewPCG(seed, 0x51a1))
+	for i := 0; i < m; i++ {
+		w1, w2 := rng.Uint64(), rng.Uint64()
+		for k := 0; k < d; k++ {
+			idx := family.Bucket(k, w1, w2, uint64(len(tables[k])))
+			if !tables[k][idx] {
+				tables[k][idx] = true
+				used++
+				break
+			}
+		}
+	}
+	return float64(used) / float64(n)
+}
+
+// SimulateMultiHashRounds replays the *model's* modified process (§III-B):
+// round k feeds every still-unplaced flow through hash h_k before any flow
+// tries h_{k+1}. For the multi-hash table this differs slightly from the
+// real interleaved algorithm at light load — the deviation the paper points
+// out in Fig. 2a — and converges for m/n >= 2.
+func SimulateMultiHashRounds(n, m, d int, seed uint64) float64 {
+	family := hashing.NewFamily(d, seed)
+	occupied := make([]bool, n)
+	used := 0
+	rng := rand.New(rand.NewPCG(seed, 0x51a0))
+	type key struct{ w1, w2 uint64 }
+	pending := make([]key, m)
+	for i := range pending {
+		pending[i] = key{rng.Uint64(), rng.Uint64()}
+	}
+	for k := 0; k < d && len(pending) > 0; k++ {
+		var next []key
+		for _, f := range pending {
+			idx := family.Bucket(k, f.w1, f.w2, uint64(n))
+			if occupied[idx] {
+				next = append(next, f)
+				continue
+			}
+			occupied[idx] = true
+			used++
+		}
+		pending = next
+	}
+	return float64(used) / float64(n)
+}
+
+// SimulatePipelinedRounds replays the pipelined model's round process: all
+// flows go through sub-table k before any flow tries sub-table k+1. The
+// paper asserts (proof omitted) that for pipelined tables this rearrangement
+// does not affect the final occupancy; TestRoundsEquivalencePipelined
+// verifies the claim empirically against the interleaved SimulatePipelined.
+func SimulatePipelinedRounds(n, m, d int, alpha float64, seed uint64) float64 {
+	sizes := PipelineSizes(n, d, alpha)
+	family := hashing.NewFamily(d, seed)
+	tables := make([][]bool, d)
+	for k, sz := range sizes {
+		tables[k] = make([]bool, sz)
+	}
+	used := 0
+	rng := rand.New(rand.NewPCG(seed, 0x51a1))
+	type key struct{ w1, w2 uint64 }
+	pending := make([]key, m)
+	for i := range pending {
+		pending[i] = key{rng.Uint64(), rng.Uint64()}
+	}
+	for k := 0; k < d && len(pending) > 0; k++ {
+		var next []key
+		for _, f := range pending {
+			idx := family.Bucket(k, f.w1, f.w2, uint64(len(tables[k])))
+			if tables[k][idx] {
+				next = append(next, f)
+				continue
+			}
+			tables[k][idx] = true
+			used++
+		}
+		pending = next
+	}
+	return float64(used) / float64(n)
+}
+
+// PipelineSizes splits n buckets into d sub-tables decreasing geometrically
+// by alpha (the same split internal/core uses), summing exactly to n.
+func PipelineSizes(n, d int, alpha float64) []int {
+	sizes := make([]int, d)
+	n1 := float64(n) * (1 - alpha) / (1 - math.Pow(alpha, float64(d)))
+	used := 0
+	for k := 0; k < d; k++ {
+		sz := int(math.Round(n1 * math.Pow(alpha, float64(k))))
+		if sz < 1 {
+			sz = 1
+		}
+		sizes[k] = sz
+		used += sz
+	}
+	sizes[0] += n - used
+	if sizes[0] < 1 {
+		sizes[0] = 1
+	}
+	return sizes
+}

@@ -1,0 +1,227 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMultiHashEmptyProbsBasics(t *testing.T) {
+	if MultiHashEmptyProbs(1, 0) != nil {
+		t.Error("d=0 should return nil")
+	}
+	ps := MultiHashEmptyProbs(1.0, 1)
+	if math.Abs(ps[0]-math.Exp(-1)) > 1e-12 {
+		t.Errorf("p1 = %v, want e^-1", ps[0])
+	}
+}
+
+func TestEmptyProbsMonotoneAndBounded(t *testing.T) {
+	f := func(loadRaw, alphaRaw uint16) bool {
+		load := 0.1 + float64(loadRaw%40)/10 // 0.1 .. 4.0
+		alpha := 0.5 + float64(alphaRaw%40)/100
+		// Multi-hash: p_k is cumulative over rounds in the same table, so
+		// it must be non-increasing.
+		prev := 1.0
+		for _, p := range MultiHashEmptyProbs(load, 10) {
+			if p <= 0 || p > 1 || math.IsNaN(p) {
+				return false
+			}
+			if p > prev+1e-12 {
+				return false
+			}
+			prev = p
+		}
+		// Pipelined: p_k is the per-sub-table empty probability, which can
+		// move either way; it may also underflow to exactly 0 at extreme
+		// load, so only require [0,1].
+		for _, p := range PipelinedEmptyProbs(load, alpha, 10) {
+			if p < 0 || p > 1 || math.IsNaN(p) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUtilizationIncreasesWithDepth(t *testing.T) {
+	for _, load := range []float64{1, 2, 3, 4} {
+		prev := 0.0
+		for d := 1; d <= 10; d++ {
+			u := MultiHashUtilization(load, d)
+			if u < prev-1e-12 {
+				t.Errorf("load %v: utilization decreased at d=%d", load, d)
+			}
+			prev = u
+		}
+	}
+}
+
+func TestPaperUtilizationNumbers(t *testing.T) {
+	// §III-B quotes for m/n = 1: utilization 63% at d=1, ~80% at d=3,
+	// ~92% at d=10.
+	checks := []struct {
+		d    int
+		want float64
+		tol  float64
+	}{
+		{1, 0.63, 0.01},
+		{3, 0.80, 0.02},
+		{10, 0.92, 0.02},
+	}
+	for _, c := range checks {
+		got := MultiHashUtilization(1.0, c.d)
+		if math.Abs(got-c.want) > c.tol {
+			t.Errorf("utilization(m/n=1, d=%d) = %.3f, want %.2f +- %.2f", c.d, got, c.want, c.tol)
+		}
+	}
+}
+
+func TestPipelinedBeatsMultiHash(t *testing.T) {
+	// Fig. 2d: at d=3, pipelined tables improve utilization across loads,
+	// with the best alpha around 0.7 gaining up to ~5.5% at m/n=1. At very
+	// high load both organizations saturate near 1 and the analytic
+	// difference shrinks to ~0 (and may be epsilon-negative), so require
+	// strict improvement only where utilization is not yet saturated.
+	for _, load := range []float64{1.0, 1.2, 1.5, 2.0} {
+		imp := PipelinedImprovement(load, 0.7, 3)
+		if imp <= 0 {
+			t.Errorf("load %v: improvement %.4f, want > 0", load, imp)
+		}
+	}
+	for _, load := range []float64{3.0, 4.0} {
+		if imp := PipelinedImprovement(load, 0.7, 3); math.Abs(imp) > 0.01 {
+			t.Errorf("load %v: |improvement| = %.4f, want ~0 at saturation", load, imp)
+		}
+	}
+	if imp := PipelinedImprovement(1.0, 0.7, 3); imp < 0.03 || imp > 0.08 {
+		t.Errorf("improvement at alpha=0.7, m/n=1 is %.4f, want ~0.055", imp)
+	}
+}
+
+func TestModelMatchesSimulationMultiHash(t *testing.T) {
+	// Fig. 2a: for m/n >= 2 the model is nearly exact; at m/n = 1 a small
+	// deviation is expected (the paper notes it), so use a wider band.
+	const n = 100000
+	for _, tc := range []struct {
+		load float64
+		d    int
+		tol  float64
+	}{
+		{1, 3, 0.03},
+		{2, 3, 0.01},
+		{3, 5, 0.01},
+		{4, 8, 0.01},
+	} {
+		theory := MultiHashUtilization(tc.load, tc.d)
+		sim := SimulateMultiHash(n, int(tc.load*n), tc.d, 42)
+		if math.Abs(theory-sim) > tc.tol {
+			t.Errorf("m/n=%v d=%d: theory %.4f vs sim %.4f (tol %v)", tc.load, tc.d, theory, sim, tc.tol)
+		}
+	}
+}
+
+func TestModelMatchesSimulationPipelined(t *testing.T) {
+	// Fig. 2b/2c: the pipelined model matches simulation closely.
+	const n = 100000
+	for _, tc := range []struct {
+		load  float64
+		alpha float64
+		d     int
+	}{
+		{1, 0.5, 3},
+		{1, 0.7, 3},
+		{2, 0.6, 3},
+		{2, 0.8, 5},
+	} {
+		theory := PipelinedUtilization(tc.load, tc.alpha, tc.d)
+		sim := SimulatePipelined(n, int(tc.load*n), tc.d, tc.alpha, 43)
+		if math.Abs(theory-sim) > 0.02 {
+			t.Errorf("m/n=%v alpha=%v d=%d: theory %.4f vs sim %.4f", tc.load, tc.alpha, tc.d, theory, sim)
+		}
+	}
+}
+
+func TestPipelineSizesSumAndShape(t *testing.T) {
+	f := func(nRaw uint16, dRaw, aRaw uint8) bool {
+		n := int(nRaw)%100000 + 10
+		d := int(dRaw)%5 + 1
+		alpha := 0.5 + float64(aRaw%45)/100
+		sizes := PipelineSizes(n, d, alpha)
+		if len(sizes) != d {
+			return false
+		}
+		total := 0
+		for _, s := range sizes {
+			if s < 1 {
+				return false
+			}
+			total += s
+		}
+		return total == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSimulatorsDeterministic(t *testing.T) {
+	if SimulateMultiHash(1000, 1000, 3, 7) != SimulateMultiHash(1000, 1000, 3, 7) {
+		t.Error("SimulateMultiHash not deterministic")
+	}
+	if SimulatePipelined(1000, 1000, 3, 0.7, 7) != SimulatePipelined(1000, 1000, 3, 0.7, 7) {
+		t.Error("SimulatePipelined not deterministic")
+	}
+}
+
+func TestRoundsEquivalencePipelined(t *testing.T) {
+	// The paper asserts (proof omitted) that for pipelined tables, feeding
+	// flows in rounds — everyone through sub-table k before anyone tries
+	// sub-table k+1 — does not affect the final occupancy. Verify the
+	// utilizations agree within sampling noise.
+	const n = 50000
+	for _, tc := range []struct {
+		load  float64
+		alpha float64
+		d     int
+	}{
+		{1, 0.7, 3}, {2, 0.7, 3}, {1, 0.5, 5}, {1.5, 0.8, 4},
+	} {
+		m := int(tc.load * n)
+		interleaved := SimulatePipelined(n, m, tc.d, tc.alpha, 77)
+		rounds := SimulatePipelinedRounds(n, m, tc.d, tc.alpha, 77)
+		if diff := interleaved - rounds; diff > 0.005 || diff < -0.005 {
+			t.Errorf("m/n=%v alpha=%v d=%d: interleaved %.4f vs rounds %.4f",
+				tc.load, tc.alpha, tc.d, interleaved, rounds)
+		}
+	}
+}
+
+func TestRoundsDeviationMultiHash(t *testing.T) {
+	// For the multi-hash table the rounds model deviates slightly at light
+	// load (the paper's Fig. 2a observation) and converges for m/n >= 2.
+	const n = 50000
+	lightDiff := SimulateMultiHash(n, n, 5, 77) - SimulateMultiHashRounds(n, n, 5, 77)
+	if lightDiff <= 0.005 || lightDiff > 0.05 {
+		t.Errorf("light-load rounds deviation = %.4f, expected a small positive gap", lightDiff)
+	}
+	heavyDiff := SimulateMultiHash(n, 2*n, 3, 77) - SimulateMultiHashRounds(n, 2*n, 3, 77)
+	if heavyDiff > 0.01 || heavyDiff < -0.01 {
+		t.Errorf("heavy-load rounds deviation = %.4f, want ~0", heavyDiff)
+	}
+}
+
+func TestUtilizationEdgeCases(t *testing.T) {
+	if got := MultiHashUtilization(0.0001, 3); got > 0.001 {
+		t.Errorf("tiny load utilization = %v", got)
+	}
+	if got := PipelinedUtilization(10, 0.7, 3); got < 0.99 {
+		t.Errorf("huge load utilization = %v, want ~1", got)
+	}
+	if MultiHashUtilization(1, 0) != 0 || PipelinedUtilization(1, 0.7, 0) != 0 {
+		t.Error("d=0 should yield 0 utilization")
+	}
+}

@@ -1,0 +1,45 @@
+package netflow
+
+import "repro/flow"
+
+// Source is the recorder surface the epoch exporter needs;
+// flowmon.Recorder satisfies it.
+type Source interface {
+	Records() []flow.Record
+	Reset()
+}
+
+// EpochExporter drives the classic NetFlow collection cycle: a measurement
+// structure fills during an epoch, then its records are exported and the
+// structure is cleared for the next epoch. The paper's algorithms are all
+// designed around exactly this per-epoch lifecycle.
+type EpochExporter struct {
+	src      Source
+	exp      *Exporter
+	epochs   uint64
+	exported uint64
+}
+
+// NewEpochExporter couples a recorder to an exporter.
+func NewEpochExporter(src Source, exp *Exporter) *EpochExporter {
+	return &EpochExporter{src: src, exp: exp}
+}
+
+// Flush exports the current epoch's records and resets the recorder.
+// It returns the number of records exported.
+func (ee *EpochExporter) Flush(avgPktBytes uint32) (int, error) {
+	recs := ee.src.Records()
+	if err := ee.exp.Export(recs, avgPktBytes); err != nil {
+		return 0, err
+	}
+	ee.src.Reset()
+	ee.epochs++
+	ee.exported += uint64(len(recs))
+	return len(recs), nil
+}
+
+// Epochs returns the number of completed epochs.
+func (ee *EpochExporter) Epochs() uint64 { return ee.epochs }
+
+// Exported returns the total records exported across epochs.
+func (ee *EpochExporter) Exported() uint64 { return ee.exported }

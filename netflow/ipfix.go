@@ -1,0 +1,326 @@
+package netflow
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"repro/flow"
+)
+
+// IPFIX (RFC 7011) support: a minimal template-based exporter/decoder for
+// the same 5-tuple + counters record the v5 path carries. Unlike v5, IPFIX
+// is self-describing: the exporter announces a template describing the data
+// record layout, and the decoder keeps a template cache per observation
+// domain.
+
+// IPFIXVersion is the version number in every IPFIX message header.
+const IPFIXVersion = 10
+
+// IPFIX wire constants.
+const (
+	ipfixHeaderLen    = 16
+	ipfixSetHeaderLen = 4
+	// IPFIXTemplateSetID is the set ID reserved for template sets.
+	IPFIXTemplateSetID = 2
+	// IPFIXFlowTemplateID is the template ID this package uses for its
+	// flow record template (must be >= 256).
+	IPFIXFlowTemplateID = 256
+)
+
+// IANA information element IDs used by the flow template.
+const (
+	ieOctetDeltaCount  = 1
+	iePacketDeltaCount = 2
+	ieProtocol         = 4
+	ieSrcPort          = 7
+	ieSrcAddr          = 8
+	ieDstPort          = 11
+	ieDstAddr          = 12
+)
+
+// ipfixField is one (element ID, length) template entry.
+type ipfixField struct {
+	id  uint16
+	len uint16
+}
+
+// flowTemplate describes the data record: 5-tuple plus packet and octet
+// counters (29 bytes per record).
+var flowTemplate = []ipfixField{
+	{ieSrcAddr, 4},
+	{ieDstAddr, 4},
+	{ieSrcPort, 2},
+	{ieDstPort, 2},
+	{ieProtocol, 1},
+	{iePacketDeltaCount, 8},
+	{ieOctetDeltaCount, 8},
+}
+
+const flowRecordLen = 4 + 4 + 2 + 2 + 1 + 8 + 8
+
+// IPFIXRecord is a decoded IPFIX flow record.
+type IPFIXRecord struct {
+	Key     flow.Key
+	Packets uint64
+	Octets  uint64
+}
+
+// EncodeIPFIXTemplate appends an IPFIX message carrying the flow template
+// to dst. Decoders must see it before any data message.
+func EncodeIPFIXTemplate(dst []byte, exportTime uint32, seq, domain uint32) []byte {
+	setLen := ipfixSetHeaderLen + 4 + 4*len(flowTemplate)
+	msgLen := ipfixHeaderLen + setLen
+	dst = appendIPFIXHeader(dst, uint16(msgLen), exportTime, seq, domain)
+
+	var b [4]byte
+	binary.BigEndian.PutUint16(b[0:], IPFIXTemplateSetID)
+	binary.BigEndian.PutUint16(b[2:], uint16(setLen))
+	dst = append(dst, b[:4]...)
+	binary.BigEndian.PutUint16(b[0:], IPFIXFlowTemplateID)
+	binary.BigEndian.PutUint16(b[2:], uint16(len(flowTemplate)))
+	dst = append(dst, b[:4]...)
+	for _, f := range flowTemplate {
+		binary.BigEndian.PutUint16(b[0:], f.id)
+		binary.BigEndian.PutUint16(b[2:], f.len)
+		dst = append(dst, b[:4]...)
+	}
+	return dst
+}
+
+// EncodeIPFIXData appends an IPFIX data message carrying recs to dst.
+func EncodeIPFIXData(dst []byte, recs []IPFIXRecord, exportTime uint32, seq, domain uint32) ([]byte, error) {
+	setLen := ipfixSetHeaderLen + flowRecordLen*len(recs)
+	msgLen := ipfixHeaderLen + setLen
+	if msgLen > 0xFFFF {
+		return dst, fmt.Errorf("netflow: %d IPFIX records exceed the 64 KiB message limit", len(recs))
+	}
+	dst = appendIPFIXHeader(dst, uint16(msgLen), exportTime, seq, domain)
+
+	var b [8]byte
+	binary.BigEndian.PutUint16(b[0:], IPFIXFlowTemplateID)
+	binary.BigEndian.PutUint16(b[2:], uint16(setLen))
+	dst = append(dst, b[:4]...)
+	for _, r := range recs {
+		binary.BigEndian.PutUint32(b[0:], r.Key.SrcIP)
+		dst = append(dst, b[:4]...)
+		binary.BigEndian.PutUint32(b[0:], r.Key.DstIP)
+		dst = append(dst, b[:4]...)
+		binary.BigEndian.PutUint16(b[0:], r.Key.SrcPort)
+		dst = append(dst, b[:2]...)
+		binary.BigEndian.PutUint16(b[0:], r.Key.DstPort)
+		dst = append(dst, b[:2]...)
+		dst = append(dst, r.Key.Proto)
+		binary.BigEndian.PutUint64(b[0:], r.Packets)
+		dst = append(dst, b[:8]...)
+		binary.BigEndian.PutUint64(b[0:], r.Octets)
+		dst = append(dst, b[:8]...)
+	}
+	return dst, nil
+}
+
+func appendIPFIXHeader(dst []byte, length uint16, exportTime uint32, seq, domain uint32) []byte {
+	var h [ipfixHeaderLen]byte
+	binary.BigEndian.PutUint16(h[0:], IPFIXVersion)
+	binary.BigEndian.PutUint16(h[2:], length)
+	binary.BigEndian.PutUint32(h[4:], exportTime)
+	binary.BigEndian.PutUint32(h[8:], seq)
+	binary.BigEndian.PutUint32(h[12:], domain)
+	return append(dst, h[:]...)
+}
+
+// IPFIXDecoder decodes IPFIX messages, caching templates per observation
+// domain as RFC 7011 requires.
+type IPFIXDecoder struct {
+	// templates[domain][templateID] = field list
+	templates map[uint32]map[uint16][]ipfixField
+}
+
+// NewIPFIXDecoder returns a decoder with an empty template cache.
+func NewIPFIXDecoder() *IPFIXDecoder {
+	return &IPFIXDecoder{templates: make(map[uint32]map[uint16][]ipfixField)}
+}
+
+// Decode parses one IPFIX message, returning any flow records carried by
+// data sets whose template is known. Template sets update the cache and
+// yield no records.
+func (d *IPFIXDecoder) Decode(msg []byte) ([]IPFIXRecord, error) {
+	if len(msg) < ipfixHeaderLen {
+		return nil, fmt.Errorf("netflow: IPFIX message of %d bytes is shorter than the header", len(msg))
+	}
+	if v := binary.BigEndian.Uint16(msg[0:]); v != IPFIXVersion {
+		return nil, fmt.Errorf("netflow: unsupported IPFIX version %d", v)
+	}
+	msgLen := int(binary.BigEndian.Uint16(msg[2:]))
+	if msgLen < ipfixHeaderLen || msgLen > len(msg) {
+		return nil, fmt.Errorf("netflow: bad IPFIX message length %d (have %d bytes)", msgLen, len(msg))
+	}
+	domain := binary.BigEndian.Uint32(msg[12:])
+
+	var out []IPFIXRecord
+	body := msg[ipfixHeaderLen:msgLen]
+	for len(body) > 0 {
+		if len(body) < ipfixSetHeaderLen {
+			return out, fmt.Errorf("netflow: truncated IPFIX set header")
+		}
+		setID := binary.BigEndian.Uint16(body[0:])
+		setLen := int(binary.BigEndian.Uint16(body[2:]))
+		if setLen < ipfixSetHeaderLen || setLen > len(body) {
+			return out, fmt.Errorf("netflow: bad IPFIX set length %d", setLen)
+		}
+		content := body[ipfixSetHeaderLen:setLen]
+		switch {
+		case setID == IPFIXTemplateSetID:
+			if err := d.parseTemplates(domain, content); err != nil {
+				return out, err
+			}
+		case setID >= 256:
+			recs, err := d.parseData(domain, setID, content)
+			if err != nil {
+				return out, err
+			}
+			out = append(out, recs...)
+		default:
+			// Options templates and other reserved sets are skipped.
+		}
+		body = body[setLen:]
+	}
+	return out, nil
+}
+
+func (d *IPFIXDecoder) parseTemplates(domain uint32, b []byte) error {
+	for len(b) >= 4 {
+		id := binary.BigEndian.Uint16(b[0:])
+		count := int(binary.BigEndian.Uint16(b[2:]))
+		b = b[4:]
+		if len(b) < 4*count {
+			return fmt.Errorf("netflow: truncated IPFIX template %d", id)
+		}
+		fields := make([]ipfixField, count)
+		for i := range fields {
+			fields[i] = ipfixField{
+				id:  binary.BigEndian.Uint16(b[4*i:]),
+				len: binary.BigEndian.Uint16(b[4*i+2:]),
+			}
+		}
+		b = b[4*count:]
+		if d.templates[domain] == nil {
+			d.templates[domain] = make(map[uint16][]ipfixField)
+		}
+		d.templates[domain][id] = fields
+	}
+	return nil
+}
+
+func (d *IPFIXDecoder) parseData(domain uint32, templateID uint16, b []byte) ([]IPFIXRecord, error) {
+	fields, ok := d.templates[domain][templateID]
+	if !ok {
+		return nil, fmt.Errorf("netflow: data set for unknown IPFIX template %d (domain %d)", templateID, domain)
+	}
+	recLen := 0
+	for _, f := range fields {
+		recLen += int(f.len)
+	}
+	if recLen == 0 {
+		return nil, fmt.Errorf("netflow: IPFIX template %d has zero-length records", templateID)
+	}
+	var out []IPFIXRecord
+	for len(b) >= recLen {
+		var r IPFIXRecord
+		off := 0
+		for _, f := range fields {
+			v := b[off : off+int(f.len)]
+			switch f.id {
+			case ieSrcAddr:
+				r.Key.SrcIP = binary.BigEndian.Uint32(v)
+			case ieDstAddr:
+				r.Key.DstIP = binary.BigEndian.Uint32(v)
+			case ieSrcPort:
+				r.Key.SrcPort = binary.BigEndian.Uint16(v)
+			case ieDstPort:
+				r.Key.DstPort = binary.BigEndian.Uint16(v)
+			case ieProtocol:
+				r.Key.Proto = v[0]
+			case iePacketDeltaCount:
+				r.Packets = beUint(v)
+			case ieOctetDeltaCount:
+				r.Octets = beUint(v)
+			}
+			off += int(f.len)
+		}
+		out = append(out, r)
+		b = b[recLen:]
+	}
+	return out, nil
+}
+
+// beUint reads a big-endian unsigned integer of 1..8 bytes, the reduced-
+// size encoding IPFIX permits.
+func beUint(b []byte) uint64 {
+	var v uint64
+	for _, x := range b {
+		v = v<<8 | uint64(x)
+	}
+	return v
+}
+
+// IPFIXExporter exports flow records as IPFIX messages, re-announcing the
+// template every TemplateEvery messages (datagram transports lose packets,
+// so periodic re-announcement is standard practice).
+type IPFIXExporter struct {
+	send          func(b []byte) error
+	domain        uint32
+	seq           uint32
+	sinceTemplate int
+	now           nowFunc
+	buf           []byte
+
+	// TemplateEvery controls template re-announcement (default 20 data
+	// messages).
+	TemplateEvery int
+	// RecordsPerMessage bounds data message size (default 200 records,
+	// comfortably under 64 KiB).
+	RecordsPerMessage int
+}
+
+// NewIPFIXExporter builds an exporter for one observation domain.
+func NewIPFIXExporter(send func(b []byte) error, domain uint32) *IPFIXExporter {
+	return &IPFIXExporter{
+		send:              send,
+		domain:            domain,
+		now:               time.Now,
+		TemplateEvery:     20,
+		RecordsPerMessage: 200,
+	}
+}
+
+// Export sends recs, preceded by a template message when due.
+func (e *IPFIXExporter) Export(recs []IPFIXRecord) error {
+	ts := uint32(e.now().Unix())
+	if e.sinceTemplate == 0 {
+		e.buf = EncodeIPFIXTemplate(e.buf[:0], ts, e.seq, e.domain)
+		if err := e.send(e.buf); err != nil {
+			return fmt.Errorf("netflow: send IPFIX template: %w", err)
+		}
+	}
+	for start := 0; start < len(recs); start += e.RecordsPerMessage {
+		end := start + e.RecordsPerMessage
+		if end > len(recs) {
+			end = len(recs)
+		}
+		var err error
+		e.buf, err = EncodeIPFIXData(e.buf[:0], recs[start:end], ts, e.seq, e.domain)
+		if err != nil {
+			return err
+		}
+		if err := e.send(e.buf); err != nil {
+			return fmt.Errorf("netflow: send IPFIX data: %w", err)
+		}
+		e.seq += uint32(end - start)
+		e.sinceTemplate++
+		if e.sinceTemplate >= e.TemplateEvery {
+			e.sinceTemplate = 0
+		}
+	}
+	return nil
+}

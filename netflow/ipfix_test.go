@@ -1,0 +1,189 @@
+package netflow
+
+import (
+	"math/rand/v2"
+	"testing"
+	"time"
+
+	"repro/flow"
+)
+
+func randIPFIXRecord(rng *rand.Rand) IPFIXRecord {
+	return IPFIXRecord{
+		Key: flow.Key{
+			SrcIP:   rng.Uint32(),
+			DstIP:   rng.Uint32(),
+			SrcPort: uint16(rng.Uint32()),
+			DstPort: uint16(rng.Uint32()),
+			Proto:   uint8(rng.Uint32()),
+		},
+		Packets: rng.Uint64(),
+		Octets:  rng.Uint64(),
+	}
+}
+
+func TestIPFIXRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	recs := make([]IPFIXRecord, 37)
+	for i := range recs {
+		recs[i] = randIPFIXRecord(rng)
+	}
+
+	tmpl := EncodeIPFIXTemplate(nil, 1700000000, 0, 42)
+	data, err := EncodeIPFIXData(nil, recs, 1700000000, 0, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	d := NewIPFIXDecoder()
+	got, err := d.Decode(tmpl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("template message yielded %d records", len(got))
+	}
+	got, err = d.Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("decoded %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Fatalf("record %d: got %+v, want %+v", i, got[i], recs[i])
+		}
+	}
+}
+
+func TestIPFIXDataBeforeTemplateFails(t *testing.T) {
+	data, err := EncodeIPFIXData(nil, []IPFIXRecord{{}}, 0, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewIPFIXDecoder().Decode(data); err == nil {
+		t.Error("decoded data set without a template")
+	}
+}
+
+func TestIPFIXTemplatePerDomain(t *testing.T) {
+	// A template learned in domain 1 must not apply to domain 2.
+	d := NewIPFIXDecoder()
+	if _, err := d.Decode(EncodeIPFIXTemplate(nil, 0, 0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	data, err := EncodeIPFIXData(nil, []IPFIXRecord{{}}, 0, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Decode(data); err == nil {
+		t.Error("template leaked across observation domains")
+	}
+}
+
+func TestIPFIXDecodeErrors(t *testing.T) {
+	d := NewIPFIXDecoder()
+	if _, err := d.Decode(make([]byte, 4)); err == nil {
+		t.Error("accepted short message")
+	}
+	msg := EncodeIPFIXTemplate(nil, 0, 0, 1)
+	msg[0], msg[1] = 0, 9 // wrong version
+	if _, err := d.Decode(msg); err == nil {
+		t.Error("accepted version 9")
+	}
+	msg = EncodeIPFIXTemplate(nil, 0, 0, 1)
+	msg[2], msg[3] = 0xFF, 0xFF // length beyond buffer
+	if _, err := d.Decode(msg); err == nil {
+		t.Error("accepted truncated message")
+	}
+}
+
+func TestIPFIXMessageSizeLimit(t *testing.T) {
+	recs := make([]IPFIXRecord, 3000) // 3000*29 > 64 KiB
+	if _, err := EncodeIPFIXData(nil, recs, 0, 0, 1); err == nil {
+		t.Error("accepted oversized data message")
+	}
+}
+
+func TestIPFIXExporter(t *testing.T) {
+	var msgs [][]byte
+	exp := NewIPFIXExporter(func(b []byte) error {
+		cp := make([]byte, len(b))
+		copy(cp, b)
+		msgs = append(msgs, cp)
+		return nil
+	}, 7)
+	exp.now = func() time.Time { return time.Unix(1700000000, 0) }
+	exp.RecordsPerMessage = 10
+
+	rng := rand.New(rand.NewPCG(3, 4))
+	recs := make([]IPFIXRecord, 25)
+	for i := range recs {
+		recs[i] = randIPFIXRecord(rng)
+	}
+	if err := exp.Export(recs); err != nil {
+		t.Fatal(err)
+	}
+	// 1 template + 3 data messages (10+10+5).
+	if len(msgs) != 4 {
+		t.Fatalf("sent %d messages, want 4", len(msgs))
+	}
+
+	d := NewIPFIXDecoder()
+	var got []IPFIXRecord
+	for _, m := range msgs {
+		r, err := d.Decode(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, r...)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("decoded %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Fatalf("record %d mismatch", i)
+		}
+	}
+}
+
+func TestIPFIXExporterReannouncesTemplate(t *testing.T) {
+	templates := 0
+	exp := NewIPFIXExporter(func(b []byte) error {
+		// A template message contains set ID 2 right after the header.
+		if len(b) >= ipfixHeaderLen+2 && b[ipfixHeaderLen] == 0 && b[ipfixHeaderLen+1] == IPFIXTemplateSetID {
+			templates++
+		}
+		return nil
+	}, 1)
+	exp.TemplateEvery = 2
+	recs := []IPFIXRecord{{Packets: 1}}
+	for i := 0; i < 6; i++ {
+		if err := exp.Export(recs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 6 data messages with TemplateEvery=2 → template before messages 1, 3, 5.
+	if templates != 3 {
+		t.Errorf("sent %d templates, want 3", templates)
+	}
+}
+
+func TestBeUint(t *testing.T) {
+	tests := []struct {
+		in   []byte
+		want uint64
+	}{
+		{[]byte{0x01}, 1},
+		{[]byte{0x01, 0x00}, 256},
+		{[]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF}, ^uint64(0)},
+		{nil, 0},
+	}
+	for _, tc := range tests {
+		if got := beUint(tc.in); got != tc.want {
+			t.Errorf("beUint(%v) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}

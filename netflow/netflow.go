@@ -1,0 +1,284 @@
+// Package netflow implements NetFlow v5 export and collection: the wire
+// format, an exporter that chunks flow records into datagrams, and a
+// collector that decodes them. Together with a flowmon.Recorder this forms
+// the complete flow-record collection pipeline the paper's title refers to:
+// the switch-side data structure fills during a measurement epoch, then its
+// records are exported to a central collector.
+package netflow
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"repro/flow"
+)
+
+// Version is the NetFlow export format version implemented here.
+const Version = 5
+
+// Wire sizes of the v5 format.
+const (
+	HeaderLen = 24
+	RecordLen = 48
+	// MaxRecordsPerDatagram is the v5 limit of 30 records per datagram.
+	MaxRecordsPerDatagram = 30
+	// MaxDatagramLen is the largest datagram Encode produces.
+	MaxDatagramLen = HeaderLen + MaxRecordsPerDatagram*RecordLen
+)
+
+// Header is the NetFlow v5 datagram header.
+type Header struct {
+	Count        uint16 // number of records in this datagram
+	SysUptimeMs  uint32 // milliseconds since exporter boot
+	UnixSecs     uint32 // export timestamp, seconds
+	UnixNsecs    uint32 // export timestamp, residual nanoseconds
+	FlowSequence uint32 // total records exported before this datagram
+	EngineType   uint8
+	EngineID     uint8
+	SamplingMode uint16 // sampling mode and interval
+}
+
+// Record is one NetFlow v5 flow record. Fields the measurement algorithms
+// do not populate (AS numbers, interfaces, masks) are carried for wire
+// compatibility and round-trip fidelity.
+type Record struct {
+	SrcIP, DstIP, NextHop uint32
+	Input, Output         uint16
+	Packets, Octets       uint32
+	FirstMs, LastMs       uint32 // flow start/end in SysUptime milliseconds
+	SrcPort, DstPort      uint16
+	TCPFlags, Proto, Tos  uint8
+	SrcAS, DstAS          uint16
+	SrcMask, DstMask      uint8
+}
+
+// Key returns the flow key of the record.
+func (r Record) Key() flow.Key {
+	return flow.Key{
+		SrcIP:   r.SrcIP,
+		DstIP:   r.DstIP,
+		SrcPort: r.SrcPort,
+		DstPort: r.DstPort,
+		Proto:   r.Proto,
+	}
+}
+
+// FromFlowRecord converts a measurement flow record into a v5 record.
+func FromFlowRecord(fr flow.Record, avgPktBytes uint32) Record {
+	return Record{
+		SrcIP:   fr.Key.SrcIP,
+		DstIP:   fr.Key.DstIP,
+		SrcPort: fr.Key.SrcPort,
+		DstPort: fr.Key.DstPort,
+		Proto:   fr.Key.Proto,
+		Packets: fr.Count,
+		Octets:  fr.Count * avgPktBytes,
+	}
+}
+
+// Encode appends one datagram carrying hdr and recs to dst and returns the
+// extended slice. len(recs) must not exceed MaxRecordsPerDatagram.
+func Encode(dst []byte, hdr Header, recs []Record) ([]byte, error) {
+	if len(recs) > MaxRecordsPerDatagram {
+		return dst, fmt.Errorf("netflow: %d records exceed the %d per-datagram limit",
+			len(recs), MaxRecordsPerDatagram)
+	}
+	hdr.Count = uint16(len(recs))
+
+	var h [HeaderLen]byte
+	binary.BigEndian.PutUint16(h[0:], Version)
+	binary.BigEndian.PutUint16(h[2:], hdr.Count)
+	binary.BigEndian.PutUint32(h[4:], hdr.SysUptimeMs)
+	binary.BigEndian.PutUint32(h[8:], hdr.UnixSecs)
+	binary.BigEndian.PutUint32(h[12:], hdr.UnixNsecs)
+	binary.BigEndian.PutUint32(h[16:], hdr.FlowSequence)
+	h[20] = hdr.EngineType
+	h[21] = hdr.EngineID
+	binary.BigEndian.PutUint16(h[22:], hdr.SamplingMode)
+	dst = append(dst, h[:]...)
+
+	var b [RecordLen]byte
+	for _, r := range recs {
+		binary.BigEndian.PutUint32(b[0:], r.SrcIP)
+		binary.BigEndian.PutUint32(b[4:], r.DstIP)
+		binary.BigEndian.PutUint32(b[8:], r.NextHop)
+		binary.BigEndian.PutUint16(b[12:], r.Input)
+		binary.BigEndian.PutUint16(b[14:], r.Output)
+		binary.BigEndian.PutUint32(b[16:], r.Packets)
+		binary.BigEndian.PutUint32(b[20:], r.Octets)
+		binary.BigEndian.PutUint32(b[24:], r.FirstMs)
+		binary.BigEndian.PutUint32(b[28:], r.LastMs)
+		binary.BigEndian.PutUint16(b[32:], r.SrcPort)
+		binary.BigEndian.PutUint16(b[34:], r.DstPort)
+		b[36] = 0 // pad
+		b[37] = r.TCPFlags
+		b[38] = r.Proto
+		b[39] = r.Tos
+		binary.BigEndian.PutUint16(b[40:], r.SrcAS)
+		binary.BigEndian.PutUint16(b[42:], r.DstAS)
+		b[44] = r.SrcMask
+		b[45] = r.DstMask
+		b[46], b[47] = 0, 0 // pad
+		dst = append(dst, b[:]...)
+	}
+	return dst, nil
+}
+
+// Decode parses one v5 datagram.
+func Decode(b []byte) (Header, []Record, error) {
+	if len(b) < HeaderLen {
+		return Header{}, nil, fmt.Errorf("netflow: datagram of %d bytes is shorter than the header", len(b))
+	}
+	if v := binary.BigEndian.Uint16(b[0:]); v != Version {
+		return Header{}, nil, fmt.Errorf("netflow: unsupported version %d", v)
+	}
+	hdr := Header{
+		Count:        binary.BigEndian.Uint16(b[2:]),
+		SysUptimeMs:  binary.BigEndian.Uint32(b[4:]),
+		UnixSecs:     binary.BigEndian.Uint32(b[8:]),
+		UnixNsecs:    binary.BigEndian.Uint32(b[12:]),
+		FlowSequence: binary.BigEndian.Uint32(b[16:]),
+		EngineType:   b[20],
+		EngineID:     b[21],
+		SamplingMode: binary.BigEndian.Uint16(b[22:]),
+	}
+	want := HeaderLen + int(hdr.Count)*RecordLen
+	if len(b) < want {
+		return Header{}, nil, fmt.Errorf("netflow: datagram of %d bytes carries %d records, need %d bytes",
+			len(b), hdr.Count, want)
+	}
+	recs := make([]Record, hdr.Count)
+	for i := range recs {
+		r := b[HeaderLen+i*RecordLen:]
+		recs[i] = Record{
+			SrcIP:    binary.BigEndian.Uint32(r[0:]),
+			DstIP:    binary.BigEndian.Uint32(r[4:]),
+			NextHop:  binary.BigEndian.Uint32(r[8:]),
+			Input:    binary.BigEndian.Uint16(r[12:]),
+			Output:   binary.BigEndian.Uint16(r[14:]),
+			Packets:  binary.BigEndian.Uint32(r[16:]),
+			Octets:   binary.BigEndian.Uint32(r[20:]),
+			FirstMs:  binary.BigEndian.Uint32(r[24:]),
+			LastMs:   binary.BigEndian.Uint32(r[28:]),
+			SrcPort:  binary.BigEndian.Uint16(r[32:]),
+			DstPort:  binary.BigEndian.Uint16(r[34:]),
+			TCPFlags: r[37],
+			Proto:    r[38],
+			Tos:      r[39],
+			SrcAS:    binary.BigEndian.Uint16(r[40:]),
+			DstAS:    binary.BigEndian.Uint16(r[42:]),
+			SrcMask:  r[44],
+			DstMask:  r[45],
+		}
+	}
+	return hdr, recs, nil
+}
+
+// nowFunc allows tests to pin time.
+type nowFunc func() time.Time
+
+// Exporter turns flow records into a stream of v5 datagrams with correct
+// sequence numbering.
+type Exporter struct {
+	send func(b []byte) error
+	seq  uint32
+	boot time.Time
+	now  nowFunc
+	buf  []byte
+}
+
+// NewExporter builds an exporter that delivers each encoded datagram via
+// send (typically a UDP write).
+func NewExporter(send func(b []byte) error) *Exporter {
+	return &Exporter{send: send, boot: time.Now(), now: time.Now}
+}
+
+// Export encodes recs into as many datagrams as needed and sends them.
+// avgPktBytes populates the octet counters for record conversion.
+func (e *Exporter) Export(recs []flow.Record, avgPktBytes uint32) error {
+	for start := 0; start < len(recs); start += MaxRecordsPerDatagram {
+		end := start + MaxRecordsPerDatagram
+		if end > len(recs) {
+			end = len(recs)
+		}
+		batch := make([]Record, 0, end-start)
+		for _, fr := range recs[start:end] {
+			batch = append(batch, FromFlowRecord(fr, avgPktBytes))
+		}
+		now := e.now()
+		hdr := Header{
+			SysUptimeMs:  uint32(now.Sub(e.boot).Milliseconds()),
+			UnixSecs:     uint32(now.Unix()),
+			UnixNsecs:    uint32(now.Nanosecond()),
+			FlowSequence: e.seq,
+		}
+		var err error
+		e.buf, err = Encode(e.buf[:0], hdr, batch)
+		if err != nil {
+			return err
+		}
+		if err := e.send(e.buf); err != nil {
+			return fmt.Errorf("netflow: send datagram: %w", err)
+		}
+		e.seq += uint32(len(batch))
+	}
+	return nil
+}
+
+// Sequence returns the total number of records exported so far.
+func (e *Exporter) Sequence() uint32 { return e.seq }
+
+// Collector accumulates records decoded from v5 datagrams and tracks
+// sequence gaps (lost datagrams).
+type Collector struct {
+	records []Record
+	nextSeq uint32
+	started bool
+	lost    uint64
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector {
+	return &Collector{}
+}
+
+// Ingest decodes one datagram and accumulates its records.
+func (c *Collector) Ingest(b []byte) error {
+	hdr, recs, err := Decode(b)
+	if err != nil {
+		return err
+	}
+	if c.started && hdr.FlowSequence != c.nextSeq {
+		if hdr.FlowSequence > c.nextSeq {
+			c.lost += uint64(hdr.FlowSequence - c.nextSeq)
+		}
+	}
+	c.started = true
+	c.nextSeq = hdr.FlowSequence + uint32(len(recs))
+	c.records = append(c.records, recs...)
+	return nil
+}
+
+// Records returns a copy of all collected records.
+func (c *Collector) Records() []Record {
+	out := make([]Record, len(c.records))
+	copy(out, c.records)
+	return out
+}
+
+// FlowRecords converts the collected records back into measurement flow
+// records.
+func (c *Collector) FlowRecords() []flow.Record {
+	out := make([]flow.Record, 0, len(c.records))
+	for _, r := range c.records {
+		out = append(out, flow.Record{Key: r.Key(), Count: r.Packets})
+	}
+	return out
+}
+
+// Count returns the number of records collected so far without copying.
+func (c *Collector) Count() int { return len(c.records) }
+
+// Lost returns the number of records inferred missing from sequence gaps.
+func (c *Collector) Lost() uint64 { return c.lost }

@@ -1,0 +1,67 @@
+package netflow
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func BenchmarkEncodeV5(b *testing.B) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	recs := make([]Record, MaxRecordsPerDatagram)
+	for i := range recs {
+		recs[i] = randRecord(rng)
+	}
+	var buf []byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		buf, err = Encode(buf[:0], Header{FlowSequence: uint32(i)}, recs)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeV5(b *testing.B) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	recs := make([]Record, MaxRecordsPerDatagram)
+	for i := range recs {
+		recs[i] = randRecord(rng)
+	}
+	buf, err := Encode(nil, Header{}, recs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Decode(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeIPFIXData(b *testing.B) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	recs := make([]IPFIXRecord, 200)
+	for i := range recs {
+		recs[i] = randIPFIXRecord(rng)
+	}
+	tmpl := EncodeIPFIXTemplate(nil, 0, 0, 1)
+	data, err := EncodeIPFIXData(nil, recs, 0, 0, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := NewIPFIXDecoder()
+	if _, err := d.Decode(tmpl); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.Decode(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,246 @@
+package netflow
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/flow"
+)
+
+func randRecord(rng *rand.Rand) Record {
+	return Record{
+		SrcIP:    rng.Uint32(),
+		DstIP:    rng.Uint32(),
+		NextHop:  rng.Uint32(),
+		Input:    uint16(rng.Uint32()),
+		Output:   uint16(rng.Uint32()),
+		Packets:  rng.Uint32(),
+		Octets:   rng.Uint32(),
+		FirstMs:  rng.Uint32(),
+		LastMs:   rng.Uint32(),
+		SrcPort:  uint16(rng.Uint32()),
+		DstPort:  uint16(rng.Uint32()),
+		TCPFlags: uint8(rng.Uint32()),
+		Proto:    uint8(rng.Uint32()),
+		Tos:      uint8(rng.Uint32()),
+		SrcAS:    uint16(rng.Uint32()),
+		DstAS:    uint16(rng.Uint32()),
+		SrcMask:  uint8(rng.Uint32()),
+		DstMask:  uint8(rng.Uint32()),
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.IntN(MaxRecordsPerDatagram + 1)
+		recs := make([]Record, n)
+		for i := range recs {
+			recs[i] = randRecord(rng)
+		}
+		hdr := Header{
+			SysUptimeMs:  rng.Uint32(),
+			UnixSecs:     rng.Uint32(),
+			UnixNsecs:    rng.Uint32(),
+			FlowSequence: rng.Uint32(),
+			EngineType:   uint8(rng.Uint32()),
+			EngineID:     uint8(rng.Uint32()),
+			SamplingMode: uint16(rng.Uint32()),
+		}
+		b, err := Encode(nil, hdr, recs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := HeaderLen + n*RecordLen; len(b) != want {
+			t.Fatalf("encoded %d bytes, want %d", len(b), want)
+		}
+		gotHdr, gotRecs, err := Decode(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hdr.Count = uint16(n)
+		if gotHdr != hdr {
+			t.Fatalf("header round trip: got %+v, want %+v", gotHdr, hdr)
+		}
+		if len(gotRecs) != n {
+			t.Fatalf("decoded %d records, want %d", len(gotRecs), n)
+		}
+		for i := range recs {
+			if gotRecs[i] != recs[i] {
+				t.Fatalf("record %d round trip mismatch", i)
+			}
+		}
+	}
+}
+
+func TestEncodeRejectsTooMany(t *testing.T) {
+	recs := make([]Record, MaxRecordsPerDatagram+1)
+	if _, err := Encode(nil, Header{}, recs); err == nil {
+		t.Error("Encode accepted 31 records")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, _, err := Decode(make([]byte, 10)); err == nil {
+		t.Error("Decode accepted short datagram")
+	}
+	b, err := Encode(nil, Header{}, []Record{{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[0], b[1] = 0, 9 // version 9
+	if _, _, err := Decode(b); err == nil {
+		t.Error("Decode accepted version 9")
+	}
+	b[0], b[1] = 0, 5
+	if _, _, err := Decode(b[:len(b)-1]); err == nil {
+		t.Error("Decode accepted truncated records")
+	}
+}
+
+func TestRecordKeyAndConversion(t *testing.T) {
+	fr := flow.Record{
+		Key:   flow.Key{SrcIP: 1, DstIP: 2, SrcPort: 3, DstPort: 4, Proto: 6},
+		Count: 77,
+	}
+	r := FromFlowRecord(fr, 100)
+	if r.Key() != fr.Key {
+		t.Errorf("Key() = %+v, want %+v", r.Key(), fr.Key)
+	}
+	if r.Packets != 77 || r.Octets != 7700 {
+		t.Errorf("Packets/Octets = %d/%d, want 77/7700", r.Packets, r.Octets)
+	}
+}
+
+func TestExporterChunksAndSequences(t *testing.T) {
+	var datagrams [][]byte
+	exp := NewExporter(func(b []byte) error {
+		cp := make([]byte, len(b))
+		copy(cp, b)
+		datagrams = append(datagrams, cp)
+		return nil
+	})
+	exp.now = func() time.Time { return time.Unix(1700000000, 42) }
+
+	recs := make([]flow.Record, 95) // 30 + 30 + 30 + 5
+	rng := rand.New(rand.NewPCG(3, 4))
+	for i := range recs {
+		recs[i] = flow.Record{
+			Key:   flow.Key{SrcIP: rng.Uint32(), DstIP: rng.Uint32(), Proto: 6},
+			Count: uint32(i + 1),
+		}
+	}
+	if err := exp.Export(recs, 500); err != nil {
+		t.Fatal(err)
+	}
+	if len(datagrams) != 4 {
+		t.Fatalf("sent %d datagrams, want 4", len(datagrams))
+	}
+	if exp.Sequence() != 95 {
+		t.Errorf("Sequence = %d, want 95", exp.Sequence())
+	}
+
+	col := NewCollector()
+	for _, d := range datagrams {
+		if err := col.Ingest(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := col.FlowRecords()
+	if len(got) != len(recs) {
+		t.Fatalf("collected %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Fatalf("record %d: got %+v, want %+v", i, got[i], recs[i])
+		}
+	}
+	if col.Lost() != 0 {
+		t.Errorf("Lost = %d, want 0", col.Lost())
+	}
+}
+
+func TestCollectorDetectsLoss(t *testing.T) {
+	var datagrams [][]byte
+	exp := NewExporter(func(b []byte) error {
+		cp := make([]byte, len(b))
+		copy(cp, b)
+		datagrams = append(datagrams, cp)
+		return nil
+	})
+	recs := make([]flow.Record, 90)
+	for i := range recs {
+		recs[i] = flow.Record{Key: flow.Key{SrcIP: uint32(i)}, Count: 1}
+	}
+	if err := exp.Export(recs, 1); err != nil {
+		t.Fatal(err)
+	}
+	col := NewCollector()
+	// Drop the middle datagram (30 records).
+	if err := col.Ingest(datagrams[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := col.Ingest(datagrams[2]); err != nil {
+		t.Fatal(err)
+	}
+	if col.Lost() != 30 {
+		t.Errorf("Lost = %d, want 30", col.Lost())
+	}
+	if len(col.Records()) != 60 {
+		t.Errorf("collected %d records, want 60", len(col.Records()))
+	}
+}
+
+func TestEncodeDecodeQuick(t *testing.T) {
+	f := func(src, dst uint32, sp, dp uint16, proto uint8, pkts uint32) bool {
+		rec := Record{SrcIP: src, DstIP: dst, SrcPort: sp, DstPort: dp, Proto: proto, Packets: pkts}
+		b, err := Encode(nil, Header{FlowSequence: 1}, []Record{rec})
+		if err != nil {
+			return false
+		}
+		_, got, err := Decode(b)
+		return err == nil && len(got) == 1 && got[0] == rec
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+type fakeSource struct {
+	recs   []flow.Record
+	resets int
+}
+
+func (f *fakeSource) Records() []flow.Record { return f.recs }
+func (f *fakeSource) Reset()                 { f.resets++; f.recs = nil }
+
+func TestEpochExporter(t *testing.T) {
+	src := &fakeSource{recs: []flow.Record{
+		{Key: flow.Key{SrcIP: 1}, Count: 5},
+		{Key: flow.Key{SrcIP: 2}, Count: 3},
+	}}
+	var sent int
+	exp := NewExporter(func(b []byte) error { sent++; return nil })
+	ee := NewEpochExporter(src, exp)
+
+	n, err := ee.Flush(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 || src.resets != 1 || sent != 1 {
+		t.Errorf("Flush: n=%d resets=%d sent=%d", n, src.resets, sent)
+	}
+	// Second epoch: empty source exports zero datagrams but still resets.
+	n, err = ee.Flush(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 || src.resets != 2 {
+		t.Errorf("second Flush: n=%d resets=%d", n, src.resets)
+	}
+	if ee.Epochs() != 2 || ee.Exported() != 2 {
+		t.Errorf("Epochs=%d Exported=%d", ee.Epochs(), ee.Exported())
+	}
+}

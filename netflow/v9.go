@@ -1,0 +1,134 @@
+package netflow
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// NetFlow v9 (RFC 3954) support. V9 is the template-based predecessor of
+// IPFIX: the message header differs (SysUptime instead of a length field,
+// record count instead of byte length) and template sets use FlowSet ID 0.
+// The same flow template as the IPFIX path is used, so v9 and IPFIX
+// exporters are interchangeable in front of the matching decoder.
+
+// V9Version is the version number in every v9 export packet.
+const V9Version = 9
+
+const (
+	v9HeaderLen = 20
+	// V9TemplateFlowSetID is the FlowSet ID reserved for templates in v9.
+	V9TemplateFlowSetID = 0
+)
+
+// EncodeV9Template appends a v9 export packet carrying the flow template.
+func EncodeV9Template(dst []byte, sysUptimeMs, unixSecs, seq, sourceID uint32) []byte {
+	setLen := ipfixSetHeaderLen + 4 + 4*len(flowTemplate)
+	dst = appendV9Header(dst, 1, sysUptimeMs, unixSecs, seq, sourceID)
+
+	var b [4]byte
+	binary.BigEndian.PutUint16(b[0:], V9TemplateFlowSetID)
+	binary.BigEndian.PutUint16(b[2:], uint16(setLen))
+	dst = append(dst, b[:4]...)
+	binary.BigEndian.PutUint16(b[0:], IPFIXFlowTemplateID)
+	binary.BigEndian.PutUint16(b[2:], uint16(len(flowTemplate)))
+	dst = append(dst, b[:4]...)
+	for _, f := range flowTemplate {
+		binary.BigEndian.PutUint16(b[0:], f.id)
+		binary.BigEndian.PutUint16(b[2:], f.len)
+		dst = append(dst, b[:4]...)
+	}
+	return dst
+}
+
+// EncodeV9Data appends a v9 export packet carrying recs.
+func EncodeV9Data(dst []byte, recs []IPFIXRecord, sysUptimeMs, unixSecs, seq, sourceID uint32) ([]byte, error) {
+	setLen := ipfixSetHeaderLen + flowRecordLen*len(recs)
+	if setLen > 0xFFFF {
+		return dst, fmt.Errorf("netflow: %d v9 records exceed the 64 KiB FlowSet limit", len(recs))
+	}
+	dst = appendV9Header(dst, uint16(len(recs)), sysUptimeMs, unixSecs, seq, sourceID)
+
+	var b [8]byte
+	binary.BigEndian.PutUint16(b[0:], IPFIXFlowTemplateID)
+	binary.BigEndian.PutUint16(b[2:], uint16(setLen))
+	dst = append(dst, b[:4]...)
+	for _, r := range recs {
+		binary.BigEndian.PutUint32(b[0:], r.Key.SrcIP)
+		dst = append(dst, b[:4]...)
+		binary.BigEndian.PutUint32(b[0:], r.Key.DstIP)
+		dst = append(dst, b[:4]...)
+		binary.BigEndian.PutUint16(b[0:], r.Key.SrcPort)
+		dst = append(dst, b[:2]...)
+		binary.BigEndian.PutUint16(b[0:], r.Key.DstPort)
+		dst = append(dst, b[:2]...)
+		dst = append(dst, r.Key.Proto)
+		binary.BigEndian.PutUint64(b[0:], r.Packets)
+		dst = append(dst, b[:8]...)
+		binary.BigEndian.PutUint64(b[0:], r.Octets)
+		dst = append(dst, b[:8]...)
+	}
+	return dst, nil
+}
+
+func appendV9Header(dst []byte, count uint16, sysUptimeMs, unixSecs, seq, sourceID uint32) []byte {
+	var h [v9HeaderLen]byte
+	binary.BigEndian.PutUint16(h[0:], V9Version)
+	binary.BigEndian.PutUint16(h[2:], count)
+	binary.BigEndian.PutUint32(h[4:], sysUptimeMs)
+	binary.BigEndian.PutUint32(h[8:], unixSecs)
+	binary.BigEndian.PutUint32(h[12:], seq)
+	binary.BigEndian.PutUint32(h[16:], sourceID)
+	return append(dst, h[:]...)
+}
+
+// V9Decoder decodes v9 export packets, caching templates per source ID.
+type V9Decoder struct {
+	inner *IPFIXDecoder
+}
+
+// NewV9Decoder returns a decoder with an empty template cache.
+func NewV9Decoder() *V9Decoder {
+	return &V9Decoder{inner: NewIPFIXDecoder()}
+}
+
+// Decode parses one v9 export packet, returning any flow records whose
+// template is known.
+func (d *V9Decoder) Decode(msg []byte) ([]IPFIXRecord, error) {
+	if len(msg) < v9HeaderLen {
+		return nil, fmt.Errorf("netflow: v9 packet of %d bytes is shorter than the header", len(msg))
+	}
+	if v := binary.BigEndian.Uint16(msg[0:]); v != V9Version {
+		return nil, fmt.Errorf("netflow: unsupported v9 version %d", v)
+	}
+	sourceID := binary.BigEndian.Uint32(msg[16:])
+
+	var out []IPFIXRecord
+	body := msg[v9HeaderLen:]
+	for len(body) > 0 {
+		if len(body) < ipfixSetHeaderLen {
+			return out, fmt.Errorf("netflow: truncated v9 FlowSet header")
+		}
+		setID := binary.BigEndian.Uint16(body[0:])
+		setLen := int(binary.BigEndian.Uint16(body[2:]))
+		if setLen < ipfixSetHeaderLen || setLen > len(body) {
+			return out, fmt.Errorf("netflow: bad v9 FlowSet length %d", setLen)
+		}
+		content := body[ipfixSetHeaderLen:setLen]
+		switch {
+		case setID == V9TemplateFlowSetID:
+			if err := d.inner.parseTemplates(sourceID, content); err != nil {
+				return out, err
+			}
+		case setID >= 256:
+			recs, err := d.inner.parseData(sourceID, setID, content)
+			if err != nil {
+				return out, err
+			}
+			out = append(out, recs...)
+		default:
+			// Options templates (ID 1) and reserved FlowSets are skipped.
+		}
+		body = body[setLen:]
+	}
+	return out, nil
+}

@@ -1,0 +1,100 @@
+package netflow
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func TestV9RoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	recs := make([]IPFIXRecord, 20)
+	for i := range recs {
+		recs[i] = randIPFIXRecord(rng)
+	}
+
+	tmpl := EncodeV9Template(nil, 100, 1700000000, 0, 7)
+	data, err := EncodeV9Data(nil, recs, 200, 1700000001, 1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	d := NewV9Decoder()
+	got, err := d.Decode(tmpl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("template packet yielded %d records", len(got))
+	}
+	got, err = d.Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("decoded %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Fatalf("record %d mismatch", i)
+		}
+	}
+}
+
+func TestV9TemplateAndDataInOnePacket(t *testing.T) {
+	// A single packet can carry the template FlowSet followed by data:
+	// concatenate by hand-splicing the data FlowSet after the template one.
+	recs := []IPFIXRecord{{Packets: 5, Octets: 500}}
+	tmpl := EncodeV9Template(nil, 0, 0, 0, 1)
+	data, err := EncodeV9Data(nil, recs, 0, 0, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	combined := append([]byte(nil), tmpl...)
+	combined = append(combined, data[v9HeaderLen:]...)
+
+	got, err := NewV9Decoder().Decode(combined)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != recs[0] {
+		t.Fatalf("combined packet decoded %v", got)
+	}
+}
+
+func TestV9TemplatePerSourceID(t *testing.T) {
+	d := NewV9Decoder()
+	if _, err := d.Decode(EncodeV9Template(nil, 0, 0, 0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	data, err := EncodeV9Data(nil, []IPFIXRecord{{}}, 0, 0, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Decode(data); err == nil {
+		t.Error("template leaked across source IDs")
+	}
+}
+
+func TestV9DecodeErrors(t *testing.T) {
+	d := NewV9Decoder()
+	if _, err := d.Decode(make([]byte, 8)); err == nil {
+		t.Error("accepted short packet")
+	}
+	msg := EncodeV9Template(nil, 0, 0, 0, 1)
+	msg[0], msg[1] = 0, 5
+	if _, err := d.Decode(msg); err == nil {
+		t.Error("accepted v5 version")
+	}
+	msg = EncodeV9Template(nil, 0, 0, 0, 1)
+	msg[len(msg)-3] = 0xFF // corrupt FlowSet length
+	if _, err := d.Decode(msg[:v9HeaderLen+2]); err == nil {
+		t.Error("accepted truncated FlowSet header")
+	}
+}
+
+func TestV9DataSizeLimit(t *testing.T) {
+	recs := make([]IPFIXRecord, 3000)
+	if _, err := EncodeV9Data(nil, recs, 0, 0, 0, 1); err == nil {
+		t.Error("accepted oversized FlowSet")
+	}
+}

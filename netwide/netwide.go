@@ -1,0 +1,93 @@
+// Package netwide implements the network-wide aggregation the paper lists
+// as future work: merging flow records collected at multiple vantage points
+// (switches) into one network view.
+//
+// Two merge semantics are provided:
+//
+//   - MergeMax: a flow may traverse several monitored links, each counting
+//     (a subset of) its packets; the best single-path estimate of the flow's
+//     size is the maximum observed count.
+//   - MergeSum: when vantage points observe disjoint traffic (for example
+//     per-uplink load balancing), counts add.
+package netwide
+
+import (
+	"sort"
+
+	"repro/flow"
+)
+
+// View is the record set collected at one vantage point.
+type View struct {
+	// Name identifies the vantage point (switch/link).
+	Name string
+	// Records are the flow records it reported.
+	Records []flow.Record
+}
+
+// MergeMax combines views keeping, per flow, the maximum reported count.
+func MergeMax(views ...View) []flow.Record {
+	return merge(views, func(old, add uint32) uint32 {
+		if add > old {
+			return add
+		}
+		return old
+	})
+}
+
+// MergeSum combines views summing per-flow counts (saturating).
+func MergeSum(views ...View) []flow.Record {
+	return merge(views, func(old, add uint32) uint32 {
+		s := old + add
+		if s < old {
+			s = ^uint32(0)
+		}
+		return s
+	})
+}
+
+func merge(views []View, combine func(old, add uint32) uint32) []flow.Record {
+	m := make(map[flow.Key]uint32)
+	for _, v := range views {
+		for _, r := range v.Records {
+			if prev, ok := m[r.Key]; ok {
+				m[r.Key] = combine(prev, r.Count)
+			} else {
+				m[r.Key] = r.Count
+			}
+		}
+	}
+	out := make([]flow.Record, 0, len(m))
+	for k, c := range m {
+		out = append(out, flow.Record{Key: k, Count: c})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Count > out[j].Count })
+	return out
+}
+
+// Coverage reports how many distinct flows each view contributed that no
+// other view saw, keyed by view name — a quick measure of vantage-point
+// placement value.
+func Coverage(views ...View) map[string]int {
+	owner := make(map[flow.Key]string)
+	dup := make(map[flow.Key]bool)
+	for _, v := range views {
+		for _, r := range v.Records {
+			if prev, ok := owner[r.Key]; ok && prev != v.Name {
+				dup[r.Key] = true
+				continue
+			}
+			owner[r.Key] = v.Name
+		}
+	}
+	out := make(map[string]int, len(views))
+	for _, v := range views {
+		out[v.Name] = 0
+	}
+	for k, name := range owner {
+		if !dup[k] {
+			out[name]++
+		}
+	}
+	return out
+}

@@ -1,0 +1,55 @@
+package pcapio
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/flow"
+)
+
+// failWriter fails after allowing n bytes through.
+type failWriter struct {
+	allow int
+}
+
+var errSink = errors.New("sink failed")
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	if f.allow <= 0 {
+		return 0, errSink
+	}
+	if len(p) > f.allow {
+		n := f.allow
+		f.allow = 0
+		return n, errSink
+	}
+	f.allow -= len(p)
+	return len(p), nil
+}
+
+func TestWriterPropagatesErrors(t *testing.T) {
+	p := flow.Packet{Key: flow.Key{SrcIP: 1, Proto: ProtoTCP}, Size: 200}
+
+	t.Run("header write fails", func(t *testing.T) {
+		w := NewWriter(&failWriter{allow: 0})
+		err := w.WritePacket(p, time.Unix(0, 0))
+		// bufio defers the error to Flush when the buffer absorbs the bytes.
+		if err == nil {
+			err = w.Flush()
+		}
+		if !errors.Is(err, errSink) {
+			t.Errorf("expected sink error, got %v", err)
+		}
+	})
+
+	t.Run("flush fails", func(t *testing.T) {
+		w := NewWriter(&failWriter{allow: 10})
+		if err := w.WritePacket(p, time.Unix(0, 0)); err != nil {
+			return // already surfaced, fine
+		}
+		if err := w.Flush(); !errors.Is(err, errSink) {
+			t.Errorf("expected sink error from Flush, got %v", err)
+		}
+	})
+}

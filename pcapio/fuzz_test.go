@@ -1,0 +1,47 @@
+package pcapio
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"time"
+
+	"repro/flow"
+)
+
+// FuzzReader feeds arbitrary bytes to the pcap reader: it must error or
+// EOF, never panic, and any packets it does return must carry plausible
+// lengths.
+func FuzzReader(f *testing.F) {
+	var valid bytes.Buffer
+	w := NewWriter(&valid)
+	_ = w.WritePacket(flow.Packet{
+		Key:  flow.Key{SrcIP: 1, DstIP: 2, SrcPort: 3, DstPort: 4, Proto: ProtoTCP},
+		Size: 100,
+	}, time.Unix(0, 0))
+	_ = w.Flush()
+	f.Add(valid.Bytes())
+	f.Add([]byte{})
+	f.Add(valid.Bytes()[:20])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewReader(bytes.NewReader(data))
+		for i := 0; i < 100; i++ {
+			_, _, err := r.ReadPacket()
+			if err != nil {
+				if errors.Is(err, io.EOF) || err != nil {
+					return
+				}
+			}
+		}
+	})
+}
+
+// FuzzParseFrame must never panic on arbitrary frame bytes.
+func FuzzParseFrame(f *testing.F) {
+	f.Add(BuildFrame(flow.Packet{Key: flow.Key{Proto: ProtoUDP}, Size: 80}, nil))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, frame []byte) {
+		_, _ = ParseFrame(frame)
+	})
+}

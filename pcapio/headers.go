@@ -1,0 +1,144 @@
+// Package pcapio reads and writes classic pcap (v2.4) capture files and the
+// Ethernet/IPv4/TCP/UDP headers needed to carry 5-tuple flows — a
+// stdlib-only stand-in for the gopacket/libpcap layer the paper's testbed
+// relied on for packet parsing.
+package pcapio
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/flow"
+)
+
+// Header sizes in bytes.
+const (
+	EthernetHeaderLen = 14
+	IPv4HeaderLen     = 20
+	TCPHeaderLen      = 20
+	UDPHeaderLen      = 8
+)
+
+// Protocol numbers used in the IPv4 header.
+const (
+	ProtoICMP = 1
+	ProtoTCP  = 6
+	ProtoUDP  = 17
+)
+
+const etherTypeIPv4 = 0x0800
+
+// BuildFrame serializes a packet's 5-tuple into an Ethernet+IPv4+L4 frame,
+// padded or truncated to approximate p.Size bytes on the wire (never below
+// the minimum header length). For protocols other than TCP and UDP the L4
+// header is omitted and ports are ignored.
+func BuildFrame(p flow.Packet, buf []byte) []byte {
+	l4 := 0
+	switch p.Key.Proto {
+	case ProtoTCP:
+		l4 = TCPHeaderLen
+	case ProtoUDP:
+		l4 = UDPHeaderLen
+	}
+	ipLen := IPv4HeaderLen + l4
+	payload := int(p.Size) - EthernetHeaderLen - ipLen
+	if payload < 0 {
+		payload = 0
+	}
+	total := EthernetHeaderLen + ipLen + payload
+	if cap(buf) < total {
+		buf = make([]byte, total)
+	}
+	buf = buf[:total]
+	for i := range buf {
+		buf[i] = 0
+	}
+
+	// Ethernet: synthetic locally-administered MACs derived from the IPs.
+	buf[0], buf[1] = 0x02, 0x00
+	binary.BigEndian.PutUint32(buf[2:], p.Key.DstIP)
+	buf[6], buf[7] = 0x02, 0x01
+	binary.BigEndian.PutUint32(buf[8:], p.Key.SrcIP)
+	binary.BigEndian.PutUint16(buf[12:], etherTypeIPv4)
+
+	// IPv4.
+	ip := buf[EthernetHeaderLen:]
+	ip[0] = 0x45 // version 4, IHL 5
+	binary.BigEndian.PutUint16(ip[2:], uint16(ipLen+payload))
+	ip[8] = 64 // TTL
+	ip[9] = p.Key.Proto
+	binary.BigEndian.PutUint32(ip[12:], p.Key.SrcIP)
+	binary.BigEndian.PutUint32(ip[16:], p.Key.DstIP)
+	binary.BigEndian.PutUint16(ip[10:], ipv4Checksum(ip[:IPv4HeaderLen]))
+
+	// L4.
+	switch p.Key.Proto {
+	case ProtoTCP:
+		tcp := ip[IPv4HeaderLen:]
+		binary.BigEndian.PutUint16(tcp[0:], p.Key.SrcPort)
+		binary.BigEndian.PutUint16(tcp[2:], p.Key.DstPort)
+		tcp[12] = 0x50 // data offset 5 words
+		tcp[13] = 0x10 // ACK
+	case ProtoUDP:
+		udp := ip[IPv4HeaderLen:]
+		binary.BigEndian.PutUint16(udp[0:], p.Key.SrcPort)
+		binary.BigEndian.PutUint16(udp[2:], p.Key.DstPort)
+		binary.BigEndian.PutUint16(udp[4:], uint16(UDPHeaderLen+payload))
+	}
+	return buf
+}
+
+// ParseFrame extracts the flow key and wire length from an Ethernet+IPv4
+// frame built by BuildFrame (or any uncomplicated real capture).
+func ParseFrame(frame []byte) (flow.Packet, error) {
+	if len(frame) < EthernetHeaderLen+IPv4HeaderLen {
+		return flow.Packet{}, fmt.Errorf("pcapio: frame too short: %d bytes", len(frame))
+	}
+	if et := binary.BigEndian.Uint16(frame[12:]); et != etherTypeIPv4 {
+		return flow.Packet{}, fmt.Errorf("pcapio: unsupported ethertype %#04x", et)
+	}
+	ip := frame[EthernetHeaderLen:]
+	if ip[0]>>4 != 4 {
+		return flow.Packet{}, fmt.Errorf("pcapio: not IPv4 (version %d)", ip[0]>>4)
+	}
+	ihl := int(ip[0]&0x0F) * 4
+	if ihl < IPv4HeaderLen || len(ip) < ihl {
+		return flow.Packet{}, fmt.Errorf("pcapio: bad IHL %d", ihl)
+	}
+	var p flow.Packet
+	p.Key.Proto = ip[9]
+	p.Key.SrcIP = binary.BigEndian.Uint32(ip[12:])
+	p.Key.DstIP = binary.BigEndian.Uint32(ip[16:])
+	size := len(frame)
+	if size > 0xFFFF {
+		size = 0xFFFF
+	}
+	p.Size = uint16(size)
+
+	l4 := ip[ihl:]
+	switch p.Key.Proto {
+	case ProtoTCP, ProtoUDP:
+		if len(l4) < 4 {
+			return flow.Packet{}, fmt.Errorf("pcapio: truncated L4 header (%d bytes)", len(l4))
+		}
+		p.Key.SrcPort = binary.BigEndian.Uint16(l4[0:])
+		p.Key.DstPort = binary.BigEndian.Uint16(l4[2:])
+	}
+	return p, nil
+}
+
+// ipv4Checksum computes the standard Internet checksum over a header whose
+// checksum field is zeroed.
+func ipv4Checksum(hdr []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(hdr); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(hdr[i:]))
+	}
+	if len(hdr)%2 == 1 {
+		sum += uint32(hdr[len(hdr)-1]) << 8
+	}
+	for sum > 0xFFFF {
+		sum = (sum >> 16) + (sum & 0xFFFF)
+	}
+	return ^uint16(sum)
+}

@@ -1,0 +1,174 @@
+package pcapio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/flow"
+)
+
+// Classic pcap constants.
+const (
+	magicLE     = 0xD4C3B2A1 // byte-swapped magic as read big-endian
+	magicNative = 0xA1B2C3D4
+	versionMaj  = 2
+	versionMin  = 4
+	// LinkTypeEthernet is the only link type this codec supports.
+	LinkTypeEthernet = 1
+	// DefaultSnapLen is the capture length written into file headers.
+	DefaultSnapLen = 65535
+
+	globalHeaderLen = 24
+	recordHeaderLen = 16
+)
+
+// ErrNotPcap is returned when a stream does not start with a pcap magic.
+var ErrNotPcap = errors.New("pcapio: not a pcap stream")
+
+// Writer writes a classic little-endian pcap v2.4 file of Ethernet frames.
+type Writer struct {
+	w        *bufio.Writer
+	frameBuf []byte
+	started  bool
+}
+
+// NewWriter wraps w. The global header is written lazily on the first
+// packet (or by Flush).
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriter(w)}
+}
+
+func (w *Writer) writeHeader() error {
+	var hdr [globalHeaderLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:], magicNative)
+	binary.LittleEndian.PutUint16(hdr[4:], versionMaj)
+	binary.LittleEndian.PutUint16(hdr[6:], versionMin)
+	binary.LittleEndian.PutUint32(hdr[16:], DefaultSnapLen)
+	binary.LittleEndian.PutUint32(hdr[20:], LinkTypeEthernet)
+	_, err := w.w.Write(hdr[:])
+	w.started = true
+	return err
+}
+
+// WritePacket serializes the packet as an Ethernet frame with the given
+// capture timestamp.
+func (w *Writer) WritePacket(p flow.Packet, ts time.Time) error {
+	if !w.started {
+		if err := w.writeHeader(); err != nil {
+			return fmt.Errorf("pcapio: write global header: %w", err)
+		}
+	}
+	w.frameBuf = BuildFrame(p, w.frameBuf)
+	var rec [recordHeaderLen]byte
+	binary.LittleEndian.PutUint32(rec[0:], uint32(ts.Unix()))
+	binary.LittleEndian.PutUint32(rec[4:], uint32(ts.Nanosecond()/1000))
+	binary.LittleEndian.PutUint32(rec[8:], uint32(len(w.frameBuf)))
+	binary.LittleEndian.PutUint32(rec[12:], uint32(len(w.frameBuf)))
+	if _, err := w.w.Write(rec[:]); err != nil {
+		return fmt.Errorf("pcapio: write record header: %w", err)
+	}
+	if _, err := w.w.Write(w.frameBuf); err != nil {
+		return fmt.Errorf("pcapio: write frame: %w", err)
+	}
+	return nil
+}
+
+// Flush writes any buffered data (and the global header if no packet was
+// ever written).
+func (w *Writer) Flush() error {
+	if !w.started {
+		if err := w.writeHeader(); err != nil {
+			return err
+		}
+	}
+	return w.w.Flush()
+}
+
+// Reader reads a classic pcap v2.4 file of Ethernet frames, in either byte
+// order.
+type Reader struct {
+	r       *bufio.Reader
+	order   binary.ByteOrder
+	started bool
+	buf     []byte
+}
+
+// NewReader wraps r. The global header is validated on the first read.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: bufio.NewReader(r)}
+}
+
+func (r *Reader) readHeader() error {
+	var hdr [globalHeaderLen]byte
+	if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
+		return fmt.Errorf("pcapio: read global header: %w", err)
+	}
+	switch binary.BigEndian.Uint32(hdr[0:]) {
+	case magicNative:
+		r.order = binary.BigEndian
+	case magicLE:
+		r.order = binary.LittleEndian
+	default:
+		return ErrNotPcap
+	}
+	if lt := r.order.Uint32(hdr[20:]); lt != LinkTypeEthernet {
+		return fmt.Errorf("pcapio: unsupported link type %d", lt)
+	}
+	r.started = true
+	return nil
+}
+
+// ReadPacket returns the next packet and its capture timestamp. It returns
+// io.EOF cleanly at end of file.
+func (r *Reader) ReadPacket() (flow.Packet, time.Time, error) {
+	if !r.started {
+		if err := r.readHeader(); err != nil {
+			return flow.Packet{}, time.Time{}, err
+		}
+	}
+	var rec [recordHeaderLen]byte
+	if _, err := io.ReadFull(r.r, rec[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return flow.Packet{}, time.Time{}, io.EOF
+		}
+		return flow.Packet{}, time.Time{}, fmt.Errorf("pcapio: read record header: %w", err)
+	}
+	sec := r.order.Uint32(rec[0:])
+	usec := r.order.Uint32(rec[4:])
+	incl := r.order.Uint32(rec[8:])
+	if incl > DefaultSnapLen {
+		return flow.Packet{}, time.Time{}, fmt.Errorf("pcapio: record length %d exceeds snaplen", incl)
+	}
+	if cap(r.buf) < int(incl) {
+		r.buf = make([]byte, incl)
+	}
+	r.buf = r.buf[:incl]
+	if _, err := io.ReadFull(r.r, r.buf); err != nil {
+		return flow.Packet{}, time.Time{}, fmt.Errorf("pcapio: read frame: %w", err)
+	}
+	p, err := ParseFrame(r.buf)
+	if err != nil {
+		return flow.Packet{}, time.Time{}, err
+	}
+	ts := time.Unix(int64(sec), int64(usec)*1000).UTC()
+	return p, ts, nil
+}
+
+// ReadAll drains the stream into a packet slice.
+func (r *Reader) ReadAll() ([]flow.Packet, error) {
+	var out []flow.Packet
+	for {
+		p, _, err := r.ReadPacket()
+		if errors.Is(err, io.EOF) {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, p)
+	}
+}

@@ -1,0 +1,249 @@
+package pcapio
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/flow"
+)
+
+func randPacket(rng *rand.Rand) flow.Packet {
+	proto := uint8(ProtoTCP)
+	if rng.IntN(2) == 0 {
+		proto = ProtoUDP
+	}
+	return flow.Packet{
+		Key: flow.Key{
+			SrcIP:   rng.Uint32(),
+			DstIP:   rng.Uint32(),
+			SrcPort: uint16(rng.Uint32()),
+			DstPort: uint16(rng.Uint32()),
+			Proto:   proto,
+		},
+		Size: uint16(64 + rng.IntN(1400)),
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	for i := 0; i < 1000; i++ {
+		p := randPacket(rng)
+		frame := BuildFrame(p, nil)
+		got, err := ParseFrame(frame)
+		if err != nil {
+			t.Fatalf("ParseFrame: %v", err)
+		}
+		if got.Key != p.Key {
+			t.Fatalf("key round trip: got %+v, want %+v", got.Key, p.Key)
+		}
+	}
+}
+
+func TestFrameRoundTripQuick(t *testing.T) {
+	f := func(src, dst uint32, sp, dp uint16, udp bool, size uint16) bool {
+		proto := uint8(ProtoTCP)
+		if udp {
+			proto = ProtoUDP
+		}
+		p := flow.Packet{Key: flow.Key{SrcIP: src, DstIP: dst, SrcPort: sp, DstPort: dp, Proto: proto}, Size: size}
+		got, err := ParseFrame(BuildFrame(p, nil))
+		return err == nil && got.Key == p.Key
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFrameICMPNoPorts(t *testing.T) {
+	p := flow.Packet{Key: flow.Key{SrcIP: 1, DstIP: 2, SrcPort: 99, DstPort: 98, Proto: ProtoICMP}, Size: 100}
+	got, err := ParseFrame(BuildFrame(p, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ICMP frames carry no L4 ports; they come back zero.
+	want := flow.Key{SrcIP: 1, DstIP: 2, Proto: ProtoICMP}
+	if got.Key != want {
+		t.Errorf("ICMP key = %+v, want %+v", got.Key, want)
+	}
+}
+
+func TestFrameSizeApproximation(t *testing.T) {
+	p := flow.Packet{Key: flow.Key{SrcIP: 1, DstIP: 2, Proto: ProtoTCP}, Size: 1000}
+	frame := BuildFrame(p, nil)
+	if len(frame) != 1000 {
+		t.Errorf("frame length = %d, want 1000", len(frame))
+	}
+	// Tiny sizes are clamped up to the header minimum.
+	p.Size = 10
+	frame = BuildFrame(p, nil)
+	if len(frame) != EthernetHeaderLen+IPv4HeaderLen+TCPHeaderLen {
+		t.Errorf("minimal TCP frame = %d bytes", len(frame))
+	}
+}
+
+func TestIPv4ChecksumValidates(t *testing.T) {
+	p := flow.Packet{Key: flow.Key{SrcIP: 0xC0A80101, DstIP: 0x0A000001, Proto: ProtoTCP}, Size: 64}
+	frame := BuildFrame(p, nil)
+	ip := frame[EthernetHeaderLen : EthernetHeaderLen+IPv4HeaderLen]
+	// Recomputing the checksum over a header including its checksum field
+	// must yield zero (ones-complement property).
+	var sum uint32
+	for i := 0; i+1 < len(ip); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(ip[i:]))
+	}
+	for sum > 0xFFFF {
+		sum = (sum >> 16) + (sum & 0xFFFF)
+	}
+	if ^uint16(sum) != 0 {
+		t.Errorf("IPv4 checksum does not validate: residue %#04x", ^uint16(sum))
+	}
+}
+
+func TestParseFrameErrors(t *testing.T) {
+	tests := []struct {
+		name  string
+		frame []byte
+	}{
+		{"too short", make([]byte, 10)},
+		{"bad ethertype", func() []byte {
+			f := BuildFrame(flow.Packet{Key: flow.Key{Proto: ProtoTCP}}, nil)
+			f[12], f[13] = 0x86, 0xDD // IPv6
+			return f
+		}()},
+		{"bad version", func() []byte {
+			f := BuildFrame(flow.Packet{Key: flow.Key{Proto: ProtoTCP}}, nil)
+			f[EthernetHeaderLen] = 0x65
+			return f
+		}()},
+		{"bad ihl", func() []byte {
+			f := BuildFrame(flow.Packet{Key: flow.Key{Proto: ProtoTCP}}, nil)
+			f[EthernetHeaderLen] = 0x4F // IHL 60 > frame
+			return f
+		}()},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ParseFrame(tc.frame); err == nil {
+				t.Error("ParseFrame accepted malformed frame")
+			}
+		})
+	}
+}
+
+func TestPcapRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	pkts := make([]flow.Packet, 500)
+	for i := range pkts {
+		pkts[i] = randPacket(rng)
+	}
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	base := time.Unix(1700000000, 123000).UTC()
+	for i, p := range pkts {
+		if err := w.WritePacket(p, base.Add(time.Duration(i)*time.Millisecond)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := NewReader(bytes.NewReader(buf.Bytes()))
+	for i, want := range pkts {
+		got, ts, err := r.ReadPacket()
+		if err != nil {
+			t.Fatalf("packet %d: %v", i, err)
+		}
+		if got.Key != want.Key {
+			t.Fatalf("packet %d key mismatch", i)
+		}
+		wantTs := base.Add(time.Duration(i) * time.Millisecond)
+		if !ts.Equal(wantTs) {
+			t.Fatalf("packet %d ts = %v, want %v", i, ts, wantTs)
+		}
+	}
+	if _, _, err := r.ReadPacket(); !errors.Is(err, io.EOF) {
+		t.Errorf("expected io.EOF at end, got %v", err)
+	}
+}
+
+func TestPcapReadAll(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	rng := rand.New(rand.NewPCG(5, 6))
+	for i := 0; i < 50; i++ {
+		if err := w.WritePacket(randPacket(rng), time.Unix(0, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 50 {
+		t.Errorf("ReadAll returned %d packets, want 50", len(got))
+	}
+}
+
+func TestEmptyPcap(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != globalHeaderLen {
+		t.Errorf("empty pcap = %d bytes, want %d", buf.Len(), globalHeaderLen)
+	}
+	pkts, err := NewReader(&buf).ReadAll()
+	if err != nil || len(pkts) != 0 {
+		t.Errorf("reading empty pcap: %v, %d packets", err, len(pkts))
+	}
+}
+
+func TestReaderRejectsGarbage(t *testing.T) {
+	r := NewReader(bytes.NewReader([]byte("this is definitely not a pcap file!")))
+	if _, _, err := r.ReadPacket(); !errors.Is(err, ErrNotPcap) {
+		t.Errorf("expected ErrNotPcap, got %v", err)
+	}
+}
+
+func TestReaderBigEndianFile(t *testing.T) {
+	// Hand-build a big-endian pcap with one UDP packet.
+	p := flow.Packet{Key: flow.Key{SrcIP: 7, DstIP: 8, SrcPort: 5, DstPort: 6, Proto: ProtoUDP}, Size: 64}
+	frame := BuildFrame(p, nil)
+	var buf bytes.Buffer
+	var gh [globalHeaderLen]byte
+	binary.BigEndian.PutUint32(gh[0:], magicNative)
+	binary.BigEndian.PutUint16(gh[4:], versionMaj)
+	binary.BigEndian.PutUint16(gh[6:], versionMin)
+	binary.BigEndian.PutUint32(gh[16:], DefaultSnapLen)
+	binary.BigEndian.PutUint32(gh[20:], LinkTypeEthernet)
+	buf.Write(gh[:])
+	var rh [recordHeaderLen]byte
+	binary.BigEndian.PutUint32(rh[0:], 1000)
+	binary.BigEndian.PutUint32(rh[4:], 500)
+	binary.BigEndian.PutUint32(rh[8:], uint32(len(frame)))
+	binary.BigEndian.PutUint32(rh[12:], uint32(len(frame)))
+	buf.Write(rh[:])
+	buf.Write(frame)
+
+	got, ts, err := NewReader(&buf).ReadPacket()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Key != p.Key {
+		t.Errorf("key = %+v, want %+v", got.Key, p.Key)
+	}
+	if ts.Unix() != 1000 {
+		t.Errorf("ts = %v, want unix 1000", ts)
+	}
+}

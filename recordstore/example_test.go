@@ -1,0 +1,49 @@
+package recordstore_test
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"repro/flow"
+	"repro/recordstore"
+)
+
+// Persist an epoch of flow records and read it back.
+func Example() {
+	var buf bytes.Buffer
+	w := recordstore.NewWriter(&buf)
+	err := w.WriteEpoch(time.Unix(1700000000, 0), []flow.Record{
+		{Key: flow.Key{SrcIP: 0x0A000001, DstIP: 0x0A000002, DstPort: 443, Proto: 6}, Count: 99},
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	if err := w.Flush(); err != nil {
+		fmt.Println(err)
+		return
+	}
+
+	epochs, err := recordstore.NewReader(&buf).ReadAll()
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(len(epochs), epochs[0].Records[0].Count)
+	// Output: 1 99
+}
+
+func ExampleParseFilter() {
+	f, err := recordstore.ParseFilter("dport=443,proto=6,minpkts=10")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	records := []flow.Record{
+		{Key: flow.Key{DstPort: 443, Proto: 6}, Count: 50},
+		{Key: flow.Key{DstPort: 80, Proto: 6}, Count: 500},
+	}
+	fmt.Println(len(f.Apply(records)))
+	// Output: 1
+}

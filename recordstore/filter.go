@@ -1,0 +1,109 @@
+package recordstore
+
+import (
+	"fmt"
+	"net/netip"
+	"strconv"
+	"strings"
+
+	"repro/flow"
+)
+
+// Filter selects flow records. The zero value matches everything; set
+// fields constrain the match.
+type Filter struct {
+	// SrcIP / DstIP match exact addresses when non-zero.
+	SrcIP, DstIP uint32
+	// SrcPort / DstPort match exact ports when non-zero.
+	SrcPort, DstPort uint16
+	// Proto matches the protocol number when non-zero.
+	Proto uint8
+	// MinPackets drops records below this count.
+	MinPackets uint32
+}
+
+// Match reports whether the record satisfies every set constraint.
+func (f Filter) Match(r flow.Record) bool {
+	switch {
+	case f.SrcIP != 0 && r.Key.SrcIP != f.SrcIP:
+		return false
+	case f.DstIP != 0 && r.Key.DstIP != f.DstIP:
+		return false
+	case f.SrcPort != 0 && r.Key.SrcPort != f.SrcPort:
+		return false
+	case f.DstPort != 0 && r.Key.DstPort != f.DstPort:
+		return false
+	case f.Proto != 0 && r.Key.Proto != f.Proto:
+		return false
+	case r.Count < f.MinPackets:
+		return false
+	}
+	return true
+}
+
+// Apply returns the records matching the filter, preserving order.
+func (f Filter) Apply(records []flow.Record) []flow.Record {
+	var out []flow.Record
+	for _, r := range records {
+		if f.Match(r) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// ParseFilter builds a Filter from a comma-separated expression like
+// "src=10.0.0.1,dport=443,proto=6,minpkts=100". An empty expression yields
+// the match-all filter.
+func ParseFilter(expr string) (Filter, error) {
+	var f Filter
+	if strings.TrimSpace(expr) == "" {
+		return f, nil
+	}
+	for _, part := range strings.Split(expr, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 {
+			return Filter{}, fmt.Errorf("recordstore: bad filter term %q", part)
+		}
+		key, val := strings.ToLower(strings.TrimSpace(kv[0])), strings.TrimSpace(kv[1])
+		switch key {
+		case "src", "dst":
+			addr, err := netip.ParseAddr(val)
+			if err != nil || !addr.Is4() {
+				return Filter{}, fmt.Errorf("recordstore: %s wants an IPv4 address, got %q", key, val)
+			}
+			b := addr.As4()
+			ip := uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+			if key == "src" {
+				f.SrcIP = ip
+			} else {
+				f.DstIP = ip
+			}
+		case "sport", "dport":
+			p, err := strconv.ParseUint(val, 10, 16)
+			if err != nil {
+				return Filter{}, fmt.Errorf("recordstore: bad port %q", val)
+			}
+			if key == "sport" {
+				f.SrcPort = uint16(p)
+			} else {
+				f.DstPort = uint16(p)
+			}
+		case "proto":
+			p, err := strconv.ParseUint(val, 10, 8)
+			if err != nil {
+				return Filter{}, fmt.Errorf("recordstore: bad protocol %q", val)
+			}
+			f.Proto = uint8(p)
+		case "minpkts":
+			p, err := strconv.ParseUint(val, 10, 32)
+			if err != nil {
+				return Filter{}, fmt.Errorf("recordstore: bad minpkts %q", val)
+			}
+			f.MinPackets = uint32(p)
+		default:
+			return Filter{}, fmt.Errorf("recordstore: unknown filter key %q", key)
+		}
+	}
+	return f, nil
+}

@@ -1,0 +1,89 @@
+package recordstore
+
+import (
+	"testing"
+
+	"repro/flow"
+)
+
+var sample = []flow.Record{
+	{Key: flow.Key{SrcIP: 0x0A000001, DstIP: 0x0B000001, SrcPort: 1000, DstPort: 443, Proto: 6}, Count: 500},
+	{Key: flow.Key{SrcIP: 0x0A000002, DstIP: 0x0B000001, SrcPort: 1001, DstPort: 80, Proto: 6}, Count: 5},
+	{Key: flow.Key{SrcIP: 0x0A000001, DstIP: 0x0C000001, SrcPort: 1002, DstPort: 53, Proto: 17}, Count: 2},
+}
+
+func TestFilterMatch(t *testing.T) {
+	tests := []struct {
+		name string
+		f    Filter
+		want int
+	}{
+		{"match all", Filter{}, 3},
+		{"by src", Filter{SrcIP: 0x0A000001}, 2},
+		{"by dst", Filter{DstIP: 0x0B000001}, 2},
+		{"by dport", Filter{DstPort: 443}, 1},
+		{"by sport", Filter{SrcPort: 1001}, 1},
+		{"by proto", Filter{Proto: 17}, 1},
+		{"by minpkts", Filter{MinPackets: 10}, 1},
+		{"combined", Filter{SrcIP: 0x0A000001, Proto: 6}, 1},
+		{"no match", Filter{SrcIP: 0x0A000001, Proto: 17, DstPort: 443}, 0},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := len(tc.f.Apply(sample)); got != tc.want {
+				t.Errorf("Apply matched %d records, want %d", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestParseFilter(t *testing.T) {
+	f, err := ParseFilter("src=10.0.0.1, dport=443, proto=6, minpkts=100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Filter{SrcIP: 0x0A000001, DstPort: 443, Proto: 6, MinPackets: 100}
+	if f != want {
+		t.Errorf("ParseFilter = %+v, want %+v", f, want)
+	}
+	if got := f.Apply(sample); len(got) != 1 || got[0].Count != 500 {
+		t.Errorf("parsed filter matched %v", got)
+	}
+}
+
+func TestParseFilterAllKeys(t *testing.T) {
+	f, err := ParseFilter("dst=11.0.0.1,sport=1001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.DstIP != 0x0B000001 || f.SrcPort != 1001 {
+		t.Errorf("ParseFilter = %+v", f)
+	}
+}
+
+func TestParseFilterEmpty(t *testing.T) {
+	f, err := ParseFilter("  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f != (Filter{}) {
+		t.Errorf("empty expression = %+v, want zero filter", f)
+	}
+}
+
+func TestParseFilterErrors(t *testing.T) {
+	for _, expr := range []string{
+		"src",               // no value
+		"src=bogus",         // bad IP
+		"src=::1",           // not IPv4
+		"dport=99999",       // port overflow
+		"proto=300",         // proto overflow
+		"minpkts=x",         // not a number
+		"color=blue",        // unknown key
+		"src=10.0.0.1,,x=y", // malformed tail
+	} {
+		if _, err := ParseFilter(expr); err == nil {
+			t.Errorf("ParseFilter(%q) accepted invalid expression", expr)
+		}
+	}
+}

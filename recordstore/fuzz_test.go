@@ -1,0 +1,48 @@
+package recordstore
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"time"
+
+	"repro/flow"
+)
+
+// FuzzReader feeds arbitrary bytes to the store reader: errors are fine,
+// panics and unbounded allocations are not.
+func FuzzReader(f *testing.F) {
+	var valid bytes.Buffer
+	w := NewWriter(&valid)
+	_ = w.WriteEpoch(time.Unix(1, 0), []flow.Record{
+		{Key: flow.Key{SrcIP: 1, Proto: 6}, Count: 2},
+		{Key: flow.Key{SrcIP: 2, Proto: 17}, Count: 9},
+	})
+	_ = w.Flush()
+	f.Add(valid.Bytes())
+	f.Add([]byte("FREC\x01"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewReader(bytes.NewReader(data))
+		for i := 0; i < 100; i++ {
+			_, err := r.ReadEpoch()
+			if errors.Is(err, io.EOF) {
+				return
+			}
+			if err != nil {
+				return
+			}
+		}
+	})
+}
+
+// FuzzParseFilter must never panic on arbitrary expressions.
+func FuzzParseFilter(f *testing.F) {
+	f.Add("src=10.0.0.1,dport=443")
+	f.Add("")
+	f.Add("minpkts=,,,")
+	f.Fuzz(func(t *testing.T, expr string) {
+		_, _ = ParseFilter(expr)
+	})
+}

@@ -1,0 +1,48 @@
+package recordstore
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"testing"
+	"time"
+)
+
+func BenchmarkWriteEpoch(b *testing.B) {
+	recs := randRecords(rand.New(rand.NewPCG(1, 2)), 10000)
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := w.WriteEpoch(time.Unix(0, 0), recs); err != nil {
+			b.Fatal(err)
+		}
+		if err := w.Flush(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(len(recs)))
+}
+
+func BenchmarkReadEpoch(b *testing.B) {
+	recs := randRecords(rand.New(rand.NewPCG(3, 4)), 10000)
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.WriteEpoch(time.Unix(0, 0), recs); err != nil {
+		b.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	encoded := buf.Bytes()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := NewReader(bytes.NewReader(encoded))
+		if _, err := r.ReadEpoch(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(len(recs)))
+}

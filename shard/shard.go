@@ -1,0 +1,177 @@
+// Package shard provides a concurrency layer over any flowmon.Recorder:
+// packets are partitioned across N independent recorder shards by a hash of
+// the flow key, each shard guarded by its own mutex. Because a flow always
+// lands in the same shard, every per-flow property of the underlying
+// algorithm is preserved, while multiple cores can feed packets in
+// parallel — the software analogue of a multi-pipeline switch ASIC.
+package shard
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/flow"
+	"repro/flowmon"
+	"repro/internal/hashing"
+)
+
+// shardSeed salts the routing hash so it is independent of the hash
+// families used inside the recorders.
+const shardSeed = 0x5ead
+
+// Sharded fans packets out over per-shard recorders. It implements
+// flowmon.Recorder itself.
+type Sharded struct {
+	shards []shardSlot
+}
+
+type shardSlot struct {
+	mu  sync.Mutex
+	rec flowmon.Recorder
+	_   [40]byte // pad to keep hot locks on separate cache lines
+}
+
+var _ flowmon.Recorder = (*Sharded)(nil)
+
+// New builds n shards using factory to construct each shard's recorder.
+// Give each shard 1/n of the total memory budget to keep comparisons fair.
+func New(n int, factory func(i int) (flowmon.Recorder, error)) (*Sharded, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("shard: need at least one shard, got %d", n)
+	}
+	s := &Sharded{shards: make([]shardSlot, n)}
+	for i := range s.shards {
+		rec, err := factory(i)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		if rec == nil {
+			return nil, fmt.Errorf("shard %d: factory returned nil recorder", i)
+		}
+		s.shards[i].rec = rec
+	}
+	return s, nil
+}
+
+// NewUniform builds n shards of the same algorithm, splitting cfg's memory
+// budget evenly.
+func NewUniform(n int, a flowmon.Algorithm, cfg flowmon.Config) (*Sharded, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("shard: need at least one shard, got %d", n)
+	}
+	per := cfg.MemoryBytes / n
+	return New(n, func(i int) (flowmon.Recorder, error) {
+		c := cfg
+		c.MemoryBytes = per
+		c.Seed = cfg.Seed + uint64(i)*0x9E37
+		return flowmon.New(a, c)
+	})
+}
+
+// Shards returns the number of shards.
+func (s *Sharded) Shards() int { return len(s.shards) }
+
+func (s *Sharded) route(k flow.Key) *shardSlot {
+	w1, w2 := k.Words()
+	return &s.shards[hashing.Reduce(hashing.KeyHash(shardSeed, w1, w2), uint64(len(s.shards)))]
+}
+
+// Update processes one packet, locking only the owning shard.
+func (s *Sharded) Update(p flow.Packet) {
+	slot := s.route(p.Key)
+	slot.mu.Lock()
+	slot.rec.Update(p)
+	slot.mu.Unlock()
+}
+
+// FeedParallel replays a packet stream using the given number of worker
+// goroutines and blocks until every packet is processed.
+func (s *Sharded) FeedParallel(pkts []flow.Packet, workers int) {
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	chunk := (len(pkts) + workers - 1) / workers
+	for start := 0; start < len(pkts); start += chunk {
+		end := start + chunk
+		if end > len(pkts) {
+			end = len(pkts)
+		}
+		wg.Add(1)
+		go func(part []flow.Packet) {
+			defer wg.Done()
+			for _, p := range part {
+				s.Update(p)
+			}
+		}(pkts[start:end])
+	}
+	wg.Wait()
+}
+
+// Records merges the records of every shard. Shard routing guarantees the
+// same key never appears in two shards.
+func (s *Sharded) Records() []flow.Record {
+	var out []flow.Record
+	for i := range s.shards {
+		slot := &s.shards[i]
+		slot.mu.Lock()
+		out = append(out, slot.rec.Records()...)
+		slot.mu.Unlock()
+	}
+	return out
+}
+
+// EstimateSize routes the query to the owning shard.
+func (s *Sharded) EstimateSize(k flow.Key) uint32 {
+	slot := s.route(k)
+	slot.mu.Lock()
+	defer slot.mu.Unlock()
+	return slot.rec.EstimateSize(k)
+}
+
+// EstimateCardinality sums the per-shard estimates; shards hold disjoint
+// flow populations, so the sum is the natural combiner.
+func (s *Sharded) EstimateCardinality() float64 {
+	var total float64
+	for i := range s.shards {
+		slot := &s.shards[i]
+		slot.mu.Lock()
+		total += slot.rec.EstimateCardinality()
+		slot.mu.Unlock()
+	}
+	return total
+}
+
+// MemoryBytes sums the shards' footprints.
+func (s *Sharded) MemoryBytes() int {
+	total := 0
+	for i := range s.shards {
+		slot := &s.shards[i]
+		slot.mu.Lock()
+		total += slot.rec.MemoryBytes()
+		slot.mu.Unlock()
+	}
+	return total
+}
+
+// OpStats sums the shards' operation counts.
+func (s *Sharded) OpStats() flow.OpStats {
+	var total flow.OpStats
+	for i := range s.shards {
+		slot := &s.shards[i]
+		slot.mu.Lock()
+		total = total.Add(slot.rec.OpStats())
+		slot.mu.Unlock()
+	}
+	return total
+}
+
+// Reset clears every shard.
+func (s *Sharded) Reset() {
+	for i := range s.shards {
+		slot := &s.shards[i]
+		slot.mu.Lock()
+		slot.rec.Reset()
+		slot.mu.Unlock()
+	}
+}

@@ -1,0 +1,101 @@
+package switchsim
+
+import (
+	"testing"
+
+	"repro/flow"
+	"repro/flowmon"
+	"repro/trace"
+)
+
+func TestCostModelOrdering(t *testing.T) {
+	m := DefaultCostModel()
+	cheap := flow.OpStats{Packets: 100, Hashes: 100, MemAccesses: 200}
+	costly := flow.OpStats{Packets: 100, Hashes: 700, MemAccesses: 1100}
+	if m.ThroughputKpps(cheap) <= m.ThroughputKpps(costly) {
+		t.Error("cheaper per-packet work should yield higher throughput")
+	}
+	if got := m.ThroughputKpps(flow.OpStats{}); got != m.BaseKpps {
+		t.Errorf("no measurement load should run at base rate, got %v", got)
+	}
+}
+
+func TestCostModelAnchors(t *testing.T) {
+	// The model should land a typical 4-hash algorithm near the paper's
+	// ~5 Kpps and FlowRadar's 7-hash profile near ~3 Kpps.
+	m := DefaultCostModel()
+	typical := m.ThroughputKpps(flow.OpStats{Packets: 1, Hashes: 4, MemAccesses: 5})
+	if typical < 4 || typical > 8 {
+		t.Errorf("typical algorithm modeled at %.1f Kpps, want ~5", typical)
+	}
+	radar := m.ThroughputKpps(flow.OpStats{Packets: 1, Hashes: 7, MemAccesses: 11})
+	if radar < 2 || radar > 4 {
+		t.Errorf("FlowRadar-like profile modeled at %.1f Kpps, want ~3", radar)
+	}
+	if radar >= typical {
+		t.Error("FlowRadar profile should be slower than typical")
+	}
+}
+
+func TestRunEmptyStream(t *testing.T) {
+	rec, err := flowmon.New(flowmon.AlgorithmHashFlow, flowmon.Config{MemoryBytes: 1 << 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(rec, nil, DefaultCostModel()); err == nil {
+		t.Error("Run accepted empty stream")
+	}
+}
+
+func TestRunFig11Shape(t *testing.T) {
+	// FlowRadar must do the most hashing and memory work and therefore get
+	// the lowest modeled throughput; the other three stay within the 4-hash
+	// envelope (Fig. 11's shape).
+	tr, err := trace.Generate(trace.CAIDA, 5000, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkts := tr.Packets(11)
+
+	results := make(map[flowmon.Algorithm]Result)
+	for _, a := range flowmon.All() {
+		rec, err := flowmon.New(a, flowmon.Config{MemoryBytes: 64 << 10, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(rec, pkts, DefaultCostModel())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Ops.Packets != uint64(len(pkts)) {
+			t.Fatalf("%v processed %d packets, want %d", a, res.Ops.Packets, len(pkts))
+		}
+		results[a] = res
+	}
+
+	radar := results[flowmon.AlgorithmFlowRadar]
+	if got := radar.Ops.HashesPerPacket(); got != 7 {
+		t.Errorf("FlowRadar hashes/packet = %.2f, want 7", got)
+	}
+	for _, a := range []flowmon.Algorithm{
+		flowmon.AlgorithmHashFlow, flowmon.AlgorithmHashPipe, flowmon.AlgorithmElasticSketch,
+	} {
+		r := results[a]
+		if hp := r.Ops.HashesPerPacket(); hp > 4 {
+			t.Errorf("%v hashes/packet = %.2f, want <= 4", a, hp)
+		}
+		if r.ModeledKpps <= radar.ModeledKpps {
+			t.Errorf("%v modeled %.2f Kpps, should beat FlowRadar's %.2f",
+				a, r.ModeledKpps, radar.ModeledKpps)
+		}
+		if r.Ops.MemAccessesPerPacket() >= radar.Ops.MemAccessesPerPacket() {
+			t.Errorf("%v mem accesses %.2f, should be below FlowRadar's %.2f",
+				a, r.Ops.MemAccessesPerPacket(), radar.Ops.MemAccessesPerPacket())
+		}
+	}
+	for a, r := range results {
+		if r.MeasuredMpps <= 0 {
+			t.Errorf("%v measured throughput not positive", a)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package trace
+
+import "sort"
+
+// Stats summarizes a trace the way Table I of the paper does.
+type Stats struct {
+	Name     string
+	Flows    int
+	Packets  uint64
+	MaxSize  uint32
+	MeanSize float64
+	// Skew is the fraction of total packets carried by the largest 7.7% of
+	// flows, the statistic the paper quotes for the campus trace.
+	Skew float64
+}
+
+// ComputeStats derives Table I statistics from a trace.
+func ComputeStats(t *Trace) Stats {
+	s := Stats{
+		Name:    t.Profile.Name,
+		Flows:   len(t.Flows),
+		Packets: t.PacketCount(),
+	}
+	if len(t.Flows) == 0 {
+		return s
+	}
+	var topPkts uint64
+	topN := int(float64(len(t.Flows)) * 0.077)
+	for i, f := range t.Flows {
+		if f.Count > s.MaxSize {
+			s.MaxSize = f.Count
+		}
+		if i < topN {
+			topPkts += uint64(f.Count)
+		}
+	}
+	s.MeanSize = float64(s.Packets) / float64(s.Flows)
+	if s.Packets > 0 {
+		s.Skew = float64(topPkts) / float64(s.Packets)
+	}
+	return s
+}
+
+// CDFPoint is one point of the cumulative flow-size distribution (Fig. 3):
+// the fraction of flows whose size is <= Size.
+type CDFPoint struct {
+	Size    uint32
+	CumFrac float64
+}
+
+// SizeCDF returns the flow-size CDF sampled at every distinct flow size.
+func SizeCDF(t *Trace) []CDFPoint {
+	if len(t.Flows) == 0 {
+		return nil
+	}
+	sizes := make([]uint32, len(t.Flows))
+	for i, f := range t.Flows {
+		sizes[i] = f.Count
+	}
+	sort.Slice(sizes, func(i, j int) bool { return sizes[i] < sizes[j] })
+
+	var out []CDFPoint
+	n := float64(len(sizes))
+	for i := 0; i < len(sizes); {
+		j := i
+		for j < len(sizes) && sizes[j] == sizes[i] {
+			j++
+		}
+		out = append(out, CDFPoint{Size: sizes[i], CumFrac: float64(j) / n})
+		i = j
+	}
+	return out
+}
+
+// FracBelow returns the fraction of flows with fewer than limit packets,
+// used to check the ISP2 property (">99% of flows have <5 packets").
+func FracBelow(t *Trace, limit uint32) float64 {
+	if len(t.Flows) == 0 {
+		return 0
+	}
+	n := 0
+	for _, f := range t.Flows {
+		if f.Count < limit {
+			n++
+		}
+	}
+	return float64(n) / float64(len(t.Flows))
+}
