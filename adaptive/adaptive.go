@@ -98,6 +98,14 @@ func (m *Manager) Update(p flow.Packet) {
 	}
 }
 
+// UpdateBatch processes a batch of packets via the single-packet fallback
+// adapter: epoch boundaries are checked per packet, so the manager cannot
+// hand the whole batch to the recorder without risking a missed flush
+// inside the batch.
+func (m *Manager) UpdateBatch(pkts []flow.Packet) {
+	flowmon.UpdateAll(m, pkts)
+}
+
 // Flush ends the current epoch: hands the records to the flush callback,
 // resets the recorder, and starts the next epoch.
 func (m *Manager) Flush() {

@@ -8,11 +8,13 @@ import (
 	"fmt"
 	"testing"
 
+	"repro/collector"
 	"repro/experiments"
 	"repro/flow"
 	"repro/flowmon"
 	"repro/metrics"
 	"repro/model"
+	"repro/shard"
 	"repro/switchsim"
 	"repro/trace"
 )
@@ -49,6 +51,121 @@ func BenchmarkUpdate(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				rec.Update(pkts[i%len(pkts)])
 			}
+		})
+	}
+}
+
+// shardCounts is the sweep shared by the sharded ingestion benchmarks, so
+// the sequential/batched/async speedup is directly comparable per shard
+// count in the perf trajectory.
+var shardCounts = []int{1, 4, 8}
+
+// shardBatchSize is the ingestion batch size of the batched benchmarks.
+const shardBatchSize = 256
+
+// BenchmarkShardedSequential measures the pre-batching hot path: one mutex
+// acquisition per packet. The baseline the batched pipeline is judged
+// against.
+func BenchmarkShardedSequential(b *testing.B) {
+	pkts, _ := benchTrace(b, trace.CAIDA, benchFlows)
+	for _, n := range shardCounts {
+		b.Run(fmt.Sprintf("shards=%d", n), func(b *testing.B) {
+			s, err := shard.NewUniform(n, flowmon.AlgorithmHashFlow,
+				flowmon.Config{MemoryBytes: benchMemory, Seed: benchSeed})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Update(pkts[i%len(pkts)])
+			}
+		})
+	}
+}
+
+// BenchmarkShardedBatch measures the batched pipeline: route a batch into
+// per-shard staging buffers, then one lock acquisition per shard per batch.
+func BenchmarkShardedBatch(b *testing.B) {
+	pkts, _ := benchTrace(b, trace.CAIDA, benchFlows)
+	for _, n := range shardCounts {
+		b.Run(fmt.Sprintf("shards=%d", n), func(b *testing.B) {
+			s, err := shard.NewUniform(n, flowmon.AlgorithmHashFlow,
+				flowmon.Config{MemoryBytes: benchMemory, Seed: benchSeed})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			off := 0
+			for i := 0; i < b.N; i += shardBatchSize {
+				m := shardBatchSize
+				if b.N-i < m {
+					m = b.N - i
+				}
+				if off+m > len(pkts) {
+					off = 0
+				}
+				s.UpdateBatch(pkts[off : off+m])
+				off += m
+			}
+		})
+	}
+}
+
+// BenchmarkShardedAsync measures the asynchronous pipeline: the feeder only
+// routes and enqueues; per-shard workers record in parallel. Flush closes
+// the timing window so queued work is charged to the benchmark.
+func BenchmarkShardedAsync(b *testing.B) {
+	pkts, _ := benchTrace(b, trace.CAIDA, benchFlows)
+	for _, n := range shardCounts {
+		b.Run(fmt.Sprintf("shards=%d", n), func(b *testing.B) {
+			s, err := shard.NewUniformAsync(n, 0, flowmon.AlgorithmHashFlow,
+				flowmon.Config{MemoryBytes: benchMemory, Seed: benchSeed})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(s.Close)
+			b.ReportAllocs()
+			b.ResetTimer()
+			off := 0
+			for i := 0; i < b.N; i += shardBatchSize {
+				m := shardBatchSize
+				if b.N-i < m {
+					m = b.N - i
+				}
+				if off+m > len(pkts) {
+					off = 0
+				}
+				s.UpdateBatch(pkts[off : off+m])
+				off += m
+			}
+			s.Flush()
+		})
+	}
+}
+
+// BenchmarkIngestPipeline measures the full end-to-end path the collector
+// exposes: Ingestor batching feeding a sharded recorder.
+func BenchmarkIngestPipeline(b *testing.B) {
+	pkts, _ := benchTrace(b, trace.CAIDA, benchFlows)
+	for _, n := range shardCounts {
+		b.Run(fmt.Sprintf("shards=%d", n), func(b *testing.B) {
+			s, err := shard.NewUniform(n, flowmon.AlgorithmHashFlow,
+				flowmon.Config{MemoryBytes: benchMemory, Seed: benchSeed})
+			if err != nil {
+				b.Fatal(err)
+			}
+			g, err := collector.NewIngestor(s, shardBatchSize)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				g.Add(pkts[i%len(pkts)])
+			}
+			g.Flush()
 		})
 	}
 }

@@ -7,7 +7,9 @@
 //
 // Experiments: table1, fig2, fig3, fig4, fig5, fig6, fig7, fig8, fig9,
 // fig10, fig11, all — plus extras, which compares the beyond-paper
-// recorders (sampled NetFlow, cuckoo, Space-Saving) against HashFlow.
+// recorders (sampled NetFlow, cuckoo, Space-Saving) against HashFlow, and
+// pipeline, which measures end-to-end ingestion throughput of the sharded
+// recorder (per-packet vs batched vs async across shard counts).
 //
 // Flags:
 //
@@ -21,8 +23,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
+	"repro/collector"
 	"repro/experiments"
+	"repro/flowmon"
+	"repro/shard"
 	"repro/trace"
 )
 
@@ -48,7 +54,7 @@ func run(args []string, w io.Writer) error {
 		return err
 	}
 	if fs.NArg() != 1 {
-		return fmt.Errorf("usage: flowbench [flags] <table1|fig2|...|fig11|extras|all>")
+		return fmt.Errorf("usage: flowbench [flags] <table1|fig2|...|fig11|extras|pipeline|all>")
 	}
 	cfg := config{mem: *mem, seed: *seed, quick: *quick}
 
@@ -204,7 +210,66 @@ func runOne(name string, cfg config, w io.Writer) error {
 		}
 		return experiments.WriteTSV(w, header, rows)
 
+	case "pipeline":
+		return runPipeline(cfg, w)
+
 	default:
 		return fmt.Errorf("unknown experiment %q", name)
 	}
+}
+
+// runPipeline measures wall-clock ingestion throughput of the sharded
+// recorder end to end: the per-packet sequential path, the staged batch
+// path (one lock per shard per batch, via the collector ingestor), and the
+// asynchronous path (per-shard workers), across shard counts.
+func runPipeline(cfg config, w io.Writer) error {
+	tr, err := trace.Generate(trace.CAIDA, cfg.flows(100000), cfg.seed)
+	if err != nil {
+		return err
+	}
+	pkts := tr.Packets(cfg.seed)
+	if _, err := fmt.Fprintln(w, "shards\tmode\tbatch\tpackets\tns_per_pkt\tMpps"); err != nil {
+		return err
+	}
+	mcfg := flowmon.Config{MemoryBytes: cfg.mem, Seed: cfg.seed}
+	for _, shards := range []int{1, 4, 8} {
+		for _, mode := range []string{"sequential", "batched", "async"} {
+			var s *shard.Sharded
+			if mode == "async" {
+				s, err = shard.NewUniformAsync(shards, 0, flowmon.AlgorithmHashFlow, mcfg)
+			} else {
+				s, err = shard.NewUniform(shards, flowmon.AlgorithmHashFlow, mcfg)
+			}
+			if err != nil {
+				return err
+			}
+
+			batch := 1
+			start := time.Now()
+			if mode == "sequential" {
+				for _, p := range pkts {
+					s.Update(p)
+				}
+			} else {
+				batch = collector.DefaultBatchSize
+				if err := collector.Replay(s, pkts, batch); err != nil {
+					return err
+				}
+				s.Flush()
+			}
+			elapsed := time.Since(start)
+			s.Close()
+
+			if got := s.OpStats().Packets; got != uint64(len(pkts)) {
+				return fmt.Errorf("pipeline %s/%d: recorded %d packets, want %d", mode, shards, got, len(pkts))
+			}
+			nsPkt := float64(elapsed.Nanoseconds()) / float64(len(pkts))
+			mpps := float64(len(pkts)) / elapsed.Seconds() / 1e6
+			if _, err := fmt.Fprintf(w, "%d\t%s\t%d\t%d\t%.1f\t%.3f\n",
+				shards, mode, batch, len(pkts), nsPkt, mpps); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }

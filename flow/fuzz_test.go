@@ -1,0 +1,64 @@
+package flow_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/flow"
+)
+
+// FuzzKeyWords exercises the key codec round-trips that the whole data
+// path leans on: bytes -> Key -> bytes must be the identity, the two-word
+// packing must stay within 104 significant bits and remain injective, and
+// XOR must behave as the involution FlowRadar's coded flow set requires.
+func FuzzKeyWords(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(make([]byte, flow.KeyBytes))
+	f.Add([]byte{0xC0, 0xA8, 0x00, 0x01, 0x0A, 0x00, 0x00, 0x02, 0x1F, 0x90, 0x00, 0x50, 0x06})
+	f.Add(bytes.Repeat([]byte{0xFF}, flow.KeyBytes))
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		k, err := flow.KeyFromBytes(b)
+		if len(b) != flow.KeyBytes {
+			if err == nil {
+				t.Fatalf("KeyFromBytes accepted %d bytes", len(b))
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("KeyFromBytes rejected %d bytes: %v", len(b), err)
+		}
+
+		enc := k.AppendBytes(nil)
+		if !bytes.Equal(enc, b) {
+			t.Fatalf("encode round trip: got %x, want %x", enc, b)
+		}
+		back, err := flow.KeyFromBytes(enc)
+		if err != nil || back != k {
+			t.Fatalf("decode round trip: got %+v (%v), want %+v", back, err, k)
+		}
+
+		w1, w2 := k.Words()
+		if w2>>40 != 0 {
+			t.Fatalf("Words packing exceeds 104 bits: w2 = %#x", w2)
+		}
+		unpacked := flow.Key{
+			SrcIP:   uint32(w1 >> 32),
+			DstIP:   uint32(w1),
+			SrcPort: uint16(w2 >> 24),
+			DstPort: uint16(w2 >> 8),
+			Proto:   uint8(w2),
+		}
+		if unpacked != k {
+			t.Fatalf("Words packing not injective: %+v unpacked to %+v", k, unpacked)
+		}
+
+		if !k.XOR(k).IsZero() {
+			t.Fatalf("k XOR k != 0 for %+v", k)
+		}
+		other := flow.Key{SrcIP: 0xDEADBEEF, DstIP: 0x01020304, SrcPort: 443, DstPort: 51234, Proto: 17}
+		if k.XOR(other).XOR(other) != k {
+			t.Fatalf("XOR not an involution for %+v", k)
+		}
+	})
+}

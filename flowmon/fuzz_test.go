@@ -1,0 +1,37 @@
+package flowmon_test
+
+import (
+	"testing"
+
+	"repro/flowmon"
+)
+
+// FuzzParseAlgorithm exercises the name round-trip: any input that parses
+// must stringify back to itself, and the stringified form must re-parse to
+// the same algorithm.
+func FuzzParseAlgorithm(f *testing.F) {
+	for _, a := range append(flowmon.All(), flowmon.Extras()...) {
+		f.Add(a.String())
+	}
+	f.Add("")
+	f.Add("hashflow")
+	f.Add("HashFlow ")
+	f.Add("Algorithm(3)")
+
+	f.Fuzz(func(t *testing.T, name string) {
+		a, err := flowmon.ParseAlgorithm(name)
+		if err != nil {
+			return
+		}
+		if got := a.String(); got != name {
+			t.Fatalf("ParseAlgorithm(%q) = %v, but String() = %q", name, a, got)
+		}
+		back, err := flowmon.ParseAlgorithm(a.String())
+		if err != nil {
+			t.Fatalf("round-trip parse of %q failed: %v", a.String(), err)
+		}
+		if back != a {
+			t.Fatalf("round trip changed algorithm: %v -> %v", a, back)
+		}
+	})
+}

@@ -235,6 +235,88 @@ func (h *HashFlow) Update(p flow.Packet) {
 	}
 }
 
+// UpdateBatch processes pkts in order with the same semantics as repeated
+// Update calls. The batched path amortizes per-packet overhead: the first
+// probe hash is computed once and shared with the digest derivation
+// (Update derives the digest by re-evaluating hash 0), invariant loads are
+// hoisted out of the packet loop, and operation counters accumulate in a
+// register-resident struct flushed once per batch.
+func (h *HashFlow) UpdateBatch(pkts []flow.Packet) {
+	var ops flow.OpStats
+	depth := h.cfg.Depth
+	t0len := uint64(len(h.tables[0]))
+	ancLen := uint64(len(h.anc))
+	dmask := h.dmask
+
+	for pi := range pkts {
+		p := &pkts[pi]
+		ops.Packets++
+		w1, w2 := p.Key.Words()
+
+		h0 := h.family.Hash(0, w1, w2)
+		digest := uint8(h0) & dmask
+
+		minCount := uint32(math.MaxUint32)
+		posT, posI := -1, uint64(0)
+		placed := false
+		for k := 0; k < depth; k++ {
+			ops.Hashes++
+			var t int
+			var i uint64
+			if k == 0 {
+				// Both layouts probe tables[0] with hash 0 first.
+				t, i = 0, hashing.Reduce(h0, t0len)
+			} else {
+				t, i = h.probe(k, w1, w2)
+			}
+			b := &h.tables[t][i]
+			ops.MemAccesses++
+			if b.count == 0 {
+				b.key = p.Key
+				b.count = 1
+				ops.MemAccesses++
+				placed = true
+				break
+			}
+			if b.key == p.Key {
+				b.count++
+				ops.MemAccesses++
+				placed = true
+				break
+			}
+			if b.count < minCount {
+				minCount = b.count
+				posT, posI = t, i
+			}
+		}
+		if placed {
+			continue
+		}
+
+		ops.Hashes++
+		ai := hashing.Reduce(h.family.Hash(depth, w1, w2), ancLen)
+		a := &h.anc[ai]
+		ops.MemAccesses++
+		switch {
+		case a.count == 0 || a.digest != digest:
+			a.digest = digest
+			a.count = 1
+			ops.MemAccesses++
+		case uint32(a.count) < minCount || h.cfg.DisablePromotion:
+			if a.count < math.MaxUint8 {
+				a.count++
+				ops.MemAccesses++
+			}
+		default:
+			mb := &h.tables[posT][posI]
+			mb.key = p.Key
+			mb.count = uint32(a.count) + 1
+			ops.MemAccesses++
+		}
+	}
+	h.ops = h.ops.Add(ops)
+}
+
 // EstimateSize returns the recorded packet count for a flow: the exact
 // main-table count if present, else the ancillary count if the digest
 // matches, else 0.

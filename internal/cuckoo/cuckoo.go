@@ -86,6 +86,12 @@ func New(cfg Config) (*Table, error) {
 // bucket returns the slot slice of the key's bucket in the given table.
 func (t *Table) bucket(table int, k flow.Key) []cell {
 	w1, w2 := k.Words()
+	return t.bucketW(table, w1, w2)
+}
+
+// bucketW is bucket with the key already packed, so batched callers pack
+// each key once instead of once per candidate table.
+func (t *Table) bucketW(table int, w1, w2 uint64) []cell {
 	b := t.family.Bucket(table, w1, w2, t.buckets)
 	return t.tables[table][b*BucketSlots : (b+1)*BucketSlots]
 }
@@ -144,6 +150,69 @@ func (t *Table) Update(p flow.Packet) {
 	}
 	// Kick cap reached: the record in hand — and its whole count — is lost.
 	t.evicted++
+}
+
+// UpdateBatch processes pkts in order with the same semantics as repeated
+// Update calls — RNG draws for displacement happen in identical order —
+// packing each key into its two hash words once per packet instead of once
+// per candidate bucket, and batching the statistics writes.
+func (t *Table) UpdateBatch(pkts []flow.Packet) {
+	var ops flow.OpStats
+
+outer:
+	for pi := range pkts {
+		p := &pkts[pi]
+		ops.Packets++
+		w1, w2 := p.Key.Words()
+
+		for i := 0; i < numTables; i++ {
+			ops.Hashes++
+			b := t.bucketW(i, w1, w2)
+			ops.MemAccesses++
+			for s := range b {
+				if b[s].count > 0 && b[s].key == p.Key {
+					b[s].count++
+					ops.MemAccesses++
+					continue outer
+				}
+			}
+			for s := range b {
+				if b[s].count == 0 {
+					b[s] = cell{key: p.Key, count: 1}
+					ops.MemAccesses++
+					continue outer
+				}
+			}
+		}
+
+		carried := cell{key: p.Key, count: 1}
+		cw1, cw2 := w1, w2
+		table := t.rng.IntN(numTables)
+		for kick := 0; kick < t.cfg.MaxKicks; kick++ {
+			ops.Hashes++
+			b := t.bucketW(table, cw1, cw2)
+			ops.MemAccesses += 2
+			victim := t.rng.IntN(BucketSlots)
+			carried, b[victim] = b[victim], carried
+			if carried.count == 0 {
+				continue outer
+			}
+			cw1, cw2 = carried.key.Words()
+			table = 1 - table
+			alt := t.bucketW(table, cw1, cw2)
+			ops.Hashes++
+			ops.MemAccesses++
+			for s := range alt {
+				if alt[s].count == 0 {
+					alt[s] = carried
+					ops.MemAccesses++
+					continue outer
+				}
+			}
+		}
+		t.evicted++
+	}
+	t.ops = t.ops.Add(ops)
 }
 
 // EstimateSize returns the stored count of a flow, 0 if absent.

@@ -142,6 +142,58 @@ func (e *Elastic) Update(p flow.Packet) {
 	e.ops.MemAccesses += 2
 }
 
+// UpdateBatch processes pkts in order with the same semantics as repeated
+// Update calls, hoisting the sub-table slice headers and the λ threshold
+// out of the packet loop and flushing operation counters once per batch.
+func (e *Elastic) UpdateBatch(pkts []flow.Packet) {
+	var ops flow.OpStats
+	heavy := e.heavy
+	lambda := uint32(e.cfg.Lambda)
+
+outer:
+	for pi := range pkts {
+		p := &pkts[pi]
+		ops.Packets++
+		w1, w2 := p.Key.Words()
+
+		var minB *heavyBucket
+		for s := range heavy {
+			idx := e.family.Bucket(s, w1, w2, uint64(len(heavy[s])))
+			ops.Hashes++
+			ops.MemAccesses++
+			b := &heavy[s][idx]
+			if b.votePlus == 0 {
+				*b = heavyBucket{key: p.Key, votePlus: 1}
+				ops.MemAccesses++
+				continue outer
+			}
+			if b.key == p.Key {
+				b.votePlus++
+				ops.MemAccesses++
+				continue outer
+			}
+			if minB == nil || b.votePlus < minB.votePlus {
+				minB = b
+			}
+		}
+
+		minB.voteMinus++
+		ops.MemAccesses++
+		if minB.voteMinus >= lambda*minB.votePlus {
+			ew1, ew2 := minB.key.Words()
+			e.light.Add(ew1, ew2, minB.votePlus)
+			ops.Hashes++
+			*minB = heavyBucket{key: p.Key, votePlus: 1, voteMinus: 1, flag: true}
+			ops.MemAccesses++
+			continue
+		}
+		e.light.Add(w1, w2, 1)
+		ops.Hashes++
+		ops.MemAccesses += 2
+	}
+	e.ops = e.ops.Add(ops)
+}
+
 // EstimateSize returns vote+ for heavy-part flows (plus the light estimate
 // when the flag indicates spilled packets), or the light estimate alone.
 func (e *Elastic) EstimateSize(k flow.Key) uint32 {

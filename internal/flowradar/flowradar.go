@@ -149,6 +149,50 @@ func (fr *FlowRadar) Update(p flow.Packet) {
 	}
 }
 
+// UpdateBatch processes pkts in order with the same semantics as repeated
+// Update calls. The batched path probes the Bloom filter once per packet
+// via AddIfMissing (Update's Contains-then-Add hashes each new flow's key
+// twice), reuses one position scratch buffer across the whole batch, and
+// flushes operation counters once. The reported OpStats are identical to
+// the sequential path: they model switch cost, where the membership probe
+// and the bit writes share one hash evaluation.
+func (fr *FlowRadar) UpdateBatch(pkts []flow.Packet) {
+	if len(pkts) == 0 {
+		return
+	}
+	fr.decodeDone = false
+	var ops flow.OpStats
+	bloomHashes := uint64(fr.cfg.BloomHashes)
+	cellHashes := uint64(fr.cfg.CellHashes)
+	var posBuf [8]uint64
+
+	for pi := range pkts {
+		p := &pkts[pi]
+		ops.Packets++
+		w1, w2 := p.Key.Words()
+
+		isNew := fr.bloom.AddIfMissing(w1, w2)
+		ops.Hashes += bloomHashes
+		ops.MemAccesses += bloomHashes
+		if isNew {
+			ops.MemAccesses += bloomHashes
+		}
+
+		pos := fr.positions(w1, w2, posBuf[:0])
+		ops.Hashes += cellHashes
+		for _, idx := range pos {
+			c := &fr.cells[idx]
+			ops.MemAccesses += 2
+			if isNew {
+				c.flowXOR = c.flowXOR.XOR(p.Key)
+				c.flowCount++
+			}
+			c.packetCount++
+		}
+	}
+	fr.ops = fr.ops.Add(ops)
+}
+
 // decode runs singleton peeling over a scratch copy of the counting table
 // and caches the recovered records.
 func (fr *FlowRadar) decode() {

@@ -96,6 +96,31 @@ func (r *Recorder) Update(p flow.Packet) {
 	r.ops.MemAccesses++
 }
 
+// UpdateBatch processes pkts in order with the same semantics as repeated
+// Update calls — the sampler consumes RNG draws in identical order — while
+// hoisting the rate check and batching the statistics writes. Most packets
+// fail the sampler, so the batched loop is little more than RNG draws.
+func (r *Recorder) UpdateBatch(pkts []flow.Packet) {
+	var ops flow.OpStats
+	rate := r.cfg.Rate
+	for pi := range pkts {
+		ops.Packets++
+		if rate > 1 && r.rng.IntN(rate) != 0 {
+			continue
+		}
+		r.sampled++
+		ops.MemAccesses++
+		k := pkts[pi].Key
+		if _, ok := r.counts[k]; !ok && len(r.counts) >= r.capacity {
+			r.dropped++
+			continue
+		}
+		r.counts[k]++
+		ops.MemAccesses++
+	}
+	r.ops = r.ops.Add(ops)
+}
+
 // EstimateSize returns the sampled count scaled by the sampling rate, the
 // standard NetFlow inversion.
 func (r *Recorder) EstimateSize(k flow.Key) uint32 {

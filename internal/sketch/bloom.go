@@ -61,6 +61,25 @@ func (b *Bloom) Add(w1, w2 uint64) {
 	}
 }
 
+// AddIfMissing inserts the key and reports whether any of its bits were
+// previously unset, i.e. whether Contains would have returned false. It
+// probes the filter once, where a Contains-then-Add sequence hashes the key
+// twice; batched callers use it to halve per-packet Bloom hashing. The
+// resulting filter state is identical to Contains followed by Add.
+func (b *Bloom) AddIfMissing(w1, w2 uint64) bool {
+	missing := false
+	for i := 0; i < b.k; i++ {
+		pos := b.family.Bucket(i, w1, w2, b.bitsLen)
+		b.touched++
+		word, bit := pos>>6, uint64(1)<<(pos&63)
+		if b.words[word]&bit == 0 {
+			missing = true
+			b.words[word] |= bit
+		}
+	}
+	return missing
+}
+
 // SetBits returns the number of bits currently set.
 func (b *Bloom) SetBits() int {
 	n := 0

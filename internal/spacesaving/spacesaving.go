@@ -90,6 +90,39 @@ func (s *Summary) Update(p flow.Packet) {
 	s.ops.MemAccesses += 2
 }
 
+// UpdateBatch processes pkts in order with the same semantics as repeated
+// Update calls. Space-Saving is map- and heap-bound, so the only batchable
+// overhead is the statistics bookkeeping, flushed once per batch.
+func (s *Summary) UpdateBatch(pkts []flow.Packet) {
+	var ops flow.OpStats
+	for pi := range pkts {
+		k := pkts[pi].Key
+		ops.Packets++
+		ops.MemAccesses++
+		if e, ok := s.entries[k]; ok {
+			e.count++
+			heap.Fix(&s.h, e.idx)
+			ops.MemAccesses++
+			continue
+		}
+		if len(s.entries) < s.capacity {
+			e := &entry{key: k, count: 1}
+			s.entries[k] = e
+			heap.Push(&s.h, e)
+			ops.MemAccesses++
+			continue
+		}
+		min := s.h[0]
+		delete(s.entries, min.key)
+		newEntry := &entry{key: k, count: min.count + 1, err: min.count, idx: 0}
+		s.entries[k] = newEntry
+		s.h[0] = newEntry
+		heap.Fix(&s.h, 0)
+		ops.MemAccesses += 2
+	}
+	s.ops = s.ops.Add(ops)
+}
+
 // EstimateSize returns the (over)estimated count of a tracked flow, 0 if
 // untracked. Space-Saving guarantees estimate >= true count for tracked
 // flows.

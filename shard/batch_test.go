@@ -1,0 +1,207 @@
+package shard
+
+import (
+	"bytes"
+	"sort"
+	"sync"
+	"testing"
+
+	"repro/flow"
+	"repro/flowmon"
+	"repro/trace"
+)
+
+func batchTrace(t *testing.T, flows int, seed uint64) []flow.Packet {
+	t.Helper()
+	tr, err := trace.Generate(trace.Campus, flows, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr.Packets(seed)
+}
+
+func sortedRecords(recs []flow.Record) []flow.Record {
+	sort.Slice(recs, func(i, j int) bool {
+		return bytes.Compare(recs[i].Key.AppendBytes(nil), recs[j].Key.AppendBytes(nil)) < 0
+	})
+	return recs
+}
+
+// TestShardedBatchMatchesSequential: from a single feeder, the staged
+// batch path preserves per-shard packet order, so the final state must be
+// byte-identical to per-packet updates.
+func TestShardedBatchMatchesSequential(t *testing.T) {
+	pkts := batchTrace(t, 5000, 21)
+	for _, shards := range []int{1, 4, 7} {
+		seq := newSharded(t, shards)
+		bat := newSharded(t, shards)
+
+		for _, p := range pkts {
+			seq.Update(p)
+		}
+		for i := 0; i < len(pkts); i += 333 {
+			end := i + 333
+			if end > len(pkts) {
+				end = len(pkts)
+			}
+			bat.UpdateBatch(pkts[i:end])
+		}
+
+		if s, b := seq.OpStats(), bat.OpStats(); s != b {
+			t.Errorf("shards=%d: OpStats diverge: %+v vs %+v", shards, s, b)
+		}
+		if s, b := seq.EstimateCardinality(), bat.EstimateCardinality(); s != b {
+			t.Errorf("shards=%d: cardinality diverges: %v vs %v", shards, s, b)
+		}
+		sr, br := sortedRecords(seq.Records()), sortedRecords(bat.Records())
+		if len(sr) != len(br) {
+			t.Fatalf("shards=%d: record counts diverge: %d vs %d", shards, len(sr), len(br))
+		}
+		for i := range sr {
+			if sr[i] != br[i] {
+				t.Fatalf("shards=%d: record %d diverges: %+v vs %+v", shards, i, sr[i], br[i])
+			}
+		}
+	}
+}
+
+// TestAsyncMatchesSync: with a single feeder each shard queue receives its
+// sub-batches in feed order, so after the Flush barrier the async pipeline
+// is byte-identical to the synchronous one.
+func TestAsyncMatchesSync(t *testing.T) {
+	pkts := batchTrace(t, 5000, 23)
+	cfg := flowmon.Config{MemoryBytes: 256 << 10, Seed: 1}
+
+	sync1, err := NewUniform(4, flowmon.AlgorithmHashFlow, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	async1, err := NewUniformAsync(4, 8, flowmon.AlgorithmHashFlow, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer async1.Close()
+	if !async1.Async() || sync1.Async() {
+		t.Fatal("Async() flags wrong")
+	}
+
+	for i := 0; i < len(pkts); i += 500 {
+		end := i + 500
+		if end > len(pkts) {
+			end = len(pkts)
+		}
+		sync1.UpdateBatch(pkts[i:end])
+		async1.UpdateBatch(pkts[i:end])
+	}
+	async1.Flush()
+
+	if s, a := sync1.OpStats(), async1.OpStats(); s != a {
+		t.Errorf("OpStats diverge: sync %+v, async %+v", s, a)
+	}
+	sr, ar := sortedRecords(sync1.Records()), sortedRecords(async1.Records())
+	if len(sr) != len(ar) {
+		t.Fatalf("record counts diverge: sync %d, async %d", len(sr), len(ar))
+	}
+	for i := range sr {
+		if sr[i] != ar[i] {
+			t.Fatalf("record %d diverges: sync %+v, async %+v", i, sr[i], ar[i])
+		}
+	}
+}
+
+// TestAsyncCloseSemantics: Close is idempotent, and a closed recorder
+// remains usable through the synchronous fallback path.
+func TestAsyncCloseSemantics(t *testing.T) {
+	s, err := NewUniformAsync(4, 0, flowmon.AlgorithmHashFlow, flowmon.Config{MemoryBytes: 128 << 10, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkts := batchTrace(t, 1000, 29)
+
+	s.UpdateBatch(pkts[:500])
+	s.Close()
+	s.Close() // idempotent
+	s.Flush() // no-op after Close
+
+	s.UpdateBatch(pkts[500:]) // falls back to the synchronous path
+	s.Update(pkts[0])
+
+	if got, want := s.OpStats().Packets, uint64(len(pkts)+1); got != want {
+		t.Errorf("processed %d packets, want %d", got, want)
+	}
+	if len(s.Records()) == 0 {
+		t.Error("no records after Close")
+	}
+}
+
+// TestConcurrentBatchRace is the race-detector stress test: concurrent
+// batched writers against concurrent readers, in both modes. Run with
+// -race in CI.
+func TestConcurrentBatchRace(t *testing.T) {
+	pkts := batchTrace(t, 4000, 31)
+	for _, mode := range []string{"sync", "async"} {
+		t.Run(mode, func(t *testing.T) {
+			var s *Sharded
+			var err error
+			cfg := flowmon.Config{MemoryBytes: 256 << 10, Seed: 5}
+			if mode == "async" {
+				s, err = NewUniformAsync(4, 4, flowmon.AlgorithmHashFlow, cfg)
+			} else {
+				s, err = NewUniform(4, flowmon.AlgorithmHashFlow, cfg)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			const writers = 4
+			var wg sync.WaitGroup
+			for w := 0; w < writers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					part := pkts[w*len(pkts)/writers : (w+1)*len(pkts)/writers]
+					for i := 0; i < len(part); i += 64 {
+						end := i + 64
+						if end > len(part) {
+							end = len(part)
+						}
+						s.UpdateBatch(part[i:end])
+					}
+				}(w)
+			}
+			for r := 0; r < 2; r++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < 25; i++ {
+						_ = s.Records()
+						_ = s.EstimateSize(pkts[i].Key)
+						_ = s.EstimateCardinality()
+						_ = s.OpStats()
+					}
+				}()
+			}
+			wg.Wait()
+			s.Close()
+
+			if got := s.OpStats().Packets; got != uint64(len(pkts)) {
+				t.Errorf("processed %d packets, want %d", got, len(pkts))
+			}
+		})
+	}
+}
+
+// TestFeedParallelBatchedPath: FeedParallel now rides the batched pipeline
+// and must still deliver every packet exactly once.
+func TestFeedParallelBatchedPath(t *testing.T) {
+	pkts := batchTrace(t, 3000, 37)
+	s, err := NewUniformAsync(4, 8, flowmon.AlgorithmHashFlow, flowmon.Config{MemoryBytes: 256 << 10, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.FeedParallel(pkts, 4)
+	if got := s.OpStats().Packets; got != uint64(len(pkts)) {
+		t.Errorf("processed %d packets, want %d", got, len(pkts))
+	}
+}

@@ -4,6 +4,14 @@
 // lands in the same shard, every per-flow property of the underlying
 // algorithm is preserved, while multiple cores can feed packets in
 // parallel — the software analogue of a multi-pipeline switch ASIC.
+//
+// The ingestion hot path is batched: UpdateBatch routes a whole batch into
+// per-shard staging buffers and drains each shard's sub-batch under a
+// single lock acquisition, so the mutex is taken once per shard per batch
+// instead of once per packet. An optional asynchronous mode decouples
+// routing from recording entirely: each shard owns a worker goroutine fed
+// by a bounded channel of sub-batches, and Flush/Close provide the
+// ingestion barrier and orderly teardown.
 package shard
 
 import (
@@ -19,10 +27,30 @@ import (
 // families used inside the recorders.
 const shardSeed = 0x5ead
 
+// DefaultQueueDepth is the per-shard channel capacity (in sub-batches) of
+// the asynchronous mode when the constructor is given a depth <= 0.
+const DefaultQueueDepth = 16
+
 // Sharded fans packets out over per-shard recorders. It implements
 // flowmon.Recorder itself.
 type Sharded struct {
 	shards []shardSlot
+
+	// staging pools per-call routing buffers so concurrent feeders do not
+	// contend on one scratch area and steady-state ingestion is
+	// allocation-free. chunks recycles the sub-batch buffers whose
+	// ownership passed to the async workers.
+	staging sync.Pool
+	chunks  sync.Pool
+
+	// Asynchronous mode.
+	async   bool
+	queues  []chan task
+	workers sync.WaitGroup
+	// stateMu guards closed against concurrent enqueues: enqueuers hold the
+	// read side, Close holds the write side while closing the queues.
+	stateMu sync.RWMutex
+	closed  bool
 }
 
 type shardSlot struct {
@@ -31,15 +59,45 @@ type shardSlot struct {
 	_   [40]byte // pad to keep hot locks on separate cache lines
 }
 
+// task is one unit of work on a shard queue: either a sub-batch of packets
+// for the shard's recorder, or (when ack is non-nil) a flush barrier that
+// the worker acknowledges once every earlier task has been applied.
+type task struct {
+	pkts []flow.Packet
+	ack  chan<- struct{}
+}
+
+// stagingBufs is the per-call routing scratch: one packet buffer per shard.
+type stagingBufs struct {
+	bufs [][]flow.Packet
+}
+
 var _ flowmon.Recorder = (*Sharded)(nil)
 
-// New builds n shards using factory to construct each shard's recorder.
-// Give each shard 1/n of the total memory budget to keep comparisons fair.
+// New builds n synchronous shards using factory to construct each shard's
+// recorder. Give each shard 1/n of the total memory budget to keep
+// comparisons fair.
 func New(n int, factory func(i int) (flowmon.Recorder, error)) (*Sharded, error) {
+	return build(n, false, 0, factory)
+}
+
+// NewAsync builds n shards in asynchronous mode: each shard runs a worker
+// goroutine consuming sub-batches from a bounded channel of queueDepth
+// batches (DefaultQueueDepth if <= 0). UpdateBatch only routes and
+// enqueues; recording happens on the workers. Call Flush for an ingestion
+// barrier and Close to stop the workers when done.
+func NewAsync(n, queueDepth int, factory func(i int) (flowmon.Recorder, error)) (*Sharded, error) {
+	return build(n, true, queueDepth, factory)
+}
+
+func build(n int, async bool, queueDepth int, factory func(i int) (flowmon.Recorder, error)) (*Sharded, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("shard: need at least one shard, got %d", n)
 	}
 	s := &Sharded{shards: make([]shardSlot, n)}
+	s.staging.New = func() any {
+		return &stagingBufs{bufs: make([][]flow.Packet, n)}
+	}
 	for i := range s.shards {
 		rec, err := factory(i)
 		if err != nil {
@@ -50,42 +108,216 @@ func New(n int, factory func(i int) (flowmon.Recorder, error)) (*Sharded, error)
 		}
 		s.shards[i].rec = rec
 	}
+	if async {
+		if queueDepth <= 0 {
+			queueDepth = DefaultQueueDepth
+		}
+		s.async = true
+		s.queues = make([]chan task, n)
+		for i := range s.queues {
+			s.queues[i] = make(chan task, queueDepth)
+		}
+		s.workers.Add(n)
+		for i := range s.queues {
+			go s.worker(i)
+		}
+	}
 	return s, nil
 }
 
-// NewUniform builds n shards of the same algorithm, splitting cfg's memory
-// budget evenly.
+// NewUniform builds n synchronous shards of the same algorithm, splitting
+// cfg's memory budget evenly.
 func NewUniform(n int, a flowmon.Algorithm, cfg flowmon.Config) (*Sharded, error) {
-	if n < 1 {
-		return nil, fmt.Errorf("shard: need at least one shard, got %d", n)
+	return New(n, uniformFactory(n, a, cfg))
+}
+
+// NewUniformAsync is NewUniform in asynchronous mode (see NewAsync).
+func NewUniformAsync(n, queueDepth int, a flowmon.Algorithm, cfg flowmon.Config) (*Sharded, error) {
+	return NewAsync(n, queueDepth, uniformFactory(n, a, cfg))
+}
+
+func uniformFactory(n int, a flowmon.Algorithm, cfg flowmon.Config) func(i int) (flowmon.Recorder, error) {
+	per := 0
+	if n > 0 {
+		per = cfg.MemoryBytes / n
 	}
-	per := cfg.MemoryBytes / n
-	return New(n, func(i int) (flowmon.Recorder, error) {
+	return func(i int) (flowmon.Recorder, error) {
 		c := cfg
 		c.MemoryBytes = per
 		c.Seed = cfg.Seed + uint64(i)*0x9E37
 		return flowmon.New(a, c)
-	})
+	}
 }
 
 // Shards returns the number of shards.
 func (s *Sharded) Shards() int { return len(s.shards) }
 
-func (s *Sharded) route(k flow.Key) *shardSlot {
+// Async reports whether the recorder runs in asynchronous mode.
+func (s *Sharded) Async() bool { return s.async }
+
+func (s *Sharded) routeIdx(k flow.Key) int {
 	w1, w2 := k.Words()
-	return &s.shards[hashing.Reduce(hashing.KeyHash(shardSeed, w1, w2), uint64(len(s.shards)))]
+	return int(hashing.Reduce(hashing.KeyHash(shardSeed, w1, w2), uint64(len(s.shards))))
 }
 
-// Update processes one packet, locking only the owning shard.
+// Update processes one packet, locking only the owning shard. In
+// asynchronous mode single-packet updates bypass the queues (the per-shard
+// mutex serializes them against the workers); interleave Update with
+// in-flight UpdateBatch traffic only if cross-path packet ordering does
+// not matter, or call Flush first.
 func (s *Sharded) Update(p flow.Packet) {
-	slot := s.route(p.Key)
+	slot := &s.shards[s.routeIdx(p.Key)]
 	slot.mu.Lock()
 	slot.rec.Update(p)
 	slot.mu.Unlock()
 }
 
+// UpdateBatch routes the batch into per-shard staging buffers and drains
+// each shard's sub-batch under one lock acquisition. Packet order within a
+// flow is preserved: a flow always routes to the same shard, and its
+// packets stay in batch order inside that shard's sub-batch. In
+// asynchronous mode the sub-batches are enqueued to the shard workers and
+// this call returns without waiting for them to be recorded.
+func (s *Sharded) UpdateBatch(pkts []flow.Packet) {
+	if len(pkts) == 0 {
+		return
+	}
+	if len(s.shards) == 1 && !s.async {
+		slot := &s.shards[0]
+		slot.mu.Lock()
+		slot.rec.UpdateBatch(pkts)
+		slot.mu.Unlock()
+		return
+	}
+
+	st := s.staging.Get().(*stagingBufs)
+	for _, p := range pkts {
+		i := s.routeIdx(p.Key)
+		buf := st.bufs[i]
+		if buf == nil {
+			buf = s.chunk()
+		}
+		st.bufs[i] = append(buf, p)
+	}
+
+	if s.async {
+		s.stateMu.RLock()
+		if !s.closed {
+			for i := range st.bufs {
+				if len(st.bufs[i]) == 0 {
+					continue
+				}
+				// Ownership of the buffer passes to the worker; the staging
+				// slot restarts empty and the worker's buffer is recycled
+				// through the pool once recorded.
+				s.queues[i] <- task{pkts: st.bufs[i]}
+				st.bufs[i] = nil
+			}
+			s.stateMu.RUnlock()
+			s.staging.Put(st)
+			return
+		}
+		s.stateMu.RUnlock()
+		// Closed: fall through to the synchronous drain below.
+	}
+
+	for i := range st.bufs {
+		if len(st.bufs[i]) == 0 {
+			continue
+		}
+		slot := &s.shards[i]
+		slot.mu.Lock()
+		slot.rec.UpdateBatch(st.bufs[i])
+		slot.mu.Unlock()
+		st.bufs[i] = st.bufs[i][:0]
+	}
+	s.staging.Put(st)
+}
+
+// worker drains one shard's queue, applying each sub-batch under the
+// shard's mutex so queries remain safe concurrently.
+func (s *Sharded) worker(i int) {
+	defer s.workers.Done()
+	slot := &s.shards[i]
+	for t := range s.queues[i] {
+		if t.ack != nil {
+			t.ack <- struct{}{}
+			continue
+		}
+		slot.mu.Lock()
+		slot.rec.UpdateBatch(t.pkts)
+		slot.mu.Unlock()
+		t.pkts = t.pkts[:0]
+		s.chunks.Put(&t.pkts)
+	}
+}
+
+// chunk returns a recycled sub-batch buffer, or nil (append allocates) if
+// the pool is empty.
+func (s *Sharded) chunk() []flow.Packet {
+	if v := s.chunks.Get(); v != nil {
+		return (*v.(*[]flow.Packet))[:0]
+	}
+	return nil
+}
+
+// Flush blocks until every sub-batch enqueued before the call has been
+// applied to its shard. It is the read barrier of the asynchronous mode;
+// in synchronous mode (or after Close) it returns immediately. Batches
+// enqueued concurrently with Flush by other goroutines may or may not be
+// covered.
+func (s *Sharded) Flush() {
+	if !s.async {
+		return
+	}
+	s.stateMu.RLock()
+	if s.closed {
+		s.stateMu.RUnlock()
+		return
+	}
+	// One barrier task per shard; the buffered ack channel keeps workers
+	// from blocking on the acknowledgement.
+	ack := make(chan struct{}, len(s.queues))
+	for i := range s.queues {
+		s.queues[i] <- task{ack: ack}
+	}
+	s.stateMu.RUnlock()
+	for range s.queues {
+		<-ack
+	}
+}
+
+// Close flushes outstanding batches and stops the shard workers. The
+// recorder remains fully usable afterwards: further updates take the
+// synchronous locked path. Close is idempotent and a no-op in synchronous
+// mode.
+func (s *Sharded) Close() {
+	if !s.async {
+		return
+	}
+	s.Flush()
+	s.stateMu.Lock()
+	if s.closed {
+		s.stateMu.Unlock()
+		return
+	}
+	s.closed = true
+	for i := range s.queues {
+		close(s.queues[i])
+	}
+	s.stateMu.Unlock()
+	s.workers.Wait()
+}
+
+// feedBatchSize bounds the batches FeedParallel pushes through the staged
+// path, so replaying a large trace stages at most workers*feedBatchSize
+// packets at a time instead of copying the whole stream into per-shard
+// buffers (which the pools would then retain).
+const feedBatchSize = 1024
+
 // FeedParallel replays a packet stream using the given number of worker
-// goroutines and blocks until every packet is processed.
+// goroutines and blocks until every packet is processed. Each worker feeds
+// its slice of the stream through the batched path in bounded batches.
 func (s *Sharded) FeedParallel(pkts []flow.Packet, workers int) {
 	if workers < 1 {
 		workers = 1
@@ -100,17 +332,25 @@ func (s *Sharded) FeedParallel(pkts []flow.Packet, workers int) {
 		wg.Add(1)
 		go func(part []flow.Packet) {
 			defer wg.Done()
-			for _, p := range part {
-				s.Update(p)
+			for len(part) > 0 {
+				n := feedBatchSize
+				if n > len(part) {
+					n = len(part)
+				}
+				s.UpdateBatch(part[:n])
+				part = part[n:]
 			}
 		}(pkts[start:end])
 	}
 	wg.Wait()
+	s.Flush()
 }
 
-// Records merges the records of every shard. Shard routing guarantees the
-// same key never appears in two shards.
+// Records merges the records of every shard, after an ingestion barrier in
+// asynchronous mode. Shard routing guarantees the same key never appears
+// in two shards.
 func (s *Sharded) Records() []flow.Record {
+	s.Flush()
 	var out []flow.Record
 	for i := range s.shards {
 		slot := &s.shards[i]
@@ -121,9 +361,11 @@ func (s *Sharded) Records() []flow.Record {
 	return out
 }
 
-// EstimateSize routes the query to the owning shard.
+// EstimateSize routes the query to the owning shard, after an ingestion
+// barrier in asynchronous mode.
 func (s *Sharded) EstimateSize(k flow.Key) uint32 {
-	slot := s.route(k)
+	s.Flush()
+	slot := &s.shards[s.routeIdx(k)]
 	slot.mu.Lock()
 	defer slot.mu.Unlock()
 	return slot.rec.EstimateSize(k)
@@ -132,6 +374,7 @@ func (s *Sharded) EstimateSize(k flow.Key) uint32 {
 // EstimateCardinality sums the per-shard estimates; shards hold disjoint
 // flow populations, so the sum is the natural combiner.
 func (s *Sharded) EstimateCardinality() float64 {
+	s.Flush()
 	var total float64
 	for i := range s.shards {
 		slot := &s.shards[i]
@@ -154,8 +397,10 @@ func (s *Sharded) MemoryBytes() int {
 	return total
 }
 
-// OpStats sums the shards' operation counts.
+// OpStats sums the shards' operation counts, after an ingestion barrier in
+// asynchronous mode.
 func (s *Sharded) OpStats() flow.OpStats {
+	s.Flush()
 	var total flow.OpStats
 	for i := range s.shards {
 		slot := &s.shards[i]
@@ -166,8 +411,10 @@ func (s *Sharded) OpStats() flow.OpStats {
 	return total
 }
 
-// Reset clears every shard.
+// Reset clears every shard, after an ingestion barrier in asynchronous
+// mode.
 func (s *Sharded) Reset() {
+	s.Flush()
 	for i := range s.shards {
 		slot := &s.shards[i]
 		slot.mu.Lock()
