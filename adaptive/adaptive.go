@@ -17,7 +17,9 @@ import (
 )
 
 // FlushFunc receives the records of a completed epoch. The recorder is
-// reset after the callback returns.
+// reset after the callback returns. The records slice is owned by the
+// manager and reused for the next epoch: callbacks must not retain it
+// beyond the call (copy if needed), the same contract as collector.Sink.
 type FlushFunc func(epoch int, records []flow.Record)
 
 // Config parameterizes the adaptive manager.
@@ -51,7 +53,11 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Manager wraps a recorder with adaptive epoch control.
+// Manager wraps a recorder with adaptive epoch control. In double-buffered
+// mode (NewDoubleBuffered) epoch rotation swaps the full recorder for a
+// reset standby and hands extraction, the flush callback and the reset to a
+// background worker, so ingestion resumes immediately while the previous
+// epoch drains off the hot path.
 type Manager struct {
 	rec    flowmon.Recorder
 	cfg    Config
@@ -60,6 +66,23 @@ type Manager struct {
 	inEp   uint64 // packets in the current epoch
 	checks uint64 // packets since the last watermark check
 	total  uint64
+
+	// Single-buffer mode reuses one export buffer across epochs.
+	buf []flow.Record
+
+	// Double-buffered mode: the standby channel holds the reset recorder
+	// ready for the next swap, jobs carries full recorders to the flush
+	// worker (capacity 1: at most one epoch drains behind the live one).
+	standby chan flowmon.Recorder
+	jobs    chan flushJob
+	done    chan struct{}
+	closed  bool
+}
+
+// flushJob is one completed epoch travelling to the flush worker.
+type flushJob struct {
+	epoch int
+	rec   flowmon.Recorder
 }
 
 // NewManager wraps rec. flush may be nil if the caller only needs the
@@ -76,6 +99,44 @@ func NewManager(rec flowmon.Recorder, cfg Config, flush FlushFunc) (*Manager, er
 		return nil, fmt.Errorf("adaptive: high watermark must be in (0,1], got %v", cfg.HighWatermark)
 	}
 	return &Manager{rec: rec, cfg: cfg, flush: flush}, nil
+}
+
+// NewDoubleBuffered wraps two interchangeable recorders — active fills the
+// current epoch while standby is the reset spare — and spawns the flush
+// worker that extracts, reports and resets completed epochs in the
+// background. The two recorders must be configured identically (same
+// algorithm, memory budget and seed family) or per-epoch accuracy will
+// differ between odd and even epochs. Call Close when done to stop the
+// worker and drain the final epoch handoff.
+func NewDoubleBuffered(active, standby flowmon.Recorder, cfg Config, flush FlushFunc) (*Manager, error) {
+	if standby == nil {
+		return nil, fmt.Errorf("adaptive: nil standby recorder")
+	}
+	m, err := NewManager(active, cfg, flush)
+	if err != nil {
+		return nil, err
+	}
+	m.standby = make(chan flowmon.Recorder, 1)
+	m.standby <- standby
+	m.jobs = make(chan flushJob, 1)
+	m.done = make(chan struct{})
+	go m.flushWorker()
+	return m, nil
+}
+
+// flushWorker drains completed epochs: extract into a reused buffer, run
+// the callback, reset the recorder and return it as the next standby.
+func (m *Manager) flushWorker() {
+	defer close(m.done)
+	var buf []flow.Record
+	for job := range m.jobs {
+		if m.flush != nil {
+			buf = job.rec.AppendRecords(buf[:0])
+			m.flush(job.epoch, buf)
+		}
+		job.rec.Reset()
+		m.standby <- job.rec
+	}
 }
 
 // Update processes one packet, flushing the epoch first if the recorder is
@@ -106,16 +167,41 @@ func (m *Manager) UpdateBatch(pkts []flow.Packet) {
 	flowmon.UpdateAll(m, pkts)
 }
 
-// Flush ends the current epoch: hands the records to the flush callback,
-// resets the recorder, and starts the next epoch.
+// Flush ends the current epoch and starts the next one. In single-buffer
+// mode the records are extracted into a reused buffer, handed to the flush
+// callback, and the recorder is reset inline. In double-buffered mode the
+// full recorder is swapped for the reset standby and queued to the flush
+// worker; Flush only blocks if the worker is still draining the previous
+// epoch (rotation outpacing extraction).
 func (m *Manager) Flush() {
-	if m.flush != nil {
-		m.flush(m.epoch, m.rec.Records())
+	if m.jobs != nil && !m.closed {
+		full := m.rec
+		m.rec = <-m.standby
+		m.jobs <- flushJob{epoch: m.epoch, rec: full}
+	} else {
+		if m.flush != nil {
+			m.buf = m.rec.AppendRecords(m.buf[:0])
+			m.flush(m.epoch, m.buf)
+		}
+		m.rec.Reset()
 	}
-	m.rec.Reset()
 	m.epoch++
 	m.inEp = 0
 	m.checks = 0
+}
+
+// Close stops the double-buffered flush worker after it has drained any
+// queued epoch. It does not flush the live epoch — call Flush first if the
+// partial epoch must be reported. The manager remains usable afterwards:
+// further rotations flush inline, single-buffer style. Close is idempotent
+// and a no-op in single-buffer mode.
+func (m *Manager) Close() {
+	if m.jobs == nil || m.closed {
+		return
+	}
+	m.closed = true
+	close(m.jobs)
+	<-m.done
 }
 
 // Epoch returns the index of the epoch currently being filled.
@@ -127,5 +213,7 @@ func (m *Manager) EpochPackets() uint64 { return m.inEp }
 // TotalPackets returns the number of packets processed across all epochs.
 func (m *Manager) TotalPackets() uint64 { return m.total }
 
-// Recorder exposes the wrapped recorder for queries between flushes.
+// Recorder exposes the recorder filling the current epoch for queries
+// between flushes. In double-buffered mode the returned value changes at
+// every rotation; call it from the ingesting goroutine only.
 func (m *Manager) Recorder() flowmon.Recorder { return m.rec }

@@ -1,0 +1,180 @@
+package adaptive
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/flow"
+	"repro/flowmon"
+	"repro/trace"
+)
+
+// TestDoubleBufferedEquivalence verifies the double-buffered manager
+// reports exactly the epochs the single-buffer manager reports on the same
+// packet stream: same boundaries, same record sets.
+func TestDoubleBufferedEquivalence(t *testing.T) {
+	cfg := flowmon.Config{MemoryBytes: 19 * 1024, Seed: 5}
+	tr, err := trace.Generate(trace.Campus, 15000, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkts := tr.Packets(9)
+
+	type epochSummary struct {
+		n     int
+		total uint64
+	}
+	run := func(t *testing.T, double bool) []epochSummary {
+		t.Helper()
+		var out []epochSummary
+		flushFn := func(epoch int, records []flow.Record) {
+			var total uint64
+			for _, r := range records {
+				total += uint64(r.Count)
+			}
+			out = append(out, epochSummary{n: len(records), total: total})
+		}
+		active, err := flowmon.NewHashFlow(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		acfg := Config{Capacity: active.MainCells(), CheckEvery: 128}
+		var m *Manager
+		if double {
+			standby, err := flowmon.NewHashFlow(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, err = NewDoubleBuffered(active, standby, acfg, flushFn)
+			if err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			m, err = NewManager(active, acfg, flushFn)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, p := range pkts {
+			m.Update(p)
+		}
+		m.Flush()
+		m.Close() // waits for the worker, so out is complete and safe to read
+		return out
+	}
+
+	single := run(t, false)
+	double := run(t, true)
+	if len(single) < 2 {
+		t.Fatalf("expected multiple epochs, got %d", len(single))
+	}
+	if len(double) != len(single) {
+		t.Fatalf("double-buffered produced %d epochs, single %d", len(double), len(single))
+	}
+	for i := range single {
+		if single[i] != double[i] {
+			t.Errorf("epoch %d diverges: single %+v, double %+v", i, single[i], double[i])
+		}
+	}
+}
+
+// TestDoubleBufferedFlushOffHotPath verifies rotation hands the full
+// recorder off and ingestion continues into the standby: a slow flush
+// callback must not block the packets that follow a rotation (until the
+// next rotation needs the standby back).
+func TestDoubleBufferedFlushOffHotPath(t *testing.T) {
+	cfg := flowmon.Config{MemoryBytes: 1 << 14, Seed: 1}
+	active, err := flowmon.NewHashFlow(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	standby, err := flowmon.NewHashFlow(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var inFlush atomic.Bool
+	started := make(chan struct{})
+	release := make(chan struct{})
+	m, err := NewDoubleBuffered(active, standby, Config{
+		Capacity:        1 << 20,
+		MaxEpochPackets: 1000,
+	}, func(int, []flow.Record) {
+		inFlush.Store(true)
+		close(started)
+		<-release
+		inFlush.Store(false)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	defer close(release)
+
+	k := flow.Key{SrcIP: 1}
+	// 1000 packets trip the rotation; the flush callback then stalls.
+	for i := 0; i < 1000; i++ {
+		m.Update(flow.Packet{Key: k})
+	}
+	select {
+	case <-started:
+	case <-time.After(5 * time.Second):
+		t.Fatal("flush callback never started")
+	}
+	// Ingestion must proceed while the callback is stalled.
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 500; i++ {
+			m.Update(flow.Packet{Key: k})
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("ingestion blocked behind the flush callback")
+	}
+	if !inFlush.Load() {
+		t.Error("flush finished before ingestion resumed — epoch drain was on the hot path")
+	}
+	if m.EpochPackets() != 500 {
+		t.Errorf("EpochPackets = %d, want 500", m.EpochPackets())
+	}
+}
+
+// TestDoubleBufferedValidation covers constructor error paths and Close
+// idempotence.
+func TestDoubleBufferedValidation(t *testing.T) {
+	cfg := flowmon.Config{MemoryBytes: 1 << 14, Seed: 1}
+	rec, err := flowmon.NewHashFlow(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewDoubleBuffered(rec, nil, Config{Capacity: 10}, nil); err == nil {
+		t.Error("accepted nil standby")
+	}
+	standby, err := flowmon.NewHashFlow(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewDoubleBuffered(nil, standby, Config{Capacity: 10}, nil); err == nil {
+		t.Error("accepted nil active recorder")
+	}
+	m, err := NewDoubleBuffered(rec, standby, Config{Capacity: 10}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Update(flow.Packet{Key: flow.Key{SrcIP: 1}})
+	m.Flush()
+	m.Close()
+	m.Close() // idempotent
+	if m.Epoch() != 1 {
+		t.Errorf("Epoch = %d, want 1", m.Epoch())
+	}
+	// After Close the manager keeps working with inline flushes.
+	m.Update(flow.Packet{Key: flow.Key{SrcIP: 2}})
+	m.Flush()
+	if m.Epoch() != 2 {
+		t.Errorf("Epoch after post-Close flush = %d, want 2", m.Epoch())
+	}
+}

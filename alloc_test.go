@@ -1,0 +1,263 @@
+package repro
+
+import (
+	"io"
+	"testing"
+	"time"
+
+	"repro/collector"
+	"repro/flow"
+	"repro/flowmon"
+	"repro/netwide"
+	"repro/recordstore"
+	"repro/shard"
+	"repro/trace"
+)
+
+// The zero-allocation contract of the export path: once the reusable
+// buffers have grown to epoch size, extracting records, encoding epochs
+// and merging sorted views must not allocate. These are regression tests —
+// a single stray allocation per epoch at line rate is a GC pause waiting
+// to happen.
+
+// fillRecorder replays a generated trace into rec through the batched path.
+func fillRecorder(t testing.TB, rec flowmon.Recorder, flows int) {
+	t.Helper()
+	tr, err := trace.Generate(trace.CAIDA, flows, benchSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := collector.Replay(rec, tr.Packets(benchSeed), collector.DefaultBatchSize); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAppendRecordsAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are inflated by the race detector")
+	}
+	t.Run("HashFlow", func(t *testing.T) {
+		rec, err := flowmon.New(flowmon.AlgorithmHashFlow,
+			flowmon.Config{MemoryBytes: benchMemory, Seed: benchSeed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fillRecorder(t, rec, benchFlows)
+		var buf []flow.Record
+		buf = rec.AppendRecords(buf[:0])
+		if len(buf) == 0 {
+			t.Fatal("no records extracted")
+		}
+		if allocs := testing.AllocsPerRun(100, func() {
+			buf = rec.AppendRecords(buf[:0])
+		}); allocs != 0 {
+			t.Errorf("HashFlow AppendRecords allocates %.0f times per epoch, want 0", allocs)
+		}
+	})
+
+	t.Run("Sharded", func(t *testing.T) {
+		s, err := shard.NewUniform(4, flowmon.AlgorithmHashFlow,
+			flowmon.Config{MemoryBytes: benchMemory, Seed: benchSeed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		fillRecorder(t, s, benchFlows)
+		var buf []flow.Record
+		buf = s.AppendRecords(buf[:0])
+		if len(buf) == 0 {
+			t.Fatal("no records extracted")
+		}
+		if allocs := testing.AllocsPerRun(100, func() {
+			buf = s.AppendRecords(buf[:0])
+		}); allocs != 0 {
+			t.Errorf("Sharded AppendRecords allocates %.0f times per epoch, want 0", allocs)
+		}
+	})
+}
+
+// TestEpochExportAllocFree covers the full steady-state epoch export —
+// AppendRecords into a reused buffer, WriteEpoch sorting and encoding with
+// writer-owned scratch — for both the plain and the sharded recorder.
+func TestEpochExportAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are inflated by the race detector")
+	}
+	recs := map[string]flowmon.Recorder{}
+
+	rec, err := flowmon.New(flowmon.AlgorithmHashFlow,
+		flowmon.Config{MemoryBytes: benchMemory, Seed: benchSeed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs["HashFlow"] = rec
+
+	s, err := shard.NewUniform(4, flowmon.AlgorithmHashFlow,
+		flowmon.Config{MemoryBytes: benchMemory, Seed: benchSeed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	recs["Sharded"] = s
+
+	for name, rec := range recs {
+		t.Run(name, func(t *testing.T) {
+			fillRecorder(t, rec, benchFlows)
+			w := recordstore.NewWriter(io.Discard)
+			ts := time.Unix(42, 0)
+			var buf []flow.Record
+			var werr error
+			export := func() {
+				buf = rec.AppendRecords(buf[:0])
+				werr = w.WriteEpoch(ts, buf)
+			}
+			export() // warm the reusable buffers
+			if werr != nil {
+				t.Fatal(werr)
+			}
+			if len(buf) < 1000 {
+				t.Fatalf("only %d records, too few to exercise the radix path", len(buf))
+			}
+			if allocs := testing.AllocsPerRun(50, export); allocs != 0 {
+				t.Errorf("epoch export allocates %.0f times per epoch, want 0", allocs)
+			}
+			if werr != nil {
+				t.Fatal(werr)
+			}
+		})
+	}
+}
+
+// TestMergeSortedAllocFree pins the zero-allocation contract of the k-way
+// merge over key-sorted views with a reused destination buffer.
+func TestMergeSortedAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are inflated by the race detector")
+	}
+	mk := func(seed uint64) []flow.Record {
+		rec, err := flowmon.New(flowmon.AlgorithmHashFlow,
+			flowmon.Config{MemoryBytes: benchMemory, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fillRecorder(t, rec, benchFlows)
+		out := rec.Records()
+		netwide.SortByKey(out)
+		return out
+	}
+	views := []netwide.View{
+		{Name: "sw1", Records: mk(1)},
+		{Name: "sw2", Records: mk(2)},
+		{Name: "sw3", Records: mk(3)},
+	}
+	var dst []flow.Record
+	dst = netwide.MergeSumInto(dst[:0], views...)
+	if len(dst) == 0 {
+		t.Fatal("empty merge")
+	}
+	if allocs := testing.AllocsPerRun(50, func() {
+		dst = netwide.MergeSumInto(dst[:0], views...)
+	}); allocs != 0 {
+		t.Errorf("MergeSumInto allocates %.0f times per merge, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(50, func() {
+		dst = netwide.MergeMaxInto(dst[:0], views...)
+	}); allocs != 0 {
+		t.Errorf("MergeMaxInto allocates %.0f times per merge, want 0", allocs)
+	}
+}
+
+// TestHeavyHittersAppendAllocFree pins the filter-in-place heavy-hitter
+// query with a reused destination buffer.
+func TestHeavyHittersAppendAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are inflated by the race detector")
+	}
+	rec, err := flowmon.New(flowmon.AlgorithmHashFlow,
+		flowmon.Config{MemoryBytes: benchMemory, Seed: benchSeed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillRecorder(t, rec, benchFlows)
+	var buf []flow.Record
+	buf = flowmon.HeavyHittersAppend(buf[:0], rec, 10)
+	if len(buf) == 0 {
+		t.Fatal("no heavy hitters")
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		buf = flowmon.HeavyHittersAppend(buf[:0], rec, 10)
+	}); allocs != 0 {
+		t.Errorf("HeavyHittersAppend allocates %.0f times per query, want 0", allocs)
+	}
+}
+
+// TestReadEpochAppendAllocFree pins allocation-free replay: decoding an
+// epoch into a reused buffer must not allocate once the buffer has grown.
+func TestReadEpochAppendAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are inflated by the race detector")
+	}
+	rec, err := flowmon.New(flowmon.AlgorithmHashFlow,
+		flowmon.Config{MemoryBytes: benchMemory, Seed: benchSeed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillRecorder(t, rec, benchFlows)
+	records := rec.Records()
+
+	const epochs = 256
+	var stream writableBuffer
+	w := recordstore.NewWriter(&stream)
+	for e := 0; e < epochs; e++ {
+		if err := w.WriteEpoch(time.Unix(int64(e), 0), records); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := recordstore.NewReader(&stream)
+	var buf []flow.Record
+	// Warm: the first read grows the reader's body buffer and dst.
+	ep, err := r.ReadEpochAppend(buf[:0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf = ep.Records
+	if len(buf) != len(records) {
+		t.Fatalf("decoded %d records, want %d", len(buf), len(records))
+	}
+	var rerr error
+	if allocs := testing.AllocsPerRun(100, func() {
+		ep, rerr = r.ReadEpochAppend(buf[:0])
+		buf = ep.Records
+	}); allocs != 0 {
+		t.Errorf("ReadEpochAppend allocates %.0f times per epoch, want 0", allocs)
+	}
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+}
+
+// writableBuffer is a minimal in-memory stream: bytes written are later
+// read back. Unlike bytes.Buffer it never shrinks or re-slices on read, so
+// reads do not allocate.
+type writableBuffer struct {
+	b   []byte
+	off int
+}
+
+func (w *writableBuffer) Write(p []byte) (int, error) {
+	w.b = append(w.b, p...)
+	return len(p), nil
+}
+
+func (w *writableBuffer) Read(p []byte) (int, error) {
+	if w.off >= len(w.b) {
+		return 0, io.EOF
+	}
+	n := copy(p, w.b[w.off:])
+	w.off += n
+	return n, nil
+}

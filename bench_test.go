@@ -5,15 +5,22 @@
 package repro
 
 import (
+	"bufio"
+	"encoding/binary"
 	"fmt"
+	"io"
+	"sort"
 	"testing"
+	"time"
 
+	"repro/adaptive"
 	"repro/collector"
 	"repro/experiments"
 	"repro/flow"
 	"repro/flowmon"
 	"repro/metrics"
 	"repro/model"
+	"repro/recordstore"
 	"repro/shard"
 	"repro/switchsim"
 	"repro/trace"
@@ -166,6 +173,170 @@ func BenchmarkIngestPipeline(b *testing.B) {
 				g.Add(pkts[i%len(pkts)])
 			}
 			g.Flush()
+		})
+	}
+}
+
+// BenchmarkAppendRecords measures steady-state epoch record extraction —
+// AppendRecords into a reused buffer — for every paper algorithm and for
+// the sharded recorder across shard counts (parallel per-shard drain plus
+// deterministic key sort).
+func BenchmarkAppendRecords(b *testing.B) {
+	pkts, _ := benchTrace(b, trace.CAIDA, benchFlows)
+	bench := func(b *testing.B, rec flowmon.Recorder) {
+		b.Helper()
+		if err := collector.Replay(rec, pkts, shardBatchSize); err != nil {
+			b.Fatal(err)
+		}
+		var buf []flow.Record
+		buf = rec.AppendRecords(buf[:0])
+		b.ReportMetric(float64(len(buf)), "records")
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			buf = rec.AppendRecords(buf[:0])
+		}
+	}
+	for _, a := range flowmon.All() {
+		b.Run(a.String(), func(b *testing.B) {
+			rec, err := flowmon.New(a, flowmon.Config{MemoryBytes: benchMemory, Seed: benchSeed})
+			if err != nil {
+				b.Fatal(err)
+			}
+			bench(b, rec)
+		})
+	}
+	for _, n := range shardCounts {
+		b.Run(fmt.Sprintf("Sharded/shards=%d", n), func(b *testing.B) {
+			s, err := shard.NewUniform(n, flowmon.AlgorithmHashFlow,
+				flowmon.Config{MemoryBytes: benchMemory, Seed: benchSeed})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(s.Close)
+			bench(b, s)
+		})
+	}
+}
+
+// BenchmarkEpochRotation measures continuous ingestion under adaptive
+// epoch control with the flush path (extract + recordstore encode) either
+// inline on the hot path (single) or on the double-buffered background
+// worker (double). The metric is per-packet cost including rotations.
+func BenchmarkEpochRotation(b *testing.B) {
+	pkts, _ := benchTrace(b, trace.CAIDA, benchFlows)
+	for _, mode := range []string{"single", "double"} {
+		b.Run(mode, func(b *testing.B) {
+			store := recordstore.NewWriter(io.Discard)
+			var werr error
+			flushFn := func(_ int, recs []flow.Record) {
+				if err := store.WriteEpoch(time.Unix(0, 0), recs); err != nil {
+					werr = err
+				}
+			}
+			active, err := flowmon.NewHashFlow(flowmon.Config{MemoryBytes: benchMemory, Seed: benchSeed})
+			if err != nil {
+				b.Fatal(err)
+			}
+			acfg := adaptive.Config{Capacity: active.MainCells(), MaxEpochPackets: 8192}
+			var m *adaptive.Manager
+			if mode == "single" {
+				m, err = adaptive.NewManager(active, acfg, flushFn)
+			} else {
+				standby, err2 := flowmon.NewHashFlow(flowmon.Config{MemoryBytes: benchMemory, Seed: benchSeed})
+				if err2 != nil {
+					b.Fatal(err2)
+				}
+				m, err = adaptive.NewDoubleBuffered(active, standby, acfg, flushFn)
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.Update(pkts[i%len(pkts)])
+			}
+			b.StopTimer()
+			m.Flush()
+			m.Close()
+			if werr != nil {
+				b.Fatal(werr)
+			}
+		})
+	}
+}
+
+// seedEncodeEpoch reproduces the seed's WriteEpoch hot path — reflection
+// sort.Slice over flow.Records plus the varint delta encode — as the
+// baseline BenchmarkRecordstoreWrite compares the concrete-type radix
+// writer against.
+func seedEncodeEpoch(bw *bufio.Writer, scratch, records []flow.Record, buf []byte) ([]flow.Record, []byte, error) {
+	scratch = append(scratch[:0], records...)
+	sort.Slice(scratch, func(i, j int) bool {
+		a1, a2 := scratch[i].Key.Words()
+		b1, b2 := scratch[j].Key.Words()
+		if a1 != b1 {
+			return a1 < b1
+		}
+		return a2 < b2
+	})
+	buf = buf[:0]
+	buf = binary.AppendUvarint(buf, 0)
+	buf = binary.AppendUvarint(buf, uint64(len(scratch)))
+	var prev1, prev2 uint64
+	for _, r := range scratch {
+		w1, w2 := r.Key.Words()
+		buf = binary.AppendUvarint(buf, w1-prev1)
+		buf = binary.AppendUvarint(buf, w2^prev2)
+		buf = binary.AppendUvarint(buf, uint64(r.Count))
+		prev1, prev2 = w1, w2
+	}
+	var lenBuf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(lenBuf[:], uint64(len(buf)))
+	if _, err := bw.Write(lenBuf[:n]); err != nil {
+		return scratch, buf, err
+	}
+	_, err := bw.Write(buf)
+	return scratch, buf, err
+}
+
+// BenchmarkRecordstoreWrite compares epoch encoding implementations at
+// several epoch sizes: the seed's reflection-based sort.Slice encoder
+// against the concrete-type radix/typed-sort Writer.
+func BenchmarkRecordstoreWrite(b *testing.B) {
+	pkts, truth := benchTrace(b, trace.CAIDA, benchFlows)
+	_ = pkts
+	all := truth.Records()
+	for _, n := range []int{100, 1000, 10000, len(all)} {
+		if n > len(all) {
+			continue
+		}
+		records := all[:n]
+		b.Run(fmt.Sprintf("impl=seed-sortslice/records=%d", n), func(b *testing.B) {
+			bw := bufio.NewWriter(io.Discard)
+			var scratch []flow.Record
+			var buf []byte
+			var err error
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				scratch, buf, err = seedEncodeEpoch(bw, scratch, records, buf)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("impl=radix/records=%d", n), func(b *testing.B) {
+			w := recordstore.NewWriter(io.Discard)
+			ts := time.Unix(0, 0)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := w.WriteEpoch(ts, records); err != nil {
+					b.Fatal(err)
+				}
+			}
 		})
 	}
 }

@@ -7,27 +7,37 @@
 //
 // Experiments: table1, fig2, fig3, fig4, fig5, fig6, fig7, fig8, fig9,
 // fig10, fig11, all — plus extras, which compares the beyond-paper
-// recorders (sampled NetFlow, cuckoo, Space-Saving) against HashFlow, and
+// recorders (sampled NetFlow, cuckoo, Space-Saving) against HashFlow;
 // pipeline, which measures end-to-end ingestion throughput of the sharded
-// recorder (per-packet vs batched vs async across shard counts).
+// recorder (per-packet vs batched vs async across shard counts); and
+// export, which measures the collection side — epoch record extraction and
+// recordstore encoding across shard counts, plus single- vs
+// double-buffered epoch rotation under continuous ingestion.
 //
 // Flags:
 //
 //	-mem bytes    memory budget per algorithm (default 1 MiB, the paper's)
 //	-seed n       RNG seed (default 1)
 //	-quick        reduced scale for a fast smoke run
+//	-json         additionally write BENCH_<experiment>.json with the
+//	              pipeline/export measurements (the perf trajectory record)
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"slices"
 	"time"
 
+	"repro/adaptive"
 	"repro/collector"
 	"repro/experiments"
+	"repro/flow"
 	"repro/flowmon"
+	"repro/recordstore"
 	"repro/shard"
 	"repro/trace"
 )
@@ -43,6 +53,7 @@ type config struct {
 	mem   int
 	seed  uint64
 	quick bool
+	json  bool
 }
 
 func run(args []string, w io.Writer) error {
@@ -50,13 +61,14 @@ func run(args []string, w io.Writer) error {
 	mem := fs.Int("mem", experiments.DefaultMemory, "memory budget in bytes per algorithm")
 	seed := fs.Uint64("seed", experiments.DefaultSeed, "RNG seed")
 	quick := fs.Bool("quick", false, "reduced scale for a fast run")
+	jsonOut := fs.Bool("json", false, "also write BENCH_<experiment>.json (pipeline and export)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
-		return fmt.Errorf("usage: flowbench [flags] <table1|fig2|...|fig11|extras|pipeline|all>")
+		return fmt.Errorf("usage: flowbench [flags] <table1|fig2|...|fig11|extras|pipeline|export|all>")
 	}
-	cfg := config{mem: *mem, seed: *seed, quick: *quick}
+	cfg := config{mem: *mem, seed: *seed, quick: *quick, json: *jsonOut}
 
 	name := fs.Arg(0)
 	if name == "all" {
@@ -213,9 +225,33 @@ func runOne(name string, cfg config, w io.Writer) error {
 	case "pipeline":
 		return runPipeline(cfg, w)
 
+	case "export":
+		return runExportBench(cfg, w)
+
 	default:
 		return fmt.Errorf("unknown experiment %q", name)
 	}
+}
+
+// writeBenchJSON records an experiment's measurements as
+// BENCH_<name>.json in the working directory, the machine-readable perf
+// trajectory that successive PRs diff against.
+func writeBenchJSON(name string, v any) error {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile("BENCH_"+name+".json", append(b, '\n'), 0o644)
+}
+
+// pipelineRow is one ingestion-throughput measurement.
+type pipelineRow struct {
+	Shards   int     `json:"shards"`
+	Mode     string  `json:"mode"`
+	Batch    int     `json:"batch"`
+	Packets  int     `json:"packets"`
+	NsPerPkt float64 `json:"ns_per_pkt"`
+	Mpps     float64 `json:"mpps"`
 }
 
 // runPipeline measures wall-clock ingestion throughput of the sharded
@@ -232,6 +268,7 @@ func runPipeline(cfg config, w io.Writer) error {
 		return err
 	}
 	mcfg := flowmon.Config{MemoryBytes: cfg.mem, Seed: cfg.seed}
+	var rows []pipelineRow
 	for _, shards := range []int{1, 4, 8} {
 		for _, mode := range []string{"sequential", "batched", "async"} {
 			var s *shard.Sharded
@@ -263,13 +300,233 @@ func runPipeline(cfg config, w io.Writer) error {
 			if got := s.OpStats().Packets; got != uint64(len(pkts)) {
 				return fmt.Errorf("pipeline %s/%d: recorded %d packets, want %d", mode, shards, got, len(pkts))
 			}
-			nsPkt := float64(elapsed.Nanoseconds()) / float64(len(pkts))
-			mpps := float64(len(pkts)) / elapsed.Seconds() / 1e6
+			row := pipelineRow{
+				Shards:   shards,
+				Mode:     mode,
+				Batch:    batch,
+				Packets:  len(pkts),
+				NsPerPkt: float64(elapsed.Nanoseconds()) / float64(len(pkts)),
+				Mpps:     float64(len(pkts)) / elapsed.Seconds() / 1e6,
+			}
+			rows = append(rows, row)
 			if _, err := fmt.Fprintf(w, "%d\t%s\t%d\t%d\t%.1f\t%.3f\n",
-				shards, mode, batch, len(pkts), nsPkt, mpps); err != nil {
+				row.Shards, row.Mode, row.Batch, row.Packets, row.NsPerPkt, row.Mpps); err != nil {
 				return err
 			}
 		}
+	}
+	if cfg.json {
+		return writeBenchJSON("pipeline", rows)
+	}
+	return nil
+}
+
+// exportRow is one epoch-export measurement: extract every record from a
+// full recorder and encode the epoch into the record store.
+type exportRow struct {
+	Recorder      string  `json:"recorder"`
+	Shards        int     `json:"shards"`
+	RecordsPerEp  int     `json:"records_per_epoch"`
+	Epochs        int     `json:"epochs"`
+	NsPerRecord   float64 `json:"ns_per_record"`
+	MRecPerS      float64 `json:"mrec_per_s"`
+	BytesPerEpoch int     `json:"bytes_per_epoch"`
+}
+
+// rotationRow is one continuous-rotation measurement: ingest the trace
+// under adaptive epoch control with the flush path either inline (single)
+// or on the double-buffered background worker.
+type rotationRow struct {
+	Mode       string  `json:"mode"`
+	Packets    int     `json:"packets"`
+	Epochs     int     `json:"epochs"`
+	NsPerPkt   float64 `json:"ns_per_pkt"`
+	Mpps       float64 `json:"mpps"`
+	MedStallUs float64 `json:"med_stall_us"`
+	MaxStallUs float64 `json:"max_stall_us"`
+}
+
+// countWriter counts bytes, standing in for a store file on the export
+// measurements.
+type countWriter struct{ n int64 }
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	c.n += int64(len(p))
+	return len(p), nil
+}
+
+// runExportBench measures the collection half of the pipeline. First the
+// steady-state epoch export path — AppendRecords into a reused buffer,
+// then recordstore.WriteEpoch (radix sort + delta encode) — for the plain
+// HashFlow recorder and the sharded recorder across shard counts. Then
+// continuous epoch rotation under ingestion, single- vs double-buffered.
+func runExportBench(cfg config, w io.Writer) error {
+	tr, err := trace.Generate(trace.CAIDA, cfg.flows(100000), cfg.seed)
+	if err != nil {
+		return err
+	}
+	pkts := tr.Packets(cfg.seed)
+	mcfg := flowmon.Config{MemoryBytes: cfg.mem, Seed: cfg.seed}
+	epochs := 64
+	if cfg.quick {
+		epochs = 8
+	}
+
+	if _, err := fmt.Fprintln(w, "recorder\tshards\trecords_per_epoch\tepochs\tns_per_record\tMrec_per_s\tbytes_per_epoch"); err != nil {
+		return err
+	}
+	var exportRows []exportRow
+	for _, shards := range []int{0, 1, 4, 8} {
+		var (
+			rec  flowmon.Recorder
+			name string
+		)
+		if shards == 0 {
+			name = "HashFlow"
+			rec, err = flowmon.New(flowmon.AlgorithmHashFlow, mcfg)
+		} else {
+			name = "Sharded/HashFlow"
+			var s *shard.Sharded
+			s, err = shard.NewUniform(shards, flowmon.AlgorithmHashFlow, mcfg)
+			if s != nil {
+				defer s.Close()
+			}
+			rec = s
+		}
+		if err != nil {
+			return err
+		}
+		if err := collector.Replay(rec, pkts, collector.DefaultBatchSize); err != nil {
+			return err
+		}
+
+		cw := &countWriter{}
+		store := recordstore.NewWriter(cw)
+		var buf []flow.Record
+		ts := time.Unix(0, 0)
+		// Warm the reusable buffers so the timed loop is the steady state.
+		buf = rec.AppendRecords(buf[:0])
+		if err := store.WriteEpoch(ts, buf); err != nil {
+			return err
+		}
+		cw.n = 0
+		start := time.Now()
+		for e := 0; e < epochs; e++ {
+			buf = rec.AppendRecords(buf[:0])
+			if err := store.WriteEpoch(ts, buf); err != nil {
+				return err
+			}
+		}
+		elapsed := time.Since(start)
+
+		row := exportRow{
+			Recorder:      name,
+			Shards:        shards,
+			RecordsPerEp:  len(buf),
+			Epochs:        epochs,
+			NsPerRecord:   float64(elapsed.Nanoseconds()) / float64(epochs*len(buf)),
+			MRecPerS:      float64(epochs*len(buf)) / elapsed.Seconds() / 1e6,
+			BytesPerEpoch: int(cw.n) / epochs,
+		}
+		exportRows = append(exportRows, row)
+		if _, err := fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%.1f\t%.3f\t%d\n",
+			row.Recorder, row.Shards, row.RecordsPerEp, row.Epochs,
+			row.NsPerRecord, row.MRecPerS, row.BytesPerEpoch); err != nil {
+			return err
+		}
+	}
+
+	if _, err := fmt.Fprintln(w, "\nrotation\tpackets\tepochs\tns_per_pkt\tMpps\tmed_stall_us\tmax_stall_us"); err != nil {
+		return err
+	}
+	var rotationRows []rotationRow
+	for _, mode := range []string{"single", "double"} {
+		store := recordstore.NewWriter(&countWriter{})
+		flushFn := func(epoch int, recs []flow.Record) {
+			if err := store.WriteEpoch(time.Unix(0, 0), recs); err != nil {
+				panic(err) // countWriter cannot fail
+			}
+		}
+		active, err := flowmon.NewHashFlow(mcfg)
+		if err != nil {
+			return err
+		}
+		// Epoch boundaries are packet-budget driven; push the watermark
+		// check out of the way (its full-table cardinality scan is its own
+		// hot-path stall, not the one under measurement here).
+		acfg := adaptive.Config{
+			Capacity:        active.MainCells(),
+			MaxEpochPackets: uint64(len(pkts) / 4),
+			CheckEvery:      1 << 62,
+		}
+		var m *adaptive.Manager
+		if mode == "single" {
+			m, err = adaptive.NewManager(active, acfg, flushFn)
+		} else {
+			sb, err2 := flowmon.NewHashFlow(mcfg)
+			if err2 != nil {
+				return err2
+			}
+			m, err = adaptive.NewDoubleBuffered(active, sb, acfg, flushFn)
+		}
+		if err != nil {
+			return err
+		}
+
+		// Rotation stalls are the packet-path cost of an epoch boundary:
+		// in single-buffer mode the rotating Update extracts, sorts and
+		// encodes the whole epoch inline, while double-buffering reduces
+		// the stall to a recorder swap (plus backpressure if the drain
+		// worker is still busy). Rotations fire exactly when the epoch's
+		// packet budget fills, so only those updates are timed and the
+		// throughput loop stays clean; several passes give enough
+		// rotations for a stable median.
+		var stalls []time.Duration
+		passes := 4
+		start := time.Now()
+		for pass := 0; pass < passes; pass++ {
+			for _, p := range pkts {
+				if m.EpochPackets() == acfg.MaxEpochPackets-1 {
+					t0 := time.Now()
+					m.Update(p)
+					stalls = append(stalls, time.Since(t0))
+					continue
+				}
+				m.Update(p)
+			}
+		}
+		m.Flush()
+		m.Close()
+		elapsed := time.Since(start)
+		slices.Sort(stalls)
+		var medStall, maxStall time.Duration
+		if len(stalls) > 0 {
+			medStall = stalls[len(stalls)/2]
+			maxStall = stalls[len(stalls)-1]
+		}
+
+		totalPkts := passes * len(pkts)
+		row := rotationRow{
+			Mode:       mode,
+			Packets:    totalPkts,
+			Epochs:     m.Epoch(),
+			NsPerPkt:   float64(elapsed.Nanoseconds()) / float64(totalPkts),
+			Mpps:       float64(totalPkts) / elapsed.Seconds() / 1e6,
+			MedStallUs: float64(medStall.Nanoseconds()) / 1e3,
+			MaxStallUs: float64(maxStall.Nanoseconds()) / 1e3,
+		}
+		rotationRows = append(rotationRows, row)
+		if _, err := fmt.Fprintf(w, "%s\t%d\t%d\t%.1f\t%.3f\t%.1f\t%.1f\n",
+			row.Mode, row.Packets, row.Epochs, row.NsPerPkt, row.Mpps, row.MedStallUs, row.MaxStallUs); err != nil {
+			return err
+		}
+	}
+
+	if cfg.json {
+		return writeBenchJSON("export", struct {
+			Export   []exportRow   `json:"export"`
+			Rotation []rotationRow `json:"rotation"`
+		}{exportRows, rotationRows})
 	}
 	return nil
 }

@@ -27,11 +27,9 @@ import (
 	"net"
 	"os"
 	"sort"
-	"sync"
 	"time"
 
 	"repro/collector"
-	"repro/flow"
 	"repro/flowmon"
 	"repro/netflow"
 	"repro/pcapio"
@@ -77,20 +75,9 @@ func runServe(args []string, w io.Writer) error {
 		return err
 	}
 	defer f.Close()
-	store := recordstore.NewWriter(f)
+	store := collector.NewEpochStore(recordstore.NewWriter(f))
 
-	var mu sync.Mutex
-	srv, err := collector.Start(collector.Config{Listen: *listen, EpochGap: *gap},
-		func(ts time.Time, records []flow.Record) {
-			mu.Lock()
-			defer mu.Unlock()
-			if len(records) == 0 {
-				return
-			}
-			if err := store.WriteEpoch(ts, records); err != nil {
-				fmt.Fprintf(w, "store write failed: %v\n", err)
-			}
-		})
+	srv, err := collector.Start(collector.Config{Listen: *listen, EpochGap: *gap}, store.Sink)
 	if err != nil {
 		return err
 	}
@@ -102,6 +89,11 @@ func runServe(args []string, w io.Writer) error {
 
 	time.Sleep(*runFor)
 	srv.Shutdown()
+	// Err before Flush: Flush also returns the sticky write error, which
+	// would short-circuit the dropped-epoch diagnostic.
+	if err := store.Err(); err != nil {
+		return fmt.Errorf("store write failed (%d later epochs dropped): %w", store.Dropped(), err)
+	}
 	if err := store.Flush(); err != nil {
 		return err
 	}

@@ -111,6 +111,7 @@ func (s *Server) loop() {
 
 	buf := make([]byte, netflow.MaxDatagramLen)
 	dec := netflow.NewCollector()
+	var recBuf []flow.Record
 	var epochStart time.Time
 	epochOpen := false
 
@@ -118,13 +119,15 @@ func (s *Server) loop() {
 		if !epochOpen {
 			return
 		}
-		records := dec.FlowRecords()
+		// Epoch drain reuses the decoder and one record buffer: the sink
+		// contract (no retention) lets the next epoch overwrite both.
+		recBuf = dec.AppendFlowRecords(recBuf[:0])
 		s.mu.Lock()
 		s.stats.Epochs++
 		s.stats.Lost += dec.Lost()
 		s.mu.Unlock()
-		s.sink(epochStart, records)
-		dec = netflow.NewCollector()
+		s.sink(epochStart, recBuf)
+		dec.Reset()
 		epochOpen = false
 	}
 	defer flush()

@@ -101,6 +101,29 @@ type Record struct {
 	Count uint32
 }
 
+// CompareKeys orders keys by their packed two-word encoding (Words) and
+// returns -1, 0 or +1. This is the canonical key order of the export
+// pipeline: shard chunks, recordstore epochs and netwide sorted-view
+// merges all sort by it, so they interoperate without re-sorting.
+func CompareKeys(a, b Key) int {
+	a1, a2 := a.Words()
+	b1, b2 := b.Words()
+	switch {
+	case a1 != b1:
+		if a1 < b1 {
+			return -1
+		}
+		return 1
+	case a2 != b2:
+		if a2 < b2 {
+			return -1
+		}
+		return 1
+	default:
+		return 0
+	}
+}
+
 // OpStats aggregates the per-packet operation counts that Fig. 11 of the
 // paper reports: hash computations and memory (bucket/cell/bit) accesses.
 type OpStats struct {

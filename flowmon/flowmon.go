@@ -108,6 +108,16 @@ type Recorder interface {
 	// a summarized region (HashFlow's ancillary table, ElasticSketch's
 	// light part), only records with full flow IDs are reported.
 	Records() []flow.Record
+	// AppendRecords appends the flow records currently held to dst and
+	// returns the extended slice — exactly the record set Records reports,
+	// without allocating for the result when dst has capacity. Callers
+	// that export every epoch reuse one buffer across epochs
+	// (rec.AppendRecords(buf[:0])). Table-walking recorders (HashFlow,
+	// ElasticSketch, Cuckoo, and the sharded wrapper) are allocation-free
+	// at steady state; recorders that must build scratch state per
+	// extraction (HashPipe's cross-stage merge, FlowRadar's first decode
+	// after an update) still allocate internally.
+	AppendRecords(dst []flow.Record) []flow.Record
 	// EstimateSize estimates the packet count of a flow, 0 if unknown.
 	EstimateSize(k flow.Key) uint32
 	// EstimateCardinality estimates the number of distinct flows seen.
@@ -275,11 +285,22 @@ func NewFlowRadar(cfg Config) (*flowradar.FlowRadar, error) {
 // HeavyHitters reports the flows whose estimated size meets the threshold,
 // derived from the recorder's reported records.
 func HeavyHitters(r Recorder, threshold uint32) []flow.Record {
-	var out []flow.Record
-	for _, rec := range r.Records() {
+	return HeavyHittersAppend(nil, r, threshold)
+}
+
+// HeavyHittersAppend appends the flows whose estimated size meets the
+// threshold to dst and returns the extended slice. The recorder's records
+// are extracted through AppendRecords into dst's spare capacity and
+// filtered in place, so a reused dst makes repeated heavy-hitter queries
+// allocation-free.
+func HeavyHittersAppend(dst []flow.Record, r Recorder, threshold uint32) []flow.Record {
+	start := len(dst)
+	dst = r.AppendRecords(dst)
+	keep := dst[:start]
+	for _, rec := range dst[start:] {
 		if rec.Count >= threshold {
-			out = append(out, rec)
+			keep = append(keep, rec)
 		}
 	}
-	return out
+	return keep
 }

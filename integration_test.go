@@ -226,7 +226,10 @@ func TestPipelineShardedAdaptiveNetwide(t *testing.T) {
 		Capacity:   2048,
 		CheckEvery: 256,
 	}, func(epoch int, records []flow.Record) {
-		views = append(views, netwide.View{Name: "epoch", Records: records})
+		// The flush buffer is reused for the next epoch; retaining a view
+		// of it requires a copy.
+		views = append(views, netwide.View{Name: "epoch",
+			Records: append([]flow.Record(nil), records...)})
 	})
 	if err != nil {
 		t.Fatal(err)

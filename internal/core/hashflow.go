@@ -339,15 +339,20 @@ func (h *HashFlow) EstimateSize(k flow.Key) uint32 {
 // Records reports every main-table flow record. Ancillary records carry
 // only digests, not flow IDs, so they cannot be reported.
 func (h *HashFlow) Records() []flow.Record {
-	out := make([]flow.Record, 0, h.Occupied())
+	return h.AppendRecords(make([]flow.Record, 0, h.Occupied()))
+}
+
+// AppendRecords appends every main-table flow record to dst and returns
+// the extended slice, allocating only when dst lacks capacity.
+func (h *HashFlow) AppendRecords(dst []flow.Record) []flow.Record {
 	for _, t := range h.tables {
 		for _, b := range t {
 			if b.count > 0 {
-				out = append(out, flow.Record{Key: b.key, Count: b.count})
+				dst = append(dst, flow.Record{Key: b.key, Count: b.count})
 			}
 		}
 	}
-	return out
+	return dst
 }
 
 // EstimateCardinality estimates the number of distinct flows as the number

@@ -229,15 +229,20 @@ func (t *Table) EstimateSize(k flow.Key) uint32 {
 
 // Records reports every stored flow record.
 func (t *Table) Records() []flow.Record {
-	var out []flow.Record
+	return t.AppendRecords(nil)
+}
+
+// AppendRecords appends every stored flow record to dst and returns the
+// extended slice, allocating only when dst lacks capacity.
+func (t *Table) AppendRecords(dst []flow.Record) []flow.Record {
 	for i := range t.tables {
 		for _, c := range t.tables[i] {
 			if c.count > 0 {
-				out = append(out, flow.Record{Key: c.key, Count: c.count})
+				dst = append(dst, flow.Record{Key: c.key, Count: c.count})
 			}
 		}
 	}
-	return out
+	return dst
 }
 
 // EstimateCardinality returns the number of stored records; like HashPipe,

@@ -213,7 +213,13 @@ func (e *Elastic) EstimateSize(k flow.Key) uint32 {
 // Records reports every heavy-part flow with its estimated size. Light-part
 // flows have no stored keys and cannot be enumerated.
 func (e *Elastic) Records() []flow.Record {
-	var out []flow.Record
+	return e.AppendRecords(nil)
+}
+
+// AppendRecords appends every heavy-part flow with its estimated size to
+// dst and returns the extended slice, allocating only when dst lacks
+// capacity.
+func (e *Elastic) AppendRecords(dst []flow.Record) []flow.Record {
 	for _, t := range e.heavy {
 		for _, b := range t {
 			if b.votePlus == 0 {
@@ -224,10 +230,10 @@ func (e *Elastic) Records() []flow.Record {
 				w1, w2 := b.key.Words()
 				count += e.light.Estimate(w1, w2)
 			}
-			out = append(out, flow.Record{Key: b.key, Count: count})
+			dst = append(dst, flow.Record{Key: b.key, Count: count})
 		}
 	}
-	return out
+	return dst
 }
 
 // EstimateCardinality combines the heavy-part occupancy with linear

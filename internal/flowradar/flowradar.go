@@ -270,11 +270,18 @@ func (fr *FlowRadar) EstimateSize(k flow.Key) uint32 {
 // Records returns the successfully decoded flow records.
 func (fr *FlowRadar) Records() []flow.Record {
 	fr.decode()
-	out := make([]flow.Record, 0, len(fr.decoded))
+	return fr.AppendRecords(make([]flow.Record, 0, len(fr.decoded)))
+}
+
+// AppendRecords appends the successfully decoded flow records to dst and
+// returns the extended slice. The decode itself is cached between updates,
+// so repeated extraction into a reused dst does not re-run it.
+func (fr *FlowRadar) AppendRecords(dst []flow.Record) []flow.Record {
+	fr.decode()
 	for k, v := range fr.decoded {
-		out = append(out, flow.Record{Key: k, Count: v})
+		dst = append(dst, flow.Record{Key: k, Count: v})
 	}
-	return out
+	return dst
 }
 
 // DecodeComplete reports whether the last decode drained every cell, i.e.

@@ -191,6 +191,14 @@ func (hp *HashPipe) EstimateSize(k flow.Key) uint32 {
 
 // Records reports one merged record per distinct key held in any stage.
 func (hp *HashPipe) Records() []flow.Record {
+	return hp.AppendRecords(nil)
+}
+
+// AppendRecords appends one merged record per distinct key held in any
+// stage to dst and returns the extended slice. Merging duplicates across
+// stages still builds a scratch map (a key may sit in several stages), but
+// the reported records land in dst without further copies.
+func (hp *HashPipe) AppendRecords(dst []flow.Record) []flow.Record {
 	merged := make(map[flow.Key]uint32)
 	for _, stage := range hp.stages {
 		for _, c := range stage {
@@ -199,11 +207,10 @@ func (hp *HashPipe) Records() []flow.Record {
 			}
 		}
 	}
-	out := make([]flow.Record, 0, len(merged))
 	for k, v := range merged {
-		out = append(out, flow.Record{Key: k, Count: v})
+		dst = append(dst, flow.Record{Key: k, Count: v})
 	}
-	return out
+	return dst
 }
 
 // EstimateCardinality returns the number of distinct keys currently held.

@@ -137,11 +137,21 @@ func (r *Recorder) EstimateSize(k flow.Key) uint32 {
 
 // Records reports one record per cached flow with rate-scaled counts.
 func (r *Recorder) Records() []flow.Record {
-	out := make([]flow.Record, 0, len(r.counts))
-	for k := range r.counts {
-		out = append(out, flow.Record{Key: k, Count: r.EstimateSize(k)})
+	return r.AppendRecords(make([]flow.Record, 0, len(r.counts)))
+}
+
+// AppendRecords appends one record per cached flow with rate-scaled counts
+// to dst and returns the extended slice, scaling directly from the cached
+// value instead of re-querying the map per flow.
+func (r *Recorder) AppendRecords(dst []flow.Record) []flow.Record {
+	for k, c := range r.counts {
+		est := uint64(c) * uint64(r.cfg.Rate)
+		if est > 0xFFFFFFFF {
+			est = 0xFFFFFFFF
+		}
+		dst = append(dst, flow.Record{Key: k, Count: uint32(est)})
 	}
-	return out
+	return dst
 }
 
 // EstimateCardinality scales the distinct sampled-flow count by the rate.

@@ -143,11 +143,16 @@ func (s *Summary) GuaranteedCount(k flow.Key) uint32 {
 
 // Records reports every tracked flow with its estimated count.
 func (s *Summary) Records() []flow.Record {
-	out := make([]flow.Record, 0, len(s.entries))
+	return s.AppendRecords(make([]flow.Record, 0, len(s.entries)))
+}
+
+// AppendRecords appends every tracked flow with its estimated count to dst
+// and returns the extended slice, allocating only when dst lacks capacity.
+func (s *Summary) AppendRecords(dst []flow.Record) []flow.Record {
 	for k, e := range s.entries {
-		out = append(out, flow.Record{Key: k, Count: e.count})
+		dst = append(dst, flow.Record{Key: k, Count: e.count})
 	}
-	return out
+	return dst
 }
 
 // EstimateCardinality returns the number of tracked flows — like HashPipe,

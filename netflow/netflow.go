@@ -270,11 +270,27 @@ func (c *Collector) Records() []Record {
 // FlowRecords converts the collected records back into measurement flow
 // records.
 func (c *Collector) FlowRecords() []flow.Record {
-	out := make([]flow.Record, 0, len(c.records))
+	return c.AppendFlowRecords(make([]flow.Record, 0, len(c.records)))
+}
+
+// AppendFlowRecords appends the collected records, converted back into
+// measurement flow records, to dst and returns the extended slice. A
+// collector server draining one epoch per quiet gap reuses a single buffer
+// across epochs so the receive loop does not allocate per epoch.
+func (c *Collector) AppendFlowRecords(dst []flow.Record) []flow.Record {
 	for _, r := range c.records {
-		out = append(out, flow.Record{Key: r.Key(), Count: r.Packets})
+		dst = append(dst, flow.Record{Key: r.Key(), Count: r.Packets})
 	}
-	return out
+	return dst
+}
+
+// Reset clears the collected records and the sequence tracking so the
+// collector can accumulate the next epoch, retaining its record storage.
+func (c *Collector) Reset() {
+	c.records = c.records[:0]
+	c.started = false
+	c.nextSeq = 0
+	c.lost = 0
 }
 
 // Count returns the number of records collected so far without copying.

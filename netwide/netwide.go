@@ -9,10 +9,17 @@
 //     size is the maximum observed count.
 //   - MergeSum: when vantage points observe disjoint traffic (for example
 //     per-uplink load balancing), counts add.
+//
+// Both are implemented without maps: MergeMax/MergeSum gather all views
+// into one buffer, key-sort it with a typed sort and combine adjacent
+// duplicates in place. When the views are already key-sorted (the order
+// shard.Sharded exports per shard and recordstore persists), the Into
+// variants perform a direct k-way merge into a caller-supplied buffer with
+// zero steady-state allocations.
 package netwide
 
 import (
-	"sort"
+	"slices"
 
 	"repro/flow"
 )
@@ -25,44 +32,139 @@ type View struct {
 	Records []flow.Record
 }
 
+// combineMax keeps the larger of two counts.
+func combineMax(old, add uint32) uint32 {
+	if add > old {
+		return add
+	}
+	return old
+}
+
+// combineSum adds two counts, saturating at the uint32 ceiling.
+func combineSum(old, add uint32) uint32 {
+	s := old + add
+	if s < old {
+		s = ^uint32(0)
+	}
+	return s
+}
+
 // MergeMax combines views keeping, per flow, the maximum reported count.
+// The result is ordered by count descending (key order breaking ties).
 func MergeMax(views ...View) []flow.Record {
-	return merge(views, func(old, add uint32) uint32 {
-		if add > old {
-			return add
-		}
-		return old
-	})
+	return merge(views, combineMax)
 }
 
-// MergeSum combines views summing per-flow counts (saturating).
+// MergeSum combines views summing per-flow counts (saturating). The result
+// is ordered by count descending (key order breaking ties).
 func MergeSum(views ...View) []flow.Record {
-	return merge(views, func(old, add uint32) uint32 {
-		s := old + add
-		if s < old {
-			s = ^uint32(0)
-		}
-		return s
-	})
+	return merge(views, combineSum)
 }
 
+// merge gathers every view into one pre-sized buffer, key-sorts it, folds
+// adjacent duplicates in place with combine, and finally orders the merged
+// set by count for reporting. No maps: the sort-and-fold pass replaces the
+// seed's per-key map inserts and lets arbitrarily large views merge with
+// two typed sorts and one linear scan.
 func merge(views []View, combine func(old, add uint32) uint32) []flow.Record {
-	m := make(map[flow.Key]uint32)
+	total := 0
 	for _, v := range views {
-		for _, r := range v.Records {
-			if prev, ok := m[r.Key]; ok {
-				m[r.Key] = combine(prev, r.Count)
-			} else {
-				m[r.Key] = r.Count
+		total += len(v.Records)
+	}
+	all := make([]flow.Record, 0, total)
+	for _, v := range views {
+		all = append(all, v.Records...)
+	}
+	SortByKey(all)
+	out := foldSorted(all, combine)
+	slices.SortFunc(out, func(a, b flow.Record) int {
+		if a.Count != b.Count {
+			if a.Count > b.Count {
+				return -1
+			}
+			return 1
+		}
+		return flow.CompareKeys(a.Key, b.Key)
+	})
+	return out
+}
+
+// foldSorted combines adjacent equal-key records of a key-sorted slice in
+// place and returns the shortened slice.
+func foldSorted(recs []flow.Record, combine func(old, add uint32) uint32) []flow.Record {
+	out := recs[:0]
+	for _, r := range recs {
+		if n := len(out); n > 0 && out[n-1].Key == r.Key {
+			out[n-1].Count = combine(out[n-1].Count, r.Count)
+			continue
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// MergeMaxInto k-way merges key-sorted views into dst keeping, per flow,
+// the maximum reported count; see MergeSumInto for the contract.
+func MergeMaxInto(dst []flow.Record, views ...View) []flow.Record {
+	return mergeInto(dst, views, combineMax)
+}
+
+// MergeSumInto k-way merges key-sorted views into dst summing per-flow
+// counts (saturating), appending the merged records in key order and
+// returning the extended slice. Every view's Records must already be
+// sorted by packed key (SortByKey order) — shard.Sharded exports each
+// shard's chunk and recordstore stores each epoch exactly so. dst is
+// reused across calls by the epoch pipeline, making steady-state
+// network-wide aggregation allocation-free.
+func MergeSumInto(dst []flow.Record, views ...View) []flow.Record {
+	return mergeInto(dst, views, combineSum)
+}
+
+// mergeInto is a direct k-way merge: each view keeps a cursor, the minimum
+// key among cursors is appended (or folded into the previous output record
+// when the key repeats across views). The cursor array lives on the stack
+// for realistic view counts.
+func mergeInto(dst []flow.Record, views []View, combine func(old, add uint32) uint32) []flow.Record {
+	var idxArr [16]int
+	var idx []int
+	if len(views) <= len(idxArr) {
+		idx = idxArr[:len(views)]
+	} else {
+		idx = make([]int, len(views))
+	}
+	start := len(dst)
+	for {
+		best := -1
+		var b1, b2 uint64
+		for v := range views {
+			if idx[v] >= len(views[v].Records) {
+				continue
+			}
+			w1, w2 := views[v].Records[idx[v]].Key.Words()
+			if best < 0 || w1 < b1 || (w1 == b1 && w2 < b2) {
+				best, b1, b2 = v, w1, w2
 			}
 		}
+		if best < 0 {
+			return dst
+		}
+		r := views[best].Records[idx[best]]
+		idx[best]++
+		if n := len(dst); n > start && dst[n-1].Key == r.Key {
+			dst[n-1].Count = combine(dst[n-1].Count, r.Count)
+			continue
+		}
+		dst = append(dst, r)
 	}
-	out := make([]flow.Record, 0, len(m))
-	for k, c := range m {
-		out = append(out, flow.Record{Key: k, Count: c})
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Count > out[j].Count })
-	return out
+}
+
+// SortByKey orders records by their packed two-word key encoding
+// (flow.CompareKeys), the precondition of the Into merges and the order
+// recordstore persists.
+func SortByKey(recs []flow.Record) {
+	slices.SortFunc(recs, func(a, b flow.Record) int {
+		return flow.CompareKeys(a.Key, b.Key)
+	})
 }
 
 // Coverage reports how many distinct flows each view contributed that no

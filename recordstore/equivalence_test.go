@@ -1,0 +1,217 @@
+package recordstore
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"io"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/flow"
+)
+
+// seedWriteStream reproduces the seed encoder byte for byte — reflection
+// sort.Slice over the records plus the same varint delta framing — so the
+// radix/typed-sort Writer can be checked for byte-identical output.
+func seedWriteStream(t *testing.T, epochs [][]flow.Record, times []time.Time) []byte {
+	t.Helper()
+	var out bytes.Buffer
+	bw := bufio.NewWriter(&out)
+	if _, err := bw.WriteString(magic); err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.WriteByte(version); err != nil {
+		t.Fatal(err)
+	}
+	var scratch []flow.Record
+	var buf []byte
+	for e, records := range epochs {
+		scratch = append(scratch[:0], records...)
+		sort.Slice(scratch, func(i, j int) bool {
+			return lessWords(scratch[i].Key, scratch[j].Key)
+		})
+		buf = buf[:0]
+		buf = binary.AppendUvarint(buf, uint64(times[e].UnixNano()))
+		buf = binary.AppendUvarint(buf, uint64(len(scratch)))
+		var prev1, prev2 uint64
+		for _, r := range scratch {
+			w1, w2 := r.Key.Words()
+			buf = binary.AppendUvarint(buf, w1-prev1)
+			buf = binary.AppendUvarint(buf, w2^prev2)
+			buf = binary.AppendUvarint(buf, uint64(r.Count))
+			prev1, prev2 = w1, w2
+		}
+		var lenBuf [binary.MaxVarintLen64]byte
+		n := binary.PutUvarint(lenBuf[:], uint64(len(buf)))
+		if _, err := bw.Write(lenBuf[:n]); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := bw.Write(buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return out.Bytes()
+}
+
+// randomRecords generates n records with distinct random keys (duplicate
+// keys would make the two sorts' tie order observable; record sets from a
+// recorder are duplicate-free by construction).
+func randomRecords(rng *rand.Rand, n int) []flow.Record {
+	seen := make(map[flow.Key]bool, n)
+	out := make([]flow.Record, 0, n)
+	for len(out) < n {
+		k := flow.Key{
+			SrcIP:   rng.Uint32(),
+			DstIP:   rng.Uint32(),
+			SrcPort: uint16(rng.Uint32()),
+			DstPort: uint16(rng.Uint32()),
+			Proto:   uint8(rng.Uint32()),
+		}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, flow.Record{Key: k, Count: rng.Uint32()})
+	}
+	return out
+}
+
+// TestSortRewriteEncodingEquivalence is the safety net under the sort
+// rewrite: for epoch sizes spanning the typed-sort path (< radixMinLen)
+// and the radix path, and for adversarial key distributions, the Writer
+// must produce streams byte-identical to the seed's sort.Slice encoder.
+func TestSortRewriteEncodingEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+
+	cases := map[string][][]flow.Record{
+		"small-epochs": {
+			randomRecords(rng, 1),
+			randomRecords(rng, 7),
+			randomRecords(rng, radixMinLen-1),
+			{},
+		},
+		"radix-epochs": {
+			randomRecords(rng, radixMinLen),
+			randomRecords(rng, 2500),
+			randomRecords(rng, 20000),
+		},
+		"uniform-bytes": {
+			// Shared protocol/port bytes exercise the skipped-pass path.
+			func() []flow.Record {
+				recs := randomRecords(rng, 5000)
+				for i := range recs {
+					recs[i].Key.Proto = 6
+					recs[i].Key.DstPort = 443
+				}
+				return dedupe(recs)
+			}(),
+		},
+		"dense-prefix": {
+			// Sequential addresses: most high key bytes uniform.
+			func() []flow.Record {
+				recs := make([]flow.Record, 0, 4000)
+				for i := 0; i < 4000; i++ {
+					recs = append(recs, flow.Record{
+						Key:   flow.Key{SrcIP: 0x0A000000 + uint32(i), DstIP: 0x0A000001, SrcPort: 80, DstPort: 443, Proto: 6},
+						Count: uint32(rng.Intn(1 << 20)),
+					})
+				}
+				return recs
+			}(),
+		},
+	}
+
+	for name, epochs := range cases {
+		t.Run(name, func(t *testing.T) {
+			times := make([]time.Time, len(epochs))
+			for i := range times {
+				times[i] = time.Unix(int64(1700000000+i), int64(i)*137)
+			}
+			want := seedWriteStream(t, epochs, times)
+
+			var got bytes.Buffer
+			w := NewWriter(&got)
+			for e, records := range epochs {
+				if err := w.WriteEpoch(times[e], records); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := w.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got.Bytes(), want) {
+				t.Fatalf("rewritten encoder diverges from seed encoder: %d vs %d bytes", got.Len(), len(want))
+			}
+		})
+	}
+}
+
+func dedupe(recs []flow.Record) []flow.Record {
+	seen := make(map[flow.Key]bool, len(recs))
+	out := recs[:0]
+	for _, r := range recs {
+		if seen[r.Key] {
+			continue
+		}
+		seen[r.Key] = true
+		out = append(out, r)
+	}
+	return out
+}
+
+// TestReadEpochAppendRoundTrip verifies append-mode reads: reused buffers,
+// preserved prefixes, and agreement with ReadEpoch.
+func TestReadEpochAppendRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	epochs := [][]flow.Record{
+		randomRecords(rng, 300),
+		randomRecords(rng, 10),
+		randomRecords(rng, 1200),
+	}
+	var stream bytes.Buffer
+	w := NewWriter(&stream)
+	for i, records := range epochs {
+		if err := w.WriteEpoch(time.Unix(int64(i), 0), records); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	encoded := stream.Bytes()
+
+	plain := NewReader(bytes.NewReader(encoded))
+	appender := NewReader(bytes.NewReader(encoded))
+	var buf []flow.Record
+	for i := range epochs {
+		want, err := plain.ReadEpoch()
+		if err != nil {
+			t.Fatalf("epoch %d: %v", i, err)
+		}
+		got, err := appender.ReadEpochAppend(buf[:0])
+		if err != nil {
+			t.Fatalf("epoch %d: %v", i, err)
+		}
+		buf = got.Records
+		if !got.Time.Equal(want.Time) {
+			t.Errorf("epoch %d: time %v, want %v", i, got.Time, want.Time)
+		}
+		if len(got.Records) != len(want.Records) {
+			t.Fatalf("epoch %d: %d records, want %d", i, len(got.Records), len(want.Records))
+		}
+		for j := range got.Records {
+			if got.Records[j] != want.Records[j] {
+				t.Fatalf("epoch %d record %d: %+v, want %+v", i, j, got.Records[j], want.Records[j])
+			}
+		}
+	}
+	if _, err := appender.ReadEpochAppend(buf[:0]); err != io.EOF {
+		t.Fatalf("expected EOF, got %v", err)
+	}
+}

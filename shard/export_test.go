@@ -1,0 +1,144 @@
+package shard
+
+import (
+	"testing"
+
+	"repro/flow"
+	"repro/flowmon"
+	"repro/trace"
+)
+
+// TestRecordsDeterministic pins the export ordering contract: Records and
+// AppendRecords return shards in index order with each shard's chunk
+// sorted by packed flow key, so repeated extractions are byte-identical
+// even when the underlying recorder enumerates a Go map (SpaceSaving,
+// HashPipe, sampled NetFlow).
+func TestRecordsDeterministic(t *testing.T) {
+	tr, err := trace.Generate(trace.Campus, 3000, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkts := tr.Packets(11)
+
+	for _, a := range []flowmon.Algorithm{flowmon.AlgorithmSpaceSaving, flowmon.AlgorithmHashFlow} {
+		t.Run(a.String(), func(t *testing.T) {
+			s, err := NewUniform(4, a, flowmon.Config{MemoryBytes: 64 << 10, Seed: 3})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s.Close()
+			s.UpdateBatch(pkts)
+
+			first := s.Records()
+			if len(first) == 0 {
+				t.Fatal("no records")
+			}
+			for round := 0; round < 3; round++ {
+				again := s.Records()
+				if len(again) != len(first) {
+					t.Fatalf("round %d: %d records, want %d", round, len(again), len(first))
+				}
+				for i := range again {
+					if again[i] != first[i] {
+						t.Fatalf("round %d: record %d = %+v, want %+v", round, i, again[i], first[i])
+					}
+				}
+			}
+
+			// AppendRecords must agree with Records and respect existing
+			// dst content.
+			prefix := flow.Record{Key: flow.Key{SrcIP: 0xFFFFFFFF}, Count: 1}
+			out := s.AppendRecords([]flow.Record{prefix})
+			if out[0] != prefix {
+				t.Fatalf("AppendRecords clobbered dst prefix: %+v", out[0])
+			}
+			if len(out)-1 != len(first) {
+				t.Fatalf("AppendRecords added %d records, want %d", len(out)-1, len(first))
+			}
+			for i, r := range out[1:] {
+				if r != first[i] {
+					t.Fatalf("AppendRecords record %d = %+v, want %+v", i, r, first[i])
+				}
+			}
+
+			// Each shard's chunk is key-sorted: walking the output, the key
+			// order may only reset at a shard boundary, i.e. at most
+			// Shards()-1 descents.
+			descents := 0
+			for i := 1; i < len(first); i++ {
+				if keyLess(first[i].Key, first[i-1].Key) {
+					descents++
+				}
+			}
+			if descents > s.Shards()-1 {
+				t.Errorf("%d key-order descents, want at most %d (shard boundaries)", descents, s.Shards()-1)
+			}
+		})
+	}
+}
+
+func keyLess(a, b flow.Key) bool {
+	a1, a2 := a.Words()
+	b1, b2 := b.Words()
+	if a1 != b1 {
+		return a1 < b1
+	}
+	return a2 < b2
+}
+
+// TestRecordsPreSized pins the single-grow concatenation: a cold Records
+// call performs one pre-sized allocation for the result (the per-shard
+// chunk buffers are recorder-owned and warm after the first export).
+func TestRecordsPreSized(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are inflated by the race detector")
+	}
+	tr, err := trace.Generate(trace.Campus, 2000, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewUniform(4, flowmon.AlgorithmHashFlow, flowmon.Config{MemoryBytes: 64 << 10, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.UpdateBatch(tr.Packets(13))
+
+	s.Records() // warm chunk buffers and export workers
+	var out []flow.Record
+	if allocs := testing.AllocsPerRun(20, func() {
+		out = s.Records()
+	}); allocs > 1 {
+		t.Errorf("Records allocates %.0f times, want at most 1 (the pre-sized result)", allocs)
+	}
+	if len(out) == 0 {
+		t.Fatal("no records")
+	}
+}
+
+// TestExportAfterClose verifies extraction still works (sequentially) once
+// Close has torn down the export workers.
+func TestExportAfterClose(t *testing.T) {
+	tr, err := trace.Generate(trace.Campus, 2000, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewUniform(4, flowmon.AlgorithmHashFlow, flowmon.Config{MemoryBytes: 64 << 10, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.UpdateBatch(tr.Packets(17))
+
+	before := s.Records()
+	s.Close()
+	after := s.Records()
+	if len(after) != len(before) {
+		t.Fatalf("Records after Close: %d records, want %d", len(after), len(before))
+	}
+	for i := range after {
+		if after[i] != before[i] {
+			t.Fatalf("record %d changed across Close: %+v vs %+v", i, after[i], before[i])
+		}
+	}
+	s.Close() // idempotent
+}

@@ -12,10 +12,18 @@
 // routing from recording entirely: each shard owns a worker goroutine fed
 // by a bounded channel of sub-batches, and Flush/Close provide the
 // ingestion barrier and orderly teardown.
+//
+// The extraction path mirrors the ingestion design: AppendRecords drains
+// all shards in parallel into per-shard chunk buffers that are reused
+// across epochs and concatenates them into the caller's buffer in
+// deterministic shard-then-key order, so continuous epoch export neither
+// stalls ingestion longer than one shard's drain nor allocates at steady
+// state.
 package shard
 
 import (
 	"fmt"
+	"slices"
 	"sync"
 
 	"repro/flow"
@@ -51,6 +59,24 @@ type Sharded struct {
 	// read side, Close holds the write side while closing the queues.
 	stateMu sync.RWMutex
 	closed  bool
+
+	// export is the epoch-extraction side: persistent worker goroutines
+	// drain the shards in parallel into per-shard chunk buffers that are
+	// reused across epochs, so steady-state AppendRecords is allocation-free.
+	export exportState
+}
+
+// exportState holds the reusable export machinery. The workers are spawned
+// lazily on the first multi-shard extraction and torn down by Close; after
+// teardown extraction falls back to a sequential in-place drain.
+type exportState struct {
+	mu      sync.Mutex // serializes extractions and guards the fields below
+	bufs    [][]flow.Record
+	req     chan int
+	done    chan struct{}
+	started bool
+	stopped bool
+	wg      sync.WaitGroup
 }
 
 type shardSlot struct {
@@ -287,11 +313,20 @@ func (s *Sharded) Flush() {
 	}
 }
 
-// Close flushes outstanding batches and stops the shard workers. The
-// recorder remains fully usable afterwards: further updates take the
-// synchronous locked path. Close is idempotent and a no-op in synchronous
-// mode.
+// Close flushes outstanding batches and stops the shard workers, both the
+// asynchronous ingestion workers and any export workers spawned by
+// AppendRecords. The recorder remains fully usable afterwards: further
+// updates take the synchronous locked path and further extractions drain
+// the shards sequentially. Close is idempotent.
 func (s *Sharded) Close() {
+	s.export.mu.Lock()
+	if s.export.started && !s.export.stopped {
+		close(s.export.req)
+	}
+	s.export.stopped = true
+	s.export.mu.Unlock()
+	s.export.wg.Wait()
+
 	if !s.async {
 		return
 	}
@@ -348,17 +383,92 @@ func (s *Sharded) FeedParallel(pkts []flow.Packet, workers int) {
 
 // Records merges the records of every shard, after an ingestion barrier in
 // asynchronous mode. Shard routing guarantees the same key never appears
-// in two shards.
+// in two shards. The result is deterministic — shards in index order, each
+// shard's records sorted by packed flow key — and allocated pre-sized in
+// one step.
 func (s *Sharded) Records() []flow.Record {
+	return s.AppendRecords(nil)
+}
+
+// AppendRecords appends every shard's records to dst and returns the
+// extended slice, in the same deterministic shard-then-key order as
+// Records. The shards are drained in parallel into per-shard chunk buffers
+// owned by the recorder and reused across epochs, then concatenated into
+// dst with a single pre-sized grow, so exporting every epoch through one
+// reused dst buffer is allocation-free at steady state.
+//
+// The first multi-shard extraction spawns one persistent export worker
+// goroutine per shard (idle between extractions); call Close when
+// discarding the recorder to stop them, as in asynchronous mode.
+func (s *Sharded) AppendRecords(dst []flow.Record) []flow.Record {
 	s.Flush()
-	var out []flow.Record
-	for i := range s.shards {
-		slot := &s.shards[i]
-		slot.mu.Lock()
-		out = append(out, slot.rec.Records()...)
-		slot.mu.Unlock()
+	e := &s.export
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.bufs == nil {
+		e.bufs = make([][]flow.Record, len(s.shards))
 	}
-	return out
+	if len(s.shards) > 1 && !e.stopped {
+		if !e.started {
+			e.req = make(chan int)
+			e.done = make(chan struct{}, len(s.shards))
+			for w := 0; w < len(s.shards); w++ {
+				e.wg.Add(1)
+				go s.exportWorker()
+			}
+			e.started = true
+		}
+		for i := range s.shards {
+			e.req <- i
+		}
+		for range s.shards {
+			<-e.done
+		}
+	} else {
+		for i := range s.shards {
+			s.exportShard(i)
+		}
+	}
+	total := 0
+	for i := range e.bufs {
+		total += len(e.bufs[i])
+	}
+	dst = slices.Grow(dst, total)
+	for i := range e.bufs {
+		dst = append(dst, e.bufs[i]...)
+	}
+	return dst
+}
+
+// exportWorker drains shard indices from the export request channel until
+// Close tears the channel down.
+func (s *Sharded) exportWorker() {
+	defer s.export.wg.Done()
+	for i := range s.export.req {
+		s.exportShard(i)
+		s.export.done <- struct{}{}
+	}
+}
+
+// exportShard extracts one shard's records into its reused chunk buffer
+// and sorts the chunk by packed flow key for deterministic output.
+func (s *Sharded) exportShard(i int) {
+	slot := &s.shards[i]
+	slot.mu.Lock()
+	s.export.bufs[i] = slot.rec.AppendRecords(s.export.bufs[i][:0])
+	slot.mu.Unlock()
+	sortByKey(s.export.bufs[i])
+}
+
+// sortByKey orders a shard's chunk by the canonical packed-key order
+// (flow.CompareKeys). Keys are unique within a shard — routing sends a
+// flow to exactly one shard and recorders report each key once — so no
+// tiebreak is needed for the order to be a pure function of the record
+// set.
+func sortByKey(recs []flow.Record) {
+	slices.SortFunc(recs, func(a, b flow.Record) int {
+		return flow.CompareKeys(a.Key, b.Key)
+	})
 }
 
 // EstimateSize routes the query to the owning shard, after an ingestion
