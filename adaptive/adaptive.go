@@ -11,10 +11,20 @@ package adaptive
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/flow"
 	"repro/flowmon"
 )
+
+// Sidecar is an auxiliary per-epoch structure that rotates with the
+// recorder — an online summary (topk.Set, topk.Tracker) the manager clears
+// at every epoch boundary. In double-buffered mode each recorder travels
+// with its own sidecar: the pair swaps at rotation and the drained
+// sidecar is reset by the flush worker, off the hot path.
+type Sidecar interface {
+	Reset()
+}
 
 // FlushFunc receives the records of a completed epoch. The recorder is
 // reset after the callback returns. The records slice is owned by the
@@ -70,19 +80,31 @@ type Manager struct {
 	// Single-buffer mode reuses one export buffer across epochs.
 	buf []flow.Record
 
+	// sc is the sidecar paired with the live recorder (nil when unset);
+	// live publishes it for queries from other goroutines.
+	sc   Sidecar
+	live atomic.Pointer[Sidecar]
+
 	// Double-buffered mode: the standby channel holds the reset recorder
-	// ready for the next swap, jobs carries full recorders to the flush
-	// worker (capacity 1: at most one epoch drains behind the live one).
-	standby chan flowmon.Recorder
+	// (with its sidecar) ready for the next swap, jobs carries full
+	// recorders to the flush worker (capacity 1: at most one epoch drains
+	// behind the live one).
+	standby chan buffer
 	jobs    chan flushJob
 	done    chan struct{}
 	closed  bool
 }
 
+// buffer pairs a recorder with the sidecar that rotates alongside it.
+type buffer struct {
+	rec flowmon.Recorder
+	sc  Sidecar
+}
+
 // flushJob is one completed epoch travelling to the flush worker.
 type flushJob struct {
 	epoch int
-	rec   flowmon.Recorder
+	buf   buffer
 }
 
 // NewManager wraps rec. flush may be nil if the caller only needs the
@@ -116,26 +138,78 @@ func NewDoubleBuffered(active, standby flowmon.Recorder, cfg Config, flush Flush
 	if err != nil {
 		return nil, err
 	}
-	m.standby = make(chan flowmon.Recorder, 1)
-	m.standby <- standby
+	m.standby = make(chan buffer, 1)
+	m.standby <- buffer{rec: standby}
 	m.jobs = make(chan flushJob, 1)
 	m.done = make(chan struct{})
 	go m.flushWorker()
 	return m, nil
 }
 
+// AttachSidecar pairs the live recorder with a sidecar reset at every
+// epoch boundary (single-buffer mode, or the live half before the first
+// rotation). For double-buffered managers use AttachSidecars so both
+// halves rotate. Call before ingestion begins.
+func (m *Manager) AttachSidecar(sc Sidecar) error {
+	if sc == nil {
+		return fmt.Errorf("adaptive: nil sidecar")
+	}
+	if m.jobs != nil {
+		return fmt.Errorf("adaptive: double-buffered manager needs AttachSidecars")
+	}
+	m.sc = sc
+	m.live.Store(&sc)
+	return nil
+}
+
+// AttachSidecars pairs each half of a double-buffered manager with a
+// sidecar: active rides the recorder currently filling, standby rides the
+// spare. At every rotation the pair swaps with its recorder and the
+// drained sidecar is reset by the flush worker after the epoch's records
+// are extracted. Call before ingestion begins (the standby half must
+// still be parked, i.e. no rotation may be in flight).
+func (m *Manager) AttachSidecars(active, standby Sidecar) error {
+	if active == nil || standby == nil {
+		return fmt.Errorf("adaptive: nil sidecar")
+	}
+	if m.jobs == nil {
+		return fmt.Errorf("adaptive: AttachSidecars needs a double-buffered manager")
+	}
+	b := <-m.standby
+	b.sc = standby
+	m.standby <- b
+	m.sc = active
+	m.live.Store(&active)
+	return nil
+}
+
+// Sidecar returns the sidecar paired with the recorder currently filling,
+// or nil if none is attached. Safe from any goroutine: the query daemon
+// reads the live summary through it while ingestion rotates underneath.
+func (m *Manager) Sidecar() Sidecar {
+	p := m.live.Load()
+	if p == nil {
+		return nil
+	}
+	return *p
+}
+
 // flushWorker drains completed epochs: extract into a reused buffer, run
-// the callback, reset the recorder and return it as the next standby.
+// the callback, reset the recorder (and its sidecar) and return the pair
+// as the next standby.
 func (m *Manager) flushWorker() {
 	defer close(m.done)
 	var buf []flow.Record
 	for job := range m.jobs {
 		if m.flush != nil {
-			buf = job.rec.AppendRecords(buf[:0])
+			buf = job.buf.rec.AppendRecords(buf[:0])
 			m.flush(job.epoch, buf)
 		}
-		job.rec.Reset()
-		m.standby <- job.rec
+		job.buf.rec.Reset()
+		if job.buf.sc != nil {
+			job.buf.sc.Reset()
+		}
+		m.standby <- job.buf
 	}
 }
 
@@ -175,15 +249,23 @@ func (m *Manager) UpdateBatch(pkts []flow.Packet) {
 // epoch (rotation outpacing extraction).
 func (m *Manager) Flush() {
 	if m.jobs != nil && !m.closed {
-		full := m.rec
-		m.rec = <-m.standby
-		m.jobs <- flushJob{epoch: m.epoch, rec: full}
+		full := buffer{rec: m.rec, sc: m.sc}
+		next := <-m.standby
+		m.rec, m.sc = next.rec, next.sc
+		if m.sc != nil {
+			sc := m.sc
+			m.live.Store(&sc)
+		}
+		m.jobs <- flushJob{epoch: m.epoch, buf: full}
 	} else {
 		if m.flush != nil {
 			m.buf = m.rec.AppendRecords(m.buf[:0])
 			m.flush(m.epoch, m.buf)
 		}
 		m.rec.Reset()
+		if m.sc != nil {
+			m.sc.Reset()
+		}
 	}
 	m.epoch++
 	m.inEp = 0

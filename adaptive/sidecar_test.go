@@ -1,0 +1,111 @@
+package adaptive
+
+import (
+	"sync"
+	"testing"
+
+	"repro/flow"
+	"repro/flowmon"
+)
+
+// testSidecar records resets.
+type testSidecar struct {
+	mu     sync.Mutex
+	name   string
+	resets int
+}
+
+func (s *testSidecar) Reset() {
+	s.mu.Lock()
+	s.resets++
+	s.mu.Unlock()
+}
+
+func (s *testSidecar) resetCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.resets
+}
+
+func sidecarRecorder(t *testing.T) flowmon.Recorder {
+	t.Helper()
+	rec, err := flowmon.New(flowmon.AlgorithmHashFlow, flowmon.Config{MemoryBytes: 1 << 16, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rec
+}
+
+// TestDoubleBufferedSidecarRotation: sidecars swap with their recorders at
+// every rotation, Sidecar() always reports the live half, and the drained
+// half is reset by the flush worker.
+func TestDoubleBufferedSidecarRotation(t *testing.T) {
+	a, b := &testSidecar{name: "a"}, &testSidecar{name: "b"}
+	m, err := NewDoubleBuffered(sidecarRecorder(t), sidecarRecorder(t),
+		Config{Capacity: 1024}, func(int, []flow.Record) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Sidecar() != nil {
+		t.Fatal("unattached manager reports a sidecar")
+	}
+	if err := m.AttachSidecar(a); err == nil {
+		t.Fatal("double-buffered manager accepted single AttachSidecar")
+	}
+	if err := m.AttachSidecars(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Sidecar(); got != a {
+		t.Fatalf("live sidecar = %v, want a", got)
+	}
+
+	m.Update(flow.Packet{Key: flow.Key{SrcIP: 1}})
+	m.Flush() // epoch 0 drains with sidecar a; b goes live
+	if got := m.Sidecar(); got != b {
+		t.Fatalf("after first rotation live sidecar = %v, want b", got)
+	}
+	m.Flush() // epoch 1 drains with b; a (already reset) returns live
+	if got := m.Sidecar(); got != a {
+		t.Fatalf("after second rotation live sidecar = %v, want a", got)
+	}
+	m.Close()
+	if a.resetCount() != 1 {
+		t.Errorf("sidecar a reset %d times, want 1", a.resetCount())
+	}
+	if b.resetCount() != 1 {
+		t.Errorf("sidecar b reset %d times, want 1", b.resetCount())
+	}
+
+	// After Close rotations flush inline; the live sidecar still resets.
+	m.Flush()
+	if a.resetCount() != 2 {
+		t.Errorf("inline rotation after Close: sidecar a reset %d times, want 2", a.resetCount())
+	}
+}
+
+// TestSingleBufferSidecar: in single-buffer mode the attached sidecar is
+// reset inline at every flush.
+func TestSingleBufferSidecar(t *testing.T) {
+	sc := &testSidecar{name: "solo"}
+	m, err := NewManager(sidecarRecorder(t), Config{Capacity: 1024}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AttachSidecars(sc, sc); err == nil {
+		t.Fatal("single-buffer manager accepted AttachSidecars")
+	}
+	if err := m.AttachSidecar(nil); err == nil {
+		t.Fatal("accepted nil sidecar")
+	}
+	if err := m.AttachSidecar(sc); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Sidecar(); got != sc {
+		t.Fatalf("live sidecar = %v, want solo", got)
+	}
+	m.Flush()
+	m.Flush()
+	if sc.resetCount() != 2 {
+		t.Errorf("sidecar reset %d times, want 2", sc.resetCount())
+	}
+}

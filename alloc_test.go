@@ -11,6 +11,7 @@ import (
 	"repro/netwide"
 	"repro/recordstore"
 	"repro/shard"
+	"repro/topk"
 	"repro/trace"
 )
 
@@ -234,6 +235,121 @@ func TestReadEpochAppendAllocFree(t *testing.T) {
 		buf = ep.Records
 	}); allocs != 0 {
 		t.Errorf("ReadEpochAppend allocates %.0f times per epoch, want 0", allocs)
+	}
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+}
+
+// TestAppendTopKAllocFree pins the zero-allocation contract of the live
+// query snapshots: AppendTopK and AppendSorted on both a single tracker
+// and a per-shard set, with reused destination buffers. The /topk request
+// path sits directly on these.
+func TestAppendTopKAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are inflated by the race detector")
+	}
+	tr, err := trace.Generate(trace.CAIDA, benchFlows, benchSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkts := tr.Packets(benchSeed)
+
+	t.Run("Tracker", func(t *testing.T) {
+		tk, err := topk.NewTracker(1024)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tk.UpdateBatch(pkts)
+		var buf []flow.Record
+		buf = tk.AppendTopK(buf[:0], 10)
+		if len(buf) != 10 {
+			t.Fatalf("warm top-k returned %d records", len(buf))
+		}
+		if allocs := testing.AllocsPerRun(100, func() {
+			buf = tk.AppendTopK(buf[:0], 10)
+		}); allocs != 0 {
+			t.Errorf("Tracker.AppendTopK allocates %.0f times per query, want 0", allocs)
+		}
+		if allocs := testing.AllocsPerRun(100, func() {
+			buf = tk.AppendSorted(buf[:0])
+		}); allocs != 0 {
+			t.Errorf("Tracker.AppendSorted allocates %.0f times per query, want 0", allocs)
+		}
+	})
+
+	t.Run("Set", func(t *testing.T) {
+		set, err := topk.NewSet(4, 1024)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, p := range pkts {
+			set.Trackers()[i%4].Update(p)
+		}
+		var buf []flow.Record
+		buf = set.AppendTopK(buf[:0], 10)
+		if len(buf) != 10 {
+			t.Fatalf("warm top-k returned %d records", len(buf))
+		}
+		if allocs := testing.AllocsPerRun(100, func() {
+			buf = set.AppendTopK(buf[:0], 10)
+		}); allocs != 0 {
+			t.Errorf("Set.AppendTopK allocates %.0f times per query, want 0", allocs)
+		}
+	})
+}
+
+// TestMappedEpochAllocFree pins allocation-free historical reads: random
+// epoch access through the mapped store with a reused buffer must not
+// allocate once the buffer has grown — the /flows scan loop relies on it.
+func TestMappedEpochAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are inflated by the race detector")
+	}
+	rec, err := flowmon.New(flowmon.AlgorithmHashFlow,
+		flowmon.Config{MemoryBytes: benchMemory, Seed: benchSeed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillRecorder(t, rec, benchFlows)
+	records := rec.Records()
+
+	const epochs = 16
+	var stream writableBuffer
+	w := recordstore.NewWriter(&stream)
+	for e := 0; e < epochs; e++ {
+		if err := w.WriteEpoch(time.Unix(int64(e), 0), records); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	m, err := recordstore.NewMappedBytes(stream.b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Epochs() != epochs {
+		t.Fatalf("indexed %d epochs, want %d", m.Epochs(), epochs)
+	}
+	var buf []flow.Record
+	ep, err := m.AppendEpochAt(0, buf[:0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf = ep.Records
+	if len(buf) != len(records) {
+		t.Fatalf("decoded %d records, want %d", len(buf), len(records))
+	}
+	i := 0
+	var rerr error
+	if allocs := testing.AllocsPerRun(100, func() {
+		ep, rerr = m.AppendEpochAt(i%epochs, buf[:0])
+		buf = ep.Records
+		i++
+	}); allocs != 0 {
+		t.Errorf("AppendEpochAt allocates %.0f times per epoch, want 0", allocs)
 	}
 	if rerr != nil {
 		t.Fatal(rerr)

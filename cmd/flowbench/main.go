@@ -9,10 +9,13 @@
 // fig10, fig11, all — plus extras, which compares the beyond-paper
 // recorders (sampled NetFlow, cuckoo, Space-Saving) against HashFlow;
 // pipeline, which measures end-to-end ingestion throughput of the sharded
-// recorder (per-packet vs batched vs async across shard counts); and
-// export, which measures the collection side — epoch record extraction and
+// recorder (per-packet vs batched vs async across shard counts); export,
+// which measures the collection side — epoch record extraction and
 // recordstore encoding across shard counts, plus single- vs
-// double-buffered epoch rotation under continuous ingestion.
+// double-buffered epoch rotation under continuous ingestion; and query,
+// which measures the read path — ingest cost of the online top-k sidecar,
+// mmap vs streamed epoch scans over a multi-epoch store, and live /topk
+// request latency.
 //
 // Flags:
 //
@@ -25,9 +28,12 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"slices"
 	"time"
@@ -37,8 +43,10 @@ import (
 	"repro/experiments"
 	"repro/flow"
 	"repro/flowmon"
+	"repro/query"
 	"repro/recordstore"
 	"repro/shard"
+	"repro/topk"
 	"repro/trace"
 )
 
@@ -227,6 +235,9 @@ func runOne(name string, cfg config, w io.Writer) error {
 
 	case "export":
 		return runExportBench(cfg, w)
+
+	case "query":
+		return runQueryBench(cfg, w)
 
 	default:
 		return fmt.Errorf("unknown experiment %q", name)
@@ -529,4 +540,348 @@ func runExportBench(cfg config, w io.Writer) error {
 		}{exportRows, rotationRows})
 	}
 	return nil
+}
+
+// sidecarRow is one ingest measurement with the top-k sidecar on or off.
+type sidecarRow struct {
+	Shards   int     `json:"shards"`
+	Sidecar  bool    `json:"sidecar"`
+	TrackCap int     `json:"tracker_capacity"`
+	Packets  int     `json:"packets"`
+	NsPerPkt float64 `json:"ns_per_pkt"`
+	Mpps     float64 `json:"mpps"`
+}
+
+// scanRow is one historical-read measurement over the multi-epoch store.
+type scanRow struct {
+	Mode        string  `json:"mode"`
+	Epochs      int     `json:"epochs"`
+	RecordsPerE int     `json:"records_per_epoch"`
+	NsPerRecord float64 `json:"ns_per_record"`
+	MRecPerS    float64 `json:"mrec_per_s"`
+}
+
+// randomRow is one random-epoch-access measurement.
+type randomRow struct {
+	Mode        string  `json:"mode"`
+	Accesses    int     `json:"accesses"`
+	NsPerAccess float64 `json:"ns_per_access"`
+}
+
+// latencyRow summarizes live /topk request latency.
+type latencyRow struct {
+	Requests int     `json:"requests"`
+	K        int     `json:"k"`
+	P50Us    float64 `json:"p50_us"`
+	P95Us    float64 `json:"p95_us"`
+	MaxUs    float64 `json:"max_us"`
+}
+
+// runQueryBench measures the query subsystem: (1) what the online top-k
+// sidecar costs the ingest path, (2) mmap vs streamed full scans and
+// random epoch access over a multi-epoch store, (3) end-to-end /topk
+// latency against a live tracker over HTTP.
+func runQueryBench(cfg config, w io.Writer) error {
+	tr, err := trace.Generate(trace.CAIDA, cfg.flows(100000), cfg.seed)
+	if err != nil {
+		return err
+	}
+	pkts := tr.Packets(cfg.seed)
+	mcfg := flowmon.Config{MemoryBytes: cfg.mem, Seed: cfg.seed}
+
+	// (1) Sidecar cost: batched ingest into a sharded recorder, with and
+	// without per-shard trackers attached.
+	const trackCap = 1024
+	if _, err := fmt.Fprintln(w, "shards\tsidecar\tpackets\tns_per_pkt\tMpps"); err != nil {
+		return err
+	}
+	var sidecarRows []sidecarRow
+	for _, shards := range []int{1, 4} {
+		for _, withSidecar := range []bool{false, true} {
+			s, err := shard.NewUniform(shards, flowmon.AlgorithmHashFlow, mcfg)
+			if err != nil {
+				return err
+			}
+			if withSidecar {
+				if _, err := topk.AttachSet(s, trackCap); err != nil {
+					return err
+				}
+			}
+			start := time.Now()
+			if err := collector.Replay(s, pkts, collector.DefaultBatchSize); err != nil {
+				return err
+			}
+			s.Flush()
+			elapsed := time.Since(start)
+			s.Close()
+			row := sidecarRow{
+				Shards:   shards,
+				Sidecar:  withSidecar,
+				TrackCap: trackCap,
+				Packets:  len(pkts),
+				NsPerPkt: float64(elapsed.Nanoseconds()) / float64(len(pkts)),
+				Mpps:     float64(len(pkts)) / elapsed.Seconds() / 1e6,
+			}
+			sidecarRows = append(sidecarRows, row)
+			if _, err := fmt.Fprintf(w, "%d\t%v\t%d\t%.1f\t%.3f\n",
+				row.Shards, row.Sidecar, row.Packets, row.NsPerPkt, row.Mpps); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Build the multi-epoch store the read measurements scan.
+	rec, err := flowmon.New(flowmon.AlgorithmHashFlow, mcfg)
+	if err != nil {
+		return err
+	}
+	if err := collector.Replay(rec, pkts, collector.DefaultBatchSize); err != nil {
+		return err
+	}
+	records := rec.Records()
+	epochs := 256
+	if cfg.quick {
+		epochs = 32
+	}
+	dir, err := os.MkdirTemp("", "flowbench-query")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	storePath := dir + "/bench.frec"
+	sf, err := os.Create(storePath)
+	if err != nil {
+		return err
+	}
+	sw := recordstore.NewWriter(sf)
+	for e := 0; e < epochs; e++ {
+		if err := sw.WriteEpoch(time.Unix(int64(e), 0), records); err != nil {
+			return err
+		}
+	}
+	if err := sw.Flush(); err != nil {
+		return err
+	}
+	if err := sf.Close(); err != nil {
+		return err
+	}
+
+	// (2a) Full scans: the streamed reader re-opens and streams the file
+	// each pass; the mapped store amortizes one mapping across passes (the
+	// flowqueryd serving mode). Best-of-passes damps scheduler noise.
+	passes := 6
+	if cfg.quick {
+		passes = 3
+	}
+	streamedNs, err := bestNs(passes, func() error {
+		f, err := os.Open(storePath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r := recordstore.NewReader(f)
+		var buf []flow.Record
+		for {
+			ep, err := r.ReadEpochAppend(buf[:0])
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			if err != nil {
+				return err
+			}
+			buf = ep.Records
+		}
+	})
+	if err != nil {
+		return err
+	}
+	mapped, err := recordstore.OpenMapped(storePath)
+	if err != nil {
+		return err
+	}
+	defer mapped.Close()
+	mappedNs, err := bestNs(passes, func() error {
+		var buf []flow.Record
+		for i := 0; i < mapped.Epochs(); i++ {
+			ep, err := mapped.AppendEpochAt(i, buf[:0])
+			if err != nil {
+				return err
+			}
+			buf = ep.Records
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	totalRecs := epochs * len(records)
+	scanRows := []scanRow{
+		{Mode: "streamed", Epochs: epochs, RecordsPerE: len(records),
+			NsPerRecord: float64(streamedNs) / float64(totalRecs),
+			MRecPerS:    float64(totalRecs) / (float64(streamedNs) / 1e9) / 1e6},
+		{Mode: "mapped", Epochs: epochs, RecordsPerE: len(records),
+			NsPerRecord: float64(mappedNs) / float64(totalRecs),
+			MRecPerS:    float64(totalRecs) / (float64(mappedNs) / 1e9) / 1e6},
+	}
+	if _, err := fmt.Fprintln(w, "\nscan\tepochs\trecords_per_epoch\tns_per_record\tMrec_per_s"); err != nil {
+		return err
+	}
+	for _, row := range scanRows {
+		if _, err := fmt.Fprintf(w, "%s\t%d\t%d\t%.1f\t%.3f\n",
+			row.Mode, row.Epochs, row.RecordsPerE, row.NsPerRecord, row.MRecPerS); err != nil {
+			return err
+		}
+	}
+
+	// (2b) Random epoch access: reaching epoch i through the stream means
+	// decoding everything before it; the mapped index goes straight there.
+	accesses := 32
+	if cfg.quick {
+		accesses = 8
+	}
+	rng := cfg.seed*6364136223846793005 + 1442695040888963407
+	targets := make([]int, accesses)
+	for i := range targets {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		targets[i] = int(rng>>33) % epochs
+	}
+	// Both modes get the same best-of treatment so the ratio is clean.
+	randPasses := 2
+	if cfg.quick {
+		randPasses = 1
+	}
+	streamedRandNs, err := bestNs(randPasses, func() error {
+		var buf []flow.Record
+		for _, target := range targets {
+			f, err := os.Open(storePath)
+			if err != nil {
+				return err
+			}
+			r := recordstore.NewReader(f)
+			for i := 0; i <= target; i++ {
+				ep, err := r.ReadEpochAppend(buf[:0])
+				if err != nil {
+					f.Close()
+					return err
+				}
+				buf = ep.Records
+			}
+			f.Close()
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	mappedRandNs, err := bestNs(randPasses, func() error {
+		var buf []flow.Record
+		for _, target := range targets {
+			ep, err := mapped.AppendEpochAt(target, buf[:0])
+			if err != nil {
+				return err
+			}
+			buf = ep.Records
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	randomRows := []randomRow{
+		{Mode: "streamed", Accesses: accesses, NsPerAccess: float64(streamedRandNs) / float64(accesses)},
+		{Mode: "mapped", Accesses: accesses, NsPerAccess: float64(mappedRandNs) / float64(accesses)},
+	}
+	if _, err := fmt.Fprintln(w, "\nrandom_access\taccesses\tns_per_access"); err != nil {
+		return err
+	}
+	for _, row := range randomRows {
+		if _, err := fmt.Fprintf(w, "%s\t%d\t%.0f\n", row.Mode, row.Accesses, row.NsPerAccess); err != nil {
+			return err
+		}
+	}
+
+	// (3) Live /topk latency over HTTP against a filled tracker.
+	set, err := topk.NewSet(4, trackCap)
+	if err != nil {
+		return err
+	}
+	for i, p := range pkts {
+		set.Trackers()[i%4].Update(p)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: query.NewHandler(query.Config{TopK: set})}
+	go func() { _ = srv.Serve(ln) }()
+	defer srv.Close()
+
+	requests := 200
+	if cfg.quick {
+		requests = 50
+	}
+	const k = 10
+	url := fmt.Sprintf("http://%s/topk?k=%d", ln.Addr(), k)
+	client := &http.Client{Timeout: 5 * time.Second}
+	lat := make([]time.Duration, 0, requests)
+	for i := 0; i < requests+10; i++ {
+		t0 := time.Now()
+		resp, err := client.Get(url)
+		if err != nil {
+			return err
+		}
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			resp.Body.Close()
+			return err
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("topk latency probe: status %d", resp.StatusCode)
+		}
+		if i >= 10 { // first requests warm the connection pool
+			lat = append(lat, time.Since(t0))
+		}
+	}
+	slices.Sort(lat)
+	latRow := latencyRow{
+		Requests: requests,
+		K:        k,
+		P50Us:    float64(lat[len(lat)/2].Nanoseconds()) / 1e3,
+		P95Us:    float64(lat[len(lat)*95/100].Nanoseconds()) / 1e3,
+		MaxUs:    float64(lat[len(lat)-1].Nanoseconds()) / 1e3,
+	}
+	if _, err := fmt.Fprintf(w, "\ntopk_latency\trequests\tk\tp50_us\tp95_us\tmax_us\n"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "live\t%d\t%d\t%.1f\t%.1f\t%.1f\n",
+		latRow.Requests, latRow.K, latRow.P50Us, latRow.P95Us, latRow.MaxUs); err != nil {
+		return err
+	}
+
+	if cfg.json {
+		return writeBenchJSON("query", struct {
+			Sidecar      []sidecarRow `json:"sidecar"`
+			Scan         []scanRow    `json:"scan"`
+			RandomAccess []randomRow  `json:"random_access"`
+			TopKLatency  latencyRow   `json:"topk_latency"`
+		}{sidecarRows, scanRows, randomRows, latRow})
+	}
+	return nil
+}
+
+// bestNs runs fn passes times and returns the fastest wall-clock
+// nanoseconds (best-of damps scheduler noise on small machines).
+func bestNs(passes int, fn func() error) (int64, error) {
+	best := int64(0)
+	for p := 0; p < passes; p++ {
+		t0 := time.Now()
+		if err := fn(); err != nil {
+			return 0, err
+		}
+		ns := time.Since(t0).Nanoseconds()
+		if best == 0 || ns < best {
+			best = ns
+		}
+	}
+	return best, nil
 }

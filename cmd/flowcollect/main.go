@@ -14,9 +14,19 @@
 //	flowcollect collect -listen 127.0.0.1:2055 -idle 3s
 //
 // Serve mode runs a persistent collector that writes each quiet-gap
-// delimited epoch to a record store file (query it with flowquery):
+// delimited epoch to a record store file (query it with flowquery). With
+// -http it also serves the live query API: /topk straight from an online
+// tracker fed per epoch, /epochs and /flows from the growing store file:
 //
 //	flowcollect serve -listen 127.0.0.1:2055 -store records.frec -for 1m
+//	flowcollect serve -listen 127.0.0.1:2055 -store records.frec -http 127.0.0.1:8080
+//
+// Export mode with -epochpkts rotates epochs while reading: a
+// double-buffered adaptive manager swaps recorders at each epoch boundary
+// and the background drain worker exports the completed epoch over UDP,
+// so the packet path never extracts or sends:
+//
+//	flowcollect export -profile Campus -flows 20000 -epochpkts 100000 -to 127.0.0.1:2055
 package main
 
 import (
@@ -25,15 +35,20 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"net/http"
 	"os"
 	"sort"
 	"time"
 
+	"repro/adaptive"
 	"repro/collector"
+	"repro/flow"
 	"repro/flowmon"
 	"repro/netflow"
 	"repro/pcapio"
+	"repro/query"
 	"repro/recordstore"
+	"repro/topk"
 	"repro/trace"
 )
 
@@ -66,6 +81,8 @@ func runServe(args []string, w io.Writer) error {
 	storePath := fs.String("store", "records.frec", "record store output file")
 	gap := fs.Duration("gap", time.Second, "quiet gap that closes an epoch")
 	runFor := fs.Duration("for", 30*time.Second, "how long to serve before shutting down")
+	httpAddr := fs.String("http", "", "also serve the live query API on this address")
+	topkCap := fs.Int("topk", 4096, "live top-k tracker capacity (with -http)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -77,18 +94,64 @@ func runServe(args []string, w io.Writer) error {
 	defer f.Close()
 	store := collector.NewEpochStore(recordstore.NewWriter(f))
 
-	srv, err := collector.Start(collector.Config{Listen: *listen, EpochGap: *gap}, store.Sink)
+	// With the query API enabled, each epoch also feeds the live top-k
+	// tracker and is flushed through to the file so the per-request
+	// mmap sees it immediately.
+	sink := store.Sink
+	var httpSrv *http.Server
+	var httpLn net.Listener
+	if *httpAddr != "" {
+		tracker, err := topk.NewTracker(*topkCap)
+		if err != nil {
+			return err
+		}
+		sink = func(ts time.Time, records []flow.Record) {
+			tracker.AddRecords(records)
+			store.Sink(ts, records)
+			_ = store.Flush() // sticky; surfaced via store.Err at exit
+		}
+		httpLn, err = net.Listen("tcp", *httpAddr)
+		if err != nil {
+			return err
+		}
+		httpSrv = &http.Server{
+			Handler: query.NewHandler(query.Config{
+				TopK:    tracker,
+				Store:   query.FileStore(*storePath),
+				Netwide: []query.NamedSource{{Name: "live", Source: tracker}},
+			}),
+			ReadHeaderTimeout: 5 * time.Second,
+		}
+		go func() { _ = httpSrv.Serve(httpLn) }()
+		if _, err := fmt.Fprintf(w, "query API on http://%s\n", httpLn.Addr()); err != nil {
+			httpSrv.Close()
+			return err
+		}
+	}
+
+	srv, err := collector.Start(collector.Config{Listen: *listen, EpochGap: *gap}, sink)
 	if err != nil {
+		if httpSrv != nil {
+			httpSrv.Close()
+		}
 		return err
 	}
 	if _, err := fmt.Fprintf(w, "serving on %s for %v, storing to %s\n",
 		srv.Addr(), *runFor, *storePath); err != nil {
 		srv.Shutdown()
+		if httpSrv != nil {
+			httpSrv.Close()
+		}
 		return err
 	}
 
 	time.Sleep(*runFor)
 	srv.Shutdown()
+	if httpSrv != nil {
+		if err := httpSrv.Close(); err != nil {
+			return err
+		}
+	}
 	// Err before Flush: Flush also returns the sticky write error, which
 	// would short-circuit the dropped-epoch diagnostic.
 	if err := store.Err(); err != nil {
@@ -112,6 +175,8 @@ func runExport(args []string, w io.Writer) error {
 	flows := fs.Int("flows", 10000, "flows to generate when no pcap is given")
 	seed := fs.Uint64("seed", 1, "RNG seed")
 	to := fs.String("to", "127.0.0.1:2055", "collector address")
+	epochPkts := fs.Uint64("epochpkts", 0,
+		"rotate and export an epoch every N packets via the double-buffered background drain (0 = one epoch at end)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -120,9 +185,60 @@ func runExport(args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	rec, err := flowmon.New(a, flowmon.Config{MemoryBytes: *mem, Seed: *seed})
+	mcfg := flowmon.Config{MemoryBytes: *mem, Seed: *seed}
+	rec, err := flowmon.New(a, mcfg)
 	if err != nil {
 		return err
+	}
+
+	conn, err := net.Dial("udp", *to)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	exp := netflow.NewExporter(func(b []byte) error {
+		_, err := conn.Write(b)
+		return err
+	})
+
+	// Epoch-aligned mode: the adaptive manager swaps the full recorder for
+	// the reset standby at each boundary, and the flush worker extracts
+	// and exports the drained epoch off the packet path, reusing one
+	// record buffer across epochs.
+	var (
+		update = rec.Update
+		finish func() (epochs int, exported uint64, exportErr error)
+	)
+	if *epochPkts > 0 {
+		standby, err := flowmon.New(a, mcfg)
+		if err != nil {
+			return err
+		}
+		ee := netflow.NewEpochExporter(nil, exp)
+		var expErr error
+		m, err := adaptive.NewDoubleBuffered(rec, standby, adaptive.Config{
+			// Boundaries are packet-count driven here; park the
+			// cardinality watermark out of the way.
+			Capacity:        1,
+			HighWatermark:   1,
+			MaxEpochPackets: *epochPkts,
+			CheckEvery:      1 << 62,
+		}, ee.FlushFunc(700, func(err error) {
+			if expErr == nil {
+				expErr = err
+			}
+		}))
+		if err != nil {
+			return err
+		}
+		update = m.Update
+		finish = func() (int, uint64, error) {
+			if m.EpochPackets() > 0 {
+				m.Flush() // export the partial final epoch
+			}
+			m.Close()
+			return m.Epoch(), ee.Exported(), expErr
+		}
 	}
 
 	var pkts int
@@ -141,7 +257,7 @@ func runExport(args []string, w io.Writer) error {
 			if err != nil {
 				return err
 			}
-			rec.Update(p)
+			update(p)
 			pkts++
 		}
 	} else {
@@ -159,20 +275,20 @@ func runExport(args []string, w io.Writer) error {
 			if !ok {
 				break
 			}
-			rec.Update(p)
+			update(p)
 			pkts++
 		}
 	}
 
-	conn, err := net.Dial("udp", *to)
-	if err != nil {
+	if finish != nil {
+		epochs, exported, err := finish()
+		if err != nil {
+			return err
+		}
+		_, err = fmt.Fprintf(w, "processed %d packets, exported %d flow records in %d epochs to %s\n",
+			pkts, exported, epochs, *to)
 		return err
 	}
-	defer conn.Close()
-	exp := netflow.NewExporter(func(b []byte) error {
-		_, err := conn.Write(b)
-		return err
-	})
 	recs := rec.Records()
 	if err := exp.Export(recs, 700); err != nil {
 		return err

@@ -2,7 +2,10 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"fmt"
 	"net"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
@@ -12,6 +15,7 @@ import (
 
 	"repro/flow"
 	"repro/pcapio"
+	"repro/query"
 	"repro/recordstore"
 )
 
@@ -181,6 +185,113 @@ func TestServeStoresEpochs(t *testing.T) {
 	if !strings.Contains(serveOut.String(), "done:") {
 		t.Errorf("serve output: %q", serveOut.String())
 	}
+}
+
+// TestExportEpochAligned: -epochpkts rotates epochs through the
+// double-buffered drain, exporting each over UDP as it completes.
+func TestExportEpochAligned(t *testing.T) {
+	sink, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sink.Close()
+
+	var out bytes.Buffer
+	err = run([]string{"export", "-profile", "ISP2", "-flows", "400", "-mem", "65536",
+		"-epochpkts", "150", "-to", sink.LocalAddr().String()}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "epochs") {
+		t.Errorf("epoch-aligned export output: %q", out.String())
+	}
+	// "in N epochs" with N >= 2 proves rotation actually happened.
+	var pkts, recs, epochs int
+	if _, err := fmt.Sscanf(out.String(), "processed %d packets, exported %d flow records in %d epochs",
+		&pkts, &recs, &epochs); err != nil {
+		t.Fatalf("unparseable output %q: %v", out.String(), err)
+	}
+	if epochs < 2 {
+		t.Errorf("only %d epochs for %d packets with -epochpkts 150", epochs, pkts)
+	}
+	if recs == 0 {
+		t.Error("no records exported")
+	}
+}
+
+// TestServeWithQueryAPI runs the full live loop: serve with -http, export
+// a trace into it, then hit /topk and /epochs while the collector is
+// still up.
+func TestServeWithQueryAPI(t *testing.T) {
+	udpProbe, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	udpAddr := udpProbe.LocalAddr().String()
+	udpProbe.Close()
+	tcpProbe, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	httpAddr := tcpProbe.Addr().String()
+	tcpProbe.Close()
+
+	store := filepath.Join(t.TempDir(), "live.frec")
+	var (
+		wg       sync.WaitGroup
+		serveOut bytes.Buffer
+		serveErr error
+	)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		serveErr = run([]string{"serve", "-listen", udpAddr, "-store", store,
+			"-gap", "200ms", "-for", "3s", "-http", httpAddr}, &serveOut)
+	}()
+
+	time.Sleep(300 * time.Millisecond)
+	var exportOut bytes.Buffer
+	if err := run([]string{"export", "-profile", "ISP2", "-flows", "300",
+		"-mem", "65536", "-to", udpAddr}, &exportOut); err != nil {
+		t.Fatalf("export: %v", err)
+	}
+	// Wait for the quiet gap to close the epoch, then query live.
+	time.Sleep(600 * time.Millisecond)
+
+	var tk query.TopKResponse
+	if err := getJSON("http://"+httpAddr+"/topk?k=5", &tk); err != nil {
+		t.Fatalf("/topk: %v", err)
+	}
+	if len(tk.Flows) == 0 {
+		t.Error("/topk returned no flows while the collector is live")
+	}
+	var eps query.EpochsResponse
+	if err := getJSON("http://"+httpAddr+"/epochs", &eps); err != nil {
+		t.Fatalf("/epochs: %v", err)
+	}
+	if len(eps.Epochs) == 0 {
+		t.Error("/epochs empty while the store has an epoch")
+	}
+
+	wg.Wait()
+	if serveErr != nil {
+		t.Fatalf("serve: %v", serveErr)
+	}
+	if !strings.Contains(serveOut.String(), "query API on http://") {
+		t.Errorf("serve output missing query API line: %q", serveOut.String())
+	}
+}
+
+func getJSON(url string, out any) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d", resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
 }
 
 func TestServeBadArgs(t *testing.T) {

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
@@ -9,6 +10,7 @@ import (
 	"time"
 
 	"repro/flow"
+	"repro/query"
 	"repro/recordstore"
 )
 
@@ -80,5 +82,52 @@ func TestQueryErrors(t *testing.T) {
 	}
 	if err := run([]string{"-store", writeStore(t), "-filter", "bogus"}, &buf); err == nil {
 		t.Error("accepted bad filter")
+	}
+	if err := run([]string{"-store", writeStore(t), "-remote", "http://x"}, &buf); err == nil {
+		t.Error("accepted both -store and -remote")
+	}
+}
+
+// TestQueryRemote drives the CLI against an in-process query handler and
+// checks the output matches the local mode's shape.
+func TestQueryRemote(t *testing.T) {
+	path := writeStore(t)
+	m, err := recordstore.OpenMapped(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	static, err := query.SumStore(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(query.NewHandler(query.Config{
+		TopK:  static,
+		Store: query.StaticStore(m),
+	}))
+	defer srv.Close()
+
+	var buf bytes.Buffer
+	if err := run([]string{"-remote", srv.URL, "-filter", "proto=6", "-top", "1"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "total: 2 epochs, 3 records, 2 matched") {
+		t.Errorf("remote summary: %q", out)
+	}
+	if !strings.Contains(out, "100 pkts") {
+		t.Errorf("remote top missing largest flow: %q", out)
+	}
+
+	var plain bytes.Buffer
+	if err := run([]string{"-remote", srv.URL}, &plain); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plain.String(), "total: 2 epochs, 3 records, 3 matched") {
+		t.Errorf("remote unfiltered summary: %q", plain.String())
+	}
+
+	if err := run([]string{"-remote", "http://127.0.0.1:1/nope"}, &buf); err == nil {
+		t.Error("accepted unreachable daemon")
 	}
 }

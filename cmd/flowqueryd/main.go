@@ -1,0 +1,145 @@
+// Command flowqueryd serves flow queries over HTTP/JSON: live top-k from
+// an online tracker, historical records from mmap-backed record stores,
+// and a network-wide merged view across stores and the live feed.
+//
+//	flowqueryd -listen 127.0.0.1:8080 -store records.frec
+//	flowqueryd -listen :8080 -store sw1.frec -store sw2.frec
+//	flowqueryd -listen :8080 -store records.frec -netflow 127.0.0.1:2055
+//
+// Endpoints (see package repro/query):
+//
+//	GET /topk?k=10                live heavy hitters (with -netflow), or
+//	                              the primary store's all-time summary
+//	GET /epochs                   epoch listing of the primary store
+//	GET /flows?filter=dport=443   filtered records, ?epoch= or ?from=/?to=
+//	GET /netwide/topk?k=10        top-k over all stores + the live feed
+//
+// The primary store (first -store) is re-mapped per request, so a file a
+// collector is still appending to is always served current.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/collector"
+	"repro/flow"
+	"repro/query"
+	"repro/recordstore"
+	"repro/topk"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "flowqueryd:", err)
+		os.Exit(1)
+	}
+}
+
+// stringList collects a repeatable flag.
+type stringList []string
+
+func (s *stringList) String() string { return fmt.Sprint(*s) }
+func (s *stringList) Set(v string) error {
+	*s = append(*s, v)
+	return nil
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("flowqueryd", flag.ContinueOnError)
+	listen := fs.String("listen", "127.0.0.1:8080", "HTTP listen address")
+	var stores stringList
+	fs.Var(&stores, "store", "record store file (repeatable; first is the primary)")
+	nf := fs.String("netflow", "", "also ingest NetFlow v5 on this UDP address into the live tracker")
+	gap := fs.Duration("gap", time.Second, "quiet gap closing a NetFlow epoch")
+	topkCap := fs.Int("topk", 4096, "live tracker capacity in flows")
+	runFor := fs.Duration("for", 0, "serve for this long then exit (0 = forever)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if len(stores) == 0 && *nf == "" {
+		return errors.New("usage: flowqueryd [-listen addr] -store <file> [-store <file>...] [-netflow addr]")
+	}
+
+	cfg := query.Config{}
+
+	// Historical side: the primary store is re-mapped per request (it may
+	// still be growing); every store contributes its all-time summed view
+	// to the network-wide merge.
+	for i, path := range stores {
+		m, err := recordstore.OpenMapped(path)
+		if err != nil {
+			return fmt.Errorf("open %s: %w", path, err)
+		}
+		static, err := query.SumStore(m)
+		m.Close()
+		if err != nil {
+			return fmt.Errorf("summarize %s: %w", path, err)
+		}
+		cfg.Netwide = append(cfg.Netwide, query.NamedSource{
+			Name: filepath.Base(path), Source: static,
+		})
+		if i == 0 {
+			cfg.Store = query.FileStore(path)
+			cfg.TopK = static // the live tracker below overrides this
+		}
+	}
+
+	// Live side: an optional NetFlow listener feeding the online tracker.
+	var srv *collector.Server
+	if *nf != "" {
+		tracker, err := topk.NewTracker(*topkCap)
+		if err != nil {
+			return err
+		}
+		srv, err = collector.Start(collector.Config{Listen: *nf, EpochGap: *gap},
+			func(ts time.Time, records []flow.Record) {
+				tracker.AddRecords(records)
+			})
+		if err != nil {
+			return err
+		}
+		defer srv.Shutdown()
+		cfg.TopK = tracker
+		cfg.Netwide = append(cfg.Netwide, query.NamedSource{Name: "live", Source: tracker})
+		if _, err := fmt.Fprintf(w, "ingesting NetFlow on %s\n", srv.Addr()); err != nil {
+			return err
+		}
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: query.NewHandler(cfg), ReadHeaderTimeout: 5 * time.Second}
+	if _, err := fmt.Fprintf(w, "flowqueryd serving on http://%s\n", ln.Addr()); err != nil {
+		ln.Close()
+		return err
+	}
+
+	if *runFor > 0 {
+		done := make(chan error, 1)
+		go func() { done <- httpSrv.Serve(ln) }()
+		select {
+		case err := <-done:
+			return err
+		case <-time.After(*runFor):
+		}
+		if err := httpSrv.Close(); err != nil {
+			return err
+		}
+		<-done // Serve always returns after Close; drain it
+		return nil
+	}
+	if err := httpSrv.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

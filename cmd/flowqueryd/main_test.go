@@ -1,0 +1,160 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/flow"
+	"repro/query"
+	"repro/recordstore"
+)
+
+func writeStore(t *testing.T, name string, epochs ...[]flow.Record) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	w := recordstore.NewWriter(f)
+	for i, recs := range epochs {
+		if err := w.WriteEpoch(time.Unix(int64(1700000000+60*i), 0), recs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// probeTCP reserves an ephemeral TCP port.
+func probeTCP(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+func getJSON(t *testing.T, url string, out any) error {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d", resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func TestDaemonArgs(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(nil, &buf); err == nil {
+		t.Error("accepted empty source config")
+	}
+	if err := run([]string{"-store", "/does/not/exist.frec"}, &buf); err == nil {
+		t.Error("accepted missing store")
+	}
+}
+
+func TestDaemonServesStores(t *testing.T) {
+	hh := flow.Key{SrcIP: 0x0A000001, DstIP: 0x0A000063, DstPort: 443, Proto: 6}
+	primary := writeStore(t, "sw1.frec",
+		[]flow.Record{
+			{Key: hh, Count: 1000},
+			{Key: flow.Key{SrcIP: 0x0A000002, DstPort: 80, Proto: 6}, Count: 10},
+		},
+		[]flow.Record{{Key: hh, Count: 500}},
+	)
+	secondary := writeStore(t, "sw2.frec",
+		[]flow.Record{{Key: hh, Count: 700}},
+	)
+
+	addr := probeTCP(t)
+	var (
+		wg     sync.WaitGroup
+		out    bytes.Buffer
+		runErr error
+	)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		runErr = run([]string{"-listen", addr, "-store", primary, "-store", secondary,
+			"-for", "3s"}, &out)
+	}()
+	base := "http://" + addr
+	waitUp(t, base+"/epochs")
+
+	var eps query.EpochsResponse
+	if err := getJSON(t, base+"/epochs", &eps); err != nil {
+		t.Fatal(err)
+	}
+	if len(eps.Epochs) != 2 {
+		t.Fatalf("epochs = %+v", eps)
+	}
+
+	var flows query.FlowsResponse
+	if err := getJSON(t, base+"/flows?filter=dport%3D443", &flows); err != nil {
+		t.Fatal(err)
+	}
+	if flows.Matched != 2 {
+		t.Fatalf("matched %d, want 2", flows.Matched)
+	}
+
+	// /topk without a live feed answers from the primary store summary:
+	// the 443 flow sums to 1500 across its epochs.
+	var tk query.TopKResponse
+	if err := getJSON(t, base+"/topk?k=1", &tk); err != nil {
+		t.Fatal(err)
+	}
+	if len(tk.Flows) != 1 || tk.Flows[0].Packets != 1500 {
+		t.Fatalf("topk = %+v", tk.Flows)
+	}
+
+	// /netwide/topk merges both stores: 1500 + 700.
+	var nw query.TopKResponse
+	if err := getJSON(t, base+"/netwide/topk?k=1", &nw); err != nil {
+		t.Fatal(err)
+	}
+	if len(nw.Sources) != 2 {
+		t.Fatalf("netwide sources = %v", nw.Sources)
+	}
+	if len(nw.Flows) != 1 || nw.Flows[0].Packets != 2200 {
+		t.Fatalf("netwide topk = %+v", nw.Flows)
+	}
+
+	wg.Wait()
+	if runErr != nil {
+		t.Fatalf("run: %v", runErr)
+	}
+}
+
+// waitUp polls until the daemon answers.
+func waitUp(t *testing.T, url string) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(url)
+		if err == nil {
+			resp.Body.Close()
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("daemon at %s never came up", url)
+}

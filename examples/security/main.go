@@ -7,7 +7,6 @@ package main
 import (
 	"fmt"
 	"math/rand/v2"
-	"net/netip"
 	"os"
 
 	"repro/apps"
@@ -75,14 +74,14 @@ func run() error {
 	fmt.Printf("DDoS victims (>=100 distinct sources): %d\n", len(victims))
 	for _, v := range victims {
 		fmt.Printf("  %s hit by %d sources, %d packets%s\n",
-			ipString(v.DstIP), v.Sources, v.Packets, tag(v.DstIP == victimIP))
+			flow.IPString(v.DstIP), v.Sources, v.Packets, tag(v.DstIP == victimIP))
 	}
 
 	scanners := apps.PortScanners(records, 100)
 	fmt.Printf("\nport scanners (>=100 distinct targets): %d\n", len(scanners))
 	for _, s := range scanners {
 		fmt.Printf("  %s probed %d targets%s\n",
-			ipString(s.SrcIP), s.Targets, tag(s.SrcIP == scannerIP))
+			flow.IPString(s.SrcIP), s.Targets, tag(s.SrcIP == scannerIP))
 	}
 
 	fmt.Println("\ntop talkers:")
@@ -90,10 +89,6 @@ func run() error {
 		fmt.Printf("  %-45s %d pkts\n", r.Key, r.Count)
 	}
 	return nil
-}
-
-func ipString(ip uint32) string {
-	return netip.AddrFrom4([4]byte{byte(ip >> 24), byte(ip >> 16), byte(ip >> 8), byte(ip)}).String()
 }
 
 func tag(injected bool) string {

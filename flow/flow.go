@@ -80,11 +80,15 @@ func (k Key) IsZero() bool {
 	return k == Key{}
 }
 
+// IPString renders a big-endian packed IPv4 address as a dotted quad,
+// the encoding Key carries its addresses in.
+func IPString(ip uint32) string {
+	return netip.AddrFrom4([4]byte{byte(ip >> 24), byte(ip >> 16), byte(ip >> 8), byte(ip)}).String()
+}
+
 // String renders the key as "src:sport -> dst:dport/proto".
 func (k Key) String() string {
-	src := netip.AddrFrom4([4]byte{byte(k.SrcIP >> 24), byte(k.SrcIP >> 16), byte(k.SrcIP >> 8), byte(k.SrcIP)})
-	dst := netip.AddrFrom4([4]byte{byte(k.DstIP >> 24), byte(k.DstIP >> 16), byte(k.DstIP >> 8), byte(k.DstIP)})
-	return fmt.Sprintf("%s:%d -> %s:%d/%d", src, k.SrcPort, dst, k.DstPort, k.Proto)
+	return fmt.Sprintf("%s:%d -> %s:%d/%d", IPString(k.SrcIP), k.SrcPort, IPString(k.DstIP), k.DstPort, k.Proto)
 }
 
 // Packet is one packet of a flow as seen by a measurement point.

@@ -20,7 +20,9 @@ type EpochExporter struct {
 	exported uint64
 }
 
-// NewEpochExporter couples a recorder to an exporter.
+// NewEpochExporter couples a recorder to an exporter. src may be nil when
+// the epoch lifecycle is driven externally through FlushRecords/FlushFunc
+// (Flush then must not be called).
 func NewEpochExporter(src Source, exp *Exporter) *EpochExporter {
 	return &EpochExporter{src: src, exp: exp}
 }
@@ -29,13 +31,40 @@ func NewEpochExporter(src Source, exp *Exporter) *EpochExporter {
 // It returns the number of records exported.
 func (ee *EpochExporter) Flush(avgPktBytes uint32) (int, error) {
 	recs := ee.src.Records()
-	if err := ee.exp.Export(recs, avgPktBytes); err != nil {
+	n, err := ee.FlushRecords(recs, avgPktBytes)
+	if err != nil {
 		return 0, err
 	}
 	ee.src.Reset()
+	return n, nil
+}
+
+// FlushRecords exports one epoch's already-extracted records without
+// touching the source recorder — the form an external epoch driver
+// (adaptive.Manager's flush callback) uses when extraction and reset
+// already happen elsewhere. The records slice is not retained.
+func (ee *EpochExporter) FlushRecords(recs []flow.Record, avgPktBytes uint32) (int, error) {
+	if err := ee.exp.Export(recs, avgPktBytes); err != nil {
+		return 0, err
+	}
 	ee.epochs++
 	ee.exported += uint64(len(recs))
 	return len(recs), nil
+}
+
+// FlushFunc adapts the exporter to an adaptive flush callback
+// (assignable to adaptive.FlushFunc): each completed epoch is exported
+// over NetFlow from the drained record buffer, so with a double-buffered
+// manager the UDP export runs entirely on the background drain worker and
+// reuses the manager's record buffer end to end — no extraction, copy or
+// send on the packet path. Export errors go to onErr (may be nil; UDP
+// export has nobody else to tell).
+func (ee *EpochExporter) FlushFunc(avgPktBytes uint32, onErr func(error)) func(epoch int, records []flow.Record) {
+	return func(epoch int, records []flow.Record) {
+		if _, err := ee.FlushRecords(records, avgPktBytes); err != nil && onErr != nil {
+			onErr(err)
+		}
+	}
 }
 
 // Epochs returns the number of completed epochs.

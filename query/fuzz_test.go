@@ -1,0 +1,66 @@
+package query
+
+import (
+	"net/url"
+	"testing"
+
+	"repro/recordstore"
+)
+
+// FuzzParseQuery pins the HTTP-parameter → filter translation against
+// recordstore.ParseFilter: the handler-side parse must accept exactly the
+// expressions the library accepts, produce the identical filter, and the
+// canonical rendering must round-trip through another parse. Corpus seeds
+// come from the flowquery CLI tests.
+func FuzzParseQuery(f *testing.F) {
+	// Seeds: the filter expressions the flowquery CLI tests exercise, plus
+	// edge shapes.
+	f.Add("proto=6")
+	f.Add("src=10.0.0.1,dport=443,minpkts=10")
+	f.Add("dport=443")
+	f.Add("proto=17")
+	f.Add("bogus")
+	f.Add("")
+	f.Add("minpkts=,,,")
+	f.Add("SRC=10.0.0.1 , PROTO=6")
+	f.Add("sport=65535,dport=0")
+	f.Fuzz(func(t *testing.T, expr string) {
+		direct, directErr := recordstore.ParseFilter(expr)
+
+		p, paramErr := ParseParams(url.Values{"filter": {expr}})
+		if (directErr == nil) != (paramErr == nil) {
+			t.Fatalf("ParseFilter err=%v but ParseParams err=%v for %q", directErr, paramErr, expr)
+		}
+		if directErr != nil {
+			return
+		}
+		if p.Filter != direct {
+			t.Fatalf("filter %q: params %+v, direct %+v", expr, p.Filter, direct)
+		}
+
+		// Round trip: the canonical rendering reparses to the same filter.
+		again, err := recordstore.ParseFilter(direct.String())
+		if err != nil {
+			t.Fatalf("canonical %q failed to reparse: %v", direct.String(), err)
+		}
+		if again != direct {
+			t.Fatalf("round trip %q -> %q: got %+v, want %+v", expr, direct.String(), again, direct)
+		}
+	})
+}
+
+// FuzzParseParams must never panic on arbitrary URL queries.
+func FuzzParseParams(f *testing.F) {
+	f.Add("k=10&filter=proto%3D6")
+	f.Add("epoch=2&limit=5")
+	f.Add("from=2024-01-01T00:00:00Z&to=1700000000")
+	f.Add("k=-1")
+	f.Add("k=10&k=11")
+	f.Fuzz(func(t *testing.T, raw string) {
+		q, err := url.ParseQuery(raw)
+		if err != nil {
+			return
+		}
+		_, _ = ParseParams(q)
+	})
+}

@@ -1,0 +1,355 @@
+// Package query is the read path of the collection pipeline: an HTTP/JSON
+// surface answering live and historical flow questions without touching
+// the ingest hot path.
+//
+// Four endpoints:
+//
+//	GET /topk?k=10                  largest flows right now, from the live
+//	                                top-k tracker — no epoch dump involved
+//	GET /epochs                     stored epoch listing (index, time, size)
+//	GET /flows?filter=...&limit=    filtered historical records from the
+//	                                mmap-backed store, by epoch or time range
+//	GET /netwide/topk?k=10          top-k over the merged network-wide view
+//	                                of every registered vantage point
+//
+// The live side reads an online summary (topk.Tracker / topk.Set via the
+// TopKSource surface) that ingest maintains incrementally; the historical
+// side random-accesses a recordstore.Mapped. Both are query-time-only
+// costs: ingestion never blocks on a query.
+package query
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"slices"
+
+	"repro/flow"
+	"repro/netwide"
+	"repro/recordstore"
+)
+
+// TopKSource serves live top-k snapshots; topk.Tracker and topk.Set
+// implement it, and adaptive.Manager sidecars resolve to one.
+type TopKSource interface {
+	AppendTopK(dst []flow.Record, k int) []flow.Record
+}
+
+// SortedSource yields a key-sorted snapshot of a vantage point's current
+// flows — the netwide.View order MergeSumInto consumes. topk.Tracker and
+// topk.Set implement it.
+type SortedSource interface {
+	AppendSorted(dst []flow.Record) []flow.Record
+}
+
+// NamedSource labels a vantage point for the network-wide merge.
+type NamedSource struct {
+	Name   string
+	Source SortedSource
+}
+
+// StoreOpener yields the historical store for one request plus a release
+// function. StaticStore shares one mapping; FileStore re-opens per request
+// so a store still being written is always seen current.
+type StoreOpener func() (*recordstore.Mapped, func() error, error)
+
+// StaticStore serves every request from one long-lived mapping.
+func StaticStore(m *recordstore.Mapped) StoreOpener {
+	return func() (*recordstore.Mapped, func() error, error) {
+		return m, func() error { return nil }, nil
+	}
+}
+
+// FileStore maps the file fresh per request — the mode a collector's
+// live, still-growing store needs. OpenMapped tolerates the truncated
+// final frame such a file usually has.
+func FileStore(path string) StoreOpener {
+	return func() (*recordstore.Mapped, func() error, error) {
+		m, err := recordstore.OpenMapped(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		return m, m.Close, nil
+	}
+}
+
+// Config wires the handler's sources; any nil source turns its endpoints
+// into 404s.
+type Config struct {
+	// TopK serves /topk.
+	TopK TopKSource
+	// Store serves /epochs and /flows.
+	Store StoreOpener
+	// Netwide serves /netwide/topk.
+	Netwide []NamedSource
+}
+
+// FlowJSON is one flow record on the wire.
+type FlowJSON struct {
+	Epoch   int    `json:"epoch,omitempty"`
+	Src     string `json:"src"`
+	Sport   uint16 `json:"sport"`
+	Dst     string `json:"dst"`
+	Dport   uint16 `json:"dport"`
+	Proto   uint8  `json:"proto"`
+	Packets uint32 `json:"packets"`
+}
+
+// TopKResponse is the /topk and /netwide/topk payload.
+type TopKResponse struct {
+	K       int        `json:"k"`
+	Sources []string   `json:"sources,omitempty"`
+	Flows   []FlowJSON `json:"flows"`
+}
+
+// EpochJSON is one epoch in the /epochs listing.
+type EpochJSON struct {
+	Index   int    `json:"index"`
+	Time    string `json:"time"`
+	Records int    `json:"records"`
+}
+
+// EpochsResponse is the /epochs payload.
+type EpochsResponse struct {
+	Epochs    []EpochJSON `json:"epochs"`
+	Truncated bool        `json:"truncated"`
+}
+
+// FlowsResponse is the /flows payload.
+type FlowsResponse struct {
+	EpochsScanned int        `json:"epochs_scanned"`
+	Matched       int        `json:"matched"`
+	Limited       bool       `json:"limited"`
+	Flows         []FlowJSON `json:"flows"`
+}
+
+// ErrorResponse is the error payload of every endpoint.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// NewHandler builds the HTTP handler serving cfg's sources.
+func NewHandler(cfg Config) http.Handler {
+	h := &handler{cfg: cfg}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/topk", h.topK)
+	mux.HandleFunc("/epochs", h.epochs)
+	mux.HandleFunc("/flows", h.flows)
+	mux.HandleFunc("/netwide/topk", h.netwideTopK)
+	return mux
+}
+
+type handler struct {
+	cfg Config
+}
+
+// writeJSON marshals v with a status code.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // the connection is the only failure mode left
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, ErrorResponse{Error: err.Error()})
+}
+
+// decode enforces GET and parses parameters.
+func decode(w http.ResponseWriter, r *http.Request) (Params, bool) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("GET only"))
+		return Params{}, false
+	}
+	p, err := ParseParams(r.URL.Query())
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return Params{}, false
+	}
+	return p, true
+}
+
+// recordJSON converts a record for the wire.
+func recordJSON(epoch int, r flow.Record) FlowJSON {
+	return FlowJSON{
+		Epoch:   epoch,
+		Src:     flow.IPString(r.Key.SrcIP),
+		Sport:   r.Key.SrcPort,
+		Dst:     flow.IPString(r.Key.DstIP),
+		Dport:   r.Key.DstPort,
+		Proto:   r.Key.Proto,
+		Packets: r.Count,
+	}
+}
+
+func (h *handler) topK(w http.ResponseWriter, r *http.Request) {
+	p, ok := decode(w, r)
+	if !ok {
+		return
+	}
+	if h.cfg.TopK == nil {
+		writeError(w, http.StatusNotFound, errors.New("no live top-k source configured"))
+		return
+	}
+	// With a filter, the top k *matching* flows are wanted, which may sit
+	// below the global top k: take the full snapshot (AppendTopK clamps an
+	// oversized k) and cut to k after filtering.
+	snapK := p.K
+	if p.Filter != (recordstore.Filter{}) {
+		snapK = 1 << 30
+	}
+	recs := h.cfg.TopK.AppendTopK(nil, snapK)
+	resp := TopKResponse{K: p.K, Flows: make([]FlowJSON, 0, p.K)}
+	for _, rec := range recs {
+		if !p.Filter.Match(rec) {
+			continue
+		}
+		resp.Flows = append(resp.Flows, recordJSON(0, rec))
+		if len(resp.Flows) == p.K {
+			break
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (h *handler) netwideTopK(w http.ResponseWriter, r *http.Request) {
+	p, ok := decode(w, r)
+	if !ok {
+		return
+	}
+	if len(h.cfg.Netwide) == 0 {
+		writeError(w, http.StatusNotFound, errors.New("no netwide sources configured"))
+		return
+	}
+	views := make([]netwide.View, len(h.cfg.Netwide))
+	names := make([]string, len(h.cfg.Netwide))
+	for i, s := range h.cfg.Netwide {
+		views[i] = netwide.View{Name: s.Name, Records: s.Source.AppendSorted(nil)}
+		names[i] = s.Name
+	}
+	merged := netwide.MergeSumInto(nil, views...)
+	// Filter before selecting k, so a filtered query surfaces the top
+	// matching flows rather than the matching subset of the global top k.
+	kept := merged[:0]
+	for _, rec := range merged {
+		if p.Filter.Match(rec) {
+			kept = append(kept, rec)
+		}
+	}
+	topK := selectTopK(kept, p.K)
+	resp := TopKResponse{K: p.K, Sources: names, Flows: make([]FlowJSON, 0, len(topK))}
+	for _, rec := range topK {
+		resp.Flows = append(resp.Flows, recordJSON(0, rec))
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (h *handler) epochs(w http.ResponseWriter, r *http.Request) {
+	if _, ok := decode(w, r); !ok {
+		return
+	}
+	m, release, ok := h.openStore(w)
+	if !ok {
+		return
+	}
+	defer release()
+	resp := EpochsResponse{Epochs: make([]EpochJSON, m.Epochs()), Truncated: m.Truncated()}
+	for i := range resp.Epochs {
+		resp.Epochs[i] = EpochJSON{
+			Index:   i,
+			Time:    m.EpochTime(i).Format(timeFormat),
+			Records: m.EpochLen(i),
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (h *handler) flows(w http.ResponseWriter, r *http.Request) {
+	p, ok := decode(w, r)
+	if !ok {
+		return
+	}
+	m, release, ok := h.openStore(w)
+	if !ok {
+		return
+	}
+	defer release()
+
+	lo, hi := 0, m.Epochs()
+	if !p.From.IsZero() || !p.To.IsZero() {
+		lo, hi = m.Range(p.From, p.To)
+	}
+	if p.Epoch >= 0 {
+		if p.Epoch >= m.Epochs() {
+			writeError(w, http.StatusBadRequest,
+				fmt.Errorf("epoch %d out of range [0,%d)", p.Epoch, m.Epochs()))
+			return
+		}
+		lo, hi = p.Epoch, p.Epoch+1
+	}
+
+	resp := FlowsResponse{}
+	var buf []flow.Record
+	for i := lo; i < hi && !resp.Limited; i++ {
+		ep, err := m.AppendEpochAt(i, buf[:0])
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		buf = ep.Records
+		resp.EpochsScanned++
+		for _, rec := range ep.Records {
+			if !p.Filter.Match(rec) {
+				continue
+			}
+			resp.Matched++
+			if len(resp.Flows) >= p.Limit {
+				resp.Limited = true
+				break
+			}
+			resp.Flows = append(resp.Flows, recordJSON(i, rec))
+		}
+	}
+	if resp.Flows == nil {
+		resp.Flows = []FlowJSON{}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// openStore resolves the request's store; on failure the response is
+// already written and ok is false.
+func (h *handler) openStore(w http.ResponseWriter) (m *recordstore.Mapped, release func() error, ok bool) {
+	if h.cfg.Store == nil {
+		writeError(w, http.StatusNotFound, errors.New("no store configured"))
+		return nil, nil, false
+	}
+	m, release, err := h.cfg.Store()
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, err)
+		return nil, nil, false
+	}
+	return m, release, true
+}
+
+// selectTopK reorders recs by count descending (key tiebreak) in place
+// and returns the first k.
+func selectTopK(recs []flow.Record, k int) []flow.Record {
+	slices.SortFunc(recs, func(a, b flow.Record) int {
+		if a.Count != b.Count {
+			if a.Count > b.Count {
+				return -1
+			}
+			return 1
+		}
+		return flow.CompareKeys(a.Key, b.Key)
+	})
+	if k < len(recs) {
+		recs = recs[:k]
+	}
+	return recs
+}
+
+// timeFormat is the epoch timestamp rendering, matching the flowquery CLI.
+const timeFormat = "2006-01-02T15:04:05.000Z07:00"

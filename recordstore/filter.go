@@ -22,6 +22,41 @@ type Filter struct {
 	MinPackets uint32
 }
 
+// String renders the filter as the canonical expression ParseFilter
+// accepts, with terms in a fixed order (src, dst, sport, dport, proto,
+// minpkts) and unset fields omitted. ParseFilter(f.String()) == f for
+// every filter, the round-trip the query layer's fuzz target pins.
+func (f Filter) String() string {
+	var b strings.Builder
+	term := func(key, val string) {
+		if b.Len() > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(key)
+		b.WriteByte('=')
+		b.WriteString(val)
+	}
+	if f.SrcIP != 0 {
+		term("src", flow.IPString(f.SrcIP))
+	}
+	if f.DstIP != 0 {
+		term("dst", flow.IPString(f.DstIP))
+	}
+	if f.SrcPort != 0 {
+		term("sport", strconv.FormatUint(uint64(f.SrcPort), 10))
+	}
+	if f.DstPort != 0 {
+		term("dport", strconv.FormatUint(uint64(f.DstPort), 10))
+	}
+	if f.Proto != 0 {
+		term("proto", strconv.FormatUint(uint64(f.Proto), 10))
+	}
+	if f.MinPackets != 0 {
+		term("minpkts", strconv.FormatUint(uint64(f.MinPackets), 10))
+	}
+	return b.String()
+}
+
 // Match reports whether the record satisfies every set constraint.
 func (f Filter) Match(r flow.Record) bool {
 	switch {

@@ -1,0 +1,18 @@
+package recordstore
+
+import (
+	"io"
+	"os"
+)
+
+// readFallback loads the file into an anonymous buffer — the shared
+// fallback for platforms without the unix mmap surface and filesystems
+// that reject mmap. The mapped-store API is unchanged; only the zero-copy
+// window into the page cache is lost.
+func readFallback(f *os.File, size int64) ([]byte, func() error, error) {
+	data := make([]byte, size)
+	if _, err := io.ReadFull(io.NewSectionReader(f, 0, size), data); err != nil {
+		return nil, nil, err
+	}
+	return data, nil, nil
+}

@@ -1,0 +1,14 @@
+//go:build !unix
+
+package recordstore
+
+import "os"
+
+// mapFile reads the file into memory on platforms without the unix mmap
+// surface.
+func mapFile(f *os.File, size int64) ([]byte, func() error, error) {
+	if size == 0 {
+		return nil, nil, nil
+	}
+	return readFallback(f, size)
+}

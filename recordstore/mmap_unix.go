@@ -1,0 +1,28 @@
+//go:build unix
+
+package recordstore
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile maps size bytes of f read-only. A zero-length file maps to an
+// empty slice (mmap rejects length 0). The returned release function
+// unmaps; it is nil when nothing needs releasing.
+func mapFile(f *os.File, size int64) ([]byte, func() error, error) {
+	if size == 0 {
+		return nil, nil, nil
+	}
+	if size != int64(int(size)) {
+		return nil, nil, syscall.EFBIG
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		// Filesystems without mmap support (some network mounts) fall back
+		// to reading the file into memory; the index and decode paths are
+		// byte-oriented either way.
+		return readFallback(f, size)
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

@@ -279,7 +279,15 @@ func (r *Reader) ReadEpochAppend(dst []flow.Record) (Epoch, error) {
 		return Epoch{}, fmt.Errorf("recordstore: read epoch body: %w", err)
 	}
 
-	body := r.buf
+	return decodeEpochBody(r.buf, dst)
+}
+
+// decodeEpochBody decodes one epoch frame body (timestamp, count, delta
+// stream) appending its records to dst. It is the single decoder behind
+// both the streaming Reader and the mapped store, so the two read paths
+// are identical by construction. On error dst is discarded and a zero
+// Epoch is returned.
+func decodeEpochBody(body []byte, dst []flow.Record) (Epoch, error) {
 	nanos, n := binary.Uvarint(body)
 	if n <= 0 {
 		return Epoch{}, errors.New("recordstore: corrupt epoch timestamp")

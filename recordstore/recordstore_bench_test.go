@@ -5,6 +5,8 @@ import (
 	"math/rand/v2"
 	"testing"
 	"time"
+
+	"repro/flow"
 )
 
 func BenchmarkWriteEpoch(b *testing.B) {
@@ -45,4 +47,65 @@ func BenchmarkReadEpoch(b *testing.B) {
 		}
 	}
 	b.SetBytes(int64(len(recs)))
+}
+
+// BenchmarkMappedEpochAt measures random-access decoding through the
+// mapped store with a reused buffer (the /flows scan loop shape).
+func BenchmarkMappedEpochAt(b *testing.B) {
+	recs := randRecords(rand.New(rand.NewPCG(5, 6)), 10000)
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	const epochs = 8
+	for e := 0; e < epochs; e++ {
+		if err := w.WriteEpoch(time.Unix(int64(e), 0), recs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	m, err := NewMappedBytes(buf.Bytes())
+	if err != nil {
+		b.Fatal(err)
+	}
+	var dst []flow.Record
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ep, err := m.AppendEpochAt(i%epochs, dst[:0])
+		if err != nil {
+			b.Fatal(err)
+		}
+		dst = ep.Records
+	}
+	b.SetBytes(int64(len(recs)))
+}
+
+// BenchmarkOpenMapped measures the index-build cost a per-request
+// re-mapping (query.FileStore) pays.
+func BenchmarkOpenMapped(b *testing.B) {
+	recs := randRecords(rand.New(rand.NewPCG(7, 8)), 10000)
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	const epochs = 64
+	for e := 0; e < epochs; e++ {
+		if err := w.WriteEpoch(time.Unix(int64(e), 0), recs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := NewMappedBytes(data)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if m.Epochs() != epochs {
+			b.Fatal("bad index")
+		}
+	}
 }

@@ -39,10 +39,29 @@ const shardSeed = 0x5ead
 // the asynchronous mode when the constructor is given a depth <= 0.
 const DefaultQueueDepth = 16
 
+// Sidecar observes every packet applied to one shard, alongside the
+// shard's recorder — the hook online summaries (topk.Tracker) ride on.
+// Calls arrive from the shard's applier (the batch worker in asynchronous
+// mode, the feeding goroutine otherwise) while the shard mutex is held, so
+// one shard's sidecar never sees concurrent calls; a sidecar queried from
+// other goroutines must synchronize internally.
+type Sidecar interface {
+	// Update observes one packet routed to the shard.
+	Update(p flow.Packet)
+	// UpdateBatch observes one applied sub-batch.
+	UpdateBatch(pkts []flow.Packet)
+	// Reset clears the sidecar when the recorder is reset.
+	Reset()
+}
+
 // Sharded fans packets out over per-shard recorders. It implements
 // flowmon.Recorder itself.
 type Sharded struct {
 	shards []shardSlot
+
+	// sidecars holds one optional observer per shard; nil when unset.
+	// Written by SetSidecars before ingestion, read by the appliers.
+	sidecars []Sidecar
 
 	// staging pools per-call routing buffers so concurrent feeders do not
 	// contend on one scratch area and steady-state ingestion is
@@ -175,6 +194,29 @@ func uniformFactory(n int, a flowmon.Algorithm, cfg flowmon.Config) func(i int) 
 	}
 }
 
+// SetSidecars registers one sidecar per shard (scs[i] observes shard i),
+// or detaches all sidecars when scs is nil. Packets applied to a shard are
+// mirrored to its sidecar under the shard mutex. Call before ingestion
+// begins: the slice is read without synchronization by the appliers, so
+// installing sidecars mid-stream is a data race (enqueue ordering aside,
+// the async workers only observe the registration through a task sent
+// after it).
+func (s *Sharded) SetSidecars(scs []Sidecar) error {
+	if scs != nil && len(scs) != len(s.shards) {
+		return fmt.Errorf("shard: got %d sidecars for %d shards", len(scs), len(s.shards))
+	}
+	s.sidecars = scs
+	return nil
+}
+
+// sidecar returns shard i's observer, or nil.
+func (s *Sharded) sidecar(i int) Sidecar {
+	if s.sidecars == nil {
+		return nil
+	}
+	return s.sidecars[i]
+}
+
 // Shards returns the number of shards.
 func (s *Sharded) Shards() int { return len(s.shards) }
 
@@ -192,9 +234,13 @@ func (s *Sharded) routeIdx(k flow.Key) int {
 // in-flight UpdateBatch traffic only if cross-path packet ordering does
 // not matter, or call Flush first.
 func (s *Sharded) Update(p flow.Packet) {
-	slot := &s.shards[s.routeIdx(p.Key)]
+	i := s.routeIdx(p.Key)
+	slot := &s.shards[i]
 	slot.mu.Lock()
 	slot.rec.Update(p)
+	if sc := s.sidecar(i); sc != nil {
+		sc.Update(p)
+	}
 	slot.mu.Unlock()
 }
 
@@ -212,6 +258,9 @@ func (s *Sharded) UpdateBatch(pkts []flow.Packet) {
 		slot := &s.shards[0]
 		slot.mu.Lock()
 		slot.rec.UpdateBatch(pkts)
+		if sc := s.sidecar(0); sc != nil {
+			sc.UpdateBatch(pkts)
+		}
 		slot.mu.Unlock()
 		return
 	}
@@ -254,6 +303,9 @@ func (s *Sharded) UpdateBatch(pkts []flow.Packet) {
 		slot := &s.shards[i]
 		slot.mu.Lock()
 		slot.rec.UpdateBatch(st.bufs[i])
+		if sc := s.sidecar(i); sc != nil {
+			sc.UpdateBatch(st.bufs[i])
+		}
 		slot.mu.Unlock()
 		st.bufs[i] = st.bufs[i][:0]
 	}
@@ -272,6 +324,9 @@ func (s *Sharded) worker(i int) {
 		}
 		slot.mu.Lock()
 		slot.rec.UpdateBatch(t.pkts)
+		if sc := s.sidecar(i); sc != nil {
+			sc.UpdateBatch(t.pkts)
+		}
 		slot.mu.Unlock()
 		t.pkts = t.pkts[:0]
 		s.chunks.Put(&t.pkts)
@@ -521,14 +576,17 @@ func (s *Sharded) OpStats() flow.OpStats {
 	return total
 }
 
-// Reset clears every shard, after an ingestion barrier in asynchronous
-// mode.
+// Reset clears every shard (and its sidecar, if attached), after an
+// ingestion barrier in asynchronous mode.
 func (s *Sharded) Reset() {
 	s.Flush()
 	for i := range s.shards {
 		slot := &s.shards[i]
 		slot.mu.Lock()
 		slot.rec.Reset()
+		if sc := s.sidecar(i); sc != nil {
+			sc.Reset()
+		}
 		slot.mu.Unlock()
 	}
 }

@@ -1,0 +1,143 @@
+package shard
+
+import (
+	"sync"
+	"testing"
+
+	"repro/flow"
+	"repro/flowmon"
+)
+
+// countingSidecar tallies observed packets per shard path.
+type countingSidecar struct {
+	mu      sync.Mutex
+	packets uint64
+	resets  int
+}
+
+func (c *countingSidecar) Update(p flow.Packet) {
+	c.mu.Lock()
+	c.packets++
+	c.mu.Unlock()
+}
+
+func (c *countingSidecar) UpdateBatch(pkts []flow.Packet) {
+	c.mu.Lock()
+	c.packets += uint64(len(pkts))
+	c.mu.Unlock()
+}
+
+func (c *countingSidecar) Reset() {
+	c.mu.Lock()
+	c.resets++
+	c.packets = 0
+	c.mu.Unlock()
+}
+
+func (c *countingSidecar) total() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.packets
+}
+
+func sidecarSum(scs []*countingSidecar) uint64 {
+	var sum uint64
+	for _, c := range scs {
+		sum += c.total()
+	}
+	return sum
+}
+
+// TestSidecarsObserveEveryPath checks that every ingest path — single
+// Update, the single-shard fast path, the staged sync drain and the async
+// workers — mirrors its packets to the shard's sidecar, and that Reset
+// propagates.
+func TestSidecarsObserveEveryPath(t *testing.T) {
+	pkts := batchTrace(t, 1500, 21)
+	cfg := flowmon.Config{MemoryBytes: 1 << 18, Seed: 1}
+
+	cases := []struct {
+		name   string
+		shards int
+		async  bool
+	}{
+		{"single-shard-sync", 1, false},
+		{"multi-shard-sync", 4, false},
+		{"multi-shard-async", 4, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var (
+				s   *Sharded
+				err error
+			)
+			if tc.async {
+				s, err = NewUniformAsync(tc.shards, 0, flowmon.AlgorithmHashFlow, cfg)
+			} else {
+				s, err = NewUniform(tc.shards, flowmon.AlgorithmHashFlow, cfg)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s.Close()
+
+			if err := s.SetSidecars(make([]Sidecar, tc.shards+1)); err == nil {
+				t.Fatal("accepted sidecar slice of the wrong length")
+			}
+			scs := make([]*countingSidecar, tc.shards)
+			reg := make([]Sidecar, tc.shards)
+			for i := range scs {
+				scs[i] = &countingSidecar{}
+				reg[i] = scs[i]
+			}
+			if err := s.SetSidecars(reg); err != nil {
+				t.Fatal(err)
+			}
+
+			// Half through the batched path, half through single updates.
+			half := len(pkts) / 2
+			const batch = 128
+			for i := 0; i < half; i += batch {
+				end := i + batch
+				if end > half {
+					end = half
+				}
+				s.UpdateBatch(pkts[i:end])
+			}
+			for _, p := range pkts[half:] {
+				s.Update(p)
+			}
+			s.Flush()
+
+			if got := sidecarSum(scs); got != uint64(len(pkts)) {
+				t.Fatalf("sidecars observed %d packets, want %d", got, len(pkts))
+			}
+			if got := s.OpStats().Packets; got != uint64(len(pkts)) {
+				t.Fatalf("recorder saw %d packets, want %d", got, len(pkts))
+			}
+
+			s.Reset()
+			for i, c := range scs {
+				c.mu.Lock()
+				resets := c.resets
+				c.mu.Unlock()
+				if resets != 1 {
+					t.Errorf("sidecar %d reset %d times, want 1", i, resets)
+				}
+			}
+			if got := sidecarSum(scs); got != 0 {
+				t.Fatalf("sidecars hold %d packets after Reset", got)
+			}
+
+			// Detach: further traffic must not reach the sidecars.
+			if err := s.SetSidecars(nil); err != nil {
+				t.Fatal(err)
+			}
+			s.UpdateBatch(pkts[:batch])
+			s.Flush()
+			if got := sidecarSum(scs); got != 0 {
+				t.Fatalf("detached sidecars observed %d packets", got)
+			}
+		})
+	}
+}

@@ -1,0 +1,277 @@
+// Package topk maintains the heavy hitters of a packet stream online, as a
+// sidecar next to the measurement recorder, so "who are the biggest flows
+// right now?" is answered from a small always-current summary instead of
+// dumping and filtering a full epoch per query.
+//
+// Tracker is a Space-Saving summary (Metwally et al., ICDT 2005) laid out
+// for the ingest hot path: entries live in one flat array indexed by a
+// key map, the minimum is tracked by an intrusive binary min-heap of slot
+// indices, and updates are O(log capacity) with no per-update allocation.
+// Unlike the paper-faithful heap-of-pointers baseline in
+// internal/spacesaving, Tracker supports weighted increments (Add), so the
+// collector side can feed it decoded flow records, and exposes
+// zero-allocation snapshots (AppendTopK, AppendSorted) for the query path.
+//
+// Tracker is internally synchronized: ingest workers update it under their
+// own cadence while query handlers snapshot it concurrently.
+package topk
+
+import (
+	"fmt"
+	"slices"
+	"sync"
+
+	"repro/flow"
+)
+
+// EntryBytes approximates the memory footprint of one tracked entry:
+// key (13 B) + count (4 B) + error (4 B) + heap index (4 B) + key-map
+// overhead (~19 B for key+slot in the index).
+const EntryBytes = 2*flow.KeyBytes + 18
+
+// entry is one tracked flow.
+type entry struct {
+	key   flow.Key
+	count uint32
+	err   uint32 // overestimation inherited when the slot was recycled
+	pos   int32  // position in the heap
+}
+
+// Tracker is an online Space-Saving heavy-hitter summary.
+type Tracker struct {
+	mu       sync.Mutex
+	capacity int
+	entries  []entry
+	heap     []int32 // min-heap over entry counts, holding slot indices
+	index    map[flow.Key]int32
+	packets  uint64
+
+	// scratch backs the zero-allocation snapshots; it is reused across
+	// AppendTopK/AppendSorted calls under mu.
+	scratch []flow.Record
+}
+
+// NewTracker builds a tracker holding at most capacity flows.
+func NewTracker(capacity int) (*Tracker, error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("topk: capacity must be positive, got %d", capacity)
+	}
+	return &Tracker{
+		capacity: capacity,
+		entries:  make([]entry, 0, capacity),
+		heap:     make([]int32, 0, capacity),
+		index:    make(map[flow.Key]int32, capacity),
+	}, nil
+}
+
+// Capacity returns the maximum number of tracked flows.
+func (t *Tracker) Capacity() int { return t.capacity }
+
+// Len returns the number of currently tracked flows.
+func (t *Tracker) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.entries)
+}
+
+// Packets returns the total packet weight absorbed since the last Reset.
+func (t *Tracker) Packets() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.packets
+}
+
+// Update processes one packet.
+func (t *Tracker) Update(p flow.Packet) {
+	t.Add(p.Key, 1)
+}
+
+// UpdateBatch processes a batch of packets under one lock acquisition, the
+// form the shard batch workers feed.
+func (t *Tracker) UpdateBatch(pkts []flow.Packet) {
+	t.mu.Lock()
+	for _, p := range pkts {
+		t.add(p.Key, 1)
+	}
+	t.mu.Unlock()
+}
+
+// Add credits w packets to key. This is the weighted form the collector
+// side uses to feed decoded flow records (one Add per record).
+func (t *Tracker) Add(key flow.Key, w uint32) {
+	t.mu.Lock()
+	t.add(key, w)
+	t.mu.Unlock()
+}
+
+// AddRecords credits a batch of flow records under one lock acquisition.
+func (t *Tracker) AddRecords(recs []flow.Record) {
+	t.mu.Lock()
+	for _, r := range recs {
+		t.add(r.Key, r.Count)
+	}
+	t.mu.Unlock()
+}
+
+func (t *Tracker) add(key flow.Key, w uint32) {
+	t.packets += uint64(w)
+	if slot, ok := t.index[key]; ok {
+		t.entries[slot].count = satAdd(t.entries[slot].count, w)
+		t.siftDown(t.entries[slot].pos)
+		return
+	}
+	if len(t.entries) < t.capacity {
+		slot := int32(len(t.entries))
+		t.entries = append(t.entries, entry{key: key, count: w, pos: slot})
+		t.heap = append(t.heap, slot)
+		t.index[key] = slot
+		t.siftUp(int32(len(t.heap) - 1))
+		return
+	}
+	// Full: recycle the minimum entry, inheriting its count as error —
+	// the Space-Saving replacement rule.
+	slot := t.heap[0]
+	e := &t.entries[slot]
+	delete(t.index, e.key)
+	e.key = key
+	e.err = e.count
+	e.count = satAdd(e.count, w)
+	t.index[key] = slot
+	t.siftDown(0)
+}
+
+// satAdd adds saturating at the uint32 ceiling, matching netwide's
+// combineSum semantics.
+func satAdd(a, b uint32) uint32 {
+	s := a + b
+	if s < a {
+		s = ^uint32(0)
+	}
+	return s
+}
+
+// siftDown restores the heap below position i after a count increase.
+func (t *Tracker) siftDown(i int32) {
+	n := int32(len(t.heap))
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && t.entries[t.heap[l]].count < t.entries[t.heap[min]].count {
+			min = l
+		}
+		if r < n && t.entries[t.heap[r]].count < t.entries[t.heap[min]].count {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		t.swap(i, min)
+		i = min
+	}
+}
+
+// siftUp restores the heap above position i after an insertion.
+func (t *Tracker) siftUp(i int32) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if t.entries[t.heap[parent]].count <= t.entries[t.heap[i]].count {
+			return
+		}
+		t.swap(i, parent)
+		i = parent
+	}
+}
+
+func (t *Tracker) swap(i, j int32) {
+	t.heap[i], t.heap[j] = t.heap[j], t.heap[i]
+	t.entries[t.heap[i]].pos = i
+	t.entries[t.heap[j]].pos = j
+}
+
+// Estimate returns the tracked count and inherited overestimation error
+// for key. ok is false when the flow is not tracked. Space-Saving
+// guarantees est-err <= true count <= est for tracked flows.
+func (t *Tracker) Estimate(key flow.Key) (est, err uint32, ok bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	slot, ok := t.index[key]
+	if !ok {
+		return 0, 0, false
+	}
+	return t.entries[slot].count, t.entries[slot].err, true
+}
+
+// AppendTopK appends the k largest tracked flows to dst (count descending,
+// key order breaking ties) and returns the extended slice. The snapshot is
+// taken under the tracker lock into tracker-owned scratch, so steady-state
+// calls with a reused dst are allocation-free.
+func (t *Tracker) AppendTopK(dst []flow.Record, k int) []flow.Record {
+	if k <= 0 {
+		return dst
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.fillScratch()
+	slices.SortFunc(t.scratch, compareCountDesc)
+	if k > len(t.scratch) {
+		k = len(t.scratch)
+	}
+	return append(dst, t.scratch[:k]...)
+}
+
+// AppendSorted appends every tracked flow to dst in packed-key order — the
+// netwide.View order the Into merges consume — and returns the extended
+// slice. Allocation-free with a reused dst.
+func (t *Tracker) AppendSorted(dst []flow.Record) []flow.Record {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.fillScratch()
+	slices.SortFunc(t.scratch, compareKeyAsc)
+	return append(dst, t.scratch...)
+}
+
+// fillScratch snapshots the entries into t.scratch. Callers hold mu.
+func (t *Tracker) fillScratch() {
+	t.scratch = slices.Grow(t.scratch[:0], len(t.entries))
+	for i := range t.entries {
+		t.scratch = append(t.scratch, flow.Record{Key: t.entries[i].key, Count: t.entries[i].count})
+	}
+}
+
+// compareCountDesc orders records by count descending, packed key order
+// breaking ties (the reporting order of netwide merges and apps.TopTalkers).
+func compareCountDesc(a, b flow.Record) int {
+	if a.Count != b.Count {
+		if a.Count > b.Count {
+			return -1
+		}
+		return 1
+	}
+	return flow.CompareKeys(a.Key, b.Key)
+}
+
+// compareKeyAsc orders records by packed key.
+func compareKeyAsc(a, b flow.Record) int {
+	return flow.CompareKeys(a.Key, b.Key)
+}
+
+// sortCountDesc orders records by count descending with key tiebreak.
+func sortCountDesc(recs []flow.Record) {
+	slices.SortFunc(recs, compareCountDesc)
+}
+
+// Reset clears the tracker for the next epoch. The capacity and the
+// allocated tables are kept.
+func (t *Tracker) Reset() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.entries = t.entries[:0]
+	t.heap = t.heap[:0]
+	clear(t.index)
+	t.packets = 0
+}
+
+// MemoryBytes approximates the tracker footprint.
+func (t *Tracker) MemoryBytes() int {
+	return t.capacity * EntryBytes
+}
