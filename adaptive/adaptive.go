@@ -32,6 +32,15 @@ type Sidecar interface {
 // beyond the call (copy if needed), the same contract as collector.Sink.
 type FlushFunc func(epoch int, records []flow.Record)
 
+// EpochObserver consumes each drained epoch's records after the flush
+// callback — the detection hook (detect.Detector implements it). It runs
+// where the flush callback runs: on the background drain worker in
+// double-buffered mode, inline in single-buffer mode. The records slice
+// is manager-owned and must not be retained, the FlushFunc contract.
+type EpochObserver interface {
+	ObserveEpoch(epoch int, records []flow.Record)
+}
+
 // Config parameterizes the adaptive manager.
 type Config struct {
 	// Capacity is the flow capacity of the recorder (for HashFlow, its
@@ -84,6 +93,12 @@ type Manager struct {
 	// live publishes it for queries from other goroutines.
 	sc   Sidecar
 	live atomic.Pointer[Sidecar]
+
+	// det observes drained epochs (nil when unset). drainErr records the
+	// first panic recovered on the drain path; drainPanics counts them.
+	det         EpochObserver
+	drainErr    atomic.Pointer[error]
+	drainPanics atomic.Uint64
 
 	// Double-buffered mode: the standby channel holds the reset recorder
 	// (with its sidecar) ready for the next swap, jobs carries full
@@ -183,6 +198,50 @@ func (m *Manager) AttachSidecars(active, standby Sidecar) error {
 	return nil
 }
 
+// AttachDetector registers an observer for every drained epoch,
+// evaluated after the flush callback — on the background worker in
+// double-buffered mode, so detection never touches the packet path. Call
+// before ingestion begins (the registration is published to the worker by
+// the first rotation's channel send). A panicking or slow detector
+// cannot deadlock rotation: panics anywhere on the drain path are
+// recovered (see DrainErr) and the epoch's recorder still resets and
+// returns to standby.
+func (m *Manager) AttachDetector(d EpochObserver) error {
+	if d == nil {
+		return fmt.Errorf("adaptive: nil detector")
+	}
+	m.det = d
+	return nil
+}
+
+// DrainErr returns the first panic recovered on the drain path (flush
+// callback, detector, or reset), or nil. The drain keeps running after a
+// panic — the epoch that panicked may be partially reported, but rotation
+// never stalls and no later epoch is dropped.
+func (m *Manager) DrainErr() error {
+	if p := m.drainErr.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// DrainPanics returns how many drain-path panics have been recovered.
+func (m *Manager) DrainPanics() uint64 { return m.drainPanics.Load() }
+
+// safely runs fn, converting a panic into the manager's sticky drain
+// error. It reports whether fn completed without panicking.
+func (m *Manager) safely(stage string, fn func()) (ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			m.drainPanics.Add(1)
+			err := fmt.Errorf("adaptive: %s panicked: %v", stage, r)
+			m.drainErr.CompareAndSwap(nil, &err)
+		}
+	}()
+	fn()
+	return true
+}
+
 // Sidecar returns the sidecar paired with the recorder currently filling,
 // or nil if none is attached. Safe from any goroutine: the query daemon
 // reads the live summary through it while ingestion rotates underneath.
@@ -195,21 +254,38 @@ func (m *Manager) Sidecar() Sidecar {
 }
 
 // flushWorker drains completed epochs: extract into a reused buffer, run
-// the callback, reset the recorder (and its sidecar) and return the pair
-// as the next standby.
+// the callback and the detector, reset the recorder (and its sidecar) and
+// return the pair as the next standby. Every stage is panic-isolated: a
+// faulty callback, detector or reset marks DrainErr but the buffer always
+// re-enters rotation, so one bad epoch can neither kill the worker (which
+// would wedge the next Flush forever) nor drop the epochs behind it.
 func (m *Manager) flushWorker() {
 	defer close(m.done)
 	var buf []flow.Record
 	for job := range m.jobs {
-		if m.flush != nil {
-			buf = job.buf.rec.AppendRecords(buf[:0])
-			m.flush(job.epoch, buf)
-		}
-		job.buf.rec.Reset()
-		if job.buf.sc != nil {
-			job.buf.sc.Reset()
-		}
+		m.drain(job.epoch, job.buf, &buf)
 		m.standby <- job.buf
+	}
+}
+
+// drain processes one completed epoch on the worker.
+func (m *Manager) drain(epoch int, b buffer, buf *[]flow.Record) {
+	if m.flush != nil || m.det != nil {
+		extracted := m.safely("extraction", func() {
+			*buf = b.rec.AppendRecords((*buf)[:0])
+		})
+		if extracted {
+			if m.flush != nil {
+				m.safely("flush callback", func() { m.flush(epoch, *buf) })
+			}
+			if m.det != nil {
+				m.safely("detector", func() { m.det.ObserveEpoch(epoch, *buf) })
+			}
+		}
+	}
+	m.safely("recorder reset", b.rec.Reset)
+	if b.sc != nil {
+		m.safely("sidecar reset", b.sc.Reset)
 	}
 }
 
@@ -258,9 +334,16 @@ func (m *Manager) Flush() {
 		}
 		m.jobs <- flushJob{epoch: m.epoch, buf: full}
 	} else {
-		if m.flush != nil {
+		if m.flush != nil || m.det != nil {
 			m.buf = m.rec.AppendRecords(m.buf[:0])
-			m.flush(m.epoch, m.buf)
+			if m.flush != nil {
+				m.flush(m.epoch, m.buf)
+			}
+			if m.det != nil {
+				// The detector is auxiliary even inline: a panic must not
+				// take down the caller's ingest loop.
+				m.safely("detector", func() { m.det.ObserveEpoch(m.epoch, m.buf) })
+			}
 		}
 		m.rec.Reset()
 		if m.sc != nil {

@@ -12,10 +12,13 @@
 // recorder (per-packet vs batched vs async across shard counts); export,
 // which measures the collection side — epoch record extraction and
 // recordstore encoding across shard counts, plus single- vs
-// double-buffered epoch rotation under continuous ingestion; and query,
+// double-buffered epoch rotation under continuous ingestion; query,
 // which measures the read path — ingest cost of the online top-k sidecar,
 // mmap vs streamed epoch scans over a multi-epoch store, and live /topk
-// request latency.
+// request latency; and detect, which measures the detection subsystem —
+// per-epoch detector cost, the drain-stall impact of attaching it to the
+// double-buffered rotation, and precision/recall against synthetic
+// injected heavy changes and superspreaders.
 //
 // Flags:
 //
@@ -40,6 +43,7 @@ import (
 
 	"repro/adaptive"
 	"repro/collector"
+	"repro/detect"
 	"repro/experiments"
 	"repro/flow"
 	"repro/flowmon"
@@ -74,7 +78,7 @@ func run(args []string, w io.Writer) error {
 		return err
 	}
 	if fs.NArg() != 1 {
-		return fmt.Errorf("usage: flowbench [flags] <table1|fig2|...|fig11|extras|pipeline|export|all>")
+		return fmt.Errorf("usage: flowbench [flags] <table1|fig2|...|fig11|extras|pipeline|export|query|detect|all>")
 	}
 	cfg := config{mem: *mem, seed: *seed, quick: *quick, json: *jsonOut}
 
@@ -238,6 +242,9 @@ func runOne(name string, cfg config, w io.Writer) error {
 
 	case "query":
 		return runQueryBench(cfg, w)
+
+	case "detect":
+		return runDetectBench(cfg, w)
 
 	default:
 		return fmt.Errorf("unknown experiment %q", name)
@@ -546,6 +553,7 @@ func runExportBench(cfg config, w io.Writer) error {
 type sidecarRow struct {
 	Shards   int     `json:"shards"`
 	Sidecar  bool    `json:"sidecar"`
+	Flows    int     `json:"flows"`
 	TrackCap int     `json:"tracker_capacity"`
 	Packets  int     `json:"packets"`
 	NsPerPkt float64 `json:"ns_per_pkt"`
@@ -590,42 +598,70 @@ func runQueryBench(cfg config, w io.Writer) error {
 	mcfg := flowmon.Config{MemoryBytes: cfg.mem, Seed: cfg.seed}
 
 	// (1) Sidecar cost: batched ingest into a sharded recorder, with and
-	// without per-shard trackers attached.
-	const trackCap = 1024
-	if _, err := fmt.Fprintln(w, "shards\tsidecar\tpackets\tns_per_pkt\tMpps"); err != nil {
+	// without per-shard trackers attached. Two (flows, capacity) shapes
+	// probe the two Space-Saving regimes: 1024 entries over 100k flows is
+	// eviction-saturated (about half the packets replace the tracked
+	// minimum — work no index layout can remove), while a tracker sized
+	// for its traffic (8192 over 20k flows) runs hit-heavy, where the
+	// per-batch pre-aggregation and the open-addressing index pay off.
+	// Best-of-passes, like the scan rows below — single-shot ingest runs
+	// swing with scheduler noise on small machines and the sidecar delta
+	// is the quantity of interest.
+	if _, err := fmt.Fprintln(w, "shards\tsidecar\tflows\ttracker_cap\tpackets\tns_per_pkt\tMpps"); err != nil {
 		return err
 	}
+	ingestPasses := 5
+	if cfg.quick {
+		ingestPasses = 3
+	}
 	var sidecarRows []sidecarRow
-	for _, shards := range []int{1, 4} {
-		for _, withSidecar := range []bool{false, true} {
-			s, err := shard.NewUniform(shards, flowmon.AlgorithmHashFlow, mcfg)
-			if err != nil {
-				return err
-			}
-			if withSidecar {
-				if _, err := topk.AttachSet(s, trackCap); err != nil {
+	for _, shape := range []struct{ flows, trackCap int }{
+		{cfg.flows(100000), 1024},
+		{cfg.flows(20000), 8192},
+	} {
+		str, err := trace.Generate(trace.CAIDA, shape.flows, cfg.seed)
+		if err != nil {
+			return err
+		}
+		spkts := str.Packets(cfg.seed)
+		for _, shards := range []int{1, 4} {
+			for _, withSidecar := range []bool{false, true} {
+				var best int64
+				for pass := 0; pass < ingestPasses; pass++ {
+					s, err := shard.NewUniform(shards, flowmon.AlgorithmHashFlow, mcfg)
+					if err != nil {
+						return err
+					}
+					if withSidecar {
+						if _, err := topk.AttachSet(s, shape.trackCap); err != nil {
+							return err
+						}
+					}
+					start := time.Now()
+					if err := collector.Replay(s, spkts, collector.DefaultBatchSize); err != nil {
+						return err
+					}
+					s.Flush()
+					ns := time.Since(start).Nanoseconds()
+					s.Close()
+					if best == 0 || ns < best {
+						best = ns
+					}
+				}
+				row := sidecarRow{
+					Shards:   shards,
+					Sidecar:  withSidecar,
+					Flows:    shape.flows,
+					TrackCap: shape.trackCap,
+					Packets:  len(spkts),
+					NsPerPkt: float64(best) / float64(len(spkts)),
+					Mpps:     float64(len(spkts)) / (float64(best) / 1e9) / 1e6,
+				}
+				sidecarRows = append(sidecarRows, row)
+				if _, err := fmt.Fprintf(w, "%d\t%v\t%d\t%d\t%d\t%.1f\t%.3f\n",
+					row.Shards, row.Sidecar, row.Flows, row.TrackCap, row.Packets, row.NsPerPkt, row.Mpps); err != nil {
 					return err
 				}
-			}
-			start := time.Now()
-			if err := collector.Replay(s, pkts, collector.DefaultBatchSize); err != nil {
-				return err
-			}
-			s.Flush()
-			elapsed := time.Since(start)
-			s.Close()
-			row := sidecarRow{
-				Shards:   shards,
-				Sidecar:  withSidecar,
-				TrackCap: trackCap,
-				Packets:  len(pkts),
-				NsPerPkt: float64(elapsed.Nanoseconds()) / float64(len(pkts)),
-				Mpps:     float64(len(pkts)) / elapsed.Seconds() / 1e6,
-			}
-			sidecarRows = append(sidecarRows, row)
-			if _, err := fmt.Fprintf(w, "%d\t%v\t%d\t%.1f\t%.3f\n",
-				row.Shards, row.Sidecar, row.Packets, row.NsPerPkt, row.Mpps); err != nil {
-				return err
 			}
 		}
 	}
@@ -801,7 +837,7 @@ func runQueryBench(cfg config, w io.Writer) error {
 	}
 
 	// (3) Live /topk latency over HTTP against a filled tracker.
-	set, err := topk.NewSet(4, trackCap)
+	set, err := topk.NewSet(4, 1024)
 	if err != nil {
 		return err
 	}
@@ -867,6 +903,226 @@ func runQueryBench(cfg config, w io.Writer) error {
 		}{sidecarRows, scanRows, randomRows, latRow})
 	}
 	return nil
+}
+
+// detectCostRow is one detector-evaluation cost measurement.
+type detectCostRow struct {
+	Epochs      int     `json:"epochs"`
+	RecordsPerE int     `json:"records_per_epoch"`
+	NsPerEpoch  float64 `json:"ns_per_epoch"`
+	NsPerRecord float64 `json:"ns_per_record"`
+}
+
+// detectStallRow is one rotation measurement with/without the detector
+// riding the drain worker.
+type detectStallRow struct {
+	Detector   bool    `json:"detector"`
+	Packets    int     `json:"packets"`
+	Epochs     int     `json:"epochs"`
+	NsPerPkt   float64 `json:"ns_per_pkt"`
+	MedStallUs float64 `json:"med_stall_us"`
+	MaxStallUs float64 `json:"max_stall_us"`
+}
+
+// detectAccuracyRow is the synthetic-injection precision/recall summary.
+type detectAccuracyRow struct {
+	Epochs          int     `json:"epochs"`
+	Alerts          int     `json:"alerts"`
+	ChangePrecision float64 `json:"change_precision"`
+	ChangeRecall    float64 `json:"change_recall"`
+	SpreadPrecision float64 `json:"spreader_precision"`
+	SpreadRecall    float64 `json:"spreader_recall"`
+	AnomalyEpochs   int     `json:"anomaly_epochs"`
+}
+
+// runDetectBench measures the detection subsystem: (1) what one epoch of
+// detection costs on the drain worker, (2) what attaching the detector
+// does to rotation stalls under continuous ingestion, (3) detection
+// quality against injected ground truth.
+func runDetectBench(cfg config, w io.Writer) error {
+	// (1) Evaluation cost over the synthetic workload, steady state: one
+	// warm pass grows every internal buffer, then timed passes re-drive
+	// the same epochs (epoch numbering keeps advancing so the
+	// epoch-over-epoch walk stays realistic).
+	epochsN := 64
+	if cfg.quick {
+		epochsN = 24
+	}
+	trace := experiments.GenDetectTrace(experiments.DetectTraceConfig{
+		Epochs: epochsN, Seed: cfg.seed,
+	})
+	det, err := detect.NewDetector(detect.Config{})
+	if err != nil {
+		return err
+	}
+	records := 0
+	for _, ep := range trace {
+		records += len(ep.Records)
+	}
+	records /= len(trace)
+	epoch := 0
+	pass := func() error {
+		for _, ep := range trace {
+			det.Observe(epoch, ep.Time, ep.Records)
+			epoch++
+		}
+		return nil
+	}
+	if err := pass(); err != nil {
+		return err
+	}
+	passes := 5
+	if cfg.quick {
+		passes = 3
+	}
+	costNs, err := bestNs(passes, pass)
+	if err != nil {
+		return err
+	}
+	cost := detectCostRow{
+		Epochs:      len(trace),
+		RecordsPerE: records,
+		NsPerEpoch:  float64(costNs) / float64(len(trace)),
+		NsPerRecord: float64(costNs) / float64(len(trace)*records),
+	}
+	if _, err := fmt.Fprintln(w, "detector_cost\tepochs\trecords_per_epoch\tns_per_epoch\tns_per_record"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "steady\t%d\t%d\t%.0f\t%.1f\n",
+		cost.Epochs, cost.RecordsPerE, cost.NsPerEpoch, cost.NsPerRecord); err != nil {
+		return err
+	}
+
+	// (2) Drain-stall impact: the export-bench rotation harness with the
+	// detector on and off the double-buffered drain.
+	tr, err := trace2(cfg)
+	if err != nil {
+		return err
+	}
+	pkts := tr.Packets(cfg.seed)
+	mcfg := flowmon.Config{MemoryBytes: cfg.mem, Seed: cfg.seed}
+	if _, err := fmt.Fprintln(w, "\nrotation\tdetector\tpackets\tepochs\tns_per_pkt\tmed_stall_us\tmax_stall_us"); err != nil {
+		return err
+	}
+	var stallRows []detectStallRow
+	for _, withDet := range []bool{false, true} {
+		active, err := flowmon.NewHashFlow(mcfg)
+		if err != nil {
+			return err
+		}
+		standby, err := flowmon.NewHashFlow(mcfg)
+		if err != nil {
+			return err
+		}
+		store := recordstore.NewWriter(&countWriter{})
+		acfg := adaptive.Config{
+			Capacity:        active.MainCells(),
+			MaxEpochPackets: uint64(len(pkts) / 4),
+			CheckEvery:      1 << 62,
+		}
+		m, err := adaptive.NewDoubleBuffered(active, standby, acfg, func(epoch int, recs []flow.Record) {
+			if err := store.WriteEpoch(time.Unix(0, 0), recs); err != nil {
+				panic(err) // countWriter cannot fail
+			}
+		})
+		if err != nil {
+			return err
+		}
+		if withDet {
+			d, err := detect.NewDetector(detect.Config{})
+			if err != nil {
+				return err
+			}
+			if err := m.AttachDetector(d); err != nil {
+				return err
+			}
+		}
+		var stalls []time.Duration
+		rotPasses := 4
+		start := time.Now()
+		for p := 0; p < rotPasses; p++ {
+			for _, pkt := range pkts {
+				if m.EpochPackets() == acfg.MaxEpochPackets-1 {
+					t0 := time.Now()
+					m.Update(pkt)
+					stalls = append(stalls, time.Since(t0))
+					continue
+				}
+				m.Update(pkt)
+			}
+		}
+		m.Flush()
+		m.Close()
+		elapsed := time.Since(start)
+		if err := m.DrainErr(); err != nil {
+			return err
+		}
+		slices.Sort(stalls)
+		var med, max time.Duration
+		if len(stalls) > 0 {
+			med, max = stalls[len(stalls)/2], stalls[len(stalls)-1]
+		}
+		total := rotPasses * len(pkts)
+		row := detectStallRow{
+			Detector:   withDet,
+			Packets:    total,
+			Epochs:     m.Epoch(),
+			NsPerPkt:   float64(elapsed.Nanoseconds()) / float64(total),
+			MedStallUs: float64(med.Nanoseconds()) / 1e3,
+			MaxStallUs: float64(max.Nanoseconds()) / 1e3,
+		}
+		stallRows = append(stallRows, row)
+		if _, err := fmt.Fprintf(w, "double\t%v\t%d\t%d\t%.1f\t%.1f\t%.1f\n",
+			row.Detector, row.Packets, row.Epochs, row.NsPerPkt, row.MedStallUs, row.MaxStallUs); err != nil {
+			return err
+		}
+	}
+
+	// (3) Precision/recall against the injected ground truth, on a fresh
+	// detector.
+	accDet, err := detect.NewDetector(detect.Config{})
+	if err != nil {
+		return err
+	}
+	accEpochs := 30
+	if !cfg.quick {
+		accEpochs = 60
+	}
+	eval := experiments.EvalDetect(accDet, experiments.GenDetectTrace(experiments.DetectTraceConfig{
+		Epochs: accEpochs, Seed: cfg.seed,
+	}))
+	acc := detectAccuracyRow{
+		Epochs:          eval.Epochs,
+		Alerts:          eval.Alerts,
+		ChangePrecision: eval.ChangePrecision(),
+		ChangeRecall:    eval.ChangeRecall(),
+		SpreadPrecision: eval.SpreadPrecision(),
+		SpreadRecall:    eval.SpreadRecall(),
+		AnomalyEpochs:   eval.AnomalyEpochs,
+	}
+	if _, err := fmt.Fprintln(w, "\naccuracy\tepochs\talerts\tchange_p\tchange_r\tspread_p\tspread_r\tanomaly_epochs"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "injected\t%d\t%d\t%.3f\t%.3f\t%.3f\t%.3f\t%d\n",
+		acc.Epochs, acc.Alerts, acc.ChangePrecision, acc.ChangeRecall,
+		acc.SpreadPrecision, acc.SpreadRecall, acc.AnomalyEpochs); err != nil {
+		return err
+	}
+
+	if cfg.json {
+		return writeBenchJSON("detect", struct {
+			Cost     detectCostRow     `json:"cost"`
+			Rotation []detectStallRow  `json:"rotation"`
+			Accuracy detectAccuracyRow `json:"accuracy"`
+		}{cost, stallRows, acc})
+	}
+	return nil
+}
+
+// trace2 generates the standard CAIDA benchmark trace at the config's
+// scale.
+func trace2(cfg config) (*trace.Trace, error) {
+	return trace.Generate(trace.CAIDA, cfg.flows(100000), cfg.seed)
 }
 
 // bestNs runs fn passes times and returns the fastest wall-clock

@@ -16,20 +16,32 @@
 // Serve mode runs a persistent collector that writes each quiet-gap
 // delimited epoch to a record store file (query it with flowquery). With
 // -http it also serves the live query API: /topk straight from an online
-// tracker fed per epoch, /epochs and /flows from the growing store file:
+// tracker fed per epoch, /epochs and /flows from the growing store file.
+// With -detect each epoch additionally runs through the detection
+// subsystem (heavy changers, superspreaders, anomaly baselines) — alerts
+// are served on /alerts + /changes, printed to stdout with -alerts, and
+// POSTed as JSON to a webhook with -webhook:
 //
 //	flowcollect serve -listen 127.0.0.1:2055 -store records.frec -for 1m
 //	flowcollect serve -listen 127.0.0.1:2055 -store records.frec -http 127.0.0.1:8080
+//	flowcollect serve -listen 127.0.0.1:2055 -store records.frec -detect -alerts \
+//	    -webhook http://127.0.0.1:9000/hook
 //
 // Export mode with -epochpkts rotates epochs while reading: a
 // double-buffered adaptive manager swaps recorders at each epoch boundary
 // and the background drain worker exports the completed epoch over UDP,
-// so the packet path never extracts or sends:
+// so the packet path never extracts or sends. Adding -detect attaches
+// the detection subsystem to the same drain (adaptive.AttachDetector):
+// every completed epoch is scored for heavy changes, superspreaders and
+// anomalies on the background worker, and alerts print to stdout:
 //
 //	flowcollect export -profile Campus -flows 20000 -epochpkts 100000 -to 127.0.0.1:2055
+//	flowcollect export -profile Campus -flows 20000 -epochpkts 100000 -detect -to 127.0.0.1:2055
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -38,10 +50,13 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/adaptive"
 	"repro/collector"
+	"repro/detect"
 	"repro/flow"
 	"repro/flowmon"
 	"repro/netflow"
@@ -83,8 +98,16 @@ func runServe(args []string, w io.Writer) error {
 	runFor := fs.Duration("for", 30*time.Second, "how long to serve before shutting down")
 	httpAddr := fs.String("http", "", "also serve the live query API on this address")
 	topkCap := fs.Int("topk", 4096, "live top-k tracker capacity (with -http)")
+	det := fs.Bool("detect", false, "run detection (heavy change, superspreader, anomaly) on every epoch")
+	fanout := fs.Int("fanout", 128, "superspreader distinct-destination threshold (with -detect)")
+	minDelta := fs.Uint64("changedelta", 1024, "heavy-change per-flow delta threshold (with -detect)")
+	alerts := fs.Bool("alerts", false, "print alerts to stdout (with -detect)")
+	webhook := fs.String("webhook", "", "POST each epoch's alerts as JSON to this URL (with -detect)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if (*alerts || *webhook != "") && !*det {
+		return errors.New("-alerts/-webhook need -detect")
 	}
 
 	f, err := os.Create(*storePath)
@@ -94,32 +117,83 @@ func runServe(args []string, w io.Writer) error {
 	defer f.Close()
 	store := collector.NewEpochStore(recordstore.NewWriter(f))
 
-	// With the query API enabled, each epoch also feeds the live top-k
-	// tracker and is flushed through to the file so the per-request
-	// mmap sees it immediately.
-	sink := store.Sink
-	var httpSrv *http.Server
-	var httpLn net.Listener
-	if *httpAddr != "" {
-		tracker, err := topk.NewTracker(*topkCap)
+	// Detection runs on the collector's epoch goroutine — the serve-mode
+	// analogue of the export drain worker — with alerts fanned out to the
+	// query ring, stdout, and the async webhook sink.
+	var (
+		detector *detect.Detector
+		hook     *webhookSink
+		epochs   atomic.Uint64
+	)
+	if *det {
+		detector, err = detect.NewDetector(detect.Config{
+			FanoutThreshold: *fanout,
+			ChangeMinDelta:  uint32(*minDelta),
+		})
 		if err != nil {
 			return err
 		}
-		sink = func(ts time.Time, records []flow.Record) {
+		if *webhook != "" {
+			hook = newWebhookSink(*webhook)
+			defer hook.close(w)
+		}
+		printAlerts := *alerts
+		detector.SetSink(func(as []detect.Alert) {
+			if printAlerts {
+				for _, a := range as {
+					fmt.Fprintln(w, a)
+				}
+			}
+			if hook != nil {
+				hook.deliver(as)
+			}
+		})
+	}
+
+	// The composed epoch sink: persist, then (with -http) feed the live
+	// top-k tracker and flush so the per-request mmap sees the epoch
+	// immediately, then (with -detect) evaluate detection — all on the
+	// collector's epoch goroutine, never the datagram path. The epoch
+	// counter versions the /netwide/topk cache.
+	var (
+		tracker *topk.Tracker
+		httpSrv *http.Server
+		httpLn  net.Listener
+	)
+	if *httpAddr != "" {
+		if tracker, err = topk.NewTracker(*topkCap); err != nil {
+			return err
+		}
+	}
+	sink := func(ts time.Time, records []flow.Record) {
+		if tracker != nil {
 			tracker.AddRecords(records)
-			store.Sink(ts, records)
+		}
+		store.Sink(ts, records)
+		if tracker != nil {
 			_ = store.Flush() // sticky; surfaced via store.Err at exit
+		}
+		if detector != nil {
+			detector.Observe(int(epochs.Load()), ts, records)
+		}
+		epochs.Add(1)
+	}
+	if *httpAddr != "" {
+		cfg := query.Config{
+			TopK:           tracker,
+			Store:          query.FileStore(*storePath),
+			Netwide:        []query.NamedSource{{Name: "live", Source: tracker}},
+			NetwideVersion: epochs.Load,
+		}
+		if detector != nil {
+			cfg.Alerts = detector
 		}
 		httpLn, err = net.Listen("tcp", *httpAddr)
 		if err != nil {
 			return err
 		}
 		httpSrv = &http.Server{
-			Handler: query.NewHandler(query.Config{
-				TopK:    tracker,
-				Store:   query.FileStore(*storePath),
-				Netwide: []query.NamedSource{{Name: "live", Source: tracker}},
-			}),
+			Handler:           query.NewHandler(cfg),
 			ReadHeaderTimeout: 5 * time.Second,
 		}
 		go func() { _ = httpSrv.Serve(httpLn) }()
@@ -161,9 +235,114 @@ func runServe(args []string, w io.Writer) error {
 		return err
 	}
 	st := srv.Stats()
-	_, err = fmt.Fprintf(w, "done: %d datagrams, %d records, %d epochs, %d lost, %d bad\n",
-		st.Datagrams, st.Records, st.Epochs, st.Lost, st.BadData)
-	return err
+	if _, err = fmt.Fprintf(w, "done: %d datagrams, %d records, %d epochs, %d lost, %d bad\n",
+		st.Datagrams, st.Records, st.Epochs, st.Lost, st.BadData); err != nil {
+		return err
+	}
+	if detector != nil {
+		if _, err = fmt.Fprintf(w, "detection: %d epochs evaluated, %d alerts retained\n",
+			detector.Epochs(), len(detector.AppendAlerts(nil))); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// webhookAlert is the JSON shape of one alert delivered to the -webhook
+// endpoint (the /alerts wire format rendered without the query layer).
+type webhookAlert struct {
+	Kind     string  `json:"kind"`
+	Severity string  `json:"severity"`
+	Epoch    int     `json:"epoch"`
+	Time     string  `json:"time"`
+	Flow     string  `json:"flow,omitempty"`
+	Src      string  `json:"src,omitempty"`
+	Metric   string  `json:"metric,omitempty"`
+	Value    float64 `json:"value"`
+	Baseline float64 `json:"baseline"`
+	Score    float64 `json:"score"`
+}
+
+// webhookSink POSTs alert batches to a URL from a single background
+// goroutine. The epoch sink only marshals and enqueues; a slow or dead
+// endpoint backpressures into dropped deliveries (counted, reported at
+// shutdown), never into the epoch path.
+type webhookSink struct {
+	url     string
+	client  *http.Client
+	ch      chan []byte
+	wg      sync.WaitGroup
+	dropped atomic.Uint64
+	failed  atomic.Uint64
+}
+
+func newWebhookSink(url string) *webhookSink {
+	s := &webhookSink{
+		url:    url,
+		client: &http.Client{Timeout: 5 * time.Second},
+		ch:     make(chan []byte, 16),
+	}
+	s.wg.Add(1)
+	go s.run()
+	return s
+}
+
+// deliver marshals one epoch's alerts and enqueues the payload.
+func (s *webhookSink) deliver(alerts []detect.Alert) {
+	out := make([]webhookAlert, len(alerts))
+	for i, a := range alerts {
+		out[i] = webhookAlert{
+			Kind:     a.Kind.String(),
+			Severity: a.Severity.String(),
+			Epoch:    a.Epoch,
+			Time:     a.Time.UTC().Format(time.RFC3339Nano),
+			Metric:   a.Metric,
+			Value:    a.Value,
+			Baseline: a.Baseline,
+			Score:    a.Score,
+		}
+		switch a.Kind {
+		case detect.KindHeavyChange:
+			out[i].Flow = a.Key.String()
+		case detect.KindSuperspreader:
+			out[i].Src = flow.IPString(a.Key.SrcIP)
+		}
+	}
+	b, err := json.Marshal(out)
+	if err != nil {
+		s.failed.Add(1)
+		return
+	}
+	select {
+	case s.ch <- b:
+	default:
+		s.dropped.Add(1)
+	}
+}
+
+func (s *webhookSink) run() {
+	defer s.wg.Done()
+	for b := range s.ch {
+		resp, err := s.client.Post(s.url, "application/json", bytes.NewReader(b))
+		if err != nil {
+			s.failed.Add(1)
+			continue
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode >= 300 {
+			s.failed.Add(1)
+		}
+	}
+}
+
+// close drains the queue, stops the delivery goroutine and reports drops.
+func (s *webhookSink) close(w io.Writer) {
+	close(s.ch)
+	s.wg.Wait()
+	if d, f := s.dropped.Load(), s.failed.Load(); d+f > 0 {
+		fmt.Fprintf(w, "webhook: %d deliveries dropped, %d failed\n", d, f)
+	}
 }
 
 func runExport(args []string, w io.Writer) error {
@@ -177,8 +356,13 @@ func runExport(args []string, w io.Writer) error {
 	to := fs.String("to", "127.0.0.1:2055", "collector address")
 	epochPkts := fs.Uint64("epochpkts", 0,
 		"rotate and export an epoch every N packets via the double-buffered background drain (0 = one epoch at end)")
+	det := fs.Bool("detect", false,
+		"run detection on each drained epoch (with -epochpkts); alerts print to stdout")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *det && *epochPkts == 0 {
+		return errors.New("-detect needs epoch rotation: pass -epochpkts too")
 	}
 
 	a, err := flowmon.ParseAlgorithm(*algo)
@@ -231,12 +415,32 @@ func runExport(args []string, w io.Writer) error {
 		if err != nil {
 			return err
 		}
+		var detector *detect.Detector
+		if *det {
+			// Detection rides the same drain worker as the export: the
+			// packet path still only ever swaps recorders.
+			detector, err = detect.NewDetector(detect.Config{})
+			if err != nil {
+				return err
+			}
+			detector.SetSink(func(as []detect.Alert) {
+				for _, a := range as {
+					fmt.Fprintln(w, a)
+				}
+			})
+			if err := m.AttachDetector(detector); err != nil {
+				return err
+			}
+		}
 		update = m.Update
 		finish = func() (int, uint64, error) {
 			if m.EpochPackets() > 0 {
 				m.Flush() // export the partial final epoch
 			}
 			m.Close()
+			if err := m.DrainErr(); err != nil && expErr == nil {
+				expErr = err
+			}
 			return m.Epoch(), ee.Exported(), expErr
 		}
 	}

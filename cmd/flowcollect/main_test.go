@@ -4,8 +4,10 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
@@ -14,6 +16,7 @@ import (
 	"time"
 
 	"repro/flow"
+	"repro/netflow"
 	"repro/pcapio"
 	"repro/query"
 	"repro/recordstore"
@@ -298,5 +301,168 @@ func TestServeBadArgs(t *testing.T) {
 	var buf bytes.Buffer
 	if err := run([]string{"serve", "-store", "/no/such/dir/x.frec", "-for", "1ms"}, &buf); err == nil {
 		t.Error("accepted uncreatable store path")
+	}
+}
+
+// TestExportDetectOnDrain runs epoch-aligned export with the detection
+// subsystem attached to the drain worker: the run must complete, rotate
+// multiple epochs, and surface no drain error.
+func TestExportDetectOnDrain(t *testing.T) {
+	sink, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sink.Close()
+
+	var out bytes.Buffer
+	err = run([]string{"export", "-profile", "ISP2", "-flows", "400", "-mem", "65536",
+		"-epochpkts", "150", "-detect", "-to", sink.LocalAddr().String()}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pkts, recs, epochs int
+	line := out.String()
+	if i := strings.LastIndex(line, "processed "); i >= 0 {
+		line = line[i:]
+	}
+	if _, err := fmt.Sscanf(line, "processed %d packets, exported %d flow records in %d epochs",
+		&pkts, &recs, &epochs); err != nil {
+		t.Fatalf("unparseable output %q: %v", out.String(), err)
+	}
+	if epochs < 2 {
+		t.Errorf("only %d epochs rotated with the detector attached", epochs)
+	}
+}
+
+func TestDetectFlagValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"export", "-detect", "-flows", "10"}, &buf); err == nil {
+		t.Error("export -detect without -epochpkts accepted")
+	}
+	if err := run([]string{"serve", "-alerts", "-for", "1ms"}, &buf); err == nil {
+		t.Error("serve -alerts without -detect accepted")
+	}
+	if err := run([]string{"serve", "-webhook", "http://x/", "-for", "1ms"}, &buf); err == nil {
+		t.Error("serve -webhook without -detect accepted")
+	}
+}
+
+// TestServeDetectWebhook runs the full alerting loop: serve with
+// detection and a webhook sink, feed it two epochs whose second contains
+// a massive per-flow change and a superspreader, then check /alerts and
+// the webhook delivery.
+func TestServeDetectWebhook(t *testing.T) {
+	udpProbe, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	udpAddr := udpProbe.LocalAddr().String()
+	udpProbe.Close()
+	tcpProbe, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	httpAddr := tcpProbe.Addr().String()
+	tcpProbe.Close()
+
+	var (
+		hookMu   sync.Mutex
+		hookBody []byte
+	)
+	hook := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		b, _ := io.ReadAll(r.Body)
+		hookMu.Lock()
+		hookBody = append(hookBody, b...)
+		hookMu.Unlock()
+	}))
+	defer hook.Close()
+
+	store := filepath.Join(t.TempDir(), "detect.frec")
+	var (
+		wg       sync.WaitGroup
+		serveOut bytes.Buffer
+		serveErr error
+	)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		serveErr = run([]string{"serve", "-listen", udpAddr, "-store", store,
+			"-gap", "200ms", "-for", "4s", "-http", httpAddr,
+			"-detect", "-changedelta", "500", "-fanout", "64",
+			"-alerts", "-webhook", hook.URL}, &serveOut)
+	}()
+	time.Sleep(300 * time.Millisecond)
+
+	// Epoch 1: a quiet baseline flow. Epoch 2 (after the quiet gap): the
+	// same flow spiked past -changedelta plus a 100-destination scanner.
+	conn, err := net.Dial("udp", udpAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	exp := netflow.NewExporter(func(b []byte) error {
+		_, err := conn.Write(b)
+		return err
+	})
+	hot := flow.Key{SrcIP: 0x0A000001, DstIP: 0x0A000063, DstPort: 443, Proto: 6}
+	if err := exp.Export([]flow.Record{{Key: hot, Count: 100}}, 700); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(500 * time.Millisecond) // quiet gap closes epoch 1
+
+	recs := []flow.Record{{Key: hot, Count: 5100}}
+	for i := 0; i < 100; i++ {
+		recs = append(recs, flow.Record{
+			Key:   flow.Key{SrcIP: 0x09090909, DstIP: 0xE0000000 | uint32(i), DstPort: 80, Proto: 6},
+			Count: 1,
+		})
+	}
+	if err := exp.Export(recs, 700); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(600 * time.Millisecond) // quiet gap closes epoch 2
+
+	var alerts query.AlertsResponse
+	if err := getJSON("http://"+httpAddr+"/alerts", &alerts); err != nil {
+		t.Fatalf("/alerts: %v", err)
+	}
+	kinds := map[string]int{}
+	for _, a := range alerts.Alerts {
+		kinds[a.Kind]++
+	}
+	if kinds["heavychange"] == 0 {
+		t.Errorf("no heavy-change alert; got %+v", alerts.Alerts)
+	}
+	if kinds["superspreader"] == 0 {
+		t.Errorf("no superspreader alert; got %+v", alerts.Alerts)
+	}
+	var changes query.ChangesResponse
+	if err := getJSON("http://"+httpAddr+"/changes", &changes); err != nil {
+		t.Fatalf("/changes: %v", err)
+	}
+	found := false
+	for _, ep := range changes.Epochs {
+		for _, c := range ep.Changes {
+			if c.Delta == 5000 {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Errorf("/changes missing the +5000 delta: %+v", changes.Epochs)
+	}
+
+	wg.Wait()
+	if serveErr != nil {
+		t.Fatalf("serve: %v", serveErr)
+	}
+	if !strings.Contains(serveOut.String(), "heavychange") {
+		t.Errorf("-alerts printed nothing: %q", serveOut.String())
+	}
+	hookMu.Lock()
+	body := string(hookBody)
+	hookMu.Unlock()
+	if !strings.Contains(body, "superspreader") {
+		t.Errorf("webhook missed the alerts: %q", body)
 	}
 }

@@ -13,9 +13,15 @@
 //	GET /epochs                   epoch listing of the primary store
 //	GET /flows?filter=dport=443   filtered records, ?epoch= or ?from=/?to=
 //	GET /netwide/topk?k=10        top-k over all stores + the live feed
+//	GET /alerts?kind=anomaly      detection alerts (with -netflow -detect)
+//	GET /changes?k=10             per-epoch heavy-change top-k lists
 //
 // The primary store (first -store) is re-mapped per request, so a file a
-// collector is still appending to is always served current.
+// collector is still appending to is always served current. With
+// -detect, every live-ingested epoch also runs through the detection
+// subsystem (heavy changers, superspreaders, anomaly scoring) on the
+// collector's epoch goroutine — queries and detection both stay off the
+// datagram path.
 package main
 
 import (
@@ -27,9 +33,11 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"sync/atomic"
 	"time"
 
 	"repro/collector"
+	"repro/detect"
 	"repro/flow"
 	"repro/query"
 	"repro/recordstore"
@@ -60,12 +68,18 @@ func run(args []string, w io.Writer) error {
 	nf := fs.String("netflow", "", "also ingest NetFlow v5 on this UDP address into the live tracker")
 	gap := fs.Duration("gap", time.Second, "quiet gap closing a NetFlow epoch")
 	topkCap := fs.Int("topk", 4096, "live tracker capacity in flows")
+	det := fs.Bool("detect", false, "run detection on each live-ingested epoch (with -netflow)")
+	fanout := fs.Int("fanout", 128, "superspreader distinct-destination threshold (with -detect)")
+	minDelta := fs.Uint64("changedelta", 1024, "heavy-change per-flow delta threshold (with -detect)")
 	runFor := fs.Duration("for", 0, "serve for this long then exit (0 = forever)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if len(stores) == 0 && *nf == "" {
 		return errors.New("usage: flowqueryd [-listen addr] -store <file> [-store <file>...] [-netflow addr]")
+	}
+	if *det && *nf == "" {
+		return errors.New("-detect needs a live feed: pass -netflow too")
 	}
 
 	cfg := query.Config{}
@@ -92,16 +106,38 @@ func run(args []string, w io.Writer) error {
 		}
 	}
 
-	// Live side: an optional NetFlow listener feeding the online tracker.
-	var srv *collector.Server
+	// Live side: an optional NetFlow listener feeding the online tracker,
+	// and optionally the detection subsystem — both run on the collector's
+	// epoch goroutine, off the datagram path. The epoch counter versions
+	// the /netwide/topk cache: responses stay memoized until the next
+	// epoch lands.
+	var (
+		srv    *collector.Server
+		epochs atomic.Uint64
+	)
 	if *nf != "" {
 		tracker, err := topk.NewTracker(*topkCap)
 		if err != nil {
 			return err
 		}
+		var detector *detect.Detector
+		if *det {
+			detector, err = detect.NewDetector(detect.Config{
+				FanoutThreshold: *fanout,
+				ChangeMinDelta:  uint32(*minDelta),
+			})
+			if err != nil {
+				return err
+			}
+			cfg.Alerts = detector
+		}
 		srv, err = collector.Start(collector.Config{Listen: *nf, EpochGap: *gap},
 			func(ts time.Time, records []flow.Record) {
 				tracker.AddRecords(records)
+				if detector != nil {
+					detector.Observe(int(epochs.Load()), ts, records)
+				}
+				epochs.Add(1)
 			})
 		if err != nil {
 			return err
@@ -113,6 +149,7 @@ func run(args []string, w io.Writer) error {
 			return err
 		}
 	}
+	cfg.NetwideVersion = epochs.Load
 
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -69,6 +70,10 @@ func TestDaemonArgs(t *testing.T) {
 	}
 	if err := run([]string{"-store", "/does/not/exist.frec"}, &buf); err == nil {
 		t.Error("accepted missing store")
+	}
+	if err := run([]string{"-detect", "-store", "/does/not/exist.frec"}, &buf); err == nil ||
+		!strings.Contains(err.Error(), "netflow") {
+		t.Errorf("-detect without -netflow: %v", err)
 	}
 }
 

@@ -1,0 +1,89 @@
+// Robust per-metric baselines for the anomaly detector. Each epoch
+// aggregate (total packets, distinct flows, entropy) is scored against an
+// EWMA center with a MAD scale over a sliding window: the EWMA tracks
+// slow drift in the traffic level, the median absolute deviation gives a
+// spread estimate that one anomalous epoch cannot poison the way a
+// standard deviation would.
+package detect
+
+import (
+	"math"
+	"slices"
+)
+
+// madScale converts a median absolute deviation into a standard
+// deviation equivalent for normally distributed residuals.
+const madScale = 1.4826
+
+// baseline scores one epoch aggregate against its own history.
+type baseline struct {
+	alpha   float64   // EWMA smoothing factor
+	ewma    float64   // smoothed center
+	window  []float64 // ring of recent observations
+	n       int       // observations absorbed (caps at len(window))
+	next    int       // ring write position
+	scratch []float64 // sort scratch for the median passes
+}
+
+// newBaseline builds a baseline over a window of size w.
+func newBaseline(w int, alpha float64) *baseline {
+	return &baseline{
+		alpha:   alpha,
+		window:  make([]float64, w),
+		scratch: make([]float64, 0, w),
+	}
+}
+
+// observe scores x against the current baseline, then absorbs it. ok is
+// false until minObs prior epochs have been absorbed (the warmup), during
+// which score is 0. The score is a robust z-score: |x-EWMA| over the
+// MAD-derived spread of the window.
+func (b *baseline) observe(x float64, minObs int) (score, center float64, ok bool) {
+	if b.n >= minObs {
+		center = b.ewma
+		spread := madScale * b.mad(center)
+		// A perfectly flat history has zero MAD; floor the spread at a
+		// fraction of the center so constant traffic still needs a real
+		// shift (not float noise) to alert.
+		floor := 0.01 * math.Abs(center)
+		if floor < 1e-9 {
+			floor = 1e-9
+		}
+		if spread < floor {
+			spread = floor
+		}
+		score = math.Abs(x-center) / spread
+		ok = true
+	}
+	b.push(x)
+	return score, center, ok
+}
+
+// mad returns the median absolute deviation of the window around center.
+func (b *baseline) mad(center float64) float64 {
+	b.scratch = b.scratch[:0]
+	limit := b.n
+	if limit > len(b.window) {
+		limit = len(b.window)
+	}
+	for i := 0; i < limit; i++ {
+		b.scratch = append(b.scratch, math.Abs(b.window[i]-center))
+	}
+	if len(b.scratch) == 0 {
+		return 0
+	}
+	slices.Sort(b.scratch)
+	return b.scratch[len(b.scratch)/2]
+}
+
+// push absorbs x into the EWMA and the window ring.
+func (b *baseline) push(x float64) {
+	if b.n == 0 {
+		b.ewma = x
+	} else {
+		b.ewma += b.alpha * (x - b.ewma)
+	}
+	b.window[b.next] = x
+	b.next = (b.next + 1) % len(b.window)
+	b.n++
+}

@@ -1,0 +1,350 @@
+package detect
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"repro/flow"
+)
+
+func mustDetector(t testing.TB, cfg Config) *Detector {
+	t.Helper()
+	d, err := NewDetector(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func ts(e int) time.Time { return time.Unix(int64(1700000000+60*e), 0).UTC() }
+
+func key(i int) flow.Key {
+	return flow.Key{SrcIP: 0x0A000000 | uint32(i), DstIP: 0xC0A80001, DstPort: 443, Proto: 6}
+}
+
+func TestKindSeverityRoundTrip(t *testing.T) {
+	for _, k := range []Kind{KindHeavyChange, KindSuperspreader, KindAnomaly} {
+		got, err := ParseKind(k.String())
+		if err != nil || got != k {
+			t.Errorf("ParseKind(%q) = %v, %v", k.String(), got, err)
+		}
+	}
+	for _, s := range []Severity{SeverityInfo, SeverityWarning, SeverityCritical} {
+		got, err := ParseSeverity(s.String())
+		if err != nil || got != s {
+			t.Errorf("ParseSeverity(%q) = %v, %v", s.String(), got, err)
+		}
+	}
+	if _, err := ParseKind("nope"); err == nil {
+		t.Error("ParseKind accepted garbage")
+	}
+	if _, err := ParseSeverity("nope"); err == nil {
+		t.Error("ParseSeverity accepted garbage")
+	}
+	if SeverityCritical <= SeverityWarning || SeverityWarning <= SeverityInfo {
+		t.Error("severity ordering broken")
+	}
+}
+
+func TestNewDetectorValidation(t *testing.T) {
+	bad := []Config{
+		{ChangeTopK: -1},
+		{FanoutThreshold: -5},
+		{BaselineWindow: 1, BaselineWarmup: 1},
+		{EWMAAlpha: 2},
+	}
+	for i, cfg := range bad {
+		if _, err := NewDetector(cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+	d := mustDetector(t, Config{})
+	if d.Config().ChangeTopK != 16 || d.Config().FanoutThreshold != 128 {
+		t.Errorf("defaults not applied: %+v", d.Config())
+	}
+}
+
+// TestDistinctSketchAccuracy pins the linear-counting estimate within a
+// few percent across the fanout range the superspreader thresholds use.
+func TestDistinctSketchAccuracy(t *testing.T) {
+	for _, n := range []int{10, 64, 128, 512, 1000} {
+		var s DistinctSketch
+		for i := 0; i < n; i++ {
+			s.Add(uint32(0xE0000000 + i*2654435761))
+		}
+		est := s.Estimate()
+		if relErr := math.Abs(float64(est-n)) / float64(n); relErr > 0.1 {
+			t.Errorf("n=%d: estimate %d off by %.1f%%", n, est, 100*relErr)
+		}
+		// Duplicates must not move the estimate.
+		before := s.Estimate()
+		for i := 0; i < n; i++ {
+			s.Add(uint32(0xE0000000 + i*2654435761))
+		}
+		if s.Estimate() != before {
+			t.Errorf("n=%d: duplicates changed the estimate", n)
+		}
+		s.Reset()
+		if s.Estimate() != 0 || s.Set() != 0 {
+			t.Errorf("n=%d: Reset left residue", n)
+		}
+	}
+}
+
+// TestHeavyChangeOnsetAndRecovery: a spiked flow alerts with a positive
+// delta on onset and a negative delta when it falls back; the first
+// epoch never alerts (no comparison base).
+func TestHeavyChangeOnsetAndRecovery(t *testing.T) {
+	d := mustDetector(t, Config{ChangeMinDelta: 100})
+	base := []flow.Record{{Key: key(1), Count: 500}, {Key: key(2), Count: 300}}
+	if alerts := d.Observe(0, ts(0), base); len(alerts) != 0 {
+		t.Fatalf("first epoch raised %d alerts", len(alerts))
+	}
+
+	spiked := []flow.Record{{Key: key(1), Count: 500}, {Key: key(2), Count: 2300}}
+	alerts := d.Observe(1, ts(1), spiked)
+	if len(alerts) != 1 || alerts[0].Kind != KindHeavyChange {
+		t.Fatalf("onset: got %v", alerts)
+	}
+	a := alerts[0]
+	if a.Key != key(2) || a.Value != 2000 || a.Baseline != 300 || a.Epoch != 1 {
+		t.Errorf("onset alert wrong: %+v", a)
+	}
+	if a.Severity != SeverityCritical { // 2000/100 = 20x threshold
+		t.Errorf("onset severity = %v, want critical", a.Severity)
+	}
+
+	alerts = d.Observe(2, ts(2), base)
+	if len(alerts) != 1 || alerts[0].Value != -2000 {
+		t.Fatalf("recovery: got %v", alerts)
+	}
+
+	// The summaries ring holds both evaluated epochs' top-k with exact
+	// counts (epoch 0 has no comparison base, so no summary).
+	sums := d.AppendSummaries(nil)
+	if len(sums) != 2 {
+		t.Fatalf("got %d summaries, want 2", len(sums))
+	}
+	if len(sums[0].Changes) != 1 || sums[0].Changes[0] != (Change{Key: key(2), Prev: 300, Cur: 2300}) {
+		t.Errorf("epoch 1 summary wrong: %+v", sums[0].Changes)
+	}
+	if sums[1].Changes[0].Signed() != -2000 {
+		t.Errorf("epoch 2 delta = %d, want -2000", sums[1].Changes[0].Signed())
+	}
+}
+
+// TestHeavyChangeVanishedFlow: a flow disappearing entirely is a heavy
+// change against zero.
+func TestHeavyChangeVanishedFlow(t *testing.T) {
+	d := mustDetector(t, Config{ChangeMinDelta: 100})
+	d.Observe(0, ts(0), []flow.Record{{Key: key(1), Count: 5000}})
+	alerts := d.Observe(1, ts(1), nil)
+	if len(alerts) != 1 || alerts[0].Value != -5000 || alerts[0].Baseline != 5000 {
+		t.Fatalf("vanish: got %v", alerts)
+	}
+}
+
+// TestHeavyChangeTopKBound: with more qualifying changes than
+// ChangeTopK, only the k largest are reported, in |delta| order.
+func TestHeavyChangeTopKBound(t *testing.T) {
+	d := mustDetector(t, Config{ChangeMinDelta: 10, ChangeTopK: 4})
+	d.Observe(0, ts(0), nil)
+	var recs []flow.Record
+	for i := 0; i < 32; i++ {
+		recs = append(recs, flow.Record{Key: key(i), Count: uint32(100 + 10*i)})
+	}
+	alerts := d.Observe(1, ts(1), recs)
+	if len(alerts) != 4 {
+		t.Fatalf("got %d alerts, want 4", len(alerts))
+	}
+	for i, a := range alerts {
+		want := float64(100 + 10*(31-i))
+		if a.Value != want {
+			t.Errorf("rank %d: delta %v, want %v", i, a.Value, want)
+		}
+	}
+}
+
+// TestSuperspreader: a source fanning out to many distinct destinations
+// alerts; a source with as many flows to one destination (port diverse)
+// does not.
+func TestSuperspreader(t *testing.T) {
+	d := mustDetector(t, Config{FanoutThreshold: 64})
+	var recs []flow.Record
+	// Scanner: one source, 200 distinct destinations.
+	for i := 0; i < 200; i++ {
+		recs = append(recs, flow.Record{
+			Key:   flow.Key{SrcIP: 0x01010101, DstIP: 0xE0000000 | uint32(i), DstPort: 80, Proto: 6},
+			Count: 1,
+		})
+	}
+	// Busy client: one source, 200 flows to a single destination across
+	// ports — long run, no fanout.
+	for i := 0; i < 200; i++ {
+		recs = append(recs, flow.Record{
+			Key:   flow.Key{SrcIP: 0x02020202, DstIP: 0xC0C0C0C0, SrcPort: uint16(1024 + i), Proto: 6},
+			Count: 3,
+		})
+	}
+	alerts := d.Observe(0, ts(0), recs)
+	var spread []Alert
+	for _, a := range alerts {
+		if a.Kind == KindSuperspreader {
+			spread = append(spread, a)
+		}
+	}
+	if len(spread) != 1 {
+		t.Fatalf("superspreader alerts: %v", spread)
+	}
+	a := spread[0]
+	if a.Key.SrcIP != 0x01010101 {
+		t.Errorf("flagged wrong source %s", flow.IPString(a.Key.SrcIP))
+	}
+	if a.Value < 180 || a.Value > 220 {
+		t.Errorf("fanout estimate %v far from 200", a.Value)
+	}
+}
+
+// TestAnomalyBaseline: stable traffic never alerts; a collapsed epoch
+// after warmup alerts on the aggregates.
+func TestAnomalyBaseline(t *testing.T) {
+	d := mustDetector(t, Config{
+		// Park the per-key detectors so only anomalies fire.
+		ChangeMinDelta: 1 << 30, FanoutThreshold: 1 << 20,
+		BaselineWarmup: 4, BaselineWindow: 8, AnomalyScore: 6,
+	})
+	epoch := 0
+	stable := func() []flow.Record {
+		var recs []flow.Record
+		for i := 0; i < 100; i++ {
+			// Mild per-epoch variation so the MAD is non-zero.
+			recs = append(recs, flow.Record{Key: key(i), Count: uint32(100 + (epoch+i)%7)})
+		}
+		return recs
+	}
+	for ; epoch < 10; epoch++ {
+		if alerts := d.Observe(epoch, ts(epoch), stable()); len(alerts) != 0 {
+			t.Fatalf("stable epoch %d alerted: %v", epoch, alerts)
+		}
+	}
+	// Traffic collapses: packets and flows crash far below baseline.
+	alerts := d.Observe(epoch, ts(epoch), []flow.Record{{Key: key(0), Count: 3}})
+	metrics := map[string]bool{}
+	for _, a := range alerts {
+		if a.Kind != KindAnomaly {
+			t.Fatalf("unexpected kind: %+v", a)
+		}
+		metrics[a.Metric] = true
+	}
+	if !metrics["packets"] || !metrics["flows"] {
+		t.Errorf("collapse missed: alerted on %v", metrics)
+	}
+	f := d.LastFeatures()
+	if f.Packets != 3 || f.Flows != 1 || f.Entropy != 0 {
+		t.Errorf("features %+v", f)
+	}
+}
+
+// TestAlertRingEviction: the ring keeps only the newest AlertLog alerts.
+func TestAlertRingEviction(t *testing.T) {
+	d := mustDetector(t, Config{ChangeMinDelta: 10, ChangeTopK: 1, AlertLog: 3})
+	d.Observe(0, ts(0), nil)
+	for e := 1; e <= 5; e++ {
+		// Alternate one flow's count so every epoch has exactly one change.
+		c := uint32(1000 * (e % 2))
+		d.Observe(e, ts(e), []flow.Record{{Key: key(1), Count: c + 1}})
+	}
+	alerts := d.AppendAlerts(nil)
+	if len(alerts) != 3 {
+		t.Fatalf("ring holds %d, want 3", len(alerts))
+	}
+	for i, a := range alerts {
+		if a.Epoch != 3+i {
+			t.Errorf("slot %d epoch %d, want %d (oldest-first)", i, a.Epoch, 3+i)
+		}
+	}
+	if got := d.Epochs(); got != 6 {
+		t.Errorf("Epochs() = %d, want 6", got)
+	}
+}
+
+// TestObserveUnsortedDuplicates: arbitrary input order and duplicate
+// keys fold into the canonical view before detection.
+func TestObserveUnsortedDuplicates(t *testing.T) {
+	d := mustDetector(t, Config{ChangeMinDelta: 100})
+	d.Observe(0, ts(0), []flow.Record{{Key: key(3), Count: 50}})
+	alerts := d.Observe(1, ts(1), []flow.Record{
+		{Key: key(3), Count: 400},
+		{Key: key(1), Count: 7},
+		{Key: key(3), Count: 250}, // duplicate: folds to 650
+	})
+	if len(alerts) != 1 || alerts[0].Value != 600 {
+		t.Fatalf("got %v, want one +600 change", alerts)
+	}
+	if f := d.LastFeatures(); f.Flows != 2 || f.Packets != 657 {
+		t.Errorf("features %+v", f)
+	}
+}
+
+// TestSinkReceivesFreshAlerts: the sink fires once per alerting epoch
+// with that epoch's alerts.
+func TestSinkReceivesFreshAlerts(t *testing.T) {
+	d := mustDetector(t, Config{ChangeMinDelta: 100})
+	var got []string
+	d.SetSink(func(as []Alert) {
+		for _, a := range as {
+			got = append(got, fmt.Sprintf("e%d:%s", a.Epoch, a.Kind))
+		}
+	})
+	d.Observe(0, ts(0), []flow.Record{{Key: key(1), Count: 10}})
+	d.Observe(1, ts(1), []flow.Record{{Key: key(1), Count: 900}})
+	d.Observe(2, ts(2), []flow.Record{{Key: key(1), Count: 900}}) // no change
+	if len(got) != 1 || got[0] != "e1:heavychange" {
+		t.Errorf("sink saw %v", got)
+	}
+}
+
+// TestObserveSteadyStateAllocFree pins the drain-worker contract: once
+// the detector's buffers have grown, evaluating an epoch of stable shape
+// must not allocate — detection adds no GC pressure to the drain.
+func TestObserveSteadyStateAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are inflated by the race detector")
+	}
+	d := mustDetector(t, Config{ChangeMinDelta: 50})
+	recs := make([]flow.Record, 0, 4096)
+	epoch := 0
+	build := func() []flow.Record {
+		recs = recs[:0]
+		for i := 0; i < 4000; i++ {
+			// A rotating subset shifts by ±100 so the change path stays
+			// exercised; one source fans out past the threshold.
+			c := uint32(200)
+			if (i+epoch)%100 == 0 {
+				c += 100
+			}
+			recs = append(recs, flow.Record{Key: key(i), Count: c})
+		}
+		for i := 0; i < 200; i++ {
+			recs = append(recs, flow.Record{
+				Key:   flow.Key{SrcIP: 0x01010101, DstIP: 0xE0000000 | uint32(i), Proto: 6},
+				Count: 1,
+			})
+		}
+		return recs
+	}
+	// Warm until the rings have wrapped (ChangeLog summaries recycle
+	// their slices only once the ring is full).
+	for ; epoch < d.Config().ChangeLog+2; epoch++ {
+		d.Observe(epoch, ts(epoch), build())
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		d.Observe(epoch, ts(epoch), build())
+		epoch++
+	})
+	if allocs != 0 {
+		t.Errorf("Observe allocates %.1f times per epoch at steady state, want 0", allocs)
+	}
+}

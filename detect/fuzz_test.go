@@ -1,0 +1,74 @@
+package detect
+
+import (
+	"testing"
+	"time"
+
+	"repro/flow"
+)
+
+// FuzzObserve hammers the detector with arbitrary record streams split
+// across two epochs: whatever the bytes decode to, evaluation must not
+// panic, every raised alert must be well formed, and the query-side
+// snapshots must stay consistent with the evaluation count. This is the
+// drain-worker robustness contract — a hostile or corrupt epoch buffer
+// may produce nonsense alerts, but never a dead rotation.
+func FuzzObserve(f *testing.F) {
+	f.Add([]byte{}, uint16(0), uint16(0))
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17}, uint16(300), uint16(2))
+	f.Add(make([]byte, 17*40), uint16(1), uint16(1))
+	f.Fuzz(func(t *testing.T, data []byte, minDelta uint16, fanout uint16) {
+		d, err := NewDetector(Config{
+			ChangeMinDelta:  uint32(minDelta),
+			FanoutThreshold: int(fanout%512) + 1,
+			AlertLog:        64,
+			ChangeLog:       4,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Decode records: 17 bytes each (13 key + 4 count), the tail
+		// ignored. Duplicate keys and arbitrary counts are expected.
+		var recs []flow.Record
+		for len(data) >= 17 {
+			key, err := flow.KeyFromBytes(data[:13])
+			if err != nil {
+				t.Fatal(err)
+			}
+			count := uint32(data[13])<<24 | uint32(data[14])<<16 | uint32(data[15])<<8 | uint32(data[16])
+			recs = append(recs, flow.Record{Key: key, Count: count})
+			data = data[17:]
+		}
+		half := len(recs) / 2
+		ts := time.Unix(1700000000, 0)
+		for e, ep := range [][]flow.Record{recs[:half], recs[half:], nil} {
+			for _, a := range d.Observe(e, ts, ep) {
+				if a.Epoch != e {
+					t.Fatalf("alert epoch %d from epoch %d", a.Epoch, e)
+				}
+				if _, err := ParseKind(a.Kind.String()); err != nil {
+					t.Fatalf("alert kind invalid: %+v", a)
+				}
+				if _, err := ParseSeverity(a.Severity.String()); err != nil {
+					t.Fatalf("alert severity invalid: %+v", a)
+				}
+				if a.Kind == KindAnomaly && a.Metric == "" {
+					t.Fatalf("anomaly without metric: %+v", a)
+				}
+			}
+		}
+		if got := d.Epochs(); got != 3 {
+			t.Fatalf("Epochs() = %d after 3 evaluations", got)
+		}
+		if alerts := d.AppendAlerts(nil); len(alerts) > 64 {
+			t.Fatalf("ring exceeded its capacity: %d", len(alerts))
+		}
+		for _, s := range d.AppendSummaries(nil) {
+			for _, c := range s.Changes {
+				if c.Abs() < uint32(minDelta) {
+					t.Fatalf("summary change below threshold: %+v", c)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package detect
+
+// raceEnabled gates allocation-count assertions: the race detector's
+// instrumentation allocates, making AllocsPerRun counts meaningless.
+const raceEnabled = true

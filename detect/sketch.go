@@ -1,0 +1,66 @@
+// DistinctSketch: the small cardinality summary the superspreader
+// detector uses to count distinct destinations per source. A source that
+// touches many distinct hosts (a scanner, a DDoS reflector fan-out) and a
+// source with many flows to one host (a busy client hitting many ports)
+// both produce long runs of records; only the former should alert. The
+// sketch separates the two in constant memory per evaluation.
+package detect
+
+import (
+	"math"
+
+	"repro/internal/hashing"
+)
+
+// sketchBits is the bitmap size. Linear counting with m bits estimates
+// cardinalities up to ~m with low error as long as the map is not
+// saturated; 2048 bits (256 B) keeps per-source fanout estimates within
+// a few percent across any realistic superspreader threshold.
+const sketchBits = 2048
+
+// sketchSeed salts the destination hash independently of every other
+// hash family in the pipeline.
+const sketchSeed = 0xd15c
+
+// DistinctSketch is a fixed-size bitmap cardinality estimator (linear
+// counting): each added value sets one hashed bit, and the estimate is
+// recovered from the fraction of bits still zero. The zero value is
+// ready to use; Reset recycles it between evaluations.
+type DistinctSketch struct {
+	bits [sketchBits / 64]uint64
+	set  int
+}
+
+// Add observes one 32-bit value (a destination address).
+func (s *DistinctSketch) Add(v uint32) {
+	h := hashing.KeyHash(sketchSeed, uint64(v), 0) % sketchBits
+	w, b := h>>6, uint64(1)<<(h&63)
+	if s.bits[w]&b == 0 {
+		s.bits[w] |= b
+		s.set++
+	}
+}
+
+// Estimate returns the linear-counting cardinality estimate
+// m·ln(m/zeros). A saturated bitmap (no zero bits) returns m·ln(m), the
+// estimator's ceiling — any fanout that large is far past every
+// threshold anyway.
+func (s *DistinctSketch) Estimate() int {
+	z := sketchBits - s.set
+	if z == 0 {
+		z = 1
+	}
+	return int(sketchBits*math.Log(float64(sketchBits)/float64(z)) + 0.5)
+}
+
+// Set returns the number of set bits (the raw occupancy).
+func (s *DistinctSketch) Set() int { return s.set }
+
+// Reset clears the sketch for the next evaluation.
+func (s *DistinctSketch) Reset() {
+	if s.set == 0 {
+		return
+	}
+	s.bits = [sketchBits / 64]uint64{}
+	s.set = 0
+}

@@ -1,0 +1,287 @@
+// Synthetic injection workload for the detection subsystem: epochs of
+// stable background traffic with known heavy changes and superspreaders
+// injected at a fixed cadence, plus the evaluator that scores a detector
+// against the injected ground truth. Both the acceptance test and the
+// flowbench detect experiment run on this, so the precision/recall
+// numbers in BENCH_detect.json are reproducible from the same machinery
+// the tests gate on.
+package experiments
+
+import (
+	"time"
+
+	"repro/detect"
+	"repro/flow"
+	"repro/internal/hashing"
+)
+
+// DetectTraceConfig parameterizes the synthetic injection workload. The
+// zero value takes every default.
+type DetectTraceConfig struct {
+	// Epochs is the total epoch count. Default 30.
+	Epochs int
+	// BackgroundFlows is the persistent background population; each flow
+	// keeps a stable per-epoch count with small jitter. Default 2000.
+	BackgroundFlows int
+	// Warmup is how many epochs run clean before the first injection,
+	// letting the detector's baselines fill. Default 10.
+	Warmup int
+	// InjectEvery is the injection cadence after warmup. Default 3.
+	InjectEvery int
+	// ChangeKeys is how many background flows spike per injection.
+	// Default 3.
+	ChangeKeys int
+	// ChangeDelta is the spike magnitude in packets — both the onset and
+	// the next epoch's recovery are heavy changes of this size.
+	// Default 16384.
+	ChangeDelta uint32
+	// SpreaderFanout is the distinct-destination count of each injected
+	// superspreader source. Default 512.
+	SpreaderFanout int
+	// Seed drives the deterministic generator.
+	Seed uint64
+}
+
+func (c DetectTraceConfig) withDefaults() DetectTraceConfig {
+	if c.Epochs == 0 {
+		c.Epochs = 30
+	}
+	if c.BackgroundFlows == 0 {
+		c.BackgroundFlows = 2000
+	}
+	if c.Warmup == 0 {
+		c.Warmup = 10
+	}
+	if c.InjectEvery == 0 {
+		c.InjectEvery = 3
+	}
+	if c.ChangeKeys == 0 {
+		c.ChangeKeys = 3
+	}
+	if c.ChangeDelta == 0 {
+		c.ChangeDelta = 16384
+	}
+	if c.SpreaderFanout == 0 {
+		c.SpreaderFanout = 512
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// InjectedEpoch is one generated epoch with its ground truth.
+type InjectedEpoch struct {
+	// Time is the epoch's synthetic timestamp (one minute apart).
+	Time time.Time
+	// Records is the epoch's flow record set.
+	Records []flow.Record
+	// ChangedKeys are the flows whose count moved by >= ChangeDelta
+	// against the previous epoch — injection onsets and the recoveries
+	// one epoch later.
+	ChangedKeys []flow.Key
+	// Spreaders are the source addresses injected as superspreaders in
+	// this epoch.
+	Spreaders []uint32
+}
+
+// backgroundKey derives the i-th background flow's key: every flow has
+// its own source address, so the background contributes no fanout.
+func backgroundKey(i int) flow.Key {
+	return flow.Key{
+		SrcIP:   0x0A000000 | uint32(i),
+		DstIP:   0xC0A80000 | uint32(i%251),
+		SrcPort: uint16(1024 + i%40000),
+		DstPort: uint16([...]uint16{80, 443, 53, 8080}[i%4]),
+		Proto:   uint8([...]uint8{6, 6, 17, 6}[i%4]),
+	}
+}
+
+// GenDetectTrace builds the synthetic epoch sequence. Background counts
+// are heavy-tailed (up to ~2000 packets) with per-epoch jitter bounded
+// well below any sane change threshold, so injected deltas are the only
+// heavy changes in the stream and the derived truth is exact.
+func GenDetectTrace(cfg DetectTraceConfig) []InjectedEpoch {
+	cfg = cfg.withDefaults()
+	state := cfg.Seed
+
+	// Stable per-flow base counts: a crude zipf-ish tail capped so the
+	// jitter band (±base/8 around base) can never cross ChangeDelta
+	// between two epochs.
+	base := make([]uint32, cfg.BackgroundFlows)
+	for i := range base {
+		var r uint64
+		state, r = hashing.SplitMix64(state)
+		b := 16 + uint32(r%64)
+		if r%97 == 0 {
+			b += uint32(r>>32) % 1900
+		}
+		base[i] = b
+	}
+
+	counts := func(epoch int) []uint32 {
+		out := make([]uint32, cfg.BackgroundFlows)
+		s := cfg.Seed ^ (0x9E3779B97F4A7C15 * uint64(epoch+1))
+		for i, b := range base {
+			var r uint64
+			s, r = hashing.SplitMix64(s)
+			jitter := uint32(r) % (b/4 + 1) // in [0, b/4]
+			out[i] = b - b/8 + jitter       // base ± base/8
+		}
+		return out
+	}
+
+	injectionAt := func(epoch int) (int, bool) {
+		if epoch < cfg.Warmup || (epoch-cfg.Warmup)%cfg.InjectEvery != 0 {
+			return 0, false
+		}
+		return (epoch - cfg.Warmup) / cfg.InjectEvery, true
+	}
+	changeTargets := func(n int) []int {
+		out := make([]int, cfg.ChangeKeys)
+		for j := range out {
+			out[j] = (n*cfg.ChangeKeys + j) % cfg.BackgroundFlows
+		}
+		return out
+	}
+
+	epochs := make([]InjectedEpoch, cfg.Epochs)
+	for e := range epochs {
+		ep := &epochs[e]
+		ep.Time = time.Unix(1_700_000_000+int64(e)*60, 0).UTC()
+		cs := counts(e)
+		if n, ok := injectionAt(e); ok {
+			// Heavy-change injection: spike a rotating set of background
+			// flows this epoch; they fall back next epoch (the recovery).
+			for _, i := range changeTargets(n) {
+				cs[i] += cfg.ChangeDelta
+				ep.ChangedKeys = append(ep.ChangedKeys, backgroundKey(i))
+			}
+			// Superspreader injection: a fresh source fanning out to
+			// SpreaderFanout distinct destinations with mouse flows.
+			src := 0xDEAD0000 | uint32(n)
+			ep.Spreaders = append(ep.Spreaders, src)
+			for d := 0; d < cfg.SpreaderFanout; d++ {
+				ep.Records = append(ep.Records, flow.Record{
+					Key: flow.Key{
+						SrcIP: src, DstIP: 0xE0000000 | uint32(d),
+						SrcPort: 40000, DstPort: 80, Proto: 6,
+					},
+					Count: 1 + uint32(d%3),
+				})
+			}
+		}
+		if _, wasInjection := injectionAt(e - 1); wasInjection && e >= 1 {
+			// The spiked flows recover this epoch: another heavy change.
+			n, _ := injectionAt(e - 1)
+			for _, i := range changeTargets(n) {
+				ep.ChangedKeys = append(ep.ChangedKeys, backgroundKey(i))
+			}
+		}
+		for i, c := range cs {
+			ep.Records = append(ep.Records, flow.Record{Key: backgroundKey(i), Count: c})
+		}
+	}
+	return epochs
+}
+
+// DetectEval aggregates a detector's scoring against the injected truth.
+type DetectEval struct {
+	Epochs   int
+	Alerts   int
+	ChangeTP int
+	ChangeFP int
+	ChangeFN int
+	SpreadTP int
+	SpreadFP int
+	SpreadFN int
+	// AnomalyEpochs counts epochs that raised at least one anomaly alert
+	// (informational; anomalies have no per-key truth here).
+	AnomalyEpochs int
+	// NsPerEpoch is the mean evaluation cost per epoch.
+	NsPerEpoch float64
+}
+
+func ratio(tp, other int) float64 {
+	if tp+other == 0 {
+		return 1
+	}
+	return float64(tp) / float64(tp+other)
+}
+
+// ChangePrecision is TP/(TP+FP) over heavy-change alerts; 1 when none
+// fired.
+func (e DetectEval) ChangePrecision() float64 { return ratio(e.ChangeTP, e.ChangeFP) }
+
+// ChangeRecall is TP/(TP+FN) over injected heavy changes; 1 when none
+// were injected.
+func (e DetectEval) ChangeRecall() float64 { return ratio(e.ChangeTP, e.ChangeFN) }
+
+// SpreadPrecision is TP/(TP+FP) over superspreader alerts.
+func (e DetectEval) SpreadPrecision() float64 { return ratio(e.SpreadTP, e.SpreadFP) }
+
+// SpreadRecall is TP/(TP+FN) over injected superspreaders.
+func (e DetectEval) SpreadRecall() float64 { return ratio(e.SpreadTP, e.SpreadFN) }
+
+// EvalDetect runs every epoch through the detector and scores the raised
+// alerts against the ground truth, epoch by epoch.
+func EvalDetect(d *detect.Detector, epochs []InjectedEpoch) DetectEval {
+	eval := DetectEval{Epochs: len(epochs)}
+	var totalNs int64
+	for e, ep := range epochs {
+		start := time.Now()
+		alerts := d.Observe(e, ep.Time, ep.Records)
+		totalNs += time.Since(start).Nanoseconds()
+		eval.Alerts += len(alerts)
+
+		flaggedChange := map[flow.Key]bool{}
+		flaggedSpread := map[uint32]bool{}
+		anomaly := false
+		for _, a := range alerts {
+			switch a.Kind {
+			case detect.KindHeavyChange:
+				flaggedChange[a.Key] = true
+			case detect.KindSuperspreader:
+				flaggedSpread[a.Key.SrcIP] = true
+			case detect.KindAnomaly:
+				anomaly = true
+			}
+		}
+		if anomaly {
+			eval.AnomalyEpochs++
+		}
+
+		truthChange := map[flow.Key]bool{}
+		for _, k := range ep.ChangedKeys {
+			truthChange[k] = true
+			if flaggedChange[k] {
+				eval.ChangeTP++
+			} else {
+				eval.ChangeFN++
+			}
+		}
+		for k := range flaggedChange {
+			if !truthChange[k] {
+				eval.ChangeFP++
+			}
+		}
+		truthSpread := map[uint32]bool{}
+		for _, s := range ep.Spreaders {
+			truthSpread[s] = true
+			if flaggedSpread[s] {
+				eval.SpreadTP++
+			} else {
+				eval.SpreadFN++
+			}
+		}
+		for s := range flaggedSpread {
+			if !truthSpread[s] {
+				eval.SpreadFP++
+			}
+		}
+	}
+	if len(epochs) > 0 {
+		eval.NsPerEpoch = float64(totalNs) / float64(len(epochs))
+	}
+	return eval
+}

@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/detect"
+	"repro/flow"
+)
+
+// TestDetectInjectionAccuracy is the detection subsystem's acceptance
+// gate: over a synthetic workload of 30+ epochs with heavy changes and
+// superspreaders injected into realistic background traffic, the
+// detector must reach at least 0.9 precision AND recall on both kinds.
+// The workload and evaluator are the exact machinery flowbench's detect
+// experiment reports in BENCH_detect.json.
+func TestDetectInjectionAccuracy(t *testing.T) {
+	cfg := DetectTraceConfig{Epochs: 30}
+	epochs := GenDetectTrace(cfg)
+	if len(epochs) < 20 {
+		t.Fatalf("only %d epochs generated, need >= 20", len(epochs))
+	}
+	injections := 0
+	for _, ep := range epochs {
+		injections += len(ep.Spreaders)
+	}
+	if injections < 5 {
+		t.Fatalf("only %d injections over %d epochs, workload too thin", injections, len(epochs))
+	}
+
+	d, err := detect.NewDetector(detect.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eval := EvalDetect(d, epochs)
+
+	if eval.ChangeTP == 0 {
+		t.Fatal("no injected heavy change was ever flagged")
+	}
+	if eval.SpreadTP == 0 {
+		t.Fatal("no injected superspreader was ever flagged")
+	}
+	check := func(name string, got float64) {
+		if got < 0.9 {
+			t.Errorf("%s = %.3f, want >= 0.9 (eval: %+v)", name, got, eval)
+		}
+	}
+	check("change precision", eval.ChangePrecision())
+	check("change recall", eval.ChangeRecall())
+	check("spreader precision", eval.SpreadPrecision())
+	check("spreader recall", eval.SpreadRecall())
+}
+
+// TestGenDetectTraceTruth pins the generator's invariants: deterministic
+// output, truth only on and right after injection epochs, background
+// deltas bounded far below the change threshold.
+func TestGenDetectTraceTruth(t *testing.T) {
+	cfg := DetectTraceConfig{Epochs: 24, Seed: 7}
+	a, b := GenDetectTrace(cfg), GenDetectTrace(cfg)
+	for e := range a {
+		if len(a[e].Records) != len(b[e].Records) {
+			t.Fatalf("epoch %d: non-deterministic generation", e)
+		}
+	}
+
+	cfgD := cfg.withDefaults()
+	prev := map[flow.Key]uint32{}
+	for e, ep := range a {
+		truth := map[flow.Key]bool{}
+		for _, k := range ep.ChangedKeys {
+			truth[k] = true
+		}
+		// Every record's actual delta against the previous epoch must
+		// agree with the declared truth: truth keys move by nearly
+		// ChangeDelta (the spike, modulated by jitter), every other key
+		// stays under the detector's default 1024 threshold.
+		seen := map[flow.Key]uint32{}
+		for _, r := range ep.Records {
+			seen[r.Key] = r.Count
+		}
+		for k, c := range seen {
+			delta := int64(c) - int64(prev[k])
+			if delta < 0 {
+				delta = -delta
+			}
+			if truth[k] && delta < int64(cfgD.ChangeDelta)/2 {
+				t.Fatalf("epoch %d: truth key %v moved only %d, want ~%d", e, k, delta, cfgD.ChangeDelta)
+			}
+			if !truth[k] && delta >= 1024 && prev[k] != 0 {
+				t.Fatalf("epoch %d: background key %v moved %d, crossing the detector threshold", e, k, delta)
+			}
+			delete(truth, k)
+		}
+		// Truth keys absent from this epoch must have vanished with a
+		// previous count past the threshold (spiked flows never vanish,
+		// so this should be empty).
+		for k := range truth {
+			if int64(prev[k]) < int64(cfgD.ChangeDelta) {
+				t.Fatalf("epoch %d: truth key %v neither present nor a heavy vanish", e, k)
+			}
+		}
+		prev = seen
+	}
+}

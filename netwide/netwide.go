@@ -158,6 +158,66 @@ func mergeInto(dst []flow.Record, views []View, combine func(old, add uint32) ui
 	}
 }
 
+// Delta is one per-key count change between two epochs' record sets:
+// Prev is the key's count in the earlier epoch (0 if absent), Cur its
+// count in the later one (0 if vanished).
+type Delta struct {
+	Key  flow.Key
+	Prev uint32
+	Cur  uint32
+}
+
+// Signed returns the change Cur-Prev as a signed value.
+func (d Delta) Signed() int64 { return int64(d.Cur) - int64(d.Prev) }
+
+// Abs returns the magnitude of the change.
+func (d Delta) Abs() uint32 {
+	if d.Cur >= d.Prev {
+		return d.Cur - d.Prev
+	}
+	return d.Prev - d.Cur
+}
+
+// DiffInto appends to dst one Delta per key whose count differs by at
+// least minAbs between prev and cur, and returns the extended slice.
+// Both inputs must be key-sorted (SortByKey order) with each key
+// appearing at most once — the order epochs drain and persist in — so
+// the diff is a single two-cursor walk: epoch-over-epoch change
+// extraction with zero steady-state allocations when dst is reused.
+// Keys absent from one side diff against zero; unchanged keys are never
+// emitted (so minAbs 0 means "every changed key"). Deltas come out in
+// key order.
+func DiffInto(dst []Delta, prev, cur []flow.Record, minAbs uint32) []Delta {
+	emit := func(d Delta) []Delta {
+		if d.Cur != d.Prev && d.Abs() >= minAbs {
+			dst = append(dst, d)
+		}
+		return dst
+	}
+	i, j := 0, 0
+	for i < len(prev) && j < len(cur) {
+		switch flow.CompareKeys(prev[i].Key, cur[j].Key) {
+		case 0:
+			dst = emit(Delta{Key: prev[i].Key, Prev: prev[i].Count, Cur: cur[j].Count})
+			i++
+			j++
+		case -1:
+			dst = emit(Delta{Key: prev[i].Key, Prev: prev[i].Count})
+			i++
+		default:
+			dst = emit(Delta{Key: cur[j].Key, Cur: cur[j].Count})
+			j++
+		}
+	}
+	for ; i < len(prev); i++ {
+		dst = emit(Delta{Key: prev[i].Key, Prev: prev[i].Count})
+	}
+	for ; j < len(cur); j++ {
+		dst = emit(Delta{Key: cur[j].Key, Cur: cur[j].Count})
+	}
+	return dst
+}
+
 // SortByKey orders records by their packed two-word key encoding
 // (flow.CompareKeys), the precondition of the Into merges and the order
 // recordstore persists.

@@ -1,0 +1,235 @@
+package query
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/detect"
+	"repro/flow"
+)
+
+// testDetector builds a detector holding a known alert history: a heavy
+// change and a superspreader at epoch 1, a recovery change at epoch 2.
+func testDetector(t *testing.T) *detect.Detector {
+	t.Helper()
+	d, err := detect.NewDetector(detect.Config{ChangeMinDelta: 100, FanoutThreshold: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot := flow.Key{SrcIP: 0x0A000001, DstIP: 0x0A000063, DstPort: 443, Proto: 6}
+	base := []flow.Record{{Key: hot, Count: 100}}
+	spike := []flow.Record{{Key: hot, Count: 9100}}
+	for i := 0; i < 100; i++ {
+		spike = append(spike, flow.Record{
+			Key:   flow.Key{SrcIP: 0x01010101, DstIP: 0xE0000000 | uint32(i), DstPort: 80, Proto: 6},
+			Count: 1,
+		})
+	}
+	at := time.Unix(1700000000, 0)
+	d.Observe(0, at, base)
+	d.Observe(1, at.Add(time.Minute), spike)
+	d.Observe(2, at.Add(2*time.Minute), base)
+	return d
+}
+
+func TestAlertsEndpoint(t *testing.T) {
+	srv := httptest.NewServer(NewHandler(Config{Alerts: testDetector(t)}))
+	defer srv.Close()
+
+	var resp AlertsResponse
+	if code := get(t, srv, "/alerts", &resp); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	// Epoch 1: heavy change + superspreader; epoch 2: recovery change.
+	if resp.Matched != 3 || len(resp.Alerts) != 3 {
+		t.Fatalf("matched %d alerts: %+v", resp.Matched, resp.Alerts)
+	}
+	// Newest first: the recovery leads.
+	if resp.Alerts[0].Epoch != 2 || resp.Alerts[0].Kind != "heavychange" {
+		t.Errorf("newest alert = %+v", resp.Alerts[0])
+	}
+	if resp.Alerts[0].Flow == nil || resp.Alerts[0].Flow.Src != "10.0.0.1" {
+		t.Errorf("change alert missing flow: %+v", resp.Alerts[0])
+	}
+
+	t.Run("kind filter", func(t *testing.T) {
+		var r AlertsResponse
+		get(t, srv, "/alerts?kind=superspreader", &r)
+		if r.Matched != 1 || r.Alerts[0].Src != "1.1.1.1" {
+			t.Errorf("superspreader filter: %+v", r)
+		}
+	})
+	t.Run("severity filter", func(t *testing.T) {
+		var r AlertsResponse
+		get(t, srv, "/alerts?severity=critical", &r)
+		// The 9000-packet delta is 90x the 100 threshold: critical. The
+		// recovery too. The 100-fanout spreader is under 4x: warning.
+		if r.Matched != 2 {
+			t.Errorf("critical filter matched %d: %+v", r.Matched, r.Alerts)
+		}
+	})
+	t.Run("epoch filter", func(t *testing.T) {
+		var r AlertsResponse
+		get(t, srv, "/alerts?epoch=1", &r)
+		if r.Matched != 2 {
+			t.Errorf("epoch filter matched %d", r.Matched)
+		}
+	})
+	t.Run("flow filter", func(t *testing.T) {
+		var r AlertsResponse
+		get(t, srv, "/alerts?filter=src%3D10.0.0.1", &r)
+		if r.Matched != 2 {
+			t.Errorf("flow filter matched %d: %+v", r.Matched, r.Alerts)
+		}
+	})
+	t.Run("limit keeps newest", func(t *testing.T) {
+		var r AlertsResponse
+		get(t, srv, "/alerts?limit=1", &r)
+		if r.Matched != 3 || !r.Limited || len(r.Alerts) != 1 || r.Alerts[0].Epoch != 2 {
+			t.Errorf("limited listing: %+v", r)
+		}
+	})
+	t.Run("bad params", func(t *testing.T) {
+		if code := get(t, srv, "/alerts?kind=bogus", nil); code != http.StatusBadRequest {
+			t.Errorf("bogus kind -> %d", code)
+		}
+		if code := get(t, srv, "/alerts?since=1", nil); code != http.StatusBadRequest {
+			t.Errorf("unknown param -> %d", code)
+		}
+	})
+}
+
+func TestChangesEndpoint(t *testing.T) {
+	srv := httptest.NewServer(NewHandler(Config{Alerts: testDetector(t)}))
+	defer srv.Close()
+
+	var resp ChangesResponse
+	if code := get(t, srv, "/changes", &resp); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if len(resp.Epochs) != 2 {
+		t.Fatalf("epochs listed: %+v", resp.Epochs)
+	}
+	// Newest first.
+	if resp.Epochs[0].Epoch != 2 || resp.Epochs[1].Epoch != 1 {
+		t.Errorf("order: %d, %d", resp.Epochs[0].Epoch, resp.Epochs[1].Epoch)
+	}
+	c := resp.Epochs[1].Changes
+	if len(c) != 1 || c[0].Delta != 9000 || c[0].Prev != 100 || c[0].Cur != 9100 {
+		t.Errorf("epoch 1 changes: %+v", c)
+	}
+	if resp.Epochs[0].Changes[0].Delta != -9000 {
+		t.Errorf("recovery delta: %+v", resp.Epochs[0].Changes)
+	}
+
+	t.Run("epoch param", func(t *testing.T) {
+		var r ChangesResponse
+		get(t, srv, "/changes?epoch=1", &r)
+		if len(r.Epochs) != 1 || r.Epochs[0].Epoch != 1 {
+			t.Errorf("epoch=1: %+v", r.Epochs)
+		}
+	})
+	t.Run("filter", func(t *testing.T) {
+		var r ChangesResponse
+		get(t, srv, "/changes?filter=dport%3D22", &r)
+		for _, ep := range r.Epochs {
+			if len(ep.Changes) != 0 {
+				t.Errorf("dport=22 matched: %+v", ep.Changes)
+			}
+		}
+	})
+}
+
+func TestAlertsUnconfigured(t *testing.T) {
+	srv := httptest.NewServer(NewHandler(Config{}))
+	defer srv.Close()
+	if code := get(t, srv, "/alerts", nil); code != http.StatusNotFound {
+		t.Errorf("/alerts without source -> %d", code)
+	}
+	if code := get(t, srv, "/changes", nil); code != http.StatusNotFound {
+		t.Errorf("/changes without source -> %d", code)
+	}
+}
+
+func TestParseAlertParamsDefaults(t *testing.T) {
+	p, err := ParseAlertParams(url.Values{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Kind != 0 || p.MinSeverity != detect.SeverityInfo || p.Epoch != -1 || p.Limit != DefaultLimit {
+		t.Errorf("defaults: %+v", p)
+	}
+	if _, err := ParseAlertParams(url.Values{"limit": {"0"}}); err == nil {
+		t.Error("limit=0 accepted")
+	}
+	if _, err := ParseAlertParams(url.Values{"kind": {"anomaly", "anomaly"}}); err == nil {
+		t.Error("repeated key accepted")
+	}
+}
+
+// countingSource wraps a SortedSource, counting snapshot calls — the
+// probe for the /netwide/topk cache.
+type countingSource struct {
+	recs  []flow.Record
+	calls atomic.Int64
+}
+
+func (c *countingSource) AppendSorted(dst []flow.Record) []flow.Record {
+	c.calls.Add(1)
+	return append(dst, c.recs...)
+}
+
+func TestNetwideTopKCache(t *testing.T) {
+	src := &countingSource{recs: []flow.Record{
+		{Key: flow.Key{SrcIP: 1, Proto: 6}, Count: 10},
+		{Key: flow.Key{SrcIP: 2, Proto: 17}, Count: 5},
+	}}
+	var version atomic.Uint64
+	srv := httptest.NewServer(NewHandler(Config{
+		Netwide:        []NamedSource{{Name: "sw1", Source: src}},
+		NetwideVersion: version.Load,
+	}))
+	defer srv.Close()
+
+	var r1, r2, r3, r4 TopKResponse
+	get(t, srv, "/netwide/topk?k=5", &r1)
+	if r1.Cached || src.calls.Load() != 1 {
+		t.Fatalf("first request: cached=%v calls=%d", r1.Cached, src.calls.Load())
+	}
+	get(t, srv, "/netwide/topk?k=5", &r2)
+	if !r2.Cached || src.calls.Load() != 1 {
+		t.Fatalf("repeat request not served from cache: cached=%v calls=%d", r2.Cached, src.calls.Load())
+	}
+	if len(r2.Flows) != len(r1.Flows) || r2.Flows[0] != r1.Flows[0] {
+		t.Errorf("cached payload diverges: %+v vs %+v", r2.Flows, r1.Flows)
+	}
+	// A different shape misses.
+	get(t, srv, "/netwide/topk?k=1", &r3)
+	if r3.Cached || src.calls.Load() != 2 {
+		t.Fatalf("different k served from cache: calls=%d", src.calls.Load())
+	}
+	// Rotation invalidates.
+	version.Add(1)
+	get(t, srv, "/netwide/topk?k=5", &r4)
+	if r4.Cached || src.calls.Load() != 3 {
+		t.Fatalf("stale cache after version bump: cached=%v calls=%d", r4.Cached, src.calls.Load())
+	}
+
+	t.Run("no version no cache", func(t *testing.T) {
+		plain := &countingSource{recs: src.recs}
+		psrv := httptest.NewServer(NewHandler(Config{
+			Netwide: []NamedSource{{Name: "sw1", Source: plain}},
+		}))
+		defer psrv.Close()
+		var r TopKResponse
+		get(t, psrv, "/netwide/topk?k=5", &r)
+		get(t, psrv, "/netwide/topk?k=5", &r)
+		if r.Cached || plain.calls.Load() != 2 {
+			t.Errorf("cache active without version source: calls=%d", plain.calls.Load())
+		}
+	})
+}

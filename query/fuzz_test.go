@@ -4,6 +4,7 @@ import (
 	"net/url"
 	"testing"
 
+	"repro/detect"
 	"repro/recordstore"
 )
 
@@ -62,5 +63,41 @@ func FuzzParseParams(f *testing.F) {
 			return
 		}
 		_, _ = ParseParams(q)
+	})
+}
+
+// FuzzParseAlertParams must never panic, and every accepted parameter
+// set must be internally consistent: kind/severity values round-trip
+// through their String forms and the bounds hold.
+func FuzzParseAlertParams(f *testing.F) {
+	f.Add("kind=heavychange&severity=warning")
+	f.Add("kind=superspreader&epoch=3&limit=10")
+	f.Add("kind=anomaly&filter=src%3D10.0.0.1")
+	f.Add("severity=critical&severity=info")
+	f.Add("kind=")
+	f.Add("since=5")
+	f.Fuzz(func(t *testing.T, raw string) {
+		q, err := url.ParseQuery(raw)
+		if err != nil {
+			return
+		}
+		p, err := ParseAlertParams(q)
+		if err != nil {
+			return
+		}
+		if p.Kind != 0 {
+			if again, err := detect.ParseKind(p.Kind.String()); err != nil || again != p.Kind {
+				t.Fatalf("kind %v does not round-trip: %v", p.Kind, err)
+			}
+		}
+		if again, err := detect.ParseSeverity(p.MinSeverity.String()); err != nil || again != p.MinSeverity {
+			t.Fatalf("severity %v does not round-trip: %v", p.MinSeverity, err)
+		}
+		if p.Limit < 1 || p.Limit > MaxLimit {
+			t.Fatalf("limit %d out of bounds", p.Limit)
+		}
+		if p.Epoch < -1 {
+			t.Fatalf("epoch %d out of bounds", p.Epoch)
+		}
 	})
 }

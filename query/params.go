@@ -35,7 +35,11 @@ type Params struct {
 	// Limit caps /flows matches (limit=, DefaultLimit if absent).
 	Limit int
 	// From/To bound /flows by epoch timestamp (from=, to=; RFC 3339 or
-	// unix seconds). Zero values mean unbounded.
+	// unix seconds). Zero values mean unbounded. The interval is
+	// half-open, [From, To): an epoch stamped exactly From is included,
+	// one stamped exactly To is excluded — the recordstore.Mapped.Range
+	// convention, so adjacent windows (to == next from) tile the store
+	// without overlap or gap.
 	From, To time.Time
 }
 

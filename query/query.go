@@ -2,7 +2,7 @@
 // surface answering live and historical flow questions without touching
 // the ingest hot path.
 //
-// Four endpoints:
+// Six endpoints:
 //
 //	GET /topk?k=10                  largest flows right now, from the live
 //	                                top-k tracker — no epoch dump involved
@@ -11,6 +11,9 @@
 //	                                mmap-backed store, by epoch or time range
 //	GET /netwide/topk?k=10          top-k over the merged network-wide view
 //	                                of every registered vantage point
+//	GET /alerts?kind=...&severity=  recent detection alerts (heavy change,
+//	                                superspreader, anomaly) from the ring
+//	GET /changes?k=10&epoch=        per-epoch heavy-change top-k lists
 //
 // The live side reads an online summary (topk.Tracker / topk.Set via the
 // TopKSource surface) that ingest maintains incrementally; the historical
@@ -24,6 +27,7 @@ import (
 	"fmt"
 	"net/http"
 	"slices"
+	"sync"
 
 	"repro/flow"
 	"repro/netwide"
@@ -83,6 +87,15 @@ type Config struct {
 	Store StoreOpener
 	// Netwide serves /netwide/topk.
 	Netwide []NamedSource
+	// NetwideVersion, when non-nil, reports a version of the netwide
+	// sources' contents (typically the epochs-ingested count): responses
+	// of /netwide/topk are then memoized per (version, k, filter), so
+	// dashboard-rate polling between rotations stops re-snapshotting and
+	// re-merging every source, and a rotation (version change) empties
+	// the cache. Nil disables caching — every request recomputes.
+	NetwideVersion func() uint64
+	// Alerts serves /alerts and /changes.
+	Alerts AlertSource
 }
 
 // FlowJSON is one flow record on the wire.
@@ -96,11 +109,13 @@ type FlowJSON struct {
 	Packets uint32 `json:"packets"`
 }
 
-// TopKResponse is the /topk and /netwide/topk payload.
+// TopKResponse is the /topk and /netwide/topk payload. Cached marks a
+// /netwide/topk response served from the per-epoch memo.
 type TopKResponse struct {
 	K       int        `json:"k"`
 	Sources []string   `json:"sources,omitempty"`
 	Flows   []FlowJSON `json:"flows"`
+	Cached  bool       `json:"cached,omitempty"`
 }
 
 // EpochJSON is one epoch in the /epochs listing.
@@ -137,11 +152,32 @@ func NewHandler(cfg Config) http.Handler {
 	mux.HandleFunc("/epochs", h.epochs)
 	mux.HandleFunc("/flows", h.flows)
 	mux.HandleFunc("/netwide/topk", h.netwideTopK)
+	mux.HandleFunc("/alerts", h.alerts)
+	mux.HandleFunc("/changes", h.changes)
 	return mux
+}
+
+// maxNetwideCacheEntries bounds the /netwide/topk memo per version; a
+// polling workload has a handful of distinct (k, filter) shapes, so an
+// overflowing cache simply stops admitting until the next rotation.
+const maxNetwideCacheEntries = 128
+
+// nwKey identifies one memoized /netwide/topk response shape.
+type nwKey struct {
+	k      int
+	filter string
 }
 
 type handler struct {
 	cfg Config
+
+	// nw memoizes /netwide/topk per (version, k, filter); see
+	// Config.NetwideVersion.
+	nw struct {
+		mu      sync.Mutex
+		version uint64
+		entries map[nwKey]*TopKResponse
+	}
 }
 
 // writeJSON marshals v with a status code.
@@ -223,6 +259,32 @@ func (h *handler) netwideTopK(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, errors.New("no netwide sources configured"))
 		return
 	}
+
+	// With a version source, serve repeats of the same request shape from
+	// the memo until the sources' contents change.
+	var (
+		cacheKey nwKey
+		version  uint64
+		caching  = h.cfg.NetwideVersion != nil
+	)
+	if caching {
+		cacheKey = nwKey{k: p.K, filter: p.Filter.String()}
+		version = h.cfg.NetwideVersion()
+		h.nw.mu.Lock()
+		if h.nw.entries == nil || h.nw.version != version {
+			h.nw.entries = make(map[nwKey]*TopKResponse)
+			h.nw.version = version
+		}
+		if cached, hit := h.nw.entries[cacheKey]; hit {
+			resp := *cached
+			resp.Cached = true
+			h.nw.mu.Unlock()
+			writeJSON(w, http.StatusOK, resp)
+			return
+		}
+		h.nw.mu.Unlock()
+	}
+
 	views := make([]netwide.View, len(h.cfg.Netwide))
 	names := make([]string, len(h.cfg.Netwide))
 	for i, s := range h.cfg.Netwide {
@@ -242,6 +304,17 @@ func (h *handler) netwideTopK(w http.ResponseWriter, r *http.Request) {
 	resp := TopKResponse{K: p.K, Sources: names, Flows: make([]FlowJSON, 0, len(topK))}
 	for _, rec := range topK {
 		resp.Flows = append(resp.Flows, recordJSON(0, rec))
+	}
+	if caching {
+		h.nw.mu.Lock()
+		// Only admit while the version still matches: a rotation during
+		// the merge would otherwise pin a stale response for the new
+		// version's lifetime.
+		if h.nw.version == version && len(h.nw.entries) < maxNetwideCacheEntries {
+			stored := resp
+			h.nw.entries[cacheKey] = &stored
+		}
+		h.nw.mu.Unlock()
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -298,3 +298,38 @@ func TestParseParamsDefaults(t *testing.T) {
 		t.Fatalf("time defaults = %+v", p)
 	}
 }
+
+// TestFlowsTimeRangeBoundaries pins the half-open [from, to) convention
+// end to end through /flows: an epoch stamped exactly from is scanned,
+// one stamped exactly to is not — agreeing with recordstore.Mapped.Range
+// at the first and last epoch of the store.
+func TestFlowsTimeRangeBoundaries(t *testing.T) {
+	store := testStore(t) // epochs at 1700000000 + 300i, i in 0..2
+	srv := httptest.NewServer(NewHandler(Config{Store: FileStore(store)}))
+	defer srv.Close()
+
+	at := func(e int) string {
+		return time.Unix(int64(1700000000+300*e), 0).UTC().Format(time.RFC3339)
+	}
+	cases := []struct {
+		name    string
+		q       string
+		scanned int
+	}{
+		{"from first to second scans only first", "from=" + at(0) + "&to=" + at(1), 1},
+		{"from == first epoch is inclusive", "from=" + at(0), 3},
+		{"to == last epoch is exclusive", "to=" + at(2), 2},
+		{"to past last includes it", "to=" + at(3), 3},
+		{"from == to is empty", "from=" + at(1) + "&to=" + at(1), 0},
+		{"middle window", "from=" + at(1) + "&to=" + at(2), 1},
+	}
+	for _, tc := range cases {
+		var resp FlowsResponse
+		if code := get(t, srv, "/flows?"+tc.q, &resp); code != http.StatusOK {
+			t.Fatalf("%s: status %d", tc.name, code)
+		}
+		if resp.EpochsScanned != tc.scanned {
+			t.Errorf("%s: scanned %d epochs, want %d", tc.name, resp.EpochsScanned, tc.scanned)
+		}
+	}
+}

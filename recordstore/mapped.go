@@ -167,9 +167,12 @@ func (m *Mapped) AppendEpochAt(i int, dst []flow.Record) (Epoch, error) {
 }
 
 // Range returns the half-open index interval [lo, hi) of epochs whose
-// timestamp t satisfies t0 <= t < t1. Collectors append epochs in export
-// order, so timestamps are non-decreasing and the bounds are found by
-// binary search; a zero t1 means "no upper bound".
+// timestamp t satisfies t0 <= t < t1: the lower bound is inclusive, the
+// upper bound exclusive, so adjacent windows (t1 == next t0) tile the
+// store without overlap or gap. This is the convention the query layer's
+// from=/to= parameters expose verbatim. Collectors append epochs in
+// export order, so timestamps are non-decreasing and the bounds are
+// found by binary search; a zero t1 means "no upper bound".
 func (m *Mapped) Range(t0, t1 time.Time) (lo, hi int) {
 	n0 := t0.UnixNano()
 	lo = m.searchNanos(n0)

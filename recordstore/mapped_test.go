@@ -141,6 +141,54 @@ func TestMappedRange(t *testing.T) {
 	}
 }
 
+// TestMappedRangeBoundaries pins the inclusive/exclusive convention the
+// query layer's from=/to= parameters rely on: [t0, t1) — an epoch
+// stamped exactly t0 is included, one stamped exactly t1 is excluded —
+// covering the first and last epoch of the store explicitly.
+func TestMappedRangeBoundaries(t *testing.T) {
+	path, _ := buildStore(t, 5, 10) // timestamps 1700000000 + 60e, epochs 0..4
+	m, err := OpenMapped(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	at := func(e int) time.Time { return time.Unix(int64(1700000000+60*e), 0) }
+	cases := []struct {
+		name   string
+		t0, t1 time.Time
+		lo, hi int
+	}{
+		{"from == first epoch includes it", at(0), at(1), 0, 1},
+		{"from just after first excludes it", at(0).Add(time.Nanosecond), at(2), 1, 2},
+		{"from before first clamps to first", at(0).Add(-time.Hour), at(1), 0, 1},
+		{"to == last epoch excludes it", at(0), at(4), 0, 4},
+		{"to just past last includes it", at(0), at(4).Add(time.Nanosecond), 0, 5},
+		{"to beyond the store clamps", at(4), at(4).Add(time.Hour), 4, 5},
+		{"adjacent windows tile without overlap", at(2), at(3), 2, 3},
+		{"empty window at an epoch stamp", at(2), at(2), 2, 2},
+	}
+	for _, tc := range cases {
+		if lo, hi := m.Range(tc.t0, tc.t1); lo != tc.lo || hi != tc.hi {
+			t.Errorf("%s: Range = [%d,%d), want [%d,%d)", tc.name, lo, hi, tc.lo, tc.hi)
+		}
+	}
+	// The tiling property: consecutive [at(e), at(e+1)) windows cover
+	// every epoch exactly once.
+	covered := make([]int, 5)
+	for e := 0; e < 5; e++ {
+		lo, hi := m.Range(at(e), at(e+1))
+		for i := lo; i < hi; i++ {
+			covered[i]++
+		}
+	}
+	for i, n := range covered {
+		if n != 1 {
+			t.Errorf("epoch %d covered %d times by tiled windows", i, n)
+		}
+	}
+}
+
 // TestMappedTruncatedTail: a store whose last frame is incomplete — a live
 // file mid-append — indexes the complete epochs and flags the tail.
 func TestMappedTruncatedTail(t *testing.T) {

@@ -300,3 +300,88 @@ func BenchmarkSetAppendTopK(b *testing.B) {
 		buf = set.AppendTopK(buf[:0], 10)
 	}
 }
+
+// TestUpdateBatchPreAggregation: the batched path pre-aggregates by key
+// before the Space-Saving update; with ample capacity the result must be
+// identical to per-packet updates, across batch shapes that stress the
+// aggregation table (all-duplicate, all-distinct, oversized, empty).
+func TestUpdateBatchPreAggregation(t *testing.T) {
+	shapes := map[string][]flow.Packet{}
+	var dup, mixed, big []flow.Packet
+	for i := 0; i < 300; i++ {
+		dup = append(dup, flow.Packet{Key: flow.Key{SrcIP: 7, Proto: 6}})
+		mixed = append(mixed, flow.Packet{Key: flow.Key{SrcIP: uint32(i % 13), Proto: 6}})
+	}
+	for i := 0; i < 3000; i++ { // far past the initial table sizing
+		big = append(big, flow.Packet{Key: flow.Key{SrcIP: uint32(i % 500), DstPort: 443, Proto: 6}})
+	}
+	shapes["duplicates"] = dup
+	shapes["mixed"] = mixed
+	shapes["oversized"] = big
+	shapes["empty"] = nil
+
+	for name, pkts := range shapes {
+		t.Run(name, func(t *testing.T) {
+			batched, _ := NewTracker(1024)
+			single, _ := NewTracker(1024)
+			batched.UpdateBatch(pkts)
+			// A second batch reuses the cleared aggregation table.
+			batched.UpdateBatch(pkts)
+			for _, p := range pkts {
+				single.Update(p)
+				single.Update(p)
+			}
+			if batched.Packets() != single.Packets() {
+				t.Fatalf("packets %d vs %d", batched.Packets(), single.Packets())
+			}
+			gb, gs := batched.AppendSorted(nil), single.AppendSorted(nil)
+			if len(gb) != len(gs) {
+				t.Fatalf("tracked %d vs %d flows", len(gb), len(gs))
+			}
+			for i := range gb {
+				if gb[i] != gs[i] {
+					t.Errorf("record %d: %+v vs %+v", i, gb[i], gs[i])
+				}
+			}
+		})
+	}
+}
+
+// TestTrackerIndexChurn stresses the open-addressing index through heavy
+// eviction: after tracking far more distinct keys than capacity, every
+// tracked entry must still be reachable through Estimate, and the
+// backward-shift deletions must not have stranded stale index slots
+// (Reset then refill finds a clean table).
+func TestTrackerIndexChurn(t *testing.T) {
+	const capacity = 128
+	tk, _ := NewTracker(capacity)
+	key := func(i int) flow.Key {
+		return flow.Key{SrcIP: uint32(i * 2654435761), DstPort: uint16(i), Proto: 6}
+	}
+	for round := 0; round < 2; round++ {
+		for i := 0; i < 50*capacity; i++ {
+			tk.Add(key(i), uint32(1+i%7))
+		}
+		if tk.Len() != capacity {
+			t.Fatalf("round %d: tracked %d flows, want %d", round, tk.Len(), capacity)
+		}
+		snap := tk.AppendSorted(nil)
+		if len(snap) != capacity {
+			t.Fatalf("round %d: snapshot %d flows", round, len(snap))
+		}
+		for _, r := range snap {
+			est, _, ok := tk.Estimate(r.Key)
+			if !ok || est != r.Count {
+				t.Fatalf("round %d: tracked key %v unreachable via index (ok=%v est=%d count=%d)",
+					round, r.Key, ok, est, r.Count)
+			}
+		}
+		tk.Reset()
+		if tk.Len() != 0 {
+			t.Fatalf("round %d: Reset left %d entries", round, tk.Len())
+		}
+		if _, _, ok := tk.Estimate(snap[0].Key); ok {
+			t.Fatalf("round %d: Reset left the index populated", round)
+		}
+	}
+}
