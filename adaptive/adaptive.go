@@ -94,9 +94,10 @@ type Manager struct {
 	sc   Sidecar
 	live atomic.Pointer[Sidecar]
 
-	// det observes drained epochs (nil when unset). drainErr records the
-	// first panic recovered on the drain path; drainPanics counts them.
-	det         EpochObserver
+	// dets observe drained epochs, in attach order (empty when unset).
+	// drainErr records the first panic recovered on the drain path;
+	// drainPanics counts them.
+	dets        []EpochObserver
 	drainErr    atomic.Pointer[error]
 	drainPanics atomic.Uint64
 
@@ -200,17 +201,20 @@ func (m *Manager) AttachSidecars(active, standby Sidecar) error {
 
 // AttachDetector registers an observer for every drained epoch,
 // evaluated after the flush callback — on the background worker in
-// double-buffered mode, so detection never touches the packet path. Call
-// before ingestion begins (the registration is published to the worker by
-// the first rotation's channel send). A panicking or slow detector
-// cannot deadlock rotation: panics anywhere on the drain path are
-// recovered (see DrainErr) and the epoch's recorder still resets and
-// returns to standby.
+// double-buffered mode, so detection never touches the packet path.
+// Multiple observers may be attached (a detector plus a correlator
+// feeder, an exporter tap, ...); they run in attach order, each
+// panic-isolated, over the same drained buffer. Call before ingestion
+// begins (the registration is published to the worker by the first
+// rotation's channel send). A panicking or slow observer cannot deadlock
+// rotation: panics anywhere on the drain path are recovered (see
+// DrainErr) and the epoch's recorder still resets and returns to
+// standby.
 func (m *Manager) AttachDetector(d EpochObserver) error {
 	if d == nil {
 		return fmt.Errorf("adaptive: nil detector")
 	}
-	m.det = d
+	m.dets = append(m.dets, d)
 	return nil
 }
 
@@ -270,7 +274,7 @@ func (m *Manager) flushWorker() {
 
 // drain processes one completed epoch on the worker.
 func (m *Manager) drain(epoch int, b buffer, buf *[]flow.Record) {
-	if m.flush != nil || m.det != nil {
+	if m.flush != nil || len(m.dets) > 0 {
 		extracted := m.safely("extraction", func() {
 			*buf = b.rec.AppendRecords((*buf)[:0])
 		})
@@ -278,8 +282,8 @@ func (m *Manager) drain(epoch int, b buffer, buf *[]flow.Record) {
 			if m.flush != nil {
 				m.safely("flush callback", func() { m.flush(epoch, *buf) })
 			}
-			if m.det != nil {
-				m.safely("detector", func() { m.det.ObserveEpoch(epoch, *buf) })
+			for _, det := range m.dets {
+				m.safely("detector", func() { det.ObserveEpoch(epoch, *buf) })
 			}
 		}
 	}
@@ -334,15 +338,15 @@ func (m *Manager) Flush() {
 		}
 		m.jobs <- flushJob{epoch: m.epoch, buf: full}
 	} else {
-		if m.flush != nil || m.det != nil {
+		if m.flush != nil || len(m.dets) > 0 {
 			m.buf = m.rec.AppendRecords(m.buf[:0])
 			if m.flush != nil {
 				m.flush(m.epoch, m.buf)
 			}
-			if m.det != nil {
-				// The detector is auxiliary even inline: a panic must not
+			for _, det := range m.dets {
+				// Observers are auxiliary even inline: a panic must not
 				// take down the caller's ingest loop.
-				m.safely("detector", func() { m.det.ObserveEpoch(m.epoch, m.buf) })
+				m.safely("detector", func() { det.ObserveEpoch(m.epoch, m.buf) })
 			}
 		}
 		m.rec.Reset()

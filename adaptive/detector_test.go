@@ -96,6 +96,48 @@ func TestAttachDetectorObservesDrainedEpochs(t *testing.T) {
 	}
 }
 
+// TestAttachMultipleObservers: several observers ride the same drain, in
+// attach order, each seeing every epoch — and one of them panicking
+// never starves the others.
+func TestAttachMultipleObservers(t *testing.T) {
+	m, err := NewDoubleBuffered(detRecorder(t), detRecorder(t), Config{Capacity: 1 << 20}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := &recordingDetector{panicAt: func(epoch int) bool { return epoch == 1 }}
+	second := &recordingDetector{}
+	if err := m.AttachDetector(first); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AttachDetector(second); err != nil {
+		t.Fatal(err)
+	}
+	for e := 0; e < 3; e++ {
+		m.Update(flow.Packet{Key: flow.Key{SrcIP: uint32(e + 1)}})
+		m.Flush()
+	}
+	m.Close()
+	fe, _ := first.snapshot()
+	se, _ := second.snapshot()
+	want := []int{0, 1, 2}
+	for _, got := range [][]int{fe, se} {
+		if len(got) != len(want) {
+			t.Fatalf("observer saw epochs %v, want %v", got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("observer saw epochs %v, want %v", got, want)
+			}
+		}
+	}
+	if err := m.DrainErr(); err == nil || !strings.Contains(err.Error(), "detector panicked") {
+		t.Errorf("first observer's panic not surfaced: %v", err)
+	}
+	if got := m.DrainPanics(); got != 1 {
+		t.Errorf("DrainPanics() = %d, want 1", got)
+	}
+}
+
 // TestDetectorWithoutFlushStillObserves: a manager with no flush
 // callback still extracts for the detector.
 func TestDetectorWithoutFlushStillObserves(t *testing.T) {

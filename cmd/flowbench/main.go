@@ -905,8 +905,11 @@ func runQueryBench(cfg config, w io.Writer) error {
 	return nil
 }
 
-// detectCostRow is one detector-evaluation cost measurement.
+// detectCostRow is one detector-evaluation cost measurement at one
+// stage set; the sweep grows the stage mask one detector at a time so
+// each pass's incremental cost is visible.
 type detectCostRow struct {
+	Stages      string  `json:"stages"`
 	Epochs      int     `json:"epochs"`
 	RecordsPerE int     `json:"records_per_epoch"`
 	NsPerEpoch  float64 `json:"ns_per_epoch"`
@@ -926,24 +929,40 @@ type detectStallRow struct {
 
 // detectAccuracyRow is the synthetic-injection precision/recall summary.
 type detectAccuracyRow struct {
-	Epochs          int     `json:"epochs"`
-	Alerts          int     `json:"alerts"`
-	ChangePrecision float64 `json:"change_precision"`
-	ChangeRecall    float64 `json:"change_recall"`
-	SpreadPrecision float64 `json:"spreader_precision"`
-	SpreadRecall    float64 `json:"spreader_recall"`
-	AnomalyEpochs   int     `json:"anomaly_epochs"`
+	Epochs            int     `json:"epochs"`
+	Alerts            int     `json:"alerts"`
+	ChangePrecision   float64 `json:"change_precision"`
+	ChangeRecall      float64 `json:"change_recall"`
+	SpreadPrecision   float64 `json:"spreader_precision"`
+	SpreadRecall      float64 `json:"spreader_recall"`
+	FanInPrecision    float64 `json:"fanin_precision"`
+	FanInRecall       float64 `json:"fanin_recall"`
+	ForecastPrecision float64 `json:"forecast_precision"`
+	RampRecall        float64 `json:"ramp_recall"`
+	AnomalyEpochs     int     `json:"anomaly_epochs"`
+}
+
+// netwideAccuracyRow is the cross-vantage correlation summary.
+type netwideAccuracyRow struct {
+	Vantages  int     `json:"vantages"`
+	Epochs    int     `json:"epochs"`
+	Alerts    int     `json:"alerts"`
+	Precision float64 `json:"precision"`
+	Recall    float64 `json:"recall"`
 }
 
 // runDetectBench measures the detection subsystem: (1) what one epoch of
-// detection costs on the drain worker, (2) what attaching the detector
-// does to rotation stalls under continuous ingestion, (3) detection
-// quality against injected ground truth.
+// detection costs on the drain worker, per detector stage, (2) what
+// attaching the (full) detector does to rotation stalls under continuous
+// ingestion, (3) detection quality against injected ground truth —
+// single-vantage kinds and the cross-vantage correlator.
 func runDetectBench(cfg config, w io.Writer) error {
 	// (1) Evaluation cost over the synthetic workload, steady state: one
 	// warm pass grows every internal buffer, then timed passes re-drive
 	// the same epochs (epoch numbering keeps advancing so the
-	// epoch-over-epoch walk stays realistic).
+	// epoch-over-epoch walk stays realistic). The stage mask grows one
+	// detector at a time, so each row's delta against the previous one is
+	// that detector's per-epoch cost.
 	epochsN := 64
 	if cfg.quick {
 		epochsN = 24
@@ -951,46 +970,61 @@ func runDetectBench(cfg config, w io.Writer) error {
 	trace := experiments.GenDetectTrace(experiments.DetectTraceConfig{
 		Epochs: epochsN, Seed: cfg.seed,
 	})
-	det, err := detect.NewDetector(detect.Config{})
-	if err != nil {
-		return err
-	}
 	records := 0
 	for _, ep := range trace {
 		records += len(ep.Records)
 	}
 	records /= len(trace)
-	epoch := 0
-	pass := func() error {
-		for _, ep := range trace {
-			det.Observe(epoch, ep.Time, ep.Records)
-			epoch++
-		}
-		return nil
-	}
-	if err := pass(); err != nil {
-		return err
-	}
 	passes := 5
 	if cfg.quick {
 		passes = 3
 	}
-	costNs, err := bestNs(passes, pass)
-	if err != nil {
+	stageSweep := []struct {
+		name   string
+		stages detect.Stage
+	}{
+		{"change", detect.StageChange},
+		{"+forecast", detect.StageChange | detect.StageForecast},
+		{"+spreader", detect.StageChange | detect.StageForecast | detect.StageSpreader},
+		{"+fanin", detect.StageChange | detect.StageForecast | detect.StageSpreader | detect.StageFanIn},
+		{"full", detect.StageAll},
+	}
+	if _, err := fmt.Fprintln(w, "detector_cost\tstages\tepochs\trecords_per_epoch\tns_per_epoch\tns_per_record"); err != nil {
 		return err
 	}
-	cost := detectCostRow{
-		Epochs:      len(trace),
-		RecordsPerE: records,
-		NsPerEpoch:  float64(costNs) / float64(len(trace)),
-		NsPerRecord: float64(costNs) / float64(len(trace)*records),
-	}
-	if _, err := fmt.Fprintln(w, "detector_cost\tepochs\trecords_per_epoch\tns_per_epoch\tns_per_record"); err != nil {
-		return err
-	}
-	if _, err := fmt.Fprintf(w, "steady\t%d\t%d\t%.0f\t%.1f\n",
-		cost.Epochs, cost.RecordsPerE, cost.NsPerEpoch, cost.NsPerRecord); err != nil {
-		return err
+	var costRows []detectCostRow
+	for _, sw := range stageSweep {
+		det, err := detect.NewDetector(detect.Config{Stages: sw.stages})
+		if err != nil {
+			return err
+		}
+		epoch := 0
+		pass := func() error {
+			for _, ep := range trace {
+				det.Observe(epoch, ep.Time, ep.Records)
+				epoch++
+			}
+			return nil
+		}
+		if err := pass(); err != nil { // warm every internal buffer
+			return err
+		}
+		costNs, err := bestNs(passes, pass)
+		if err != nil {
+			return err
+		}
+		row := detectCostRow{
+			Stages:      sw.name,
+			Epochs:      len(trace),
+			RecordsPerE: records,
+			NsPerEpoch:  float64(costNs) / float64(len(trace)),
+			NsPerRecord: float64(costNs) / float64(len(trace)*records),
+		}
+		costRows = append(costRows, row)
+		if _, err := fmt.Fprintf(w, "steady\t%s\t%d\t%d\t%.0f\t%.1f\n",
+			row.Stages, row.Epochs, row.RecordsPerE, row.NsPerEpoch, row.NsPerRecord); err != nil {
+			return err
+		}
 	}
 
 	// (2) Drain-stall impact: the export-bench rotation harness with the
@@ -1092,29 +1126,58 @@ func runDetectBench(cfg config, w io.Writer) error {
 		Epochs: accEpochs, Seed: cfg.seed,
 	}))
 	acc := detectAccuracyRow{
-		Epochs:          eval.Epochs,
-		Alerts:          eval.Alerts,
-		ChangePrecision: eval.ChangePrecision(),
-		ChangeRecall:    eval.ChangeRecall(),
-		SpreadPrecision: eval.SpreadPrecision(),
-		SpreadRecall:    eval.SpreadRecall(),
-		AnomalyEpochs:   eval.AnomalyEpochs,
+		Epochs:            eval.Epochs,
+		Alerts:            eval.Alerts,
+		ChangePrecision:   eval.ChangePrecision(),
+		ChangeRecall:      eval.ChangeRecall(),
+		SpreadPrecision:   eval.SpreadPrecision(),
+		SpreadRecall:      eval.SpreadRecall(),
+		FanInPrecision:    eval.FanInPrecision(),
+		FanInRecall:       eval.FanInRecall(),
+		ForecastPrecision: eval.ForecastPrecision(),
+		RampRecall:        eval.RampRecall(),
+		AnomalyEpochs:     eval.AnomalyEpochs,
 	}
-	if _, err := fmt.Fprintln(w, "\naccuracy\tepochs\talerts\tchange_p\tchange_r\tspread_p\tspread_r\tanomaly_epochs"); err != nil {
+	if _, err := fmt.Fprintln(w, "\naccuracy\tepochs\talerts\tchange_p\tchange_r\tspread_p\tspread_r\tfanin_p\tfanin_r\tforecast_p\tramp_r\tanomaly_epochs"); err != nil {
 		return err
 	}
-	if _, err := fmt.Fprintf(w, "injected\t%d\t%d\t%.3f\t%.3f\t%.3f\t%.3f\t%d\n",
+	if _, err := fmt.Fprintf(w, "injected\t%d\t%d\t%.3f\t%.3f\t%.3f\t%.3f\t%.3f\t%.3f\t%.3f\t%.3f\t%d\n",
 		acc.Epochs, acc.Alerts, acc.ChangePrecision, acc.ChangeRecall,
-		acc.SpreadPrecision, acc.SpreadRecall, acc.AnomalyEpochs); err != nil {
+		acc.SpreadPrecision, acc.SpreadRecall, acc.FanInPrecision, acc.FanInRecall,
+		acc.ForecastPrecision, acc.RampRecall, acc.AnomalyEpochs); err != nil {
+		return err
+	}
+
+	// (4) Cross-vantage correlation accuracy on the multi-vantage
+	// workload: per-vantage detectors feeding the correlator through the
+	// summary sink, scored against the injected netwide truth.
+	nwCfg := experiments.NetwideTraceConfig{Epochs: accEpochs, Seed: cfg.seed}
+	nwEval, err := experiments.EvalNetwide(nwCfg, experiments.GenNetwideTrace(nwCfg))
+	if err != nil {
+		return err
+	}
+	nw := netwideAccuracyRow{
+		Vantages:  3,
+		Epochs:    nwEval.Epochs,
+		Alerts:    nwEval.Alerts,
+		Precision: nwEval.Precision(),
+		Recall:    nwEval.Recall(),
+	}
+	if _, err := fmt.Fprintln(w, "\nnetwide\tvantages\tepochs\talerts\tprecision\trecall"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "correlated\t%d\t%d\t%d\t%.3f\t%.3f\n",
+		nw.Vantages, nw.Epochs, nw.Alerts, nw.Precision, nw.Recall); err != nil {
 		return err
 	}
 
 	if cfg.json {
 		return writeBenchJSON("detect", struct {
-			Cost     detectCostRow     `json:"cost"`
-			Rotation []detectStallRow  `json:"rotation"`
-			Accuracy detectAccuracyRow `json:"accuracy"`
-		}{cost, stallRows, acc})
+			Cost     []detectCostRow    `json:"cost"`
+			Rotation []detectStallRow   `json:"rotation"`
+			Accuracy detectAccuracyRow  `json:"accuracy"`
+			Netwide  netwideAccuracyRow `json:"netwide"`
+		}{costRows, stallRows, acc, nw})
 	}
 	return nil
 }

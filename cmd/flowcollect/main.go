@@ -18,7 +18,8 @@
 // -http it also serves the live query API: /topk straight from an online
 // tracker fed per epoch, /epochs and /flows from the growing store file.
 // With -detect each epoch additionally runs through the detection
-// subsystem (heavy changers, superspreaders, anomaly baselines) — alerts
+// subsystem (heavy changers, slow-ramp forecasting, superspreaders,
+// victim fan-in, anomaly baselines) — alerts
 // are served on /alerts + /changes, printed to stdout with -alerts, and
 // POSTed as JSON to a webhook with -webhook:
 //
@@ -32,8 +33,9 @@
 // and the background drain worker exports the completed epoch over UDP,
 // so the packet path never extracts or sends. Adding -detect attaches
 // the detection subsystem to the same drain (adaptive.AttachDetector):
-// every completed epoch is scored for heavy changes, superspreaders and
-// anomalies on the background worker, and alerts print to stdout:
+// every completed epoch is scored for heavy changes, forecast breaks,
+// superspreaders, fan-in victims and anomalies on the background worker,
+// and alerts print to stdout:
 //
 //	flowcollect export -profile Campus -flows 20000 -epochpkts 100000 -to 127.0.0.1:2055
 //	flowcollect export -profile Campus -flows 20000 -epochpkts 100000 -detect -to 127.0.0.1:2055
@@ -90,7 +92,22 @@ func run(args []string, w io.Writer) error {
 	}
 }
 
+// syncWriter serializes writes to the shared output: serve mode prints
+// from both the main goroutine and the collector's epoch goroutine (the
+// -alerts sink), and fmt emits each print as a single Write.
+type syncWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func (s *syncWriter) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Write(p)
+}
+
 func runServe(args []string, w io.Writer) error {
+	w = &syncWriter{w: w}
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
 	listen := fs.String("listen", "127.0.0.1:2055", "UDP listen address")
 	storePath := fs.String("store", "records.frec", "record store output file")
@@ -98,9 +115,11 @@ func runServe(args []string, w io.Writer) error {
 	runFor := fs.Duration("for", 30*time.Second, "how long to serve before shutting down")
 	httpAddr := fs.String("http", "", "also serve the live query API on this address")
 	topkCap := fs.Int("topk", 4096, "live top-k tracker capacity (with -http)")
-	det := fs.Bool("detect", false, "run detection (heavy change, superspreader, anomaly) on every epoch")
+	det := fs.Bool("detect", false, "run detection (heavy change, forecast, superspreader, victim fan-in, anomaly) on every epoch")
 	fanout := fs.Int("fanout", 128, "superspreader distinct-destination threshold (with -detect)")
+	fanin := fs.Int("fanin", 128, "victim fan-in distinct-source threshold (with -detect)")
 	minDelta := fs.Uint64("changedelta", 1024, "heavy-change per-flow delta threshold (with -detect)")
+	forecast := fs.Float64("forecast", 1024, "forecast CUSUM drift threshold in packets (with -detect)")
 	alerts := fs.Bool("alerts", false, "print alerts to stdout (with -detect)")
 	webhook := fs.String("webhook", "", "POST each epoch's alerts as JSON to this URL (with -detect)")
 	if err := fs.Parse(args); err != nil {
@@ -127,8 +146,10 @@ func runServe(args []string, w io.Writer) error {
 	)
 	if *det {
 		detector, err = detect.NewDetector(detect.Config{
-			FanoutThreshold: *fanout,
-			ChangeMinDelta:  uint32(*minDelta),
+			FanoutThreshold:   *fanout,
+			FanInThreshold:    *fanin,
+			ChangeMinDelta:    uint32(*minDelta),
+			ForecastThreshold: *forecast,
 		})
 		if err != nil {
 			return err
@@ -257,6 +278,7 @@ type webhookAlert struct {
 	Time     string  `json:"time"`
 	Flow     string  `json:"flow,omitempty"`
 	Src      string  `json:"src,omitempty"`
+	Dst      string  `json:"dst,omitempty"`
 	Metric   string  `json:"metric,omitempty"`
 	Value    float64 `json:"value"`
 	Baseline float64 `json:"baseline"`
@@ -302,10 +324,12 @@ func (s *webhookSink) deliver(alerts []detect.Alert) {
 			Score:    a.Score,
 		}
 		switch a.Kind {
-		case detect.KindHeavyChange:
+		case detect.KindHeavyChange, detect.KindForecast, detect.KindNetwide:
 			out[i].Flow = a.Key.String()
 		case detect.KindSuperspreader:
 			out[i].Src = flow.IPString(a.Key.SrcIP)
+		case detect.KindVictimFanIn:
+			out[i].Dst = flow.IPString(a.Key.DstIP)
 		}
 	}
 	b, err := json.Marshal(out)

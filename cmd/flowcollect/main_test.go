@@ -12,9 +12,11 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
+	"repro/detect"
 	"repro/flow"
 	"repro/netflow"
 	"repro/pcapio"
@@ -344,6 +346,60 @@ func TestDetectFlagValidation(t *testing.T) {
 	}
 	if err := run([]string{"serve", "-webhook", "http://x/", "-for", "1ms"}, &buf); err == nil {
 		t.Error("serve -webhook without -detect accepted")
+	}
+}
+
+// TestWebhookSinkDropsWhenStalled pins the bounded-queue contract: with
+// the receiver stalled, deliver never blocks the caller (the epoch
+// path), overflow is counted as dropped, and close reports the drops —
+// queued payloads still go out once the receiver recovers.
+func TestWebhookSinkDropsWhenStalled(t *testing.T) {
+	unstall := make(chan struct{})
+	var served atomic.Int64
+	hook := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-unstall
+		served.Add(1)
+	}))
+	defer hook.Close()
+
+	s := newWebhookSink(hook.URL)
+	alerts := []detect.Alert{{Kind: detect.KindHeavyChange, Epoch: 1, Value: 5000}}
+	// Queue capacity is 16 and one delivery can be in flight; flood well
+	// past that while the receiver hangs. Every call must return
+	// promptly — a blocking deliver would stall epoch rotation.
+	const batches = 40
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < batches; i++ {
+			s.deliver(alerts)
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("deliver blocked on a stalled receiver")
+	}
+	if got := s.dropped.Load(); got == 0 || got > batches-16 {
+		t.Fatalf("dropped = %d, want in (0, %d]", got, batches-16)
+	}
+
+	// Receiver recovers: the queued payloads drain, nothing new is lost.
+	close(unstall)
+	var out bytes.Buffer
+	s.close(&out)
+	if served.Load() == 0 {
+		t.Error("no queued delivery reached the recovered receiver")
+	}
+	wantQueued := batches - s.dropped.Load()
+	if got := served.Load(); int64(got) != int64(wantQueued) {
+		t.Errorf("served %d deliveries, want %d (dropped %d)", got, wantQueued, s.dropped.Load())
+	}
+	if s.failed.Load() != 0 {
+		t.Errorf("failed = %d, want 0", s.failed.Load())
+	}
+	if !strings.Contains(out.String(), "deliveries dropped") {
+		t.Errorf("close did not report drops: %q", out.String())
 	}
 }
 

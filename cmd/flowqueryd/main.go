@@ -1,10 +1,11 @@
 // Command flowqueryd serves flow queries over HTTP/JSON: live top-k from
 // an online tracker, historical records from mmap-backed record stores,
-// and a network-wide merged view across stores and the live feed.
+// and a network-wide merged view across stores and the live feeds.
 //
 //	flowqueryd -listen 127.0.0.1:8080 -store records.frec
 //	flowqueryd -listen :8080 -store sw1.frec -store sw2.frec
 //	flowqueryd -listen :8080 -store records.frec -netflow 127.0.0.1:2055
+//	flowqueryd -listen :8080 -netflow 127.0.0.1:2055 -netflow 127.0.0.1:2056 -detect
 //
 // Endpoints (see package repro/query):
 //
@@ -12,16 +13,32 @@
 //	                              the primary store's all-time summary
 //	GET /epochs                   epoch listing of the primary store
 //	GET /flows?filter=dport=443   filtered records, ?epoch= or ?from=/?to=
-//	GET /netwide/topk?k=10        top-k over all stores + the live feed
+//	GET /netwide/topk?k=10        top-k over all stores + the live feeds
 //	GET /alerts?kind=anomaly      detection alerts (with -netflow -detect)
 //	GET /changes?k=10             per-epoch heavy-change top-k lists
+//	GET /netwide/alerts           cross-vantage correlated alerts with
+//	                              per-vantage evidence (-detect, 2+ feeds)
 //
 // The primary store (first -store) is re-mapped per request, so a file a
-// collector is still appending to is always served current. With
-// -detect, every live-ingested epoch also runs through the detection
-// subsystem (heavy changers, superspreaders, anomaly scoring) on the
-// collector's epoch goroutine — queries and detection both stay off the
-// datagram path.
+// collector is still appending to is always served current.
+//
+// -netflow is repeatable: each listener is one vantage point with its
+// own live tracker, all merged into /netwide/topk. With -detect, every
+// vantage additionally runs its own detection subsystem (heavy changers,
+// slow-ramp forecasting, superspreaders, victim fan-in, anomaly scoring)
+// on its collector's epoch goroutine, and the per-vantage change
+// summaries stream into a cross-vantage correlator that promotes keys
+// alerting at -quorum vantages (or whose merged delta crosses
+// -netwidedelta) to netwide alerts — queries, detection and correlation
+// all stay off the datagram path.
+//
+// The correlator aligns vantages by epoch index, and each vantage's
+// epochs are quiet-gap delimited independently: exporters must rotate
+// in lockstep (the epoch-aligned `flowcollect export -epochpkts` mode,
+// or any exporter family sharing a rotation clock) for index N to mean
+// the same window everywhere. A vantage that misses a whole epoch
+// window shifts its subsequent indices; the per-vantage evidence on
+// each netwide alert makes such skew visible.
 package main
 
 import (
@@ -65,20 +82,25 @@ func run(args []string, w io.Writer) error {
 	listen := fs.String("listen", "127.0.0.1:8080", "HTTP listen address")
 	var stores stringList
 	fs.Var(&stores, "store", "record store file (repeatable; first is the primary)")
-	nf := fs.String("netflow", "", "also ingest NetFlow v5 on this UDP address into the live tracker")
+	var nfs stringList
+	fs.Var(&nfs, "netflow", "ingest NetFlow v5 on this UDP address into a live tracker (repeatable; each is one vantage)")
 	gap := fs.Duration("gap", time.Second, "quiet gap closing a NetFlow epoch")
-	topkCap := fs.Int("topk", 4096, "live tracker capacity in flows")
+	topkCap := fs.Int("topk", 4096, "live tracker capacity in flows (per vantage)")
 	det := fs.Bool("detect", false, "run detection on each live-ingested epoch (with -netflow)")
 	fanout := fs.Int("fanout", 128, "superspreader distinct-destination threshold (with -detect)")
+	fanin := fs.Int("fanin", 128, "victim fan-in distinct-source threshold (with -detect)")
 	minDelta := fs.Uint64("changedelta", 1024, "heavy-change per-flow delta threshold (with -detect)")
+	forecast := fs.Float64("forecast", 1024, "forecast CUSUM drift threshold in packets (with -detect)")
+	quorum := fs.Int("quorum", 0, "vantages that must alert on a key to promote it netwide (0 = min(2, vantages), with -detect)")
+	netwideDelta := fs.Uint64("netwidedelta", 0, "merged |delta| promoting a key netwide (0 = 4x changedelta, with -detect)")
 	runFor := fs.Duration("for", 0, "serve for this long then exit (0 = forever)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if len(stores) == 0 && *nf == "" {
-		return errors.New("usage: flowqueryd [-listen addr] -store <file> [-store <file>...] [-netflow addr]")
+	if len(stores) == 0 && len(nfs) == 0 {
+		return errors.New("usage: flowqueryd [-listen addr] -store <file> [-store <file>...] [-netflow addr...]")
 	}
-	if *det && *nf == "" {
+	if *det && len(nfs) == 0 {
 		return errors.New("-detect needs a live feed: pass -netflow too")
 	}
 
@@ -106,36 +128,82 @@ func run(args []string, w io.Writer) error {
 		}
 	}
 
-	// Live side: an optional NetFlow listener feeding the online tracker,
-	// and optionally the detection subsystem — both run on the collector's
-	// epoch goroutine, off the datagram path. The epoch counter versions
-	// the /netwide/topk cache: responses stay memoized until the next
-	// epoch lands.
-	var (
-		srv    *collector.Server
-		epochs atomic.Uint64
-	)
-	if *nf != "" {
+	// Live side: NetFlow listeners feeding per-vantage online trackers,
+	// and optionally the detection subsystem — per-vantage detectors
+	// whose change summaries stream into one cross-vantage correlator.
+	// Everything runs on each collector's epoch goroutine, off the
+	// datagram paths. The shared epoch counter versions the /netwide/topk
+	// cache: responses stay memoized until the next epoch lands anywhere.
+	var epochs atomic.Uint64
+	var corr *detect.Correlator
+	// Correlation needs at least two vantage points: with one, every
+	// local heavy change would trivially satisfy a quorum of 1 and
+	// /netwide/alerts would just duplicate /alerts.
+	if *det && len(nfs) >= 2 {
+		names := make([]string, len(nfs))
+		copy(names, nfs)
+		var err error
+		corr, err = detect.NewCorrelator(detect.CorrelatorConfig{
+			Vantages:        names,
+			Quorum:          *quorum, // 0 defaults to min(2, vantages)
+			VantageMinDelta: uint32(*minDelta),
+			NetwideMinDelta: uint32(*netwideDelta),
+		})
+		if err != nil {
+			return err
+		}
+		cfg.NetwideAlerts = corr
+	}
+	for i, nf := range nfs {
 		tracker, err := topk.NewTracker(*topkCap)
 		if err != nil {
 			return err
 		}
 		var detector *detect.Detector
 		if *det {
-			detector, err = detect.NewDetector(detect.Config{
-				FanoutThreshold: *fanout,
-				ChangeMinDelta:  uint32(*minDelta),
-			})
+			dcfg := detect.Config{
+				FanoutThreshold:   *fanout,
+				FanInThreshold:    *fanin,
+				ChangeMinDelta:    uint32(*minDelta),
+				ForecastThreshold: *forecast,
+			}
+			if corr != nil {
+				// Report sub-threshold deltas so the correlator can
+				// promote changes that only cross the line once merged
+				// (floored at 1: a 0 would mean "default back to
+				// ChangeMinDelta").
+				dcfg.SummaryMinDelta = uint32(*minDelta) / 4
+				if dcfg.SummaryMinDelta == 0 {
+					dcfg.SummaryMinDelta = 1
+				}
+			}
+			detector, err = detect.NewDetector(dcfg)
 			if err != nil {
 				return err
 			}
-			cfg.Alerts = detector
+			if corr != nil {
+				vantage := nf
+				detector.SetSummarySink(func(s detect.ChangeSummary) {
+					corr.ObserveSummary(vantage, s)
+				})
+			}
+			if cfg.Alerts == nil {
+				// /alerts serves the first vantage's detector; the
+				// correlator's /netwide/alerts spans all of them.
+				cfg.Alerts = detector
+			}
 		}
-		srv, err = collector.Start(collector.Config{Listen: *nf, EpochGap: *gap},
+		// Detection epochs count per vantage (the correlator aligns
+		// epochs across vantages by index); the shared counter only
+		// versions the /netwide/topk cache.
+		d := detector
+		var vantageEpochs int
+		srv, err := collector.Start(collector.Config{Listen: nf, EpochGap: *gap},
 			func(ts time.Time, records []flow.Record) {
 				tracker.AddRecords(records)
-				if detector != nil {
-					detector.Observe(int(epochs.Load()), ts, records)
+				if d != nil {
+					d.Observe(vantageEpochs, ts, records)
+					vantageEpochs++
 				}
 				epochs.Add(1)
 			})
@@ -143,8 +211,14 @@ func run(args []string, w io.Writer) error {
 			return err
 		}
 		defer srv.Shutdown()
-		cfg.TopK = tracker
-		cfg.Netwide = append(cfg.Netwide, query.NamedSource{Name: "live", Source: tracker})
+		if i == 0 {
+			cfg.TopK = tracker
+		}
+		name := "live"
+		if len(nfs) > 1 {
+			name = "live:" + nf
+		}
+		cfg.Netwide = append(cfg.Netwide, query.NamedSource{Name: name, Source: tracker})
 		if _, err := fmt.Fprintf(w, "ingesting NetFlow on %s\n", srv.Addr()); err != nil {
 			return err
 		}

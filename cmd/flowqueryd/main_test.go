@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/flow"
+	"repro/netflow"
 	"repro/query"
 	"repro/recordstore"
 )
@@ -141,6 +142,101 @@ func TestDaemonServesStores(t *testing.T) {
 	}
 	if len(nw.Flows) != 1 || nw.Flows[0].Packets != 2200 {
 		t.Fatalf("netwide topk = %+v", nw.Flows)
+	}
+
+	wg.Wait()
+	if runErr != nil {
+		t.Fatalf("run: %v", runErr)
+	}
+}
+
+// probeUDP reserves an ephemeral UDP port.
+func probeUDP(t *testing.T) string {
+	t.Helper()
+	conn, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := conn.LocalAddr().String()
+	conn.Close()
+	return addr
+}
+
+// sendEpoch exports one epoch's records as NetFlow v5 to a vantage.
+func sendEpoch(t *testing.T, addr string, recs []flow.Record) {
+	t.Helper()
+	conn, err := net.Dial("udp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	exp := netflow.NewExporter(func(b []byte) error {
+		_, err := conn.Write(b)
+		return err
+	})
+	if err := exp.Export(recs, 700); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDaemonCorrelatesVantages drives two live NetFlow vantages end to
+// end: a key spiking at both in the same epoch must surface on
+// /netwide/alerts with evidence from each vantage.
+func TestDaemonCorrelatesVantages(t *testing.T) {
+	nf1, nf2 := probeUDP(t), probeUDP(t)
+	addr := probeTCP(t)
+	var (
+		wg     sync.WaitGroup
+		out    bytes.Buffer
+		runErr error
+	)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		runErr = run([]string{"-listen", addr, "-netflow", nf1, "-netflow", nf2,
+			"-detect", "-changedelta", "1024", "-gap", "300ms", "-for", "6s"}, &out)
+	}()
+	base := "http://" + addr
+	waitUp(t, base+"/alerts")
+
+	hot := flow.Key{SrcIP: 0x0A000001, DstIP: 0x0A000063, DstPort: 443, Proto: 6}
+	cold := flow.Key{SrcIP: 0x0A000002, DstIP: 0x0A000064, DstPort: 80, Proto: 6}
+	epoch0 := []flow.Record{{Key: hot, Count: 100}, {Key: cold, Count: 90}}
+	epoch1 := []flow.Record{{Key: hot, Count: 5000}, {Key: cold, Count: 95}}
+	for _, ep := range [][]flow.Record{epoch0, epoch1} {
+		sendEpoch(t, nf1, ep)
+		sendEpoch(t, nf2, ep)
+		// Silence past the quiet gap closes the epoch at both vantages.
+		time.Sleep(600 * time.Millisecond)
+	}
+
+	var nw query.NetwideAlertsResponse
+	deadline := time.Now().Add(4 * time.Second)
+	for time.Now().Before(deadline) {
+		if err := getJSON(t, base+"/netwide/alerts", &nw); err == nil && nw.Matched > 0 {
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if nw.Matched != 1 || len(nw.Alerts) != 1 {
+		t.Fatalf("netwide alerts: %+v\ndaemon output:\n%s", nw, out.String())
+	}
+	a := nw.Alerts[0]
+	if a.Kind != "netwide" || a.Flow == nil || a.Flow.Src != "10.0.0.1" {
+		t.Errorf("promoted alert: %+v", a)
+	}
+	if len(a.Evidence) != 2 || !a.Evidence[0].Alerted || !a.Evidence[1].Alerted {
+		t.Errorf("evidence: %+v", a.Evidence)
+	}
+
+	// The per-vantage surface works too: /alerts serves the first
+	// vantage's detector, which saw the same heavy change locally.
+	var al query.AlertsResponse
+	if err := getJSON(t, base+"/alerts?kind=heavychange", &al); err != nil {
+		t.Fatal(err)
+	}
+	if al.Matched == 0 {
+		t.Errorf("first vantage's detector saw no heavy change")
 	}
 
 	wg.Wait()

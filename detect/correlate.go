@@ -1,0 +1,395 @@
+// Cross-vantage alert correlation: the network-wide half of the
+// detection subsystem. Each vantage point (switch, collector, uplink)
+// runs its own Detector; the Correlator consumes their per-epoch change
+// summaries and promotes keys to KindNetwide alerts on either of two
+// grounds:
+//
+//   - quorum: the key's change crossed the local alert threshold at >= q
+//     vantage points in the same epoch — a coordinated shift a single
+//     vantage cannot distinguish from local churn;
+//   - merged delta: the key's deltas, summed over the network-wide merge
+//     (netwide.MergeDeltasInto), cross a threshold no single vantage's
+//     delta reached — the attack that hides by spreading itself thin.
+//     For this path the vantage detectors must report sub-threshold
+//     deltas (Config.SummaryMinDelta below ChangeMinDelta).
+//
+// Promoted alerts carry per-vantage evidence (who saw what move) and
+// land in a fixed-size ring the query layer serves from
+// (/netwide/alerts). Vantages report asynchronously: epochs are held
+// open until every registered vantage has reported or the pending window
+// fills, whichever comes first, so one dead vantage degrades coverage
+// but never wedges correlation.
+//
+// Epochs are aligned by index: vantage A's epoch N is correlated with
+// vantage B's epoch N. The caller owns that alignment — drive every
+// vantage's detector from the same rotation (one drain observing all
+// views), or number epochs from a shared clock. Wall-clock-free feeds
+// whose epoch counters can drift (e.g. independent quiet-gap collectors
+// where one vantage misses a window) will correlate different time
+// windows under the same index; the per-alert evidence carries each
+// vantage's prev/cur so such skew is at least visible in the output.
+package detect
+
+import (
+	"fmt"
+	"slices"
+	"sync"
+	"time"
+
+	"repro/flow"
+	"repro/netwide"
+)
+
+// VantageEvidence is one vantage point's contribution to a netwide
+// alert.
+type VantageEvidence struct {
+	// Vantage names the reporting vantage point.
+	Vantage string
+	// Prev and Cur are the key's counts at this vantage across the epoch
+	// boundary.
+	Prev, Cur uint32
+	// Alerted reports whether this vantage's delta crossed the local
+	// alert threshold on its own.
+	Alerted bool
+}
+
+// Delta returns the vantage's signed change.
+func (e VantageEvidence) Delta() int64 { return int64(e.Cur) - int64(e.Prev) }
+
+// NetwideAlert is a KindNetwide alert with its per-vantage evidence.
+type NetwideAlert struct {
+	Alert
+	// Evidence lists the vantages that reported the key, in registration
+	// order.
+	Evidence []VantageEvidence
+}
+
+// CorrelatorConfig parameterizes a Correlator. Vantages is mandatory;
+// every other zero value takes a default.
+type CorrelatorConfig struct {
+	// Vantages names the vantage points expected to report. An epoch is
+	// correlated as soon as all of them have reported it.
+	Vantages []string
+	// Quorum is how many vantages must locally alert on a key to promote
+	// it. Default min(2, len(Vantages)).
+	Quorum int
+	// VantageMinDelta is the per-vantage |delta| that counts as a local
+	// alert for quorum purposes — set it to the vantage detectors'
+	// ChangeMinDelta. Default 1024.
+	VantageMinDelta uint32
+	// NetwideMinDelta promotes any key whose merged |delta| reaches it,
+	// quorum or not. Default 4 * VantageMinDelta.
+	NetwideMinDelta uint32
+	// TopK caps promotions per epoch, largest merged |delta| first.
+	// Default 16.
+	TopK int
+	// PendingEpochs is how many incomplete epochs may be held open
+	// waiting for straggler vantages before the oldest is correlated
+	// with whatever arrived. Default 4.
+	PendingEpochs int
+	// AlertLog is the capacity of the netwide-alert ring the query layer
+	// serves from. Default 1024.
+	AlertLog int
+}
+
+func (c CorrelatorConfig) withDefaults() CorrelatorConfig {
+	if c.Quorum == 0 {
+		c.Quorum = 2
+		if len(c.Vantages) < 2 {
+			c.Quorum = len(c.Vantages)
+		}
+	}
+	if c.VantageMinDelta == 0 {
+		c.VantageMinDelta = 1024
+	}
+	if c.NetwideMinDelta == 0 {
+		c.NetwideMinDelta = 4 * c.VantageMinDelta
+	}
+	if c.TopK == 0 {
+		c.TopK = 16
+	}
+	if c.PendingEpochs == 0 {
+		c.PendingEpochs = 4
+	}
+	if c.AlertLog == 0 {
+		c.AlertLog = 1024
+	}
+	return c
+}
+
+// pendingEpoch is one epoch awaiting reports.
+type pendingEpoch struct {
+	epoch   int
+	time    time.Time
+	got     []bool
+	n       int
+	changes [][]Change // per-vantage, key-sorted copies
+}
+
+// Correlator folds per-vantage change summaries into network-wide
+// alerts. ObserveSummary is safe from any goroutine (each vantage's
+// collector calls it from its own epoch loop); the query accessors are
+// safe concurrently with reporting.
+type Correlator struct {
+	cfg        CorrelatorConfig
+	vantageIdx map[string]int
+
+	mu      sync.Mutex
+	pending []*pendingEpoch // ordered by epoch ascending
+	spare   []*pendingEpoch // recycled entries, change buffers kept
+	merged  []netwide.CorrelatedDelta
+	views   []netwide.DeltaView
+	alerts  ring[NetwideAlert]
+	fresh   []NetwideAlert // per-epoch sink scratch
+	done    int            // highest epoch correlated + 1 (late reports drop)
+	started bool           // true once any epoch correlated (gates `done`)
+	epochs  uint64         // epochs correlated
+	late    uint64         // summaries for already-correlated epochs
+
+	// sink receives each correlated epoch's promoted alerts; it runs on
+	// the reporting goroutine that completed the epoch.
+	sink func([]NetwideAlert)
+}
+
+// NewCorrelator builds a correlator for a fixed vantage set.
+func NewCorrelator(cfg CorrelatorConfig) (*Correlator, error) {
+	if len(cfg.Vantages) == 0 {
+		return nil, fmt.Errorf("detect: correlator needs at least one vantage")
+	}
+	cfg = cfg.withDefaults()
+	if cfg.Quorum < 1 || cfg.Quorum > len(cfg.Vantages) {
+		return nil, fmt.Errorf("detect: quorum %d out of range for %d vantages",
+			cfg.Quorum, len(cfg.Vantages))
+	}
+	c := &Correlator{
+		cfg:        cfg,
+		vantageIdx: make(map[string]int, len(cfg.Vantages)),
+		alerts:     newRing[NetwideAlert](cfg.AlertLog),
+	}
+	for i, v := range cfg.Vantages {
+		if _, dup := c.vantageIdx[v]; dup {
+			return nil, fmt.Errorf("detect: duplicate vantage %q", v)
+		}
+		c.vantageIdx[v] = i
+	}
+	return c, nil
+}
+
+// Config returns the effective (defaulted) configuration.
+func (c *Correlator) Config() CorrelatorConfig { return c.cfg }
+
+// SetSink registers a callback receiving each correlated epoch's fresh
+// netwide alerts. It runs on the reporting goroutine that completed the
+// epoch, under the correlator's lock: it must not retain the slice and
+// must not call back into the Correlator — hand off to a channel or
+// copy, as with the Detector sink. Call before reporting begins.
+func (c *Correlator) SetSink(fn func([]NetwideAlert)) { c.sink = fn }
+
+// ObserveSummary records one vantage's change summary for one epoch —
+// the Detector summary-sink surface (wire it with
+// detector.SetSummarySink(func(s ChangeSummary) { c.ObserveSummary(name, s) })).
+// The summary's Changes slice is copied, honoring the sink contract.
+// Reports from unregistered vantages, duplicates, and epochs already
+// correlated are dropped (the latter counted by Late).
+func (c *Correlator) ObserveSummary(vantage string, s ChangeSummary) {
+	vi, ok := c.vantageIdx[vantage]
+	if !ok {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.started && s.Epoch < c.done {
+		c.late++
+		return
+	}
+	p := c.pendingFor(s.Epoch, s.Time)
+	if p.got[vi] {
+		return
+	}
+	p.got[vi] = true
+	p.n++
+	dst := p.changes[vi][:0]
+	p.changes[vi] = append(dst, s.Changes...)
+	netwide.SortDeltasByKey(p.changes[vi])
+	if p.n == len(c.cfg.Vantages) {
+		c.correlateOldestThrough(p.epoch)
+		return
+	}
+	// A straggler vantage must not hold the window open forever: once
+	// more than PendingEpochs epochs are pending, the oldest correlates
+	// with whatever arrived.
+	if len(c.pending) > c.cfg.PendingEpochs {
+		c.correlateOldestThrough(c.pending[0].epoch)
+	}
+}
+
+// pendingFor finds or creates the pending entry for an epoch, keeping
+// the pending list ordered. Called under mu.
+func (c *Correlator) pendingFor(epoch int, ts time.Time) *pendingEpoch {
+	i, ok := slices.BinarySearchFunc(c.pending, epoch, func(p *pendingEpoch, e int) int {
+		return p.epoch - e
+	})
+	if ok {
+		return c.pending[i]
+	}
+	var p *pendingEpoch
+	if n := len(c.spare); n > 0 {
+		p = c.spare[n-1]
+		c.spare = c.spare[:n-1]
+		for v := range p.got {
+			p.got[v] = false
+		}
+		p.n = 0
+	} else {
+		p = &pendingEpoch{
+			got:     make([]bool, len(c.cfg.Vantages)),
+			changes: make([][]Change, len(c.cfg.Vantages)),
+		}
+	}
+	p.epoch, p.time = epoch, ts
+	c.pending = slices.Insert(c.pending, i, p)
+	return p
+}
+
+// correlateOldestThrough correlates every pending epoch up to and
+// including `through`, in order — completing an epoch also flushes any
+// older stragglers so alerts stay chronological. Called under mu.
+func (c *Correlator) correlateOldestThrough(through int) {
+	for len(c.pending) > 0 && c.pending[0].epoch <= through {
+		p := c.pending[0]
+		c.pending = c.pending[:copy(c.pending, c.pending[1:])]
+		c.correlate(p)
+		c.spare = append(c.spare, p)
+	}
+}
+
+// correlate merges one epoch's per-vantage deltas and promotes. Called
+// under mu; the sink runs after the ring push, still under mu (the sink
+// contract already demands handing off, as with the Detector).
+func (c *Correlator) correlate(p *pendingEpoch) {
+	c.views = c.views[:0]
+	for v, got := range p.got {
+		if !got {
+			continue
+		}
+		c.views = append(c.views, netwide.DeltaView{
+			Name: c.cfg.Vantages[v], Deltas: p.changes[v],
+		})
+	}
+	c.merged = netwide.MergeDeltasInto(c.merged[:0], c.cfg.VantageMinDelta, c.views...)
+
+	// Promote by quorum or merged magnitude, keep the TopK largest.
+	promoted := c.merged[:0]
+	for _, cd := range c.merged {
+		if cd.Alerting >= c.cfg.Quorum || cd.Abs() >= c.cfg.NetwideMinDelta {
+			promoted = append(promoted, cd)
+		}
+	}
+	slices.SortFunc(promoted, func(a, b netwide.CorrelatedDelta) int {
+		if a.Abs() != b.Abs() {
+			if a.Abs() > b.Abs() {
+				return -1
+			}
+			return 1
+		}
+		return flow.CompareKeys(a.Key, b.Key)
+	})
+	if len(promoted) > c.cfg.TopK {
+		promoted = promoted[:c.cfg.TopK]
+	}
+
+	c.fresh = c.fresh[:0]
+	for _, cd := range promoted {
+		quorumScore := float64(cd.Alerting) / float64(c.cfg.Quorum)
+		deltaScore := float64(cd.Abs()) / float64(c.cfg.NetwideMinDelta)
+		score := quorumScore
+		if deltaScore > score {
+			score = deltaScore
+		}
+		sev := SeverityWarning
+		if score >= 2 {
+			sev = SeverityCritical
+		}
+		a := NetwideAlert{
+			Alert: Alert{
+				Kind: KindNetwide, Severity: sev, Epoch: p.epoch, Time: p.time,
+				Key: cd.Key, Value: float64(cd.Signed()), Baseline: float64(cd.Prev),
+				Score: score,
+			},
+			Evidence: c.evidence(p, cd.Key),
+		}
+		c.alerts.push(a)
+		c.fresh = append(c.fresh, a)
+	}
+	c.epochs++
+	c.done = p.epoch + 1
+	c.started = true
+	if c.sink != nil && len(c.fresh) > 0 {
+		c.sink(c.fresh)
+	}
+}
+
+// evidence gathers the per-vantage deltas of one promoted key; promoted
+// keys are few, so the binary searches cost nothing against the merge.
+func (c *Correlator) evidence(p *pendingEpoch, key flow.Key) []VantageEvidence {
+	ev := make([]VantageEvidence, 0, len(c.views))
+	for v, got := range p.got {
+		if !got {
+			continue
+		}
+		deltas := p.changes[v]
+		i, ok := slices.BinarySearchFunc(deltas, key, func(dl Change, k flow.Key) int {
+			return flow.CompareKeys(dl.Key, k)
+		})
+		if !ok {
+			continue
+		}
+		ev = append(ev, VantageEvidence{
+			Vantage: c.cfg.Vantages[v],
+			Prev:    deltas[i].Prev,
+			Cur:     deltas[i].Cur,
+			Alerted: deltas[i].Abs() >= c.cfg.VantageMinDelta,
+		})
+	}
+	return ev
+}
+
+// AppendNetwideAlerts appends the retained netwide alerts to dst, oldest
+// first, with evidence deep-copied so the caller's view cannot race
+// later correlation. Safe concurrently with reporting.
+func (c *Correlator) AppendNetwideAlerts(dst []NetwideAlert) []NetwideAlert {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := len(dst)
+	dst = c.alerts.appendAll(dst)
+	for i := n; i < len(dst); i++ {
+		dst[i].Evidence = slices.Clone(dst[i].Evidence)
+	}
+	return dst
+}
+
+// AppendAlerts appends the retained netwide alerts to dst as plain
+// alerts (evidence stripped), oldest first.
+func (c *Correlator) AppendAlerts(dst []Alert) []Alert {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, a := range c.alerts.appendAll(nil) {
+		dst = append(dst, a.Alert)
+	}
+	return dst
+}
+
+// Epochs returns how many epochs have been correlated.
+func (c *Correlator) Epochs() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.epochs
+}
+
+// Late returns how many summaries arrived for epochs already correlated
+// (a vantage lagging past the pending window — its evidence was lost).
+func (c *Correlator) Late() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.late
+}

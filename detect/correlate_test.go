@@ -1,0 +1,290 @@
+package detect
+
+import (
+	"testing"
+
+	"repro/flow"
+	"repro/netwide"
+)
+
+func mustCorrelator(t *testing.T, cfg CorrelatorConfig) *Correlator {
+	t.Helper()
+	c, err := NewCorrelator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// summary builds one vantage's per-epoch report from (key, prev, cur)
+// triples, in the |delta|-descending order a Detector emits.
+func summary(epoch int, changes ...Change) ChangeSummary {
+	return ChangeSummary{Epoch: epoch, Time: ts(epoch), Changes: changes}
+}
+
+func TestCorrelatorValidation(t *testing.T) {
+	if _, err := NewCorrelator(CorrelatorConfig{}); err == nil {
+		t.Error("no vantages accepted")
+	}
+	if _, err := NewCorrelator(CorrelatorConfig{Vantages: []string{"a", "a"}}); err == nil {
+		t.Error("duplicate vantage accepted")
+	}
+	if _, err := NewCorrelator(CorrelatorConfig{Vantages: []string{"a"}, Quorum: 2}); err == nil {
+		t.Error("quorum above vantage count accepted")
+	}
+	c := mustCorrelator(t, CorrelatorConfig{Vantages: []string{"a"}})
+	if got := c.Config().Quorum; got != 1 {
+		t.Errorf("single-vantage default quorum %d, want 1", got)
+	}
+}
+
+// TestCorrelatorQuorumPromotion: a key locally alerting at >= q vantages
+// is promoted with per-vantage evidence; a key alerting at only one is
+// not.
+func TestCorrelatorQuorumPromotion(t *testing.T) {
+	c := mustCorrelator(t, CorrelatorConfig{
+		Vantages: []string{"sw1", "sw2", "sw3"}, Quorum: 2, VantageMinDelta: 1000,
+		NetwideMinDelta: 1 << 30, // merged-delta path parked
+	})
+	// Key 1 spikes at sw1+sw2 (coordinated), key 2 only at sw3 (local).
+	c.ObserveSummary("sw1", summary(0, Change{Key: key(1), Prev: 100, Cur: 2000}))
+	c.ObserveSummary("sw2", summary(0, Change{Key: key(1), Prev: 50, Cur: 1500}))
+	c.ObserveSummary("sw3", summary(0, Change{Key: key(2), Prev: 0, Cur: 5000}))
+
+	alerts := c.AppendNetwideAlerts(nil)
+	if len(alerts) != 1 {
+		t.Fatalf("promoted %d keys, want 1: %v", len(alerts), alerts)
+	}
+	a := alerts[0]
+	if a.Kind != KindNetwide || a.Key != key(1) || a.Epoch != 0 {
+		t.Fatalf("wrong promotion: %+v", a.Alert)
+	}
+	if a.Value != 3350 || a.Baseline != 150 { // merged (2000-100)+(1500-50)
+		t.Errorf("merged delta %v / prev %v, want 3350 / 150", a.Value, a.Baseline)
+	}
+	if len(a.Evidence) != 2 {
+		t.Fatalf("evidence %v, want sw1+sw2", a.Evidence)
+	}
+	for i, want := range []string{"sw1", "sw2"} {
+		ev := a.Evidence[i]
+		if ev.Vantage != want || !ev.Alerted {
+			t.Errorf("evidence %d: %+v, want alerted %s", i, ev, want)
+		}
+	}
+	if got := c.Epochs(); got != 1 {
+		t.Errorf("Epochs() = %d, want 1", got)
+	}
+}
+
+// TestCorrelatorMergedDeltaPromotion: a key moving below every local
+// alert threshold is still promoted when the merged delta crosses the
+// netwide line — the thin-spread attack path.
+func TestCorrelatorMergedDeltaPromotion(t *testing.T) {
+	c := mustCorrelator(t, CorrelatorConfig{
+		Vantages: []string{"a", "b", "c"}, Quorum: 2,
+		VantageMinDelta: 1024, NetwideMinDelta: 2048,
+	})
+	// 900 per vantage: below 1024 locally, 2700 merged.
+	for _, v := range []string{"a", "b", "c"} {
+		c.ObserveSummary(v, summary(0, Change{Key: key(7), Prev: 100, Cur: 1000}))
+	}
+	alerts := c.AppendNetwideAlerts(nil)
+	if len(alerts) != 1 || alerts[0].Key != key(7) {
+		t.Fatalf("got %v, want key 7 promoted on merged delta", alerts)
+	}
+	a := alerts[0]
+	if a.Value != 2700 {
+		t.Errorf("merged delta %v, want 2700", a.Value)
+	}
+	for _, ev := range a.Evidence {
+		if ev.Alerted {
+			t.Errorf("evidence %+v claims a local alert below threshold", ev)
+		}
+	}
+	// Sub-threshold at a single vantage: stays local noise.
+	c.ObserveSummary("a", summary(1, Change{Key: key(8), Prev: 0, Cur: 900}))
+	c.ObserveSummary("b", summary(1))
+	c.ObserveSummary("c", summary(1))
+	if got := c.AppendNetwideAlerts(nil); len(got) != 1 {
+		t.Fatalf("single-vantage sub-threshold delta promoted: %v", got)
+	}
+}
+
+// TestCorrelatorPendingWindow: a dead vantage cannot wedge correlation —
+// once the pending window overflows, the oldest epoch correlates with
+// the reports that arrived, and a report landing after its epoch was
+// correlated counts as late.
+func TestCorrelatorPendingWindow(t *testing.T) {
+	c := mustCorrelator(t, CorrelatorConfig{
+		Vantages: []string{"up", "down"}, Quorum: 2,
+		VantageMinDelta: 100, NetwideMinDelta: 1000, PendingEpochs: 2,
+	})
+	// Only "up" reports; "down" is dead. Epochs 0.. stay pending until
+	// the window overflows.
+	for e := 0; e < 4; e++ {
+		c.ObserveSummary("up", summary(e, Change{Key: key(1), Prev: 0, Cur: 5000}))
+	}
+	// Window 2: epochs 0 and 1 must have been force-correlated (merged
+	// delta 5000 >= 1000 promotes from the one reporting vantage).
+	alerts := c.AppendNetwideAlerts(nil)
+	if len(alerts) != 2 {
+		t.Fatalf("force-correlated %d epochs, want 2: %v", len(alerts), alerts)
+	}
+	if len(alerts[0].Evidence) != 1 || alerts[0].Evidence[0].Vantage != "up" {
+		t.Errorf("evidence %v, want up only", alerts[0].Evidence)
+	}
+	// The dead vantage wakes up with a report for epoch 0: too late.
+	c.ObserveSummary("down", summary(0, Change{Key: key(1), Prev: 0, Cur: 5000}))
+	if got := c.Late(); got != 1 {
+		t.Errorf("Late() = %d, want 1", got)
+	}
+	// Unregistered vantages are ignored outright.
+	c.ObserveSummary("ghost", summary(9, Change{Key: key(1), Prev: 0, Cur: 9000}))
+	if got := c.AppendNetwideAlerts(nil); len(got) != 2 {
+		t.Fatalf("ghost vantage correlated: %v", got)
+	}
+}
+
+// TestCorrelatorDetectorWiring drives two real detectors through the
+// summary sink and checks end-to-end promotion: a key spiking at both
+// vantages in the same epoch comes out as one netwide alert.
+func TestCorrelatorDetectorWiring(t *testing.T) {
+	c := mustCorrelator(t, CorrelatorConfig{
+		Vantages: []string{"v0", "v1"}, Quorum: 2, VantageMinDelta: 1024,
+	})
+	var sunk int
+	c.SetSink(func(as []NetwideAlert) { sunk += len(as) })
+	dets := make([]*Detector, 2)
+	for i := range dets {
+		d := mustDetector(t, Config{Stages: StageChange, ChangeMinDelta: 1024, SummaryMinDelta: 256})
+		name := c.Config().Vantages[i]
+		d.SetSummarySink(func(s ChangeSummary) { c.ObserveSummary(name, s) })
+		dets[i] = d
+	}
+	base := []flow.Record{{Key: key(1), Count: 500}, {Key: key(2), Count: 500}}
+	spiked := []flow.Record{{Key: key(1), Count: 500}, {Key: key(2), Count: 3000}}
+	for _, d := range dets {
+		d.Observe(0, ts(0), base)
+	}
+	for _, d := range dets {
+		d.Observe(1, ts(1), spiked)
+	}
+	alerts := c.AppendNetwideAlerts(nil)
+	if len(alerts) != 1 || alerts[0].Key != key(2) || alerts[0].Epoch != 1 {
+		t.Fatalf("wired promotion wrong: %v", alerts)
+	}
+	if alerts[0].Value != 5000 { // 2500 per vantage, summed
+		t.Errorf("merged delta %v, want 5000", alerts[0].Value)
+	}
+	if sunk != 1 {
+		t.Errorf("sink saw %d alerts, want 1", sunk)
+	}
+	// Epoch 0 correlated too (empty summaries): no promotion from it.
+	if got := c.Epochs(); got != 2 {
+		t.Errorf("Epochs() = %d, want 2", got)
+	}
+}
+
+// TestSummaryMinDeltaSplitsSurfaces: with SummaryMinDelta below
+// ChangeMinDelta, sub-threshold deltas reach the summary sink (the
+// correlator's food) but neither the alert stream nor the query-served
+// /changes ring, which keep their heavy-change semantics.
+func TestSummaryMinDeltaSplitsSurfaces(t *testing.T) {
+	d := mustDetector(t, Config{Stages: StageChange, ChangeMinDelta: 1000, SummaryMinDelta: 100})
+	var sunk []Change
+	d.SetSummarySink(func(s ChangeSummary) { sunk = append(sunk, s.Changes...) })
+	d.Observe(0, ts(0), []flow.Record{{Key: key(1), Count: 100}, {Key: key(2), Count: 100}})
+	alerts := d.Observe(1, ts(1), []flow.Record{
+		{Key: key(1), Count: 2000}, // past ChangeMinDelta: alerts
+		{Key: key(2), Count: 400},  // summary-only: 300 in [100, 1000)
+	})
+	if len(alerts) != 1 || alerts[0].Key != key(1) {
+		t.Fatalf("alerts: %v", alerts)
+	}
+	if len(sunk) != 2 {
+		t.Fatalf("summary sink saw %d changes, want 2: %v", len(sunk), sunk)
+	}
+	sums := d.AppendSummaries(nil)
+	if len(sums) != 1 || len(sums[0].Changes) != 1 || sums[0].Changes[0].Key != key(1) {
+		t.Fatalf("/changes ring leaked sub-threshold entries: %+v", sums)
+	}
+}
+
+// TestSummarySubThresholdNotCrowdedOut: a busy epoch with more alerted
+// heavy changes than ChangeTopK must still carry the thin sub-threshold
+// deltas in its summary — they get their own top-k allotment, or the
+// merged-delta promotion path would go blind exactly under load.
+func TestSummarySubThresholdNotCrowdedOut(t *testing.T) {
+	d := mustDetector(t, Config{
+		Stages: StageChange, ChangeMinDelta: 1000, SummaryMinDelta: 100, ChangeTopK: 4,
+	})
+	var sunk []Change
+	d.SetSummarySink(func(s ChangeSummary) { sunk = append(sunk[:0], s.Changes...) })
+	base := make([]flow.Record, 0, 12)
+	busy := make([]flow.Record, 0, 12)
+	for i := 0; i < 10; i++ { // 10 alerted changes > ChangeTopK 4
+		base = append(base, flow.Record{Key: key(i), Count: 100})
+		busy = append(busy, flow.Record{Key: key(i), Count: uint32(5000 + 100*i)})
+	}
+	thin := key(100)
+	base = append(base, flow.Record{Key: thin, Count: 100})
+	busy = append(busy, flow.Record{Key: thin, Count: 600}) // +500: summary-only
+	d.Observe(0, ts(0), base)
+	d.Observe(1, ts(1), busy)
+	found := false
+	for _, c := range sunk {
+		if c.Key == thin {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("thin delta crowded out of the summary: %+v", sunk)
+	}
+	// The /changes ring still holds only alerted entries, capped at
+	// ChangeTopK.
+	sums := d.AppendSummaries(nil)
+	if len(sums) != 1 || len(sums[0].Changes) != 4 {
+		t.Fatalf("ring: %+v", sums)
+	}
+	for _, c := range sums[0].Changes {
+		if c.Abs() < 1000 {
+			t.Fatalf("sub-threshold entry in /changes ring: %+v", c)
+		}
+	}
+}
+
+// TestMergeDeltasInto pins the netwide fold the correlator builds on:
+// key-ordered output, saturating sums, vantage and alerting counts.
+func TestMergeDeltasInto(t *testing.T) {
+	va := netwide.DeltaView{Name: "a", Deltas: []netwide.Delta{
+		{Key: key(1), Prev: 10, Cur: 2000},
+		{Key: key(3), Prev: 5, Cur: 105},
+	}}
+	vb := netwide.DeltaView{Name: "b", Deltas: []netwide.Delta{
+		{Key: key(1), Prev: 20, Cur: 3000},
+		{Key: key(2), Prev: 0, Cur: 50},
+	}}
+	netwide.SortDeltasByKey(va.Deltas)
+	netwide.SortDeltasByKey(vb.Deltas)
+	got := netwide.MergeDeltasInto(nil, 1000, va, vb)
+	if len(got) != 3 {
+		t.Fatalf("merged %d keys, want 3: %v", len(got), got)
+	}
+	byKey := map[flow.Key]netwide.CorrelatedDelta{}
+	for i, cd := range got {
+		if i > 0 && flow.CompareKeys(got[i-1].Key, cd.Key) >= 0 {
+			t.Fatalf("output not key-sorted: %v", got)
+		}
+		byKey[cd.Key] = cd
+	}
+	k1 := byKey[key(1)]
+	if k1.Prev != 30 || k1.Cur != 5000 || k1.Vantages != 2 || k1.Alerting != 2 {
+		t.Errorf("key1 fold %+v", k1)
+	}
+	if k2 := byKey[key(2)]; k2.Vantages != 1 || k2.Alerting != 0 {
+		t.Errorf("key2 fold %+v", k2)
+	}
+	if k3 := byKey[key(3)]; k3.Abs() != 100 || k3.Alerting != 0 {
+		t.Errorf("key3 fold %+v", k3)
+	}
+}

@@ -97,7 +97,9 @@ func TestDistinctSketchAccuracy(t *testing.T) {
 // delta on onset and a negative delta when it falls back; the first
 // epoch never alerts (no comparison base).
 func TestHeavyChangeOnsetAndRecovery(t *testing.T) {
-	d := mustDetector(t, Config{ChangeMinDelta: 100})
+	// StageChange only: the spike would (correctly) also trip the
+	// forecast CUSUM, which has its own tests.
+	d := mustDetector(t, Config{Stages: StageChange, ChangeMinDelta: 100})
 	base := []flow.Record{{Key: key(1), Count: 500}, {Key: key(2), Count: 300}}
 	if alerts := d.Observe(0, ts(0), base); len(alerts) != 0 {
 		t.Fatalf("first epoch raised %d alerts", len(alerts))
@@ -249,7 +251,7 @@ func TestAnomalyBaseline(t *testing.T) {
 
 // TestAlertRingEviction: the ring keeps only the newest AlertLog alerts.
 func TestAlertRingEviction(t *testing.T) {
-	d := mustDetector(t, Config{ChangeMinDelta: 10, ChangeTopK: 1, AlertLog: 3})
+	d := mustDetector(t, Config{Stages: StageChange, ChangeMinDelta: 10, ChangeTopK: 1, AlertLog: 3})
 	d.Observe(0, ts(0), nil)
 	for e := 1; e <= 5; e++ {
 		// Alternate one flow's count so every epoch has exactly one change.

@@ -1,0 +1,166 @@
+// Per-key traffic forecasting for the slow-ramp detector. The
+// epoch-over-epoch heavy-change pass only sees what moved since the last
+// epoch, so an attack that ramps up below the per-epoch delta threshold
+// never fires. The forecast table keeps a smoothed Holt model (level +
+// trend) per tracked key and scores each epoch's count against the
+// model's one-step forecast with a two-sided CUSUM: a slow ramp produces
+// a small residual every epoch, the CUSUM accumulates what a single
+// epoch's delta hides, and the key alerts when the accumulated drift
+// crosses the threshold.
+//
+// The table is a compact open-addressed array in the topk digest-index
+// idiom: one KeyHash per lookup, linear probing, backward-shift deletion,
+// no Go map. Admission is gated on a per-key packet floor so mouse flows
+// never occupy slots, capacity is fixed at construction, and keys absent
+// for a configured number of epochs are swept out, so steady-state
+// evaluation is allocation-free.
+package detect
+
+import (
+	"math"
+
+	"repro/flow"
+	"repro/internal/hashing"
+)
+
+// forecastSeed salts the forecast table's digest independently of every
+// other hash family in the pipeline.
+const forecastSeed = 0xf0ca
+
+// forecastEntry is one tracked key's Holt state.
+type forecastEntry struct {
+	key   flow.Key
+	hash  uint64  // the key's digest, kept so sweeps never re-hash
+	level float64 // smoothed count
+	trend float64 // smoothed per-epoch slope
+	pos   float64 // CUSUM of positive residuals (ramp up)
+	neg   float64 // CUSUM of negative residuals (ramp down)
+	last  int32   // epoch the key was last observed in
+	used  bool
+}
+
+// forecastTable is the open-addressed per-key state store.
+type forecastTable struct {
+	slots     []forecastEntry
+	n         int
+	capacity  int     // admission bound (entries), slots is ~2x
+	alpha     float64 // level gain
+	beta      float64 // trend gain
+	slack     float64 // per-epoch drift the CUSUM absorbs for free
+	threshold float64 // CUSUM level that alerts (and re-arms)
+	minCount  uint32  // admission floor
+	ttl       int32   // epochs absent before a key is swept
+}
+
+// newForecastTable sizes the slot array at the next power of two holding
+// capacity entries at <=50% load.
+func newForecastTable(capacity int, alpha, beta, slack, threshold float64, minCount uint32, ttl int) *forecastTable {
+	slots := 1
+	for slots < 2*capacity {
+		slots <<= 1
+	}
+	return &forecastTable{
+		slots:     make([]forecastEntry, slots),
+		capacity:  capacity,
+		alpha:     alpha,
+		beta:      beta,
+		slack:     slack,
+		threshold: threshold,
+		minCount:  minCount,
+		ttl:       int32(ttl),
+		n:         0,
+	}
+}
+
+// Len returns the number of tracked keys.
+func (t *forecastTable) Len() int { return t.n }
+
+// observe scores one key's epoch count against its forecast, then absorbs
+// the count into the model. tracked is false when the key has no prior
+// state (first sight, or below the admission floor); fired is true when
+// the CUSUM crossed the threshold this epoch, in which case it re-arms so
+// a continuing ramp alerts again only after re-accumulating. forecast is
+// the pre-update one-step prediction and cusum the post-update
+// accumulator the score derives from.
+func (t *forecastTable) observe(key flow.Key, count uint32, epoch int) (forecast, cusum float64, tracked, fired bool) {
+	w1, w2 := key.Words()
+	h := hashing.KeyHash(forecastSeed, w1, w2)
+	mask := uint64(len(t.slots) - 1)
+	i := h & mask
+	for t.slots[i].used {
+		if e := &t.slots[i]; e.hash == h && e.key == key {
+			x := float64(count)
+			forecast = e.level + e.trend
+			r := x - forecast
+			e.pos = math.Max(0, e.pos+r-t.slack)
+			e.neg = math.Max(0, e.neg-r-t.slack)
+			cusum = math.Max(e.pos, e.neg)
+			e.last = int32(epoch)
+			if cusum >= t.threshold {
+				// Change-point response: the alert acknowledged the shift,
+				// so the model restarts at the observed value instead of
+				// ringing while the Holt gains chase it. A ramp that keeps
+				// going re-accumulates lag and re-alerts; a step that
+				// levels off goes quiet immediately.
+				e.level, e.trend = x, 0
+				e.pos, e.neg = 0, 0
+				return forecast, cusum, true, true
+			}
+			// Holt update.
+			level := t.alpha*x + (1-t.alpha)*forecast
+			e.trend = t.beta*(level-e.level) + (1-t.beta)*e.trend
+			e.level = level
+			return forecast, cusum, true, false
+		}
+		i = (i + 1) & mask
+	}
+	// First sight: admit keys past the floor while capacity lasts. The
+	// first observation seeds the level, so scoring starts next epoch.
+	if count >= t.minCount && t.n < t.capacity {
+		t.slots[i] = forecastEntry{
+			key: key, hash: h, level: float64(count), last: int32(epoch), used: true,
+		}
+		t.n++
+	}
+	return 0, 0, false, false
+}
+
+// sweep evicts keys not observed for ttl epochs, reclaiming their slots
+// with backward-shift deletion so probe chains stay intact. One pass over
+// the slot array per epoch — microseconds at realistic capacities.
+func (t *forecastTable) sweep(epoch int) {
+	limit := int32(epoch) - t.ttl
+	for i := 0; i < len(t.slots); i++ {
+		// delete may shift a later entry into slot i; re-examine it until
+		// the slot holds a survivor or goes empty.
+		for t.slots[i].used && t.slots[i].last < limit {
+			t.delete(uint64(i))
+		}
+	}
+}
+
+// delete empties slot i and backward-shifts the rest of its probe
+// cluster so every surviving entry stays reachable from its home slot.
+func (t *forecastTable) delete(i uint64) {
+	mask := uint64(len(t.slots) - 1)
+	t.n--
+	for {
+		t.slots[i].used = false
+		j := i
+		for {
+			j = (j + 1) & mask
+			if !t.slots[j].used {
+				return
+			}
+			home := t.slots[j].hash & mask
+			// Entry at j may move into the hole at i only if its home
+			// position is not inside (i, j] — the cyclic displacement
+			// check shared with the topk index.
+			if (j-home)&mask >= (j-i)&mask {
+				break
+			}
+		}
+		t.slots[i] = t.slots[j]
+		i = j
+	}
+}

@@ -1,0 +1,247 @@
+package detect
+
+import (
+	"testing"
+
+	"repro/flow"
+)
+
+// rampDetector builds a forecast-only detector with a low admission
+// floor so small test flows are modelled.
+func rampDetector(t *testing.T, threshold float64) *Detector {
+	t.Helper()
+	return mustDetector(t, Config{
+		Stages:            StageForecast,
+		ForecastMinCount:  10,
+		ForecastThreshold: threshold,
+	})
+}
+
+// TestForecastSlowRamp: a flow ramping up below the heavy-change delta
+// threshold every epoch still alerts once its accumulated drift from the
+// forecast crosses the CUSUM threshold — and the same trajectory never
+// trips the heavy-change pass it slips past.
+func TestForecastSlowRamp(t *testing.T) {
+	full := mustDetector(t, Config{ForecastMinCount: 10, ChangeMinDelta: 1024})
+	var forecastAlerts, changeAlerts int
+	count := uint32(500)
+	for e := 0; e < 20; e++ {
+		if e >= 5 {
+			count += 600 // per-epoch delta stays below ChangeMinDelta
+		}
+		recs := []flow.Record{
+			{Key: key(1), Count: count},
+			{Key: key(2), Count: 400}, // stable control flow
+		}
+		for _, a := range full.Observe(e, ts(e), recs) {
+			switch a.Kind {
+			case KindForecast:
+				if a.Key != key(1) {
+					t.Fatalf("forecast alert on control key: %+v", a)
+				}
+				forecastAlerts++
+			case KindHeavyChange:
+				changeAlerts++
+			}
+		}
+	}
+	if forecastAlerts == 0 {
+		t.Error("slow ramp never raised a forecast alert")
+	}
+	if changeAlerts != 0 {
+		t.Errorf("slow ramp raised %d heavy-change alerts (delta below threshold)", changeAlerts)
+	}
+}
+
+// TestForecastStableTrafficQuiet: jittering but stationary flows stay
+// inside the CUSUM slack and never alert.
+func TestForecastStableTrafficQuiet(t *testing.T) {
+	d := rampDetector(t, 1024)
+	for e := 0; e < 40; e++ {
+		jitter := uint32(e % 7 * 10) // bounded well under the slack
+		alerts := d.Observe(e, ts(e), []flow.Record{
+			{Key: key(1), Count: 1000 + jitter},
+			{Key: key(2), Count: 300 - jitter/2},
+		})
+		if len(alerts) != 0 {
+			t.Fatalf("epoch %d: stable traffic alerted: %v", e, alerts)
+		}
+	}
+	if got := d.ForecastTracked(); got != 2 {
+		t.Errorf("tracked %d keys, want 2", got)
+	}
+}
+
+// TestForecastAdmissionFloor: keys below ForecastMinCount never occupy
+// table slots.
+func TestForecastAdmissionFloor(t *testing.T) {
+	d := mustDetector(t, Config{Stages: StageForecast, ForecastMinCount: 100})
+	recs := []flow.Record{
+		{Key: key(1), Count: 5},   // mouse, not admitted
+		{Key: key(2), Count: 100}, // at the floor, admitted
+	}
+	d.Observe(0, ts(0), recs)
+	if got := d.ForecastTracked(); got != 1 {
+		t.Errorf("tracked %d keys, want 1 (floor 100)", got)
+	}
+}
+
+// TestForecastRearm: after an alert the CUSUM resets, so a flow that
+// jumps once and then stabilizes does not keep alerting forever.
+func TestForecastRearm(t *testing.T) {
+	d := rampDetector(t, 500)
+	d.Observe(0, ts(0), []flow.Record{{Key: key(1), Count: 1000}})
+	alerts := d.Observe(1, ts(1), []flow.Record{{Key: key(1), Count: 3000}})
+	if len(alerts) != 1 || alerts[0].Kind != KindForecast {
+		t.Fatalf("jump: got %v", alerts)
+	}
+	// The alert restarts the model at the observed level, so the
+	// stabilized flow goes quiet almost immediately.
+	quietBy := 2
+	for e := 2; e < 2+quietBy+4; e++ {
+		alerts = d.Observe(e, ts(e), []flow.Record{{Key: key(1), Count: 3000}})
+		if e >= 2+quietBy && len(alerts) != 0 {
+			t.Fatalf("epoch %d: stabilized flow still alerting: %v", e, alerts)
+		}
+	}
+}
+
+// TestForecastTableSweep: keys that stop appearing are reclaimed after
+// the TTL, and the freed capacity admits new keys.
+func TestForecastTableSweep(t *testing.T) {
+	d := mustDetector(t, Config{
+		Stages: StageForecast, ForecastMinCount: 10,
+		ForecastCapacity: 4, ForecastTTL: 2,
+	})
+	recs := func(base, n int) []flow.Record {
+		out := make([]flow.Record, n)
+		for i := range out {
+			out[i] = flow.Record{Key: key(base + i), Count: 500}
+		}
+		return out
+	}
+	d.Observe(0, ts(0), recs(0, 4))
+	if got := d.ForecastTracked(); got != 4 {
+		t.Fatalf("tracked %d, want 4", got)
+	}
+	// Capacity full: a fifth key cannot enter.
+	d.Observe(1, ts(1), append(recs(0, 4), recs(100, 1)...))
+	if got := d.ForecastTracked(); got != 4 {
+		t.Fatalf("over-capacity admit: tracked %d, want 4", got)
+	}
+	// The original keys vanish; after TTL epochs their slots free up.
+	for e := 2; e <= 6; e++ {
+		d.Observe(e, ts(e), recs(100, 1))
+	}
+	if got := d.ForecastTracked(); got != 1 {
+		t.Fatalf("after sweep: tracked %d, want 1", got)
+	}
+}
+
+// TestForecastTableDeletion exercises the backward-shift delete against
+// a dense probe cluster: surviving keys must stay reachable whatever the
+// eviction order.
+func TestForecastTableDeletion(t *testing.T) {
+	tab := newForecastTable(32, 0.3, 0.1, 64, 512, 1, 1)
+	for i := 0; i < 32; i++ {
+		tab.observe(key(i), 100, 0)
+	}
+	if tab.Len() != 32 {
+		t.Fatalf("inserted %d, want 32", tab.Len())
+	}
+	// Re-observe the even keys in epoch 3; the odd ones expire (TTL 1).
+	for i := 0; i < 32; i += 2 {
+		tab.observe(key(i), 100, 3)
+	}
+	tab.sweep(3)
+	if tab.Len() != 16 {
+		t.Fatalf("after sweep: %d entries, want 16", tab.Len())
+	}
+	// Every survivor must still resolve (tracked == true) and no ghost
+	// may have survived.
+	for i := 0; i < 32; i++ {
+		_, _, tracked, _ := tab.observe(key(i), 100, 4)
+		if want := i%2 == 0; tracked != want {
+			t.Errorf("key %d tracked=%v, want %v", i, tracked, want)
+		}
+	}
+}
+
+// TestVictimFanIn: a destination hammered by many distinct sources
+// alerts; a destination with as many flows from one source does not —
+// the dst-keyed mirror of TestSuperspreader.
+func TestVictimFanIn(t *testing.T) {
+	d := mustDetector(t, Config{FanInThreshold: 64})
+	var recs []flow.Record
+	// Victim: one destination, 200 distinct sources.
+	for i := 0; i < 200; i++ {
+		recs = append(recs, flow.Record{
+			Key:   flow.Key{SrcIP: 0x0B000000 | uint32(i), DstIP: 0x08080808, DstPort: 443, Proto: 6},
+			Count: 1,
+		})
+	}
+	// Busy server client-side: one source, 200 flows to one destination
+	// across source ports — long dst run, a single source.
+	for i := 0; i < 200; i++ {
+		recs = append(recs, flow.Record{
+			Key:   flow.Key{SrcIP: 0x0C0C0C0C, DstIP: 0x09090909, SrcPort: uint16(1024 + i), Proto: 6},
+			Count: 3,
+		})
+	}
+	alerts := d.Observe(0, ts(0), recs)
+	var fanin []Alert
+	for _, a := range alerts {
+		if a.Kind == KindVictimFanIn {
+			fanin = append(fanin, a)
+		}
+	}
+	if len(fanin) != 1 {
+		t.Fatalf("fan-in alerts: %v", fanin)
+	}
+	a := fanin[0]
+	if a.Key.DstIP != 0x08080808 || a.Key.SrcIP != 0 {
+		t.Errorf("flagged wrong destination: %+v", a.Key)
+	}
+	if a.Value < 180 || a.Value > 220 {
+		t.Errorf("fan-in estimate %v far from 200", a.Value)
+	}
+}
+
+// TestRingWraparound pins the ring's FIFO contract across several full
+// wraps: appendAll returns exactly the last cap values oldest-first, and
+// evictee points at the value the next push replaces.
+func TestRingWraparound(t *testing.T) {
+	r := newRing[int](3)
+	if r.evictee() != nil {
+		t.Fatal("empty ring has an evictee")
+	}
+	for v := 1; v <= 2; v++ {
+		r.push(v)
+	}
+	if r.evictee() != nil {
+		t.Fatal("partially filled ring has an evictee")
+	}
+	if got := r.appendAll(nil); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("pre-wrap contents %v", got)
+	}
+	// Push through 3 full wraps, checking the evictee before each
+	// overwrite.
+	for v := 3; v <= 11; v++ {
+		if v > 3 {
+			want := v - 3
+			if e := r.evictee(); e == nil || *e != want {
+				t.Fatalf("push %d: evictee %v, want %d", v, e, want)
+			}
+		}
+		r.push(v)
+	}
+	got := r.appendAll(nil)
+	if len(got) != 3 || got[0] != 9 || got[1] != 10 || got[2] != 11 {
+		t.Fatalf("post-wrap contents %v, want [9 10 11]", got)
+	}
+	// appendAll appends, never overwrites.
+	got = r.appendAll(got)
+	if len(got) != 6 || got[3] != 9 {
+		t.Fatalf("append-to-existing broke: %v", got)
+	}
+}

@@ -1,10 +1,13 @@
 // Synthetic injection workload for the detection subsystem: epochs of
-// stable background traffic with known heavy changes and superspreaders
-// injected at a fixed cadence, plus the evaluator that scores a detector
-// against the injected ground truth. Both the acceptance test and the
-// flowbench detect experiment run on this, so the precision/recall
-// numbers in BENCH_detect.json are reproducible from the same machinery
-// the tests gate on.
+// stable background traffic with known heavy changes, superspreaders,
+// DDoS victims (many sources fanning in on one destination) and slow
+// ramps (per-epoch growth below the heavy-change threshold, visible only
+// to the forecast CUSUM) injected at a fixed cadence, plus the evaluator
+// that scores a detector against the injected ground truth. Both the
+// acceptance tests and the flowbench detect experiment run on this, so
+// the precision/recall numbers in BENCH_detect.json are reproducible
+// from the same machinery the tests (and the CI detection-quality gate)
+// gate on.
 package experiments
 
 import (
@@ -38,6 +41,17 @@ type DetectTraceConfig struct {
 	// SpreaderFanout is the distinct-destination count of each injected
 	// superspreader source. Default 512.
 	SpreaderFanout int
+	// VictimSources is the distinct-source count fanning in on each
+	// injected DDoS victim destination. Default 512.
+	VictimSources int
+	// RampKeys is how many slow-ramp flows are injected; ramp starts
+	// stagger by two epochs from Warmup and each ramp runs to the end of
+	// the trace. Default 2.
+	RampKeys int
+	// RampStep is the per-epoch growth of each ramp flow, chosen below
+	// the heavy-change threshold so only the forecast detector can see
+	// it. Default 600.
+	RampStep uint32
 	// Seed drives the deterministic generator.
 	Seed uint64
 }
@@ -64,6 +78,15 @@ func (c DetectTraceConfig) withDefaults() DetectTraceConfig {
 	if c.SpreaderFanout == 0 {
 		c.SpreaderFanout = 512
 	}
+	if c.VictimSources == 0 {
+		c.VictimSources = 512
+	}
+	if c.RampKeys == 0 {
+		c.RampKeys = 2
+	}
+	if c.RampStep == 0 {
+		c.RampStep = 600
+	}
 	if c.Seed == 0 {
 		c.Seed = 1
 	}
@@ -83,10 +106,18 @@ type InjectedEpoch struct {
 	// Spreaders are the source addresses injected as superspreaders in
 	// this epoch.
 	Spreaders []uint32
+	// Victims are the destination addresses injected as fan-in victims
+	// in this epoch.
+	Victims []uint32
+	// RampKeys are the flows actively ramping as of this epoch — each
+	// should raise at least one forecast alert somewhere in its window.
+	RampKeys []flow.Key
 }
 
 // backgroundKey derives the i-th background flow's key: every flow has
-// its own source address, so the background contributes no fanout.
+// its own source address, so the background contributes no fanout, and
+// 251 shared destinations keep every per-destination run far below any
+// fan-in threshold.
 func backgroundKey(i int) flow.Key {
 	return flow.Key{
 		SrcIP:   0x0A000000 | uint32(i),
@@ -94,6 +125,18 @@ func backgroundKey(i int) flow.Key {
 		SrcPort: uint16(1024 + i%40000),
 		DstPort: uint16([...]uint16{80, 443, 53, 8080}[i%4]),
 		Proto:   uint8([...]uint8{6, 6, 17, 6}[i%4]),
+	}
+}
+
+// rampKey derives the j-th slow-ramp flow's key, on its own address
+// space so a ramp never collides with background or injection keys.
+func rampKey(j int) flow.Key {
+	return flow.Key{
+		SrcIP:   0xBEEF0000 | uint32(j),
+		DstIP:   0xC0A90000 | uint32(j),
+		SrcPort: uint16(30000 + j),
+		DstPort: 443,
+		Proto:   6,
 	}
 }
 
@@ -170,6 +213,33 @@ func GenDetectTrace(cfg DetectTraceConfig) []InjectedEpoch {
 					Count: 1 + uint32(d%3),
 				})
 			}
+			// Victim fan-in injection: VictimSources fresh sources, each a
+			// mouse flow, converging on one fresh destination.
+			dst := 0xF00D0000 | uint32(n)
+			ep.Victims = append(ep.Victims, dst)
+			for s := 0; s < cfg.VictimSources; s++ {
+				ep.Records = append(ep.Records, flow.Record{
+					Key: flow.Key{
+						SrcIP: 0xCAFE0000 | uint32(n*cfg.VictimSources+s), DstIP: dst,
+						SrcPort: 50000, DstPort: 443, Proto: 6,
+					},
+					Count: 1 + uint32(s%2),
+				})
+			}
+		}
+		// Slow ramps: each ramp flow idles at a stable base until its
+		// staggered start, then grows by RampStep every epoch to the end
+		// of the trace — per-epoch deltas the heavy-change threshold
+		// never sees, truth for the forecast detector from the first
+		// elevated epoch onwards.
+		for j := 0; j < cfg.RampKeys; j++ {
+			start := cfg.Warmup + 2*j
+			count := uint32(512)
+			if e >= start {
+				count += cfg.RampStep * uint32(e-start+1)
+				ep.RampKeys = append(ep.RampKeys, rampKey(j))
+			}
+			ep.Records = append(ep.Records, flow.Record{Key: rampKey(j), Count: count})
 		}
 		if _, wasInjection := injectionAt(e - 1); wasInjection && e >= 1 {
 			// The spiked flows recover this epoch: another heavy change.
@@ -195,6 +265,22 @@ type DetectEval struct {
 	SpreadTP int
 	SpreadFP int
 	SpreadFN int
+	FanInTP  int
+	FanInFP  int
+	FanInFN  int
+	// ForecastTP counts forecast alerts on actively ramping keys;
+	// ForecastFP those on keys neither ramping nor spiking. Forecast
+	// alerts on spike-truth keys are expected (a 16k step IS a forecast
+	// break) and counted separately as ForecastSpike.
+	ForecastTP    int
+	ForecastFP    int
+	ForecastSpike int
+	// RampEvents / RampsDetected score recall at the event level: a ramp
+	// counts as detected when at least one forecast alert lands on its
+	// key inside its window (the CUSUM fires once per accumulation, not
+	// every epoch).
+	RampEvents    int
+	RampsDetected int
 	// AnomalyEpochs counts epochs that raised at least one anomaly alert
 	// (informational; anomalies have no per-key truth here).
 	AnomalyEpochs int
@@ -223,10 +309,33 @@ func (e DetectEval) SpreadPrecision() float64 { return ratio(e.SpreadTP, e.Sprea
 // SpreadRecall is TP/(TP+FN) over injected superspreaders.
 func (e DetectEval) SpreadRecall() float64 { return ratio(e.SpreadTP, e.SpreadFN) }
 
+// FanInPrecision is TP/(TP+FP) over victim fan-in alerts.
+func (e DetectEval) FanInPrecision() float64 { return ratio(e.FanInTP, e.FanInFP) }
+
+// FanInRecall is TP/(TP+FN) over injected victims.
+func (e DetectEval) FanInRecall() float64 { return ratio(e.FanInTP, e.FanInFN) }
+
+// ForecastPrecision is TP/(TP+FP) over forecast alerts, spike-break
+// alerts excluded (they are correct, just not ramp truth).
+func (e DetectEval) ForecastPrecision() float64 { return ratio(e.ForecastTP, e.ForecastFP) }
+
+// RampRecall is the fraction of injected ramps that raised at least one
+// forecast alert; 1 when none were injected.
+func (e DetectEval) RampRecall() float64 { return ratio(e.RampsDetected, e.RampEvents-e.RampsDetected) }
+
 // EvalDetect runs every epoch through the detector and scores the raised
-// alerts against the ground truth, epoch by epoch.
+// alerts against the ground truth, epoch by epoch (ramps at the event
+// level).
 func EvalDetect(d *detect.Detector, epochs []InjectedEpoch) DetectEval {
 	eval := DetectEval{Epochs: len(epochs)}
+	rampHit := map[flow.Key]bool{} // ramp key -> alerted at least once
+	rampAll := map[flow.Key]bool{} // every key that ever ramps
+	for _, ep := range epochs {
+		for _, k := range ep.RampKeys {
+			rampAll[k] = true
+		}
+	}
+	eval.RampEvents = len(rampAll)
 	var totalNs int64
 	for e, ep := range epochs {
 		start := time.Now()
@@ -234,8 +343,18 @@ func EvalDetect(d *detect.Detector, epochs []InjectedEpoch) DetectEval {
 		totalNs += time.Since(start).Nanoseconds()
 		eval.Alerts += len(alerts)
 
+		truthChange := map[flow.Key]bool{}
+		for _, k := range ep.ChangedKeys {
+			truthChange[k] = true
+		}
+		truthRamp := map[flow.Key]bool{}
+		for _, k := range ep.RampKeys {
+			truthRamp[k] = true
+		}
+
 		flaggedChange := map[flow.Key]bool{}
 		flaggedSpread := map[uint32]bool{}
+		flaggedFanIn := map[uint32]bool{}
 		anomaly := false
 		for _, a := range alerts {
 			switch a.Kind {
@@ -243,6 +362,20 @@ func EvalDetect(d *detect.Detector, epochs []InjectedEpoch) DetectEval {
 				flaggedChange[a.Key] = true
 			case detect.KindSuperspreader:
 				flaggedSpread[a.Key.SrcIP] = true
+			case detect.KindVictimFanIn:
+				flaggedFanIn[a.Key.DstIP] = true
+			case detect.KindForecast:
+				switch {
+				case truthRamp[a.Key]:
+					eval.ForecastTP++
+					rampHit[a.Key] = true
+				case truthChange[a.Key]:
+					// A 16k spike (or its recovery) breaks the forecast
+					// too; correct, but not ramp truth.
+					eval.ForecastSpike++
+				default:
+					eval.ForecastFP++
+				}
 			case detect.KindAnomaly:
 				anomaly = true
 			}
@@ -251,9 +384,7 @@ func EvalDetect(d *detect.Detector, epochs []InjectedEpoch) DetectEval {
 			eval.AnomalyEpochs++
 		}
 
-		truthChange := map[flow.Key]bool{}
 		for _, k := range ep.ChangedKeys {
-			truthChange[k] = true
 			if flaggedChange[k] {
 				eval.ChangeTP++
 			} else {
@@ -279,7 +410,22 @@ func EvalDetect(d *detect.Detector, epochs []InjectedEpoch) DetectEval {
 				eval.SpreadFP++
 			}
 		}
+		truthVictim := map[uint32]bool{}
+		for _, v := range ep.Victims {
+			truthVictim[v] = true
+			if flaggedFanIn[v] {
+				eval.FanInTP++
+			} else {
+				eval.FanInFN++
+			}
+		}
+		for v := range flaggedFanIn {
+			if !truthVictim[v] {
+				eval.FanInFP++
+			}
+		}
 	}
+	eval.RampsDetected = len(rampHit)
 	if len(epochs) > 0 {
 		eval.NsPerEpoch = float64(totalNs) / float64(len(epochs))
 	}

@@ -8,11 +8,12 @@ import (
 )
 
 // TestDetectInjectionAccuracy is the detection subsystem's acceptance
-// gate: over a synthetic workload of 30+ epochs with heavy changes and
-// superspreaders injected into realistic background traffic, the
-// detector must reach at least 0.9 precision AND recall on both kinds.
-// The workload and evaluator are the exact machinery flowbench's detect
-// experiment reports in BENCH_detect.json.
+// gate (run in CI as the detection-quality job): over a synthetic
+// workload of 30+ epochs with heavy changes, superspreaders, fan-in
+// victims and slow ramps injected into realistic background traffic,
+// the detector must reach at least 0.9 precision AND recall on every
+// kind. The workload and evaluator are the exact machinery flowbench's
+// detect experiment reports in BENCH_detect.json.
 func TestDetectInjectionAccuracy(t *testing.T) {
 	cfg := DetectTraceConfig{Epochs: 30}
 	epochs := GenDetectTrace(cfg)
@@ -21,9 +22,9 @@ func TestDetectInjectionAccuracy(t *testing.T) {
 	}
 	injections := 0
 	for _, ep := range epochs {
-		injections += len(ep.Spreaders)
+		injections += len(ep.Spreaders) + len(ep.Victims)
 	}
-	if injections < 5 {
+	if injections < 10 {
 		t.Fatalf("only %d injections over %d epochs, workload too thin", injections, len(epochs))
 	}
 
@@ -39,6 +40,12 @@ func TestDetectInjectionAccuracy(t *testing.T) {
 	if eval.SpreadTP == 0 {
 		t.Fatal("no injected superspreader was ever flagged")
 	}
+	if eval.FanInTP == 0 {
+		t.Fatal("no injected victim was ever flagged")
+	}
+	if eval.RampEvents == 0 || eval.RampsDetected == 0 {
+		t.Fatalf("no injected ramp was ever flagged (eval: %+v)", eval)
+	}
 	check := func(name string, got float64) {
 		if got < 0.9 {
 			t.Errorf("%s = %.3f, want >= 0.9 (eval: %+v)", name, got, eval)
@@ -48,6 +55,66 @@ func TestDetectInjectionAccuracy(t *testing.T) {
 	check("change recall", eval.ChangeRecall())
 	check("spreader precision", eval.SpreadPrecision())
 	check("spreader recall", eval.SpreadRecall())
+	check("fan-in precision", eval.FanInPrecision())
+	check("fan-in recall", eval.FanInRecall())
+	check("forecast precision", eval.ForecastPrecision())
+	check("ramp recall", eval.RampRecall())
+}
+
+// TestNetwideInjectionAccuracy is the cross-vantage acceptance gate: on
+// a multi-vantage workload where keys spike past the local threshold at
+// a quorum of vantages, or below every local threshold but past the
+// netwide line once merged, the correlator must promote with at least
+// 0.9 precision AND recall — and no vantage's evidence may arrive late.
+func TestNetwideInjectionAccuracy(t *testing.T) {
+	cfg := NetwideTraceConfig{Epochs: 30}
+	epochs := GenNetwideTrace(cfg)
+	truths := 0
+	for _, ep := range epochs {
+		truths += len(ep.NetwideKeys)
+	}
+	if truths < 10 {
+		t.Fatalf("only %d netwide truth keys over %d epochs, workload too thin", truths, len(epochs))
+	}
+	eval, err := EvalNetwide(cfg, epochs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eval.TP == 0 {
+		t.Fatalf("no injected netwide change was ever promoted (eval: %+v)", eval)
+	}
+	if eval.Late != 0 {
+		t.Errorf("%d summaries arrived late", eval.Late)
+	}
+	if got := eval.Precision(); got < 0.9 {
+		t.Errorf("netwide precision = %.3f, want >= 0.9 (eval: %+v)", got, eval)
+	}
+	if got := eval.Recall(); got < 0.9 {
+		t.Errorf("netwide recall = %.3f, want >= 0.9 (eval: %+v)", got, eval)
+	}
+}
+
+// TestGenNetwideTraceDeterministic pins the multi-vantage generator:
+// deterministic output and a truth set only on and right after
+// injection epochs.
+func TestGenNetwideTraceDeterministic(t *testing.T) {
+	cfg := NetwideTraceConfig{Epochs: 20, Seed: 11}
+	a, b := GenNetwideTrace(cfg), GenNetwideTrace(cfg)
+	cfgD := cfg.withDefaults()
+	for e := range a {
+		if len(a[e].Views) != cfgD.Vantages {
+			t.Fatalf("epoch %d: %d views, want %d", e, len(a[e].Views), cfgD.Vantages)
+		}
+		for v := range a[e].Views {
+			if len(a[e].Views[v]) != len(b[e].Views[v]) {
+				t.Fatalf("epoch %d view %d: non-deterministic generation", e, v)
+			}
+		}
+		onInjection := e >= cfgD.Warmup && (e-cfgD.Warmup)%cfgD.InjectEvery <= 1
+		if !onInjection && len(a[e].NetwideKeys) != 0 {
+			t.Fatalf("epoch %d: unexpected truth %v", e, a[e].NetwideKeys)
+		}
+	}
 }
 
 // TestGenDetectTraceTruth pins the generator's invariants: deterministic

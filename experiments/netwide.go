@@ -1,0 +1,321 @@
+// Multi-vantage synthetic workload for the cross-vantage correlator:
+// background traffic split across several vantage points with two kinds
+// of coordinated injection — keys spiking past the local alert threshold
+// at a quorum of vantages, and keys spiking below every local threshold
+// but past the netwide line once merged — plus the evaluator that wires
+// per-vantage detectors into a Correlator and scores its promotions
+// against the injected truth. The acceptance test, the flowbench detect
+// experiment and the CI detection-quality gate all run on this.
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/detect"
+	"repro/flow"
+	"repro/internal/hashing"
+)
+
+// NetwideTraceConfig parameterizes the multi-vantage workload. The zero
+// value takes every default.
+type NetwideTraceConfig struct {
+	// Vantages is how many vantage points observe the traffic. Default 3.
+	Vantages int
+	// Epochs is the total epoch count. Default 30.
+	Epochs int
+	// BackgroundFlows is the persistent background population, split
+	// across the vantages. Default 1500.
+	BackgroundFlows int
+	// Warmup is how many epochs run clean before the first injection.
+	// Default 8.
+	Warmup int
+	// InjectEvery is the injection cadence after warmup. Default 3.
+	InjectEvery int
+	// CoordKeys is how many keys spike past the local alert threshold at
+	// a quorum of vantages per injection. Default 2.
+	CoordKeys int
+	// CoordDelta is the per-vantage spike of a coordinated key, at or
+	// past VantageMinDelta. Default 2048.
+	CoordDelta uint32
+	// ThinKeys is how many keys spike below every local threshold but
+	// past the netwide line once merged. Default 2.
+	ThinKeys int
+	// ThinDelta is the per-vantage spike of a thin-spread key, below
+	// VantageMinDelta. Default 900.
+	ThinDelta uint32
+	// VantageMinDelta is the local alert threshold the vantage detectors
+	// run with. Default 1024.
+	VantageMinDelta uint32
+	// NetwideMinDelta is the merged-delta promotion threshold. Default
+	// 2048.
+	NetwideMinDelta uint32
+	// Seed drives the deterministic generator.
+	Seed uint64
+}
+
+func (c NetwideTraceConfig) withDefaults() NetwideTraceConfig {
+	if c.Vantages == 0 {
+		c.Vantages = 3
+	}
+	if c.Epochs == 0 {
+		c.Epochs = 30
+	}
+	if c.BackgroundFlows == 0 {
+		c.BackgroundFlows = 1500
+	}
+	if c.Warmup == 0 {
+		c.Warmup = 8
+	}
+	if c.InjectEvery == 0 {
+		c.InjectEvery = 3
+	}
+	if c.CoordKeys == 0 {
+		c.CoordKeys = 2
+	}
+	if c.CoordDelta == 0 {
+		c.CoordDelta = 2048
+	}
+	if c.ThinKeys == 0 {
+		c.ThinKeys = 2
+	}
+	if c.ThinDelta == 0 {
+		c.ThinDelta = 900
+	}
+	if c.VantageMinDelta == 0 {
+		c.VantageMinDelta = 1024
+	}
+	if c.NetwideMinDelta == 0 {
+		c.NetwideMinDelta = 2048
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// NetwideEpoch is one generated epoch with per-vantage views and the
+// network-wide ground truth.
+type NetwideEpoch struct {
+	// Time is the epoch's synthetic timestamp.
+	Time time.Time
+	// Views holds each vantage point's record set.
+	Views [][]flow.Record
+	// NetwideKeys are the keys the correlator should promote in this
+	// epoch — injection onsets and the recoveries one epoch later.
+	NetwideKeys []flow.Key
+}
+
+// coordKey / thinKey derive injection keys on their own address spaces.
+func coordKey(i int) flow.Key {
+	return flow.Key{SrcIP: 0xDD000000 | uint32(i), DstIP: 0xC0A80001, DstPort: 443, Proto: 6}
+}
+
+func thinKey(i int) flow.Key {
+	return flow.Key{SrcIP: 0xEE000000 | uint32(i), DstIP: 0xC0A80002, DstPort: 443, Proto: 6}
+}
+
+// GenNetwideTrace builds the multi-vantage epoch sequence. Background
+// flows split roughly evenly across vantages with bounded jitter, so
+// neither their per-vantage deltas (which may enter summaries) nor
+// their merged deltas can cross the promotion thresholds; injected keys
+// are the only netwide truth.
+func GenNetwideTrace(cfg NetwideTraceConfig) []NetwideEpoch {
+	cfg = cfg.withDefaults()
+	state := cfg.Seed
+
+	// Stable per-flow totals; per-vantage share = total/V with per-epoch
+	// jitter bounded at 1/16 of the share.
+	base := make([]uint32, cfg.BackgroundFlows)
+	for i := range base {
+		var r uint64
+		state, r = hashing.SplitMix64(state)
+		base[i] = 48 + uint32(r%2048)
+	}
+
+	injectionAt := func(epoch int) (int, bool) {
+		if epoch < cfg.Warmup || (epoch-cfg.Warmup)%cfg.InjectEvery != 0 {
+			return 0, false
+		}
+		return (epoch - cfg.Warmup) / cfg.InjectEvery, true
+	}
+	injKeys := func(n int) (coord, thin []flow.Key) {
+		for j := 0; j < cfg.CoordKeys; j++ {
+			coord = append(coord, coordKey(n*cfg.CoordKeys+j))
+		}
+		for j := 0; j < cfg.ThinKeys; j++ {
+			thin = append(thin, thinKey(n*cfg.ThinKeys+j))
+		}
+		return coord, thin
+	}
+
+	epochs := make([]NetwideEpoch, cfg.Epochs)
+	for e := range epochs {
+		ep := &epochs[e]
+		ep.Time = time.Unix(1_700_000_000+int64(e)*60, 0).UTC()
+		ep.Views = make([][]flow.Record, cfg.Vantages)
+
+		// Background, split per vantage with jitter.
+		for i, b := range base {
+			share := b/uint32(cfg.Vantages) + 1
+			s := cfg.Seed ^ (0xA24BAED4963EE407 * uint64(e+1)) ^ uint64(i)<<20
+			for v := 0; v < cfg.Vantages; v++ {
+				var r uint64
+				s, r = hashing.SplitMix64(s)
+				jitter := uint32(r) % (share/16 + 1)
+				ep.Views[v] = append(ep.Views[v], flow.Record{
+					Key:   backgroundKey(i),
+					Count: share - share/32 + jitter,
+				})
+			}
+		}
+
+		// Injections: a coordinated key spikes CoordDelta at the first
+		// two vantages (the quorum); a thin key spikes ThinDelta at every
+		// vantage. Both recover next epoch, which is truth again.
+		inject := func(n int) {
+			coord, thin := injKeys(n)
+			for _, k := range coord {
+				for v := 0; v < 2 && v < cfg.Vantages; v++ {
+					ep.Views[v] = append(ep.Views[v], flow.Record{Key: k, Count: 64 + cfg.CoordDelta})
+				}
+			}
+			for _, k := range thin {
+				for v := 0; v < cfg.Vantages; v++ {
+					ep.Views[v] = append(ep.Views[v], flow.Record{Key: k, Count: 64 + cfg.ThinDelta})
+				}
+			}
+		}
+		// Injected keys idle at a small base everywhere outside their
+		// spike epoch, so onset and recovery are both clean deltas.
+		idle := func(n int) {
+			coord, thin := injKeys(n)
+			for _, k := range coord {
+				for v := 0; v < 2 && v < cfg.Vantages; v++ {
+					ep.Views[v] = append(ep.Views[v], flow.Record{Key: k, Count: 64})
+				}
+			}
+			for _, k := range thin {
+				for v := 0; v < cfg.Vantages; v++ {
+					ep.Views[v] = append(ep.Views[v], flow.Record{Key: k, Count: 64})
+				}
+			}
+		}
+		maxInj := 0
+		if n, ok := injectionAt(cfg.Epochs - 1); ok {
+			maxInj = n
+		} else if cfg.Epochs > cfg.Warmup {
+			maxInj = (cfg.Epochs - 1 - cfg.Warmup) / cfg.InjectEvery
+		}
+		for n := 0; n <= maxInj; n++ {
+			if cur, ok := injectionAt(e); ok && cur == n {
+				inject(n)
+				coord, thin := injKeys(n)
+				ep.NetwideKeys = append(append(ep.NetwideKeys, coord...), thin...)
+				continue
+			}
+			idle(n)
+		}
+		if n, wasInjection := injectionAt(e - 1); wasInjection && e >= 1 {
+			// Recovery: the spiked keys fell back this epoch.
+			coord, thin := injKeys(n)
+			ep.NetwideKeys = append(append(ep.NetwideKeys, coord...), thin...)
+		}
+	}
+	return epochs
+}
+
+// NetwideEval aggregates the correlator's scoring against the injected
+// truth.
+type NetwideEval struct {
+	Epochs  int
+	Alerts  int
+	TP      int
+	FP      int
+	FN      int
+	Late    uint64
+	NsPerEp float64
+}
+
+// Precision is TP/(TP+FP) over promoted keys; 1 when none promoted.
+func (e NetwideEval) Precision() float64 { return ratio(e.TP, e.FP) }
+
+// Recall is TP/(TP+FN) over injected netwide keys; 1 when none injected.
+func (e NetwideEval) Recall() float64 { return ratio(e.TP, e.FN) }
+
+// EvalNetwide builds one detector per vantage (StageChange, with
+// sub-threshold summaries) wired into a Correlator, drives every epoch
+// through all of them, and scores the promoted keys against the ground
+// truth epoch by epoch.
+func EvalNetwide(cfg NetwideTraceConfig, epochs []NetwideEpoch) (NetwideEval, error) {
+	cfg = cfg.withDefaults()
+	names := make([]string, cfg.Vantages)
+	for v := range names {
+		names[v] = fmt.Sprintf("v%d", v)
+	}
+	corr, err := detect.NewCorrelator(detect.CorrelatorConfig{
+		Vantages:        names,
+		Quorum:          2,
+		VantageMinDelta: cfg.VantageMinDelta,
+		NetwideMinDelta: cfg.NetwideMinDelta,
+	})
+	if err != nil {
+		return NetwideEval{}, err
+	}
+	var promoted []detect.NetwideAlert
+	corr.SetSink(func(as []detect.NetwideAlert) { promoted = append(promoted, as...) })
+
+	dets := make([]*detect.Detector, cfg.Vantages)
+	for v := range dets {
+		d, err := detect.NewDetector(detect.Config{
+			Stages:          detect.StageChange,
+			ChangeMinDelta:  cfg.VantageMinDelta,
+			SummaryMinDelta: cfg.VantageMinDelta / 4,
+		})
+		if err != nil {
+			return NetwideEval{}, err
+		}
+		name := names[v]
+		d.SetSummarySink(func(s detect.ChangeSummary) { corr.ObserveSummary(name, s) })
+		dets[v] = d
+	}
+
+	eval := NetwideEval{Epochs: len(epochs)}
+	var totalNs int64
+	for e, ep := range epochs {
+		promoted = promoted[:0]
+		start := time.Now()
+		for v, d := range dets {
+			d.Observe(e, ep.Time, ep.Views[v])
+		}
+		totalNs += time.Since(start).Nanoseconds()
+		eval.Alerts += len(promoted)
+
+		flagged := map[flow.Key]bool{}
+		for _, a := range promoted {
+			if a.Epoch != e {
+				return eval, fmt.Errorf("promotion for epoch %d emitted during epoch %d", a.Epoch, e)
+			}
+			flagged[a.Key] = true
+		}
+		truth := map[flow.Key]bool{}
+		for _, k := range ep.NetwideKeys {
+			truth[k] = true
+			if flagged[k] {
+				eval.TP++
+			} else {
+				eval.FN++
+			}
+		}
+		for k := range flagged {
+			if !truth[k] {
+				eval.FP++
+			}
+		}
+	}
+	eval.Late = corr.Late()
+	if len(epochs) > 0 {
+		eval.NsPerEp = float64(totalNs) / float64(len(epochs))
+	}
+	return eval, nil
+}

@@ -218,6 +218,102 @@ func DiffInto(dst []Delta, prev, cur []flow.Record, minAbs uint32) []Delta {
 	return dst
 }
 
+// DeltaView is one vantage point's key-sorted per-epoch delta list — the
+// change-summary payload a detector reports, re-sorted into merge order.
+type DeltaView struct {
+	// Name identifies the vantage point.
+	Name string
+	// Deltas must be sorted by packed key (SortByKey order) with each key
+	// appearing at most once.
+	Deltas []Delta
+}
+
+// CorrelatedDelta is one key's fold across vantage points: how many
+// views reported the key changing, how many of those crossed the local
+// alert threshold, and the summed before/after counts of the reporting
+// views (a vantage that did not report the key contributes nothing — its
+// delta sat below that vantage's summary floor).
+type CorrelatedDelta struct {
+	Key flow.Key
+	// Prev and Cur are the saturating sums of the reporting views'
+	// before/after counts.
+	Prev, Cur uint32
+	// Vantages is how many views reported the key at all.
+	Vantages int
+	// Alerting is how many views reported it with |delta| >= the minAlert
+	// handed to MergeDeltasInto — the per-vantage alert threshold.
+	Alerting int
+}
+
+// Signed returns the merged change Cur-Prev as a signed value.
+func (c CorrelatedDelta) Signed() int64 { return int64(c.Cur) - int64(c.Prev) }
+
+// Abs returns the magnitude of the merged change.
+func (c CorrelatedDelta) Abs() uint32 {
+	if c.Cur >= c.Prev {
+		return c.Cur - c.Prev
+	}
+	return c.Prev - c.Cur
+}
+
+// MergeDeltasInto k-way merges key-sorted delta lists from several
+// vantage points into dst, appending one CorrelatedDelta per distinct
+// key in key order and returning the extended slice. Per-view counts sum
+// saturating; views whose |delta| is at least minAlert are additionally
+// counted as Alerting. The same cursor walk as MergeSumInto, so
+// steady-state cross-vantage correlation is allocation-free when dst is
+// reused.
+func MergeDeltasInto(dst []CorrelatedDelta, minAlert uint32, views ...DeltaView) []CorrelatedDelta {
+	var idxArr [16]int
+	var idx []int
+	if len(views) <= len(idxArr) {
+		idx = idxArr[:len(views)]
+	} else {
+		idx = make([]int, len(views))
+	}
+	start := len(dst)
+	for {
+		best := -1
+		var b1, b2 uint64
+		for v := range views {
+			if idx[v] >= len(views[v].Deltas) {
+				continue
+			}
+			w1, w2 := views[v].Deltas[idx[v]].Key.Words()
+			if best < 0 || w1 < b1 || (w1 == b1 && w2 < b2) {
+				best, b1, b2 = v, w1, w2
+			}
+		}
+		if best < 0 {
+			return dst
+		}
+		dl := views[best].Deltas[idx[best]]
+		idx[best]++
+		alerting := 0
+		if dl.Abs() >= minAlert {
+			alerting = 1
+		}
+		if n := len(dst); n > start && dst[n-1].Key == dl.Key {
+			dst[n-1].Prev = combineSum(dst[n-1].Prev, dl.Prev)
+			dst[n-1].Cur = combineSum(dst[n-1].Cur, dl.Cur)
+			dst[n-1].Vantages++
+			dst[n-1].Alerting += alerting
+			continue
+		}
+		dst = append(dst, CorrelatedDelta{
+			Key: dl.Key, Prev: dl.Prev, Cur: dl.Cur, Vantages: 1, Alerting: alerting,
+		})
+	}
+}
+
+// SortDeltasByKey orders a delta list by packed key — the DeltaView
+// precondition (ChangeSummary lists arrive ordered by |delta|, not key).
+func SortDeltasByKey(deltas []Delta) {
+	slices.SortFunc(deltas, func(a, b Delta) int {
+		return flow.CompareKeys(a.Key, b.Key)
+	})
+}
+
 // SortByKey orders records by their packed two-word key encoding
 // (flow.CompareKeys), the precondition of the Into merges and the order
 // recordstore persists.

@@ -1,9 +1,10 @@
 // Alert endpoints: the detection subsystem's read surface. /alerts
 // serves the detector's recent-alert ring with kind/severity/epoch
-// filtering; /changes serves the per-epoch heavy-change top-k lists.
-// Both are ring snapshots — the detector keeps evaluating on the drain
-// worker while requests read, and neither endpoint ever touches the
-// ingest path.
+// filtering; /changes serves the per-epoch heavy-change top-k lists;
+// /netwide/alerts serves the cross-vantage correlator's promotions with
+// their per-vantage evidence. All are ring snapshots — the detector and
+// correlator keep evaluating on their drain goroutines while requests
+// read, and none of the endpoints ever touches the ingest path.
 package query
 
 import (
@@ -22,6 +23,12 @@ import (
 type AlertSource interface {
 	AppendAlerts(dst []detect.Alert) []detect.Alert
 	AppendSummaries(dst []detect.ChangeSummary) []detect.ChangeSummary
+}
+
+// NetwideAlertSource serves retained cross-vantage alerts;
+// *detect.Correlator implements it.
+type NetwideAlertSource interface {
+	AppendNetwideAlerts(dst []detect.NetwideAlert) []detect.NetwideAlert
 }
 
 // AlertParams are the decoded /alerts parameters.
@@ -110,8 +117,9 @@ type AlertJSON struct {
 	Severity string    `json:"severity"`
 	Epoch    int       `json:"epoch"`
 	Time     string    `json:"time"`
-	Flow     *FlowJSON `json:"flow,omitempty"` // heavy-change key
+	Flow     *FlowJSON `json:"flow,omitempty"` // heavy-change/forecast/netwide key
 	Src      string    `json:"src,omitempty"`  // superspreader source
+	Dst      string    `json:"dst,omitempty"`  // victim fan-in destination
 	Metric   string    `json:"metric,omitempty"`
 	Value    float64   `json:"value"`
 	Baseline float64   `json:"baseline"`
@@ -161,11 +169,51 @@ func alertJSON(a detect.Alert) AlertJSON {
 		Score:    a.Score,
 	}
 	switch a.Kind {
-	case detect.KindHeavyChange:
+	case detect.KindHeavyChange, detect.KindForecast, detect.KindNetwide:
 		fj := recordJSON(a.Epoch, flow.Record{Key: a.Key, Count: clampCount(a.Value)})
 		out.Flow = &fj
 	case detect.KindSuperspreader:
 		out.Src = flow.IPString(a.Key.SrcIP)
+	case detect.KindVictimFanIn:
+		out.Dst = flow.IPString(a.Key.DstIP)
+	}
+	return out
+}
+
+// EvidenceJSON is one vantage's contribution to a netwide alert on the
+// wire.
+type EvidenceJSON struct {
+	Vantage string `json:"vantage"`
+	Prev    uint32 `json:"prev"`
+	Cur     uint32 `json:"cur"`
+	Delta   int64  `json:"delta"`
+	Alerted bool   `json:"alerted"`
+}
+
+// NetwideAlertJSON is one cross-vantage alert with its evidence.
+type NetwideAlertJSON struct {
+	AlertJSON
+	Evidence []EvidenceJSON `json:"evidence"`
+}
+
+// NetwideAlertsResponse is the /netwide/alerts payload. Alerts are
+// newest first.
+type NetwideAlertsResponse struct {
+	Matched int                `json:"matched"`
+	Limited bool               `json:"limited"`
+	Alerts  []NetwideAlertJSON `json:"alerts"`
+}
+
+func netwideAlertJSON(a detect.NetwideAlert) NetwideAlertJSON {
+	out := NetwideAlertJSON{AlertJSON: alertJSON(a.Alert), Evidence: []EvidenceJSON{}}
+	for _, ev := range a.Evidence {
+		out.Evidence = append(out.Evidence, EvidenceJSON{
+			Vantage: ev.Vantage,
+			Prev:    ev.Prev,
+			Cur:     ev.Cur,
+			Delta:   ev.Delta(),
+			Alerted: ev.Alerted,
+		})
 	}
 	return out
 }
@@ -198,6 +246,36 @@ func (h *handler) alerts(w http.ResponseWriter, r *http.Request) {
 			continue
 		}
 		resp.Alerts = append(resp.Alerts, alertJSON(all[i]))
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (h *handler) netwideAlerts(w http.ResponseWriter, r *http.Request) {
+	if h.cfg.NetwideAlerts == nil {
+		writeError(w, http.StatusNotFound, errors.New("no netwide alert source configured"))
+		return
+	}
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("GET only"))
+		return
+	}
+	p, err := ParseAlertParams(r.URL.Query())
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	all := h.cfg.NetwideAlerts.AppendNetwideAlerts(nil)
+	resp := NetwideAlertsResponse{Alerts: []NetwideAlertJSON{}}
+	for i := len(all) - 1; i >= 0; i-- {
+		if !p.match(all[i].Alert) {
+			continue
+		}
+		resp.Matched++
+		if len(resp.Alerts) >= p.Limit {
+			resp.Limited = true
+			continue
+		}
+		resp.Alerts = append(resp.Alerts, netwideAlertJSON(all[i]))
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

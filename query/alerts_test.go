@@ -16,7 +16,12 @@ import (
 // change and a superspreader at epoch 1, a recovery change at epoch 2.
 func testDetector(t *testing.T) *detect.Detector {
 	t.Helper()
-	d, err := detect.NewDetector(detect.Config{ChangeMinDelta: 100, FanoutThreshold: 64})
+	// Change + spreader stages only: the fixture pins exact alert counts,
+	// and the 9000-packet spike would also trip the forecast CUSUM.
+	d, err := detect.NewDetector(detect.Config{
+		Stages:         detect.StageChange | detect.StageSpreader,
+		ChangeMinDelta: 100, FanoutThreshold: 64,
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,6 +149,121 @@ func TestChangesEndpoint(t *testing.T) {
 	})
 }
 
+// TestAlertKindsOnTheWire pins the JSON rendering of the per-key alert
+// kinds: forecast and netwide carry the full flow, victim fan-in the
+// destination address.
+func TestAlertKindsOnTheWire(t *testing.T) {
+	d, err := detect.NewDetector(detect.Config{
+		Stages:            detect.StageForecast | detect.StageFanIn,
+		FanInThreshold:    64,
+		ForecastMinCount:  10,
+		ForecastThreshold: 500,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ramp := flow.Key{SrcIP: 0x0A000001, DstIP: 0x0A000002, DstPort: 443, Proto: 6}
+	at := time.Unix(1700000000, 0)
+	d.Observe(0, at, []flow.Record{{Key: ramp, Count: 100}})
+	// Epoch 1: the ramp key jumps past the CUSUM threshold, and a victim
+	// collects 100 distinct sources.
+	recs := []flow.Record{{Key: ramp, Count: 5000}}
+	for i := 0; i < 100; i++ {
+		recs = append(recs, flow.Record{
+			Key:   flow.Key{SrcIP: 0x0B000000 | uint32(i), DstIP: 0x08080808, DstPort: 53, Proto: 17},
+			Count: 1,
+		})
+	}
+	d.Observe(1, at.Add(time.Minute), recs)
+
+	srv := httptest.NewServer(NewHandler(Config{Alerts: d}))
+	defer srv.Close()
+
+	var fc AlertsResponse
+	get(t, srv, "/alerts?kind=forecast", &fc)
+	if fc.Matched != 1 || fc.Alerts[0].Flow == nil || fc.Alerts[0].Flow.Src != "10.0.0.1" {
+		t.Errorf("forecast on the wire: %+v", fc.Alerts)
+	}
+	var fi AlertsResponse
+	get(t, srv, "/alerts?kind=victimfanin", &fi)
+	if fi.Matched != 1 || fi.Alerts[0].Dst != "8.8.8.8" || fi.Alerts[0].Src != "" {
+		t.Errorf("fan-in on the wire: %+v", fi.Alerts)
+	}
+	t.Run("dst filter matches fan-in key", func(t *testing.T) {
+		var r AlertsResponse
+		get(t, srv, "/alerts?filter=dst%3D8.8.8.8", &r)
+		if r.Matched != 1 || r.Alerts[0].Kind != "victimfanin" {
+			t.Errorf("dst filter: %+v", r)
+		}
+	})
+}
+
+// testCorrelator drives a real correlator to one promoted epoch: a key
+// alerting at both vantages.
+func testCorrelator(t *testing.T) *detect.Correlator {
+	t.Helper()
+	c, err := detect.NewCorrelator(detect.CorrelatorConfig{
+		Vantages: []string{"sw1", "sw2"}, Quorum: 2, VantageMinDelta: 1000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot := flow.Key{SrcIP: 0x0A000001, DstIP: 0x0A000063, DstPort: 443, Proto: 6}
+	at := time.Unix(1700000000, 0)
+	for _, v := range []string{"sw1", "sw2"} {
+		c.ObserveSummary(v, detect.ChangeSummary{
+			Epoch: 3, Time: at,
+			Changes: []detect.Change{{Key: hot, Prev: 100, Cur: 2500}},
+		})
+	}
+	return c
+}
+
+func TestNetwideAlertsEndpoint(t *testing.T) {
+	srv := httptest.NewServer(NewHandler(Config{NetwideAlerts: testCorrelator(t)}))
+	defer srv.Close()
+
+	var resp NetwideAlertsResponse
+	if code := get(t, srv, "/netwide/alerts", &resp); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if resp.Matched != 1 || len(resp.Alerts) != 1 {
+		t.Fatalf("matched %d: %+v", resp.Matched, resp.Alerts)
+	}
+	a := resp.Alerts[0]
+	if a.Kind != "netwide" || a.Epoch != 3 || a.Flow == nil || a.Flow.Src != "10.0.0.1" {
+		t.Errorf("netwide alert: %+v", a)
+	}
+	if a.Value != 4800 { // 2400 per vantage, merged
+		t.Errorf("merged delta %v, want 4800", a.Value)
+	}
+	if len(a.Evidence) != 2 || a.Evidence[0].Vantage != "sw1" || !a.Evidence[0].Alerted ||
+		a.Evidence[0].Delta != 2400 {
+		t.Errorf("evidence: %+v", a.Evidence)
+	}
+
+	t.Run("severity filter", func(t *testing.T) {
+		var r NetwideAlertsResponse
+		get(t, srv, "/netwide/alerts?severity=critical", &r)
+		// 4800/4000 netwide-delta score and full quorum: warning only.
+		if r.Matched != 0 {
+			t.Errorf("critical filter matched %d: %+v", r.Matched, r.Alerts)
+		}
+	})
+	t.Run("kind filter applies", func(t *testing.T) {
+		var r NetwideAlertsResponse
+		get(t, srv, "/netwide/alerts?kind=heavychange", &r)
+		if r.Matched != 0 {
+			t.Errorf("kind filter leaked: %+v", r)
+		}
+	})
+	t.Run("bad params", func(t *testing.T) {
+		if code := get(t, srv, "/netwide/alerts?kind=bogus", nil); code != http.StatusBadRequest {
+			t.Errorf("bogus kind -> %d", code)
+		}
+	})
+}
+
 func TestAlertsUnconfigured(t *testing.T) {
 	srv := httptest.NewServer(NewHandler(Config{}))
 	defer srv.Close()
@@ -152,6 +272,9 @@ func TestAlertsUnconfigured(t *testing.T) {
 	}
 	if code := get(t, srv, "/changes", nil); code != http.StatusNotFound {
 		t.Errorf("/changes without source -> %d", code)
+	}
+	if code := get(t, srv, "/netwide/alerts", nil); code != http.StatusNotFound {
+		t.Errorf("/netwide/alerts without source -> %d", code)
 	}
 }
 

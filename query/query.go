@@ -2,7 +2,7 @@
 // surface answering live and historical flow questions without touching
 // the ingest hot path.
 //
-// Six endpoints:
+// Seven endpoints:
 //
 //	GET /topk?k=10                  largest flows right now, from the live
 //	                                top-k tracker — no epoch dump involved
@@ -12,8 +12,11 @@
 //	GET /netwide/topk?k=10          top-k over the merged network-wide view
 //	                                of every registered vantage point
 //	GET /alerts?kind=...&severity=  recent detection alerts (heavy change,
-//	                                superspreader, anomaly) from the ring
+//	                                forecast, superspreader, victim fan-in,
+//	                                anomaly) from the ring
 //	GET /changes?k=10&epoch=        per-epoch heavy-change top-k lists
+//	GET /netwide/alerts?severity=   cross-vantage correlated alerts with
+//	                                per-vantage evidence
 //
 // The live side reads an online summary (topk.Tracker / topk.Set via the
 // TopKSource surface) that ingest maintains incrementally; the historical
@@ -96,6 +99,9 @@ type Config struct {
 	NetwideVersion func() uint64
 	// Alerts serves /alerts and /changes.
 	Alerts AlertSource
+	// NetwideAlerts serves /netwide/alerts (the cross-vantage
+	// correlator's promotions with per-vantage evidence).
+	NetwideAlerts NetwideAlertSource
 }
 
 // FlowJSON is one flow record on the wire.
@@ -152,6 +158,7 @@ func NewHandler(cfg Config) http.Handler {
 	mux.HandleFunc("/epochs", h.epochs)
 	mux.HandleFunc("/flows", h.flows)
 	mux.HandleFunc("/netwide/topk", h.netwideTopK)
+	mux.HandleFunc("/netwide/alerts", h.netwideAlerts)
 	mux.HandleFunc("/alerts", h.alerts)
 	mux.HandleFunc("/changes", h.changes)
 	return mux
