@@ -15,10 +15,14 @@
 // double-buffered epoch rotation under continuous ingestion; query,
 // which measures the read path — ingest cost of the online top-k sidecar,
 // mmap vs streamed epoch scans over a multi-epoch store, and live /topk
-// request latency; and detect, which measures the detection subsystem —
+// request latency; detect, which measures the detection subsystem —
 // per-epoch detector cost, the drain-stall impact of attaching it to the
 // double-buffered rotation, and precision/recall against synthetic
-// injected heavy changes and superspreaders.
+// injected heavy changes and superspreaders; and frontend, which
+// measures the multi-socket collection frontend — the no-socket
+// decode+sequence-accounting path scaled across reader goroutines, and
+// end-to-end loopback UDP delivery through a live collector.Server at
+// one socket vs N SO_REUSEPORT sockets.
 //
 // Flags:
 //
@@ -37,8 +41,11 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/netip"
 	"os"
+	"runtime"
 	"slices"
+	"sync"
 	"time"
 
 	"repro/adaptive"
@@ -47,6 +54,7 @@ import (
 	"repro/experiments"
 	"repro/flow"
 	"repro/flowmon"
+	"repro/netflow"
 	"repro/query"
 	"repro/recordstore"
 	"repro/shard"
@@ -78,7 +86,7 @@ func run(args []string, w io.Writer) error {
 		return err
 	}
 	if fs.NArg() != 1 {
-		return fmt.Errorf("usage: flowbench [flags] <table1|fig2|...|fig11|extras|pipeline|export|query|detect|all>")
+		return fmt.Errorf("usage: flowbench [flags] <table1|fig2|...|fig11|extras|pipeline|export|query|detect|frontend|all>")
 	}
 	cfg := config{mem: *mem, seed: *seed, quick: *quick, json: *jsonOut}
 
@@ -245,6 +253,9 @@ func runOne(name string, cfg config, w io.Writer) error {
 
 	case "detect":
 		return runDetectBench(cfg, w)
+
+	case "frontend":
+		return runFrontendBench(cfg, w)
 
 	default:
 		return fmt.Errorf("unknown experiment %q", name)
@@ -1180,6 +1191,246 @@ func runDetectBench(cfg config, w io.Writer) error {
 		}{costRows, stallRows, acc, nw})
 	}
 	return nil
+}
+
+// frontendIngestRow is one no-socket ingest-scaling measurement: the
+// decode + sequence-accounting path (netflow.Collector.IngestFrom)
+// driven from N reader goroutines over pre-encoded per-exporter datagram
+// streams, mirroring the reader-side work of the multi-socket frontend
+// without the kernel in the loop.
+type frontendIngestRow struct {
+	Readers     int     `json:"readers"`
+	Exporters   int     `json:"exporters"`
+	Datagrams   int     `json:"datagrams"`
+	Records     int     `json:"records"`
+	NsPerRecord float64 `json:"ns_per_record"`
+	MRecPerS    float64 `json:"mrec_per_s"`
+}
+
+// frontendSocketRow is one end-to-end measurement against a live
+// collector.Server over loopback UDP: concurrent exporters blast
+// pre-encoded datagrams and the row records what the frontend delivered.
+type frontendSocketRow struct {
+	Readers  int     `json:"readers"`
+	Sockets  int     `json:"sockets"`
+	Mode     string  `json:"read_mode"`
+	Records  uint64  `json:"records_delivered"`
+	Lost     uint64  `json:"records_lost"`
+	MRecPerS float64 `json:"mrec_per_s"`
+}
+
+// frontendStreams pre-encodes one datagram stream per exporter:
+// contiguous sequence numbers, full 30-record datagrams.
+func frontendStreams(exporters, datagrams int) [][][]byte {
+	streams := make([][][]byte, exporters)
+	recs := make([]netflow.Record, netflow.MaxRecordsPerDatagram)
+	for e := range streams {
+		streams[e] = make([][]byte, datagrams)
+		seq := uint32(0)
+		for d := range streams[e] {
+			for i := range recs {
+				recs[i] = netflow.Record{SrcIP: uint32(e)<<24 | seq + uint32(i), Packets: 1, Octets: 64}
+			}
+			b, err := netflow.Encode(nil, netflow.Header{FlowSequence: seq}, recs)
+			if err != nil {
+				panic(err) // full datagrams of valid records cannot fail
+			}
+			streams[e][d] = b
+			seq += uint32(len(recs))
+		}
+	}
+	return streams
+}
+
+// runFrontendBench measures the collection frontend. First the no-socket
+// ingest path across reader counts: exporters are partitioned across
+// reader goroutines (exporter affinity, exactly what SO_REUSEPORT's
+// 4-tuple hash gives the real frontend) and each reader drives its
+// exporters' datagrams through its own netflow.Collector. Then end to
+// end over loopback UDP: a live collector.Server at one socket vs N
+// SO_REUSEPORT sockets, with delivery and inferred loss reported.
+// Multi-reader scaling only shows on multi-core machines; on one CPU the
+// rows should track the single-reader row to within noise.
+func runFrontendBench(cfg config, w io.Writer) error {
+	exporters := 8
+	datagrams := 2000
+	passes := 5
+	if cfg.quick {
+		datagrams = 400
+		passes = 3
+	}
+	streams := frontendStreams(exporters, datagrams)
+	perDatagram := netflow.MaxRecordsPerDatagram
+	totalRecords := exporters * datagrams * perDatagram
+	srcs := make([]netip.AddrPort, exporters)
+	for e := range srcs {
+		srcs[e] = netip.AddrPortFrom(netip.AddrFrom4([4]byte{10, 0, 0, byte(e + 1)}), uint16(9000+e))
+	}
+
+	if _, err := fmt.Fprintf(w, "ingest\treaders\texporters\tdatagrams\trecords\tns_per_record\tMrec_per_s\t(GOMAXPROCS=%d)\n",
+		runtime.GOMAXPROCS(0)); err != nil {
+		return err
+	}
+	var ingestRows []frontendIngestRow
+	for _, readers := range []int{1, 2, 4} {
+		ns, err := bestNs(passes, func() error {
+			var wg sync.WaitGroup
+			for r := 0; r < readers; r++ {
+				wg.Add(1)
+				go func(r int) {
+					defer wg.Done()
+					col := netflow.NewCollector()
+					// Round-robin across this reader's exporters so the
+					// per-source cursor map switches streams like a real
+					// interleaved socket drain.
+					for d := 0; d < datagrams; d++ {
+						for e := r; e < exporters; e += readers {
+							if err := col.IngestFrom(srcs[e], streams[e][d]); err != nil {
+								panic(err) // pre-encoded datagrams decode
+							}
+						}
+					}
+				}(r)
+			}
+			wg.Wait()
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		row := frontendIngestRow{
+			Readers:     readers,
+			Exporters:   exporters,
+			Datagrams:   exporters * datagrams,
+			Records:     totalRecords,
+			NsPerRecord: float64(ns) / float64(totalRecords),
+			MRecPerS:    float64(totalRecords) / (float64(ns) / 1e9) / 1e6,
+		}
+		ingestRows = append(ingestRows, row)
+		if _, err := fmt.Fprintf(w, "no-socket\t%d\t%d\t%d\t%d\t%.1f\t%.3f\n",
+			row.Readers, row.Exporters, row.Datagrams, row.Records, row.NsPerRecord, row.MRecPerS); err != nil {
+			return err
+		}
+	}
+
+	// End-to-end rows: real sockets on loopback. Volume is kept modest so
+	// the receive buffers absorb sender bursts; any overflow shows up in
+	// the (ungated) loss column rather than distorting the delivered rate.
+	sockDatagrams := 600
+	sockPasses := 2
+	if cfg.quick {
+		sockDatagrams = 150
+		sockPasses = 1
+	}
+	sockStreams := frontendStreams(exporters, sockDatagrams)
+	if _, err := fmt.Fprintln(w, "\nsocket\treaders\tsockets\tread_mode\trecords_delivered\trecords_lost\tMrec_per_s"); err != nil {
+		return err
+	}
+	var socketRows []frontendSocketRow
+	for _, shape := range []struct {
+		readers   int
+		reuseport bool
+	}{{1, false}, {4, true}} {
+		var best frontendSocketRow
+		for pass := 0; pass < sockPasses; pass++ {
+			row, err := frontendSocketPass(shape.readers, shape.reuseport, sockStreams)
+			if err != nil {
+				return err
+			}
+			if pass == 0 || row.MRecPerS > best.MRecPerS {
+				best = row
+			}
+		}
+		socketRows = append(socketRows, best)
+		if _, err := fmt.Fprintf(w, "loopback\t%d\t%d\t%s\t%d\t%d\t%.3f\n",
+			best.Readers, best.Sockets, best.Mode, best.Records, best.Lost, best.MRecPerS); err != nil {
+			return err
+		}
+	}
+
+	if cfg.json {
+		return writeBenchJSON("frontend", struct {
+			Ingest []frontendIngestRow `json:"ingest"`
+			Socket []frontendSocketRow `json:"socket"`
+		}{ingestRows, socketRows})
+	}
+	return nil
+}
+
+// frontendSocketPass runs one end-to-end delivery measurement: start a
+// server, blast every stream from its own sender goroutine, wait for the
+// frontend to drain, and read the counters back.
+func frontendSocketPass(readers int, reuseport bool, streams [][][]byte) (frontendSocketRow, error) {
+	srv, err := collector.Start(collector.Config{
+		Listen: "127.0.0.1:0", EpochGap: 100 * time.Millisecond,
+		Readers: readers, ReusePort: reuseport,
+	}, func(time.Time, []flow.Record) {})
+	if err != nil {
+		return frontendSocketRow{}, err
+	}
+	defer srv.Shutdown()
+
+	var sendErr error
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	start := time.Now()
+	for _, stream := range streams {
+		wg.Add(1)
+		go func(stream [][]byte) {
+			defer wg.Done()
+			conn, err := net.Dial("udp", srv.Addr().String())
+			if err == nil {
+				defer conn.Close()
+				for _, b := range stream {
+					if _, err = conn.Write(b); err != nil {
+						break
+					}
+				}
+			}
+			if err != nil {
+				mu.Lock()
+				sendErr = err
+				mu.Unlock()
+			}
+		}(stream)
+	}
+	wg.Wait()
+	if sendErr != nil {
+		return frontendSocketRow{}, sendErr
+	}
+
+	// Trailing datagram loss is undetectable (no later sequence number to
+	// expose the gap), so settle on record-count quiescence rather than an
+	// exact total, and time to the last observed progress.
+	total := uint64(len(streams) * len(streams[0]) * netflow.MaxRecordsPerDatagram)
+	last := srv.Stats().Records
+	lastChange := time.Now()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st := srv.Stats()
+		if st.Records != last {
+			last = st.Records
+			lastChange = time.Now()
+		}
+		if st.Records >= total || time.Since(lastChange) > 300*time.Millisecond || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	elapsed := lastChange.Sub(start)
+	if elapsed <= 0 {
+		elapsed = time.Since(start)
+	}
+	srv.Shutdown() // flush the open epoch so Lost is final
+	st := srv.Stats()
+	return frontendSocketRow{
+		Readers:  srv.Readers(),
+		Sockets:  srv.Sockets(),
+		Mode:     srv.BatchMode(),
+		Records:  st.Records,
+		Lost:     st.Lost,
+		MRecPerS: float64(st.Records) / elapsed.Seconds() / 1e6,
+	}, nil
 }
 
 // trace2 generates the standard CAIDA benchmark trace at the config's

@@ -110,6 +110,8 @@ func runServe(args []string, w io.Writer) error {
 	w = &syncWriter{w: w}
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
 	listen := fs.String("listen", "127.0.0.1:2055", "UDP listen address")
+	readers := fs.Int("readers", 1, "reader goroutines; >1 needs -reuseport on a supporting platform")
+	reuseport := fs.Bool("reuseport", false, "bind one SO_REUSEPORT socket per reader (kernel fans exporters out by 4-tuple)")
 	storePath := fs.String("store", "records.frec", "record store output file")
 	gap := fs.Duration("gap", time.Second, "quiet gap that closes an epoch")
 	runFor := fs.Duration("for", 30*time.Second, "how long to serve before shutting down")
@@ -224,15 +226,18 @@ func runServe(args []string, w io.Writer) error {
 		}
 	}
 
-	srv, err := collector.Start(collector.Config{Listen: *listen, EpochGap: *gap}, sink)
+	srv, err := collector.Start(collector.Config{
+		Listen: *listen, EpochGap: *gap,
+		Readers: *readers, ReusePort: *reuseport,
+	}, sink)
 	if err != nil {
 		if httpSrv != nil {
 			httpSrv.Close()
 		}
 		return err
 	}
-	if _, err := fmt.Fprintf(w, "serving on %s for %v, storing to %s\n",
-		srv.Addr(), *runFor, *storePath); err != nil {
+	if _, err := fmt.Fprintf(w, "serving on %s for %v (%d readers, %d sockets, %s reads), storing to %s\n",
+		srv.Addr(), *runFor, srv.Readers(), srv.Sockets(), srv.BatchMode(), *storePath); err != nil {
 		srv.Shutdown()
 		if httpSrv != nil {
 			httpSrv.Close()

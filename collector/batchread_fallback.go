@@ -1,0 +1,42 @@
+//go:build !(linux && (amd64 || arm64))
+
+package collector
+
+import (
+	"net"
+	"net/netip"
+
+	"repro/netflow"
+)
+
+const batchReadMode = "single"
+
+// batchConn on platforms without a recvmmsg fast path reads one datagram
+// per call through the portable net API (still into a reused buffer, with
+// the source captured for per-exporter sequence accounting). The frontend
+// loop is identical either way; only the per-wakeup batch size differs.
+type batchConn struct {
+	conn *net.UDPConn
+	bufs [][]byte
+	ns   []int
+	srcs []netip.AddrPort
+}
+
+func newBatchConn(conn *net.UDPConn, batch int) (*batchConn, error) {
+	return &batchConn{
+		conn: conn,
+		bufs: [][]byte{make([]byte, netflow.MaxDatagramLen)},
+		ns:   make([]int, 1),
+		srcs: make([]netip.AddrPort, 1),
+	}, nil
+}
+
+func (bc *batchConn) read() (int, error) {
+	n, _, _, addr, err := bc.conn.ReadMsgUDPAddrPort(bc.bufs[0], nil)
+	if err != nil {
+		return 0, err
+	}
+	bc.ns[0] = n
+	bc.srcs[0] = addr
+	return 1, nil
+}

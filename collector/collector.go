@@ -1,15 +1,18 @@
 // Package collector runs the receive side of the flow-record collection
-// pipeline as a managed service: a UDP listener decodes NetFlow v5
+// pipeline as a managed service: a UDP frontend decodes NetFlow v5
 // datagrams and hands completed epochs to a sink (typically a
-// recordstore.Writer). The server owns its goroutine per the "no
-// fire-and-forget" rule: Start spawns it, Shutdown signals it and waits.
+// recordstore.Writer). The frontend scales across cores — N SO_REUSEPORT
+// sockets, each with a reader goroutine doing batched reads (see
+// frontend.go) — while epoch rotation stays one shared, gap-driven
+// boundary. The server owns its goroutines per the "no fire-and-forget"
+// rule: Start spawns them, Shutdown signals them and waits.
 package collector
 
 import (
 	"errors"
-	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/flow"
@@ -27,34 +30,58 @@ type Config struct {
 	// EpochGap closes an epoch after this long without datagrams
 	// (default 1s).
 	EpochGap time.Duration
-	// ReadBuffer sizes the socket receive buffer (default 4 MiB).
+	// ReadBuffer sizes each socket's receive buffer (default 4 MiB).
 	ReadBuffer int
+	// Readers is the number of reader goroutines (default 1). More than
+	// one requires ReusePort on a supporting platform: each reader then
+	// owns its own socket. Otherwise the server falls back to a single
+	// reader on a single socket.
+	Readers int
+	// ReusePort binds one SO_REUSEPORT socket per reader so the kernel
+	// fans incoming datagrams out across them by 4-tuple hash.
+	ReusePort bool
+	// Batch caps the datagrams drained per reader wakeup where batched
+	// reads are available (default DefaultReadBatch).
+	Batch int
 }
 
-// Stats summarizes a collector's lifetime counters.
+// Stats summarizes a collector's lifetime counters, folded across all
+// readers. The snapshot is internally consistent per counter (each is an
+// atomic), not across counters.
 type Stats struct {
 	Datagrams uint64
 	Records   uint64
 	Epochs    uint64
-	Lost      uint64 // inferred from sequence gaps
+	Lost      uint64 // inferred from per-exporter sequence gaps
 	BadData   uint64 // undecodable datagrams
 }
 
-// Server is a running collector.
+// Server is a running collector frontend.
 type Server struct {
-	cfg  Config
-	conn *net.UDPConn
-	sink Sink
+	cfg     Config
+	conns   []*net.UDPConn
+	readers []*reader
+	sink    Sink
 
 	stop chan struct{}
 	done chan struct{}
+	once sync.Once
 
-	mu    sync.Mutex
-	stats Stats
+	readerWG sync.WaitGroup
+
+	// Shared epoch state, written by readers and read by the rotation
+	// coordinator.
+	lastPkt    atomic.Int64 // unix nanos of the newest datagram
+	epochOpen  atomic.Bool
+	epochStart atomic.Int64
+
+	epochs atomic.Uint64
+	lost   atomic.Uint64
 }
 
-// Start binds the socket and spawns the receive loop. The returned server
-// must be stopped with Shutdown.
+// Start binds the socket(s) and spawns the reader goroutines and the
+// rotation coordinator. The returned server must be stopped with
+// Shutdown.
 func Start(cfg Config, sink Sink) (*Server, error) {
 	if sink == nil {
 		return nil, errors.New("collector: nil sink")
@@ -65,107 +92,121 @@ func Start(cfg Config, sink Sink) (*Server, error) {
 	if cfg.ReadBuffer <= 0 {
 		cfg.ReadBuffer = 4 << 20
 	}
-	addr, err := net.ResolveUDPAddr("udp", cfg.Listen)
-	if err != nil {
-		return nil, fmt.Errorf("collector: resolve %q: %w", cfg.Listen, err)
+	if cfg.Readers <= 0 {
+		cfg.Readers = 1
 	}
-	conn, err := net.ListenUDP("udp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("collector: listen: %w", err)
+	if cfg.Batch <= 0 {
+		cfg.Batch = DefaultReadBatch
 	}
-	if err := conn.SetReadBuffer(cfg.ReadBuffer); err != nil {
-		conn.Close()
-		return nil, fmt.Errorf("collector: set read buffer: %w", err)
+	conns, nReaders, err := openSockets(cfg)
+	if err != nil {
+		return nil, err
 	}
 	s := &Server{
 		cfg:  cfg,
-		conn: conn,
 		sink: sink,
 		stop: make(chan struct{}),
 		done: make(chan struct{}),
 	}
-	go s.loop()
+	s.conns = conns
+	s.readers = make([]*reader, nReaders)
+	for i := range s.readers {
+		conn := conns[0]
+		if len(conns) > 1 {
+			conn = conns[i]
+		}
+		bc, err := newBatchConn(conn, cfg.Batch)
+		if err != nil {
+			for _, c := range conns {
+				c.Close()
+			}
+			return nil, err
+		}
+		s.readers[i] = &reader{bc: bc, col: netflow.NewCollector()}
+	}
+	s.readerWG.Add(len(s.readers))
+	for _, r := range s.readers {
+		go s.readLoop(r)
+	}
+	go s.run()
 	return s, nil
 }
 
-// Addr returns the bound address (useful with a ":0" listen port).
-func (s *Server) Addr() net.Addr { return s.conn.LocalAddr() }
+// Addr returns the bound address (useful with a ":0" listen port). All
+// sockets of a multi-reader frontend share it.
+func (s *Server) Addr() net.Addr { return s.conns[0].LocalAddr() }
 
-// Stats returns a snapshot of the lifetime counters.
+// Readers returns the effective reader count — what was requested, or 1
+// after the single-socket fallback.
+func (s *Server) Readers() int { return len(s.readers) }
+
+// Sockets returns how many UDP sockets are bound (equal to Readers when
+// SO_REUSEPORT is active, 1 otherwise).
+func (s *Server) Sockets() int { return len(s.conns) }
+
+// BatchMode names the batched-read implementation in use ("recvmmsg" on
+// 64-bit Linux, "single" elsewhere).
+func (s *Server) BatchMode() string { return batchReadMode }
+
+// Stats returns a snapshot of the lifetime counters folded across all
+// readers.
 func (s *Server) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats
+	st := Stats{Epochs: s.epochs.Load(), Lost: s.lost.Load()}
+	for _, r := range s.readers {
+		st.Datagrams += r.datagrams.Load()
+		st.Records += r.records.Load()
+		st.BadData += r.badData.Load()
+	}
+	return st
 }
 
-// Shutdown stops the receive loop, flushes any open epoch to the sink, and
-// waits for the goroutine to exit. It is safe to call once.
+// ReaderStats returns the per-reader counter breakdown, index-aligned
+// with the reader goroutines.
+func (s *Server) ReaderStats() []ReaderStats {
+	out := make([]ReaderStats, len(s.readers))
+	for i, r := range s.readers {
+		out[i] = ReaderStats{
+			Datagrams: r.datagrams.Load(),
+			Records:   r.records.Load(),
+			BadData:   r.badData.Load(),
+			Batches:   r.batches.Load(),
+			ReadErrs:  r.readErrs.Load(),
+		}
+	}
+	return out
+}
+
+// SourceStats returns the lifetime per-exporter accounting, merged
+// across readers (with SO_REUSEPORT each exporter stream lives on
+// exactly one reader, so the merge is a disjoint union).
+func (s *Server) SourceStats() map[netflow.SourceKey]netflow.SourceStats {
+	out := make(map[netflow.SourceKey]netflow.SourceStats)
+	var keys []netflow.SourceKey
+	for _, r := range s.readers {
+		r.mu.Lock()
+		keys = r.col.AppendSourceKeys(keys[:0])
+		for _, k := range keys {
+			st, _ := r.col.SourceStats(k)
+			agg := out[k]
+			agg.Datagrams += st.Datagrams
+			agg.Records += st.Records
+			agg.Lost += st.Lost
+			out[k] = agg
+		}
+		r.mu.Unlock()
+	}
+	return out
+}
+
+// Shutdown stops the readers, flushes any open epoch to the sink, and
+// waits for all goroutines to exit. It is idempotent: the first call does
+// the work, concurrent and later calls wait for it and return.
 func (s *Server) Shutdown() {
-	close(s.stop)
-	s.conn.Close() // unblocks the read
-	<-s.done
-}
-
-func (s *Server) loop() {
-	defer close(s.done)
-
-	buf := make([]byte, netflow.MaxDatagramLen)
-	dec := netflow.NewCollector()
-	var recBuf []flow.Record
-	var epochStart time.Time
-	epochOpen := false
-
-	flush := func() {
-		if !epochOpen {
-			return
+	s.once.Do(func() {
+		close(s.stop)
+		for _, c := range s.conns {
+			c.Close() // unblocks the reads
 		}
-		// Epoch drain reuses the decoder and one record buffer: the sink
-		// contract (no retention) lets the next epoch overwrite both.
-		recBuf = dec.AppendFlowRecords(recBuf[:0])
-		s.mu.Lock()
-		s.stats.Epochs++
-		s.stats.Lost += dec.Lost()
-		s.mu.Unlock()
-		s.sink(epochStart, recBuf)
-		dec.Reset()
-		epochOpen = false
-	}
-	defer flush()
-
-	for {
-		select {
-		case <-s.stop:
-			return
-		default:
-		}
-		if err := s.conn.SetReadDeadline(time.Now().Add(s.cfg.EpochGap)); err != nil {
-			return
-		}
-		n, _, err := s.conn.ReadFromUDP(buf)
-		if err != nil {
-			var ne net.Error
-			if errors.As(err, &ne) && ne.Timeout() {
-				flush() // quiet period closes the epoch
-				continue
-			}
-			return // socket closed (Shutdown) or fatal
-		}
-		if !epochOpen {
-			epochStart = time.Now().UTC()
-			epochOpen = true
-		}
-		s.mu.Lock()
-		s.stats.Datagrams++
-		s.mu.Unlock()
-		before := dec.Count()
-		if err := dec.Ingest(buf[:n]); err != nil {
-			s.mu.Lock()
-			s.stats.BadData++
-			s.mu.Unlock()
-			continue
-		}
-		s.mu.Lock()
-		s.stats.Records += uint64(dec.Count() - before)
-		s.mu.Unlock()
-	}
+		<-s.done
+	})
 }

@@ -1,0 +1,243 @@
+// The line-rate collection frontend: N sockets bound to one address with
+// SO_REUSEPORT (the kernel fans datagrams out across them, hashed by
+// 4-tuple), each owned by a reader goroutine doing batched reads
+// (recvmmsg on 64-bit Linux, a single-read loop elsewhere) that decode
+// straight into a per-reader record buffer — no per-packet allocation and
+// no shared lock on the datagram path. Epoch rotation is a shared,
+// gap-driven boundary: one coordinator goroutine watches the newest
+// packet timestamp and, after a quiet gap, drains every reader's
+// netflow.Collector into one merged epoch for the sink.
+//
+// Sequence-gap (loss) accounting is per exporter stream via
+// netflow.Collector.IngestFrom, keyed by source address + engine. The
+// 4-tuple hash keeps each exporter's datagrams on one socket, so the
+// per-source cursors stay reader-local and need no cross-reader
+// synchronization. Without SO_REUSEPORT (unsupported platform, or
+// Config.ReusePort off) datagrams from one exporter would round-robin
+// across readers sharing a socket and shred exactly that accounting, so
+// the frontend falls back to a single reader on a single socket.
+package collector
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"net/netip"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/flow"
+	"repro/netflow"
+)
+
+// DefaultReadBatch is the per-wakeup datagram batch size of a reader
+// (the recvmmsg vector length on Linux).
+const DefaultReadBatch = 32
+
+// reader owns one socket's receive state: the batch-read buffers and the
+// collector accumulating this reader's slice of the epoch. The mutex only
+// interleaves batch ingest with the coordinator's epoch drain — readers
+// never contend with each other.
+type reader struct {
+	bc  *batchConn
+	col *netflow.Collector
+	mu  sync.Mutex
+
+	datagrams atomic.Uint64
+	records   atomic.Uint64
+	badData   atomic.Uint64
+	batches   atomic.Uint64
+	readErrs  atomic.Uint64
+}
+
+// ReaderStats is one reader's slice of the datagram-path counters.
+type ReaderStats struct {
+	Datagrams uint64
+	Records   uint64
+	BadData   uint64
+	Batches   uint64 // read wakeups; Datagrams/Batches is the realized batch size
+	ReadErrs  uint64
+}
+
+// payload returns slot i of the last batch read.
+func (bc *batchConn) payload(i int) []byte { return bc.bufs[i][:bc.ns[i]] }
+
+// src returns the source address of slot i of the last batch read.
+func (bc *batchConn) src(i int) netip.AddrPort { return bc.srcs[i] }
+
+// openSockets binds the frontend's sockets. With ReusePort requested,
+// supported, and more than one reader, every reader gets its own socket;
+// otherwise one socket and (for accounting correctness, see the package
+// comment) one reader. It returns the sockets and the effective reader
+// count.
+func openSockets(cfg Config) ([]*net.UDPConn, int, error) {
+	if cfg.Readers > 1 && cfg.ReusePort && reusePortSupported {
+		conns := make([]*net.UDPConn, 0, cfg.Readers)
+		listen := cfg.Listen
+		for i := 0; i < cfg.Readers; i++ {
+			c, err := listenReusePort("udp", listen)
+			if err != nil {
+				for _, open := range conns {
+					open.Close()
+				}
+				if i == 0 {
+					// The kernel refused SO_REUSEPORT itself: fall back
+					// to the single-socket path below.
+					break
+				}
+				return nil, 0, fmt.Errorf("collector: listen socket %d: %w", i, err)
+			}
+			if err := c.SetReadBuffer(cfg.ReadBuffer); err != nil {
+				c.Close()
+				for _, open := range conns {
+					open.Close()
+				}
+				return nil, 0, fmt.Errorf("collector: set read buffer: %w", err)
+			}
+			if i == 0 {
+				// A ":0" listen resolves on the first bind; the rest must
+				// share the concrete port.
+				listen = c.LocalAddr().String()
+			}
+			conns = append(conns, c)
+		}
+		if len(conns) == cfg.Readers {
+			return conns, cfg.Readers, nil
+		}
+	}
+	addr, err := net.ResolveUDPAddr("udp", cfg.Listen)
+	if err != nil {
+		return nil, 0, fmt.Errorf("collector: resolve %q: %w", cfg.Listen, err)
+	}
+	conn, err := net.ListenUDP("udp", addr)
+	if err != nil {
+		return nil, 0, fmt.Errorf("collector: listen: %w", err)
+	}
+	if err := conn.SetReadBuffer(cfg.ReadBuffer); err != nil {
+		conn.Close()
+		return nil, 0, fmt.Errorf("collector: set read buffer: %w", err)
+	}
+	return []*net.UDPConn{conn}, 1, nil
+}
+
+// readLoop is one reader's receive loop: block until datagrams arrive,
+// ingest the batch, repeat until the socket is closed by Shutdown.
+func (s *Server) readLoop(r *reader) {
+	defer s.readerWG.Done()
+	for {
+		n, err := r.bc.read()
+		if n > 0 {
+			s.ingestBatch(r, n)
+		}
+		if err != nil {
+			select {
+			case <-s.stop:
+				return
+			default:
+			}
+			if isClosedErr(err) {
+				return
+			}
+			// Transient receive error (e.g. a spurious ICMP-driven
+			// errno): count it and keep reading.
+			r.readErrs.Add(1)
+		}
+	}
+}
+
+// ingestBatch decodes one batch into the reader's collector and updates
+// the shared epoch state. The per-reader lock is taken once per batch,
+// not per datagram, and everything else on this path is an atomic.
+func (s *Server) ingestBatch(r *reader, n int) {
+	now := time.Now()
+	s.lastPkt.Store(now.UnixNano())
+	if !s.epochOpen.Load() {
+		// Racing readers may both store a start time; the values are
+		// indistinguishable at epoch granularity.
+		s.epochStart.Store(now.UTC().UnixNano())
+		s.epochOpen.Store(true)
+	}
+	var bad int
+	r.mu.Lock()
+	before := r.col.Count()
+	for i := 0; i < n; i++ {
+		if err := r.col.IngestFrom(r.bc.src(i), r.bc.payload(i)); err != nil {
+			bad++
+		}
+	}
+	added := r.col.Count() - before
+	r.mu.Unlock()
+	r.datagrams.Add(uint64(n))
+	r.records.Add(uint64(added))
+	if bad > 0 {
+		r.badData.Add(uint64(bad))
+	}
+	r.batches.Add(1)
+}
+
+// run is the rotation coordinator: it polls the shared last-packet clock
+// and closes the epoch once the quiet gap elapses, merging every reader's
+// records into one reused buffer for the sink. On shutdown it drains the
+// final open epoch after the readers exit.
+func (s *Server) run() {
+	defer close(s.done)
+	tick := s.cfg.EpochGap / 4
+	if tick < time.Millisecond {
+		tick = time.Millisecond
+	}
+	if tick > time.Second {
+		tick = time.Second
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	var recBuf []flow.Record
+	for {
+		select {
+		case <-s.stop:
+			// Readers must be out of their collectors (and done for
+			// good) before the final drain.
+			s.readerWG.Wait()
+			recBuf = s.flushEpoch(recBuf)
+			return
+		case <-t.C:
+			if !s.epochOpen.Load() {
+				continue
+			}
+			if time.Since(time.Unix(0, s.lastPkt.Load())) < s.cfg.EpochGap {
+				continue
+			}
+			recBuf = s.flushEpoch(recBuf)
+		}
+	}
+}
+
+// flushEpoch merges per-reader collector state into one epoch — records
+// appended reader by reader into the reused buffer, per-epoch loss
+// summed — resets each collector (which preserves sequence cursors, so
+// cross-epoch drops still count), and hands the epoch to the sink.
+func (s *Server) flushEpoch(recBuf []flow.Record) []flow.Record {
+	if !s.epochOpen.Swap(false) {
+		return recBuf
+	}
+	start := time.Unix(0, s.epochStart.Load()).UTC()
+	recBuf = recBuf[:0]
+	var lost uint64
+	for _, r := range s.readers {
+		r.mu.Lock()
+		recBuf = r.col.AppendFlowRecords(recBuf)
+		lost += r.col.Lost()
+		r.col.Reset()
+		r.mu.Unlock()
+	}
+	s.lost.Add(lost)
+	s.epochs.Add(1)
+	s.sink(start, recBuf)
+	return recBuf
+}
+
+// isClosedErr reports whether the read failed because Shutdown closed
+// the socket.
+func isClosedErr(err error) bool {
+	return errors.Is(err, net.ErrClosed)
+}

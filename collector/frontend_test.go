@@ -1,0 +1,251 @@
+package collector
+
+import (
+	"net"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/flow"
+	"repro/netflow"
+)
+
+// Shutdown is documented idempotent: a second (or concurrent) call must
+// return instead of panicking on a double close.
+func TestShutdownIdempotent(t *testing.T) {
+	srv, err := Start(Config{Listen: "127.0.0.1:0"}, func(time.Time, []flow.Record) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Shutdown()
+	srv.Shutdown() // second sequential call
+
+	srv2, err := Start(Config{Listen: "127.0.0.1:0"}, func(time.Time, []flow.Record) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ { // concurrent calls race the close
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			srv2.Shutdown()
+		}()
+	}
+	wg.Wait()
+	_ = srv2.Stats()
+}
+
+// Without SO_REUSEPORT a multi-reader request must fall back to one
+// reader on one socket — per-source sequence accounting is only correct
+// when one exporter's datagrams stay on one reader.
+func TestMultiReaderNeedsReusePort(t *testing.T) {
+	srv, err := Start(Config{Listen: "127.0.0.1:0", Readers: 4}, func(time.Time, []flow.Record) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown()
+	if srv.Readers() != 1 || srv.Sockets() != 1 {
+		t.Errorf("Readers=%d Sockets=%d without ReusePort, want 1/1", srv.Readers(), srv.Sockets())
+	}
+}
+
+// A multi-reader frontend must bind one socket per reader and still
+// deliver every record into the merged epoch.
+func TestMultiReaderReusePort(t *testing.T) {
+	if runtime.GOOS != "linux" && runtime.GOOS != "darwin" {
+		t.Skip("SO_REUSEPORT path not built on", runtime.GOOS)
+	}
+	sink := &epochSink{}
+	srv, err := Start(Config{
+		Listen: "127.0.0.1:0", EpochGap: 200 * time.Millisecond,
+		Readers: 4, ReusePort: true,
+	}, sink.sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown()
+	if srv.Readers() != 4 || srv.Sockets() != 4 {
+		t.Fatalf("Readers=%d Sockets=%d, want 4/4", srv.Readers(), srv.Sockets())
+	}
+
+	// Many exporters so the kernel's 4-tuple hash spreads across sockets.
+	const exporters = 16
+	const perExporter = 40
+	var wg sync.WaitGroup
+	for e := 0; e < exporters; e++ {
+		wg.Add(1)
+		go func(e int) {
+			defer wg.Done()
+			conn, err := net.Dial("udp", srv.Addr().String())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer conn.Close()
+			exp := netflow.NewExporter(func(b []byte) error {
+				_, err := conn.Write(b)
+				return err
+			})
+			recs := make([]flow.Record, perExporter)
+			for i := range recs {
+				recs[i] = flow.Record{
+					Key:   flow.Key{SrcIP: uint32(e<<16 | i), Proto: 17},
+					Count: 1,
+				}
+			}
+			if err := exp.Export(recs, 100); err != nil {
+				t.Error(err)
+			}
+		}(e)
+	}
+	wg.Wait()
+
+	want := uint64(exporters * perExporter)
+	waitFor(t, 5*time.Second, func() bool { return srv.Stats().Records == want })
+	waitFor(t, 5*time.Second, func() bool { return srv.Stats().Epochs >= 1 })
+	st := srv.Stats()
+	if st.Records != want || st.Lost != 0 || st.BadData != 0 {
+		t.Errorf("stats = %+v, want %d records and no loss", st, want)
+	}
+	total := 0
+	for _, ep := range sink.snapshot() {
+		total += len(ep)
+	}
+	if total != int(want) {
+		t.Errorf("sink saw %d records across epochs, want %d", total, want)
+	}
+	// Loopback traffic is same-4-tuple per exporter; each exporter stream
+	// must appear exactly once in the merged per-source view.
+	srcs := srv.SourceStats()
+	if len(srcs) != exporters {
+		t.Errorf("SourceStats has %d streams, want %d", len(srcs), exporters)
+	}
+	var rs uint64
+	for _, r := range srv.ReaderStats() {
+		rs += r.Records
+	}
+	if rs != want {
+		t.Errorf("per-reader records sum to %d, want %d", rs, want)
+	}
+}
+
+// rawExporter sends hand-built datagrams with full control over the
+// sequence numbers, so the test can drop specific datagrams and assert
+// the inferred loss lands on the right exporter stream.
+type rawExporter struct {
+	t    *testing.T
+	conn net.Conn
+	seq  uint32
+}
+
+func newRawExporter(t *testing.T, to net.Addr) *rawExporter {
+	t.Helper()
+	conn, err := net.Dial("udp", to.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return &rawExporter{t: t, conn: conn}
+}
+
+// send exports one datagram of n records; drop advances the sequence
+// space as if the datagram had been sent but lost in the network.
+func (r *rawExporter) send(n int, drop bool) {
+	recs := make([]netflow.Record, n)
+	for i := range recs {
+		recs[i] = netflow.Record{SrcIP: r.seq + uint32(i), Packets: 1}
+	}
+	b, err := netflow.Encode(nil, netflow.Header{FlowSequence: r.seq}, recs)
+	if err != nil {
+		r.t.Fatal(err)
+	}
+	r.seq += uint32(n)
+	if drop {
+		return
+	}
+	if _, err := r.conn.Write(b); err != nil {
+		r.t.Fatal(err)
+	}
+}
+
+func (r *rawExporter) local() net.Addr { return r.conn.LocalAddr() }
+
+// Concurrent exporters with interleaved sequence spaces: record totals,
+// per-source loss attribution and epoch counts must all hold. Runs under
+// -race in CI.
+func TestConcurrentExportersLossAccounting(t *testing.T) {
+	sink := &epochSink{}
+	srv, err := Start(Config{Listen: "127.0.0.1:0", EpochGap: 200 * time.Millisecond}, sink.sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown()
+
+	// Exporter A drops its 3rd datagram (20 records), B drops nothing,
+	// C drops two (25 records). UDP on loopback does not reorder, and
+	// each exporter sends from its own goroutine.
+	a := newRawExporter(t, srv.Addr())
+	b := newRawExporter(t, srv.Addr())
+	c := newRawExporter(t, srv.Addr())
+	var wg sync.WaitGroup
+	run := func(e *rawExporter, sizes []int, drops map[int]bool) {
+		defer wg.Done()
+		for i, n := range sizes {
+			e.send(n, drops[i])
+		}
+	}
+	wg.Add(3)
+	go run(a, []int{20, 20, 20, 20, 20}, map[int]bool{2: true})
+	go run(b, []int{30, 30, 30}, nil)
+	go run(c, []int{25, 25, 25, 25}, map[int]bool{1: true, 2: true})
+	wg.Wait()
+
+	wantRecords := uint64(4*20 + 3*30 + 2*25)
+	waitFor(t, 5*time.Second, func() bool { return srv.Stats().Records == wantRecords })
+	waitFor(t, 5*time.Second, func() bool { return srv.Stats().Epochs >= 1 })
+
+	st := srv.Stats()
+	if st.Records != wantRecords {
+		t.Errorf("Records = %d, want %d", st.Records, wantRecords)
+	}
+	if st.Lost != 20+50 {
+		t.Errorf("Lost = %d, want 70", st.Lost)
+	}
+	if st.Epochs == 0 {
+		t.Error("no epochs closed")
+	}
+
+	// Loss must be attributed to the exporter that dropped, not smeared
+	// across streams by the interleaving.
+	srcs := srv.SourceStats()
+	lostFor := func(e *rawExporter) uint64 {
+		for k, v := range srcs {
+			if k.Addr.String() == e.local().String() {
+				return v.Lost
+			}
+		}
+		t.Errorf("no source stats for %s", e.local())
+		return 0
+	}
+	if got := lostFor(a); got != 20 {
+		t.Errorf("exporter a lost = %d, want 20", got)
+	}
+	if got := lostFor(b); got != 0 {
+		t.Errorf("exporter b lost = %d, want 0", got)
+	}
+	if got := lostFor(c); got != 50 {
+		t.Errorf("exporter c lost = %d, want 50", got)
+	}
+
+	// A second wave after the epoch closed: the cross-epoch sequence
+	// continuity must catch a drop spanning the quiet gap.
+	epochsBefore := srv.Stats().Epochs
+	a.send(20, true) // dropped in the gap
+	a.send(20, false)
+	waitFor(t, 5*time.Second, func() bool { return srv.Stats().Epochs > epochsBefore })
+	if got := srv.Stats().Lost; got != 70+20 {
+		t.Errorf("Lost = %d after cross-epoch drop, want 90", got)
+	}
+}

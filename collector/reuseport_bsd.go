@@ -1,0 +1,7 @@
+//go:build darwin || dragonfly || freebsd || netbsd || openbsd
+
+package collector
+
+import "syscall"
+
+const soReusePort = syscall.SO_REUSEPORT

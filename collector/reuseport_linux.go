@@ -1,0 +1,8 @@
+//go:build linux
+
+package collector
+
+// soReusePort is SO_REUSEPORT, which the frozen syscall package never
+// picked up on Linux (it lives in golang.org/x/sys); the value is ABI
+// across Linux architectures.
+const soReusePort = 0xf

@@ -1,0 +1,14 @@
+//go:build !(linux || darwin || dragonfly || freebsd || netbsd || openbsd)
+
+package collector
+
+import (
+	"errors"
+	"net"
+)
+
+const reusePortSupported = false
+
+func listenReusePort(network, addr string) (*net.UDPConn, error) {
+	return nil, errors.New("collector: SO_REUSEPORT unsupported on this platform")
+}

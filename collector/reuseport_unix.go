@@ -1,0 +1,46 @@
+//go:build linux || darwin || dragonfly || freebsd || netbsd || openbsd
+
+package collector
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"syscall"
+)
+
+// reusePortSupported reports whether this platform can bind several UDP
+// sockets to one address with SO_REUSEPORT, letting the kernel fan
+// datagrams out across them (hashed by 4-tuple, so one exporter's stream
+// stays on one socket — which is what keeps per-source sequence
+// accounting reader-local).
+const reusePortSupported = true
+
+// listenReusePort binds one UDP socket to addr with SO_REUSEPORT set
+// before bind, via the ListenConfig control hook.
+func listenReusePort(network, addr string) (*net.UDPConn, error) {
+	lc := net.ListenConfig{
+		Control: func(network, address string, c syscall.RawConn) error {
+			var serr error
+			if err := c.Control(func(fd uintptr) {
+				serr = syscall.SetsockoptInt(int(fd), syscall.SOL_SOCKET, soReusePort, 1)
+			}); err != nil {
+				return err
+			}
+			if serr != nil {
+				return fmt.Errorf("collector: set SO_REUSEPORT: %w", serr)
+			}
+			return nil
+		},
+	}
+	pc, err := lc.ListenPacket(context.Background(), network, addr)
+	if err != nil {
+		return nil, err
+	}
+	conn, ok := pc.(*net.UDPConn)
+	if !ok {
+		pc.Close()
+		return nil, fmt.Errorf("collector: %s listener is %T, not UDP", network, pc)
+	}
+	return conn, nil
+}

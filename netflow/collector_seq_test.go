@@ -1,0 +1,233 @@
+package netflow
+
+import (
+	"math"
+	"net/netip"
+	"testing"
+
+	"repro/flow"
+)
+
+// mkDatagram encodes one datagram with n records starting at sequence
+// number seq, for sequence-accounting tests that need exact control over
+// the header.
+func mkDatagram(t *testing.T, seq uint32, n int, engineID uint8) []byte {
+	t.Helper()
+	recs := make([]Record, n)
+	for i := range recs {
+		recs[i] = Record{SrcIP: seq + uint32(i), Packets: 1}
+	}
+	b, err := Encode(nil, Header{FlowSequence: seq, EngineID: engineID}, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// Sequence-gap accounting must survive the uint32 wrap of FlowSequence:
+// with the unsigned comparison the gap check is false right after the
+// 4B-record wrap, so loss counting silently stops and resyncs.
+func TestIngestSequenceWraparound(t *testing.T) {
+	c := NewCollector()
+	// Last datagram before the wrap: 30 records ending at 2^32-15.
+	if err := c.Ingest(mkDatagram(t, math.MaxUint32-44, 30, 0)); err != nil {
+		t.Fatal(err)
+	}
+	// The next datagram (seq 2^32-15, 30 records, ending at 15 past the
+	// wrap) is dropped. The one after arrives with the wrapped sequence.
+	if err := c.Ingest(mkDatagram(t, 15, 30, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if c.Lost() != 30 {
+		t.Errorf("Lost = %d across the wrap, want 30", c.Lost())
+	}
+
+	// No-loss wrap: consecutive datagrams across the boundary count zero.
+	c2 := NewCollector()
+	if err := c2.Ingest(mkDatagram(t, math.MaxUint32-14, 15, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Ingest(mkDatagram(t, 0, 10, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if c2.Lost() != 0 {
+		t.Errorf("Lost = %d on a gapless wrap, want 0", c2.Lost())
+	}
+}
+
+// A datagram dropped across an epoch boundary — exactly the quiet-gap
+// window that closes an epoch — must still be counted as lost: Reset may
+// clear records and the per-epoch loss counter, but not the sequence
+// cursor.
+func TestResetPreservesSequenceContinuity(t *testing.T) {
+	c := NewCollector()
+	if err := c.Ingest(mkDatagram(t, 0, 30, 0)); err != nil {
+		t.Fatal(err)
+	}
+	c.Reset() // epoch boundary
+	if c.Count() != 0 {
+		t.Fatalf("Reset kept %d records", c.Count())
+	}
+	// The datagram covering records 30..59 was dropped in the gap; the
+	// next epoch opens with sequence 60.
+	if err := c.Ingest(mkDatagram(t, 60, 30, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if c.Lost() != 30 {
+		t.Errorf("Lost = %d after cross-epoch drop, want 30", c.Lost())
+	}
+
+	// And the per-source path preserves its cursors across Reset too.
+	src := netip.MustParseAddrPort("10.0.0.1:2055")
+	cs := NewCollector()
+	if err := cs.IngestFrom(src, mkDatagram(t, 0, 30, 7)); err != nil {
+		t.Fatal(err)
+	}
+	cs.Reset()
+	if err := cs.IngestFrom(src, mkDatagram(t, 60, 30, 7)); err != nil {
+		t.Fatal(err)
+	}
+	if cs.Lost() != 30 {
+		t.Errorf("per-source Lost = %d after cross-epoch drop, want 30", cs.Lost())
+	}
+}
+
+// A duplicated or reordered datagram has a negative sequence delta: it is
+// not loss and must not rewind the cursor (which would double-count the
+// records in between on the next in-order datagram).
+func TestIngestReorderedDatagramNotCountedLost(t *testing.T) {
+	c := NewCollector()
+	d0 := mkDatagram(t, 0, 30, 0)
+	d1 := mkDatagram(t, 30, 30, 0)
+	for _, d := range [][]byte{d0, d1, d0, mkDatagram(t, 60, 30, 0)} {
+		if err := c.Ingest(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Lost() != 0 {
+		t.Errorf("Lost = %d with a duplicated datagram, want 0", c.Lost())
+	}
+}
+
+// Two exporters interleaving on one socket must not corrupt each other's
+// gap math: the single-cursor Ingest would see every interleaving as a
+// gap or a resync, while IngestFrom keys the cursor by source + engine.
+func TestIngestFromInterleavedExporters(t *testing.T) {
+	a := netip.MustParseAddrPort("10.0.0.1:2055")
+	b := netip.MustParseAddrPort("10.0.0.2:2055")
+	c := NewCollector()
+	// Perfectly interleaved, no loss anywhere.
+	for i := uint32(0); i < 5; i++ {
+		if err := c.IngestFrom(a, mkDatagram(t, i*30, 30, 1)); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.IngestFrom(b, mkDatagram(t, i*20, 20, 2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Lost() != 0 {
+		t.Errorf("Lost = %d on interleaved exporters, want 0", c.Lost())
+	}
+	if c.Count() != 5*30+5*20 {
+		t.Errorf("Count = %d, want %d", c.Count(), 5*30+5*20)
+	}
+	if c.Sources() != 2 {
+		t.Errorf("Sources = %d, want 2", c.Sources())
+	}
+
+	// Now drop one datagram from exporter b only: the loss must land on
+	// b's stream, not a's.
+	if err := c.IngestFrom(a, mkDatagram(t, 150, 30, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.IngestFrom(b, mkDatagram(t, 120, 20, 2)); err != nil { // 100..119 dropped
+		t.Fatal(err)
+	}
+	if c.Lost() != 20 {
+		t.Errorf("Lost = %d after one dropped datagram, want 20", c.Lost())
+	}
+	sa, ok := c.SourceStats(SourceKey{Addr: a, EngineType: 0, EngineID: 1})
+	if !ok || sa.Lost != 0 || sa.Datagrams != 6 || sa.Records != 180 {
+		t.Errorf("source a stats = %+v ok=%v, want 6 datagrams, 180 records, 0 lost", sa, ok)
+	}
+	sb, ok := c.SourceStats(SourceKey{Addr: b, EngineType: 0, EngineID: 2})
+	if !ok || sb.Lost != 20 || sb.Datagrams != 6 || sb.Records != 120 {
+		t.Errorf("source b stats = %+v ok=%v, want 6 datagrams, 120 records, 20 lost", sb, ok)
+	}
+
+	// The same address with a different engine ID is a distinct stream.
+	if err := c.IngestFrom(a, mkDatagram(t, 0, 10, 9)); err != nil {
+		t.Fatal(err)
+	}
+	if c.Sources() != 3 {
+		t.Errorf("Sources = %d after second engine, want 3", c.Sources())
+	}
+	if keys := c.AppendSourceKeys(nil); len(keys) != 3 {
+		t.Errorf("AppendSourceKeys returned %d keys, want 3", len(keys))
+	}
+}
+
+// The v5 octet counter is 32-bit: the packets x avgPktBytes estimate must
+// saturate instead of wrapping for elephant flows.
+func TestFromFlowRecordSaturatesOctets(t *testing.T) {
+	fr := flow.Record{Key: flow.Key{SrcIP: 1}, Count: 3_000_000}
+	if got := FromFlowRecord(fr, 1500).Octets; got != math.MaxUint32 {
+		t.Errorf("Octets = %d for a 4.5 GB flow, want saturation at %d", got, uint32(math.MaxUint32))
+	}
+	// Exactly at the limit (65535 x 65537 = 2^32-1): representable, exact.
+	fr.Count = 65535
+	if got := FromFlowRecord(fr, 65537).Octets; got != math.MaxUint32 {
+		t.Errorf("Octets = %d at exactly 2^32-1, want %d", got, uint32(math.MaxUint32))
+	}
+	// One under the limit stays exact.
+	fr.Count = (1 << 31) / 1500
+	want := uint32(fr.Count * 1500)
+	if got := FromFlowRecord(fr, 1500).Octets; got != want {
+		t.Errorf("Octets = %d below the limit, want exact %d", got, want)
+	}
+}
+
+// DecodeAppend must decode byte-identically to Decode and append after
+// existing records without allocating when capacity suffices.
+func TestDecodeAppendMatchesDecode(t *testing.T) {
+	b := mkDatagram(t, 42, 17, 3)
+	hdr1, recs1, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prefix := Record{SrcIP: 999}
+	hdr2, recs2, err := DecodeAppend([]Record{prefix}, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hdr1 != hdr2 {
+		t.Fatalf("headers differ: %+v vs %+v", hdr1, hdr2)
+	}
+	if len(recs2) != len(recs1)+1 || recs2[0] != prefix {
+		t.Fatalf("DecodeAppend did not append: len=%d first=%+v", len(recs2), recs2[0])
+	}
+	for i := range recs1 {
+		if recs2[i+1] != recs1[i] {
+			t.Fatalf("record %d differs", i)
+		}
+	}
+
+	// Error cases leave dst unchanged.
+	dst := []Record{prefix}
+	_, dst, err = DecodeAppend(dst, b[:HeaderLen+3]) // truncated records
+	if err == nil || len(dst) != 1 {
+		t.Fatalf("truncated datagram: err=%v len(dst)=%d", err, len(dst))
+	}
+
+	// Steady state is allocation-free with a warm buffer.
+	buf := make([]Record, 0, 64)
+	allocs := testing.AllocsPerRun(100, func() {
+		_, out, err := DecodeAppend(buf[:0], b)
+		if err != nil || len(out) != 17 {
+			t.Fatal("decode failed in alloc loop")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("DecodeAppend allocates %v per datagram with a warm buffer", allocs)
+	}
+}

@@ -9,6 +9,7 @@ package netflow
 import (
 	"encoding/binary"
 	"fmt"
+	"math"
 	"time"
 
 	"repro/flow"
@@ -65,7 +66,14 @@ func (r Record) Key() flow.Key {
 }
 
 // FromFlowRecord converts a measurement flow record into a v5 record.
+// The v5 octet counter is a 32-bit field, so the estimated byte count
+// (packets x avgPktBytes) saturates at math.MaxUint32 rather than
+// silently wrapping: a 3M-packet flow at 1500 B/pkt already exceeds 4 GiB.
 func FromFlowRecord(fr flow.Record, avgPktBytes uint32) Record {
+	octets := uint64(fr.Count) * uint64(avgPktBytes)
+	if octets > math.MaxUint32 {
+		octets = math.MaxUint32
+	}
 	return Record{
 		SrcIP:   fr.Key.SrcIP,
 		DstIP:   fr.Key.DstIP,
@@ -73,7 +81,7 @@ func FromFlowRecord(fr flow.Record, avgPktBytes uint32) Record {
 		DstPort: fr.Key.DstPort,
 		Proto:   fr.Key.Proto,
 		Packets: fr.Count,
-		Octets:  fr.Count * avgPktBytes,
+		Octets:  uint32(octets),
 	}
 }
 
@@ -127,11 +135,21 @@ func Encode(dst []byte, hdr Header, recs []Record) ([]byte, error) {
 
 // Decode parses one v5 datagram.
 func Decode(b []byte) (Header, []Record, error) {
+	return DecodeAppend(nil, b)
+}
+
+// DecodeAppend parses one v5 datagram, appending its records to dst, and
+// returns the header and the extended slice. On error dst is returned
+// unchanged: validation happens before any record is appended. This is the
+// allocation-free form of Decode — a receive loop reusing one record
+// buffer per reader pays nothing per datagram instead of Decode's
+// make([]Record, hdr.Count).
+func DecodeAppend(dst []Record, b []byte) (Header, []Record, error) {
 	if len(b) < HeaderLen {
-		return Header{}, nil, fmt.Errorf("netflow: datagram of %d bytes is shorter than the header", len(b))
+		return Header{}, dst, fmt.Errorf("netflow: datagram of %d bytes is shorter than the header", len(b))
 	}
 	if v := binary.BigEndian.Uint16(b[0:]); v != Version {
-		return Header{}, nil, fmt.Errorf("netflow: unsupported version %d", v)
+		return Header{}, dst, fmt.Errorf("netflow: unsupported version %d", v)
 	}
 	hdr := Header{
 		Count:        binary.BigEndian.Uint16(b[2:]),
@@ -145,13 +163,12 @@ func Decode(b []byte) (Header, []Record, error) {
 	}
 	want := HeaderLen + int(hdr.Count)*RecordLen
 	if len(b) < want {
-		return Header{}, nil, fmt.Errorf("netflow: datagram of %d bytes carries %d records, need %d bytes",
+		return Header{}, dst, fmt.Errorf("netflow: datagram of %d bytes carries %d records, need %d bytes",
 			len(b), hdr.Count, want)
 	}
-	recs := make([]Record, hdr.Count)
-	for i := range recs {
+	for i := 0; i < int(hdr.Count); i++ {
 		r := b[HeaderLen+i*RecordLen:]
-		recs[i] = Record{
+		dst = append(dst, Record{
 			SrcIP:    binary.BigEndian.Uint32(r[0:]),
 			DstIP:    binary.BigEndian.Uint32(r[4:]),
 			NextHop:  binary.BigEndian.Uint32(r[8:]),
@@ -170,9 +187,9 @@ func Decode(b []byte) (Header, []Record, error) {
 			DstAS:    binary.BigEndian.Uint16(r[42:]),
 			SrcMask:  r[44],
 			DstMask:  r[45],
-		}
+		})
 	}
-	return hdr, recs, nil
+	return hdr, dst, nil
 }
 
 // nowFunc allows tests to pin time.
@@ -230,12 +247,53 @@ func (e *Exporter) Export(recs []flow.Record, avgPktBytes uint32) error {
 func (e *Exporter) Sequence() uint32 { return e.seq }
 
 // Collector accumulates records decoded from v5 datagrams and tracks
-// sequence gaps (lost datagrams).
+// sequence gaps (lost datagrams). Ingest tracks a single exporter stream;
+// IngestFrom tracks one sequence space per exporter (source address +
+// engine), which interleaved exporters need — see source.go.
 type Collector struct {
 	records []Record
-	nextSeq uint32
-	started bool
-	lost    uint64
+	seq     seqState
+	sources map[SourceKey]*seqState
+	lost    uint64 // records inferred lost since the last Reset
+}
+
+// seqState is the per-stream sequence cursor. FlowSequence counts records
+// (not datagrams), so the expected next value is the last one plus the
+// record count of the last datagram.
+type seqState struct {
+	nextSeq   uint32
+	started   bool
+	lost      uint64 // lifetime, survives Reset (per-source diagnostics)
+	datagrams uint64
+	records   uint64
+}
+
+// advance accounts one datagram's header against the cursor and returns
+// how many records the sequence number says were missed since the last
+// datagram. The gap is a signed 32-bit delta so that loss counting keeps
+// working after FlowSequence wraps at 2^32 records: an unsigned
+// comparison is false across the wrap, silently dropping the gap. A
+// negative delta (a duplicated or reordered datagram) is not a loss and
+// does not move the cursor backwards.
+func (s *seqState) advance(hdr Header, nrecs int) uint64 {
+	var gap uint64
+	if s.started {
+		delta := int32(hdr.FlowSequence - s.nextSeq)
+		if delta > 0 {
+			gap = uint64(delta)
+		}
+		if delta < 0 {
+			s.datagrams++
+			s.records += uint64(nrecs)
+			return 0
+		}
+	}
+	s.started = true
+	s.nextSeq = hdr.FlowSequence + uint32(nrecs)
+	s.lost += gap
+	s.datagrams++
+	s.records += uint64(nrecs)
+	return gap
 }
 
 // NewCollector returns an empty collector.
@@ -243,20 +301,18 @@ func NewCollector() *Collector {
 	return &Collector{}
 }
 
-// Ingest decodes one datagram and accumulates its records.
+// Ingest decodes one datagram and accumulates its records, tracking
+// sequence gaps against a single exporter stream. Datagrams from multiple
+// exporters must go through IngestFrom instead, or their interleaved
+// sequence spaces corrupt the gap math.
 func (c *Collector) Ingest(b []byte) error {
-	hdr, recs, err := Decode(b)
+	hdr, recs, err := DecodeAppend(c.records, b)
 	if err != nil {
 		return err
 	}
-	if c.started && hdr.FlowSequence != c.nextSeq {
-		if hdr.FlowSequence > c.nextSeq {
-			c.lost += uint64(hdr.FlowSequence - c.nextSeq)
-		}
-	}
-	c.started = true
-	c.nextSeq = hdr.FlowSequence + uint32(len(recs))
-	c.records = append(c.records, recs...)
+	nrecs := len(recs) - len(c.records)
+	c.records = recs
+	c.lost += c.seq.advance(hdr, nrecs)
 	return nil
 }
 
@@ -284,17 +340,20 @@ func (c *Collector) AppendFlowRecords(dst []flow.Record) []flow.Record {
 	return dst
 }
 
-// Reset clears the collected records and the sequence tracking so the
-// collector can accumulate the next epoch, retaining its record storage.
+// Reset clears the collected records and the per-epoch loss counter so
+// the collector can accumulate the next epoch, retaining its record
+// storage. Sequence cursors are preserved: a datagram dropped across an
+// epoch boundary (exactly the quiet-gap window that closes an epoch)
+// still shows up as a gap on the first datagram of the next epoch —
+// zeroing the cursor here would silently resync instead.
 func (c *Collector) Reset() {
 	c.records = c.records[:0]
-	c.started = false
-	c.nextSeq = 0
 	c.lost = 0
 }
 
 // Count returns the number of records collected so far without copying.
 func (c *Collector) Count() int { return len(c.records) }
 
-// Lost returns the number of records inferred missing from sequence gaps.
+// Lost returns the number of records inferred missing from sequence gaps
+// since the last Reset (across all sources when IngestFrom is used).
 func (c *Collector) Lost() uint64 { return c.lost }

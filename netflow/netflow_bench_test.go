@@ -42,6 +42,26 @@ func BenchmarkDecodeV5(b *testing.B) {
 	}
 }
 
+func BenchmarkDecodeAppendV5(b *testing.B) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	recs := make([]Record, MaxRecordsPerDatagram)
+	for i := range recs {
+		recs[i] = randRecord(rng)
+	}
+	buf, err := Encode(nil, Header{}, recs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dst := make([]Record, 0, MaxRecordsPerDatagram)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := DecodeAppend(dst[:0], buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkDecodeIPFIXData(b *testing.B) {
 	rng := rand.New(rand.NewPCG(5, 6))
 	recs := make([]IPFIXRecord, 200)

@@ -1,0 +1,71 @@
+package netflow
+
+import "net/netip"
+
+// SourceKey identifies one exporter stream. FlowSequence is per exporter
+// engine, so gap accounting has to key on the datagram's source address
+// plus the engine type/ID carried in the header — two exporters behind
+// the same address (or one exporter with two engines) run independent
+// sequence spaces.
+type SourceKey struct {
+	Addr       netip.AddrPort
+	EngineType uint8
+	EngineID   uint8
+}
+
+// SourceStats is a per-exporter accounting snapshot. Datagrams, Records
+// and Lost are lifetime counters (they survive Collector.Reset, which is
+// per-epoch).
+type SourceStats struct {
+	Datagrams uint64
+	Records   uint64
+	Lost      uint64
+}
+
+// IngestFrom decodes one datagram and accumulates its records like
+// Ingest, but tracks sequence gaps per exporter stream keyed by the
+// datagram's source address and the header's engine fields. This is the
+// form a shared UDP socket needs: datagrams from many exporters
+// interleave, and a single sequence cursor would count every interleaving
+// as loss (or mask real loss by constantly resyncing).
+func (c *Collector) IngestFrom(src netip.AddrPort, b []byte) error {
+	hdr, recs, err := DecodeAppend(c.records, b)
+	if err != nil {
+		return err
+	}
+	nrecs := len(recs) - len(c.records)
+	c.records = recs
+	key := SourceKey{Addr: src, EngineType: hdr.EngineType, EngineID: hdr.EngineID}
+	s := c.sources[key]
+	if s == nil {
+		if c.sources == nil {
+			c.sources = make(map[SourceKey]*seqState)
+		}
+		s = &seqState{}
+		c.sources[key] = s
+	}
+	c.lost += s.advance(hdr, nrecs)
+	return nil
+}
+
+// Sources returns how many distinct exporter streams IngestFrom has seen.
+func (c *Collector) Sources() int { return len(c.sources) }
+
+// SourceStats returns the lifetime per-exporter counters for one stream
+// seen by IngestFrom, and whether the stream is known.
+func (c *Collector) SourceStats(key SourceKey) (SourceStats, bool) {
+	s, ok := c.sources[key]
+	if !ok {
+		return SourceStats{}, false
+	}
+	return SourceStats{Datagrams: s.datagrams, Records: s.records, Lost: s.lost}, true
+}
+
+// AppendSourceKeys appends the keys of every exporter stream seen by
+// IngestFrom to dst and returns the extended slice (order unspecified).
+func (c *Collector) AppendSourceKeys(dst []SourceKey) []SourceKey {
+	for k := range c.sources {
+		dst = append(dst, k)
+	}
+	return dst
+}
