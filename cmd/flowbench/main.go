@@ -859,7 +859,12 @@ func runQueryBench(cfg config, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	srv := &http.Server{Handler: query.NewHandler(query.Config{TopK: set})}
+	srv := &http.Server{
+		Handler:           query.NewHandler(query.Config{TopK: set}),
+		ReadHeaderTimeout: 5 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       60 * time.Second,
+	}
 	go func() { _ = srv.Serve(ln) }()
 	defer srv.Close()
 

@@ -43,17 +43,21 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"repro/adaptive"
@@ -124,19 +128,42 @@ func runServe(args []string, w io.Writer) error {
 	forecast := fs.Float64("forecast", 1024, "forecast CUSUM drift threshold in packets (with -detect)")
 	alerts := fs.Bool("alerts", false, "print alerts to stdout (with -detect)")
 	webhook := fs.String("webhook", "", "POST each epoch's alerts as JSON to this URL (with -detect)")
+	fsyncPol := fs.String("fsync", "off", "store durability policy: off, epoch, or a sync interval like 2s")
+	ckptPath := fs.String("checkpoint", "", "detector checkpoint sidecar file (with -detect): restored at startup, saved every -ckptevery epochs and at shutdown")
+	ckptEvery := fs.Int("ckptevery", 16, "checkpoint the detector every N evaluated epochs (with -checkpoint)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if (*alerts || *webhook != "") && !*det {
-		return errors.New("-alerts/-webhook need -detect")
+	if (*alerts || *webhook != "" || *ckptPath != "") && !*det {
+		return errors.New("-alerts/-webhook/-checkpoint need -detect")
 	}
-
-	f, err := os.Create(*storePath)
+	if *ckptEvery < 1 {
+		return errors.New("-ckptevery must be positive")
+	}
+	pol, err := recordstore.ParseSyncPolicy(*fsyncPol)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	store := collector.NewEpochStore(recordstore.NewWriter(f))
+	// Catch termination signals from the start: a SIGTERM during setup
+	// still lands in the channel and shuts the serve loop down promptly.
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigCh)
+
+	// Reopen the store for append, truncating the torn frame a killed
+	// predecessor may have left; a fresh path just creates the file.
+	fw, recov, err := recordstore.OpenFile(*storePath, pol)
+	if err != nil {
+		return err
+	}
+	defer fw.Close()
+	if !recov.Created || recov.TornBytes > 0 {
+		if _, err := fmt.Fprintf(w, "store: recovered %s: %d epochs intact, %d torn bytes truncated\n",
+			*storePath, recov.Epochs, recov.TornBytes); err != nil {
+			return err
+		}
+	}
+	store := collector.NewEpochStore(fw.Writer)
 
 	// Detection runs on the collector's epoch goroutine — the serve-mode
 	// analogue of the export drain worker — with alerts fanned out to the
@@ -155,6 +182,24 @@ func runServe(args []string, w io.Writer) error {
 		})
 		if err != nil {
 			return err
+		}
+		if *ckptPath != "" {
+			// Restore pre-crash evaluation state so a ramp in progress
+			// across the restart still alerts; a missing sidecar is a
+			// normal first boot, anything else starts cold and says so.
+			switch err := detector.LoadCheckpoint(*ckptPath); {
+			case err == nil:
+				if _, err := fmt.Fprintf(w, "checkpoint: restored %s: %d epochs, %d forecast keys\n",
+					*ckptPath, detector.Epochs(), detector.ForecastTracked()); err != nil {
+					return err
+				}
+				epochs.Store(detector.Epochs())
+			case errors.Is(err, os.ErrNotExist):
+			default:
+				if _, err := fmt.Fprintf(w, "checkpoint: %s unusable (%v); starting cold\n", *ckptPath, err); err != nil {
+					return err
+				}
+			}
 		}
 		if *webhook != "" {
 			hook = newWebhookSink(*webhook)
@@ -198,6 +243,11 @@ func runServe(args []string, w io.Writer) error {
 		}
 		if detector != nil {
 			detector.Observe(int(epochs.Load()), ts, records)
+			if *ckptPath != "" && detector.Epochs()%uint64(*ckptEvery) == 0 {
+				if err := detector.SaveCheckpoint(*ckptPath); err != nil {
+					fmt.Fprintf(w, "checkpoint: save failed: %v\n", err)
+				}
+			}
 		}
 		epochs.Add(1)
 	}
@@ -218,6 +268,8 @@ func runServe(args []string, w io.Writer) error {
 		httpSrv = &http.Server{
 			Handler:           query.NewHandler(cfg),
 			ReadHeaderTimeout: 5 * time.Second,
+			WriteTimeout:      30 * time.Second,
+			IdleTimeout:       60 * time.Second,
 		}
 		go func() { _ = httpSrv.Serve(httpLn) }()
 		if _, err := fmt.Fprintf(w, "query API on http://%s\n", httpLn.Addr()); err != nil {
@@ -245,11 +297,22 @@ func runServe(args []string, w io.Writer) error {
 		return err
 	}
 
-	time.Sleep(*runFor)
-	srv.Shutdown()
-	if httpSrv != nil {
-		if err := httpSrv.Close(); err != nil {
+	// Run until the deadline or a termination signal, then shut down in
+	// dependency order: stop ingest and drain the in-flight epoch through
+	// the sink (collector.Shutdown is synchronous), checkpoint the detector
+	// with that final epoch included, make the store durable, and only then
+	// stop answering queries.
+	select {
+	case <-time.After(*runFor):
+	case sig := <-sigCh:
+		if _, err := fmt.Fprintf(w, "received %v, shutting down\n", sig); err != nil {
 			return err
+		}
+	}
+	srv.Shutdown()
+	if detector != nil && *ckptPath != "" {
+		if err := detector.SaveCheckpoint(*ckptPath); err != nil {
+			fmt.Fprintf(w, "checkpoint: final save failed: %v\n", err)
 		}
 	}
 	// Err before Flush: Flush also returns the sticky write error, which
@@ -257,8 +320,16 @@ func runServe(args []string, w io.Writer) error {
 	if err := store.Err(); err != nil {
 		return fmt.Errorf("store write failed (%d later epochs dropped): %w", store.Dropped(), err)
 	}
-	if err := store.Flush(); err != nil {
+	if err := fw.Sync(); err != nil {
 		return err
+	}
+	if httpSrv != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		err := httpSrv.Shutdown(ctx)
+		cancel()
+		if err != nil {
+			httpSrv.Close()
+		}
 	}
 	st := srv.Stats()
 	if _, err = fmt.Fprintf(w, "done: %d datagrams, %d records, %d epochs, %d lost, %d bad\n",
@@ -293,7 +364,11 @@ type webhookAlert struct {
 // webhookSink POSTs alert batches to a URL from a single background
 // goroutine. The epoch sink only marshals and enqueues; a slow or dead
 // endpoint backpressures into dropped deliveries (counted, reported at
-// shutdown), never into the epoch path.
+// shutdown), never into the epoch path. Each dequeued payload gets a
+// bounded retry budget with exponential backoff and jitter — transport
+// errors and non-2xx responses alike — so a receiver that hiccups for a
+// few seconds loses nothing, while a dead one costs a bounded delay per
+// payload and a counted failure, never an unbounded stall.
 type webhookSink struct {
 	url     string
 	client  *http.Client
@@ -301,13 +376,28 @@ type webhookSink struct {
 	wg      sync.WaitGroup
 	dropped atomic.Uint64
 	failed  atomic.Uint64
+	retries atomic.Uint64
+
+	// Retry policy; fixed after construction (tests shrink the backoff).
+	maxAttempts int
+	backoffBase time.Duration
+	backoffCap  time.Duration
+	rng         *rand.Rand // delivery goroutine only
 }
 
 func newWebhookSink(url string) *webhookSink {
+	return newWebhookSinkWithRetry(url, 4, 100*time.Millisecond, 2*time.Second)
+}
+
+func newWebhookSinkWithRetry(url string, maxAttempts int, base, cap time.Duration) *webhookSink {
 	s := &webhookSink{
-		url:    url,
-		client: &http.Client{Timeout: 5 * time.Second},
-		ch:     make(chan []byte, 16),
+		url:         url,
+		client:      &http.Client{Timeout: 5 * time.Second},
+		ch:          make(chan []byte, 16),
+		maxAttempts: maxAttempts,
+		backoffBase: base,
+		backoffCap:  cap,
+		rng:         rand.New(rand.NewSource(time.Now().UnixNano())),
 	}
 	s.wg.Add(1)
 	go s.run()
@@ -352,15 +442,36 @@ func (s *webhookSink) deliver(alerts []detect.Alert) {
 func (s *webhookSink) run() {
 	defer s.wg.Done()
 	for b := range s.ch {
-		resp, err := s.client.Post(s.url, "application/json", bytes.NewReader(b))
-		if err != nil {
+		if !s.post(b) {
 			s.failed.Add(1)
-			continue
 		}
-		_, _ = io.Copy(io.Discard, resp.Body)
-		resp.Body.Close()
-		if resp.StatusCode >= 300 {
-			s.failed.Add(1)
+	}
+}
+
+// post attempts one payload's delivery under the retry budget, reporting
+// whether it eventually landed. A non-2xx status is a failed attempt like
+// any transport error: the receiver did not take custody of the alerts.
+func (s *webhookSink) post(b []byte) bool {
+	backoff := s.backoffBase
+	for attempt := 1; ; attempt++ {
+		resp, err := s.client.Post(s.url, "application/json", bytes.NewReader(b))
+		if err == nil {
+			_, _ = io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode < 300 {
+				return true
+			}
+		}
+		if attempt >= s.maxAttempts {
+			return false
+		}
+		s.retries.Add(1)
+		// Full backoff with jitter in [backoff/2, backoff): enough spread
+		// that restarting receivers are not hit in lockstep.
+		sleep := backoff/2 + time.Duration(s.rng.Int63n(int64(backoff/2)+1))
+		time.Sleep(sleep)
+		if backoff *= 2; backoff > s.backoffCap {
+			backoff = s.backoffCap
 		}
 	}
 }
@@ -369,8 +480,8 @@ func (s *webhookSink) run() {
 func (s *webhookSink) close(w io.Writer) {
 	close(s.ch)
 	s.wg.Wait()
-	if d, f := s.dropped.Load(), s.failed.Load(); d+f > 0 {
-		fmt.Fprintf(w, "webhook: %d deliveries dropped, %d failed\n", d, f)
+	if d, f, r := s.dropped.Load(), s.failed.Load(), s.retries.Load(); d+f+r > 0 {
+		fmt.Fprintf(w, "webhook: %d deliveries dropped, %d failed, %d retries\n", d, f, r)
 	}
 }
 

@@ -13,11 +13,13 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"testing"
 	"time"
 
 	"repro/detect"
 	"repro/flow"
+	"repro/internal/faults"
 	"repro/netflow"
 	"repro/pcapio"
 	"repro/query"
@@ -520,5 +522,225 @@ func TestServeDetectWebhook(t *testing.T) {
 	hookMu.Unlock()
 	if !strings.Contains(body, "superspreader") {
 		t.Errorf("webhook missed the alerts: %q", body)
+	}
+}
+
+// lockedBuf is a goroutine-safe output buffer for tests that read serve
+// output while the serve goroutine is still writing it.
+type lockedBuf struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuf) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuf) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestWebhookSinkRetriesTransientFailure: a receiver that 500s a couple
+// of times then recovers must lose nothing — the payload is retried under
+// backoff and counted delivered, not failed.
+func TestWebhookSinkRetriesTransientFailure(t *testing.T) {
+	h := &faults.FlakyHandler{}
+	h.FailNext(2, http.StatusInternalServerError)
+	hook := httptest.NewServer(h)
+	defer hook.Close()
+
+	s := newWebhookSinkWithRetry(hook.URL, 4, 2*time.Millisecond, 10*time.Millisecond)
+	s.deliver([]detect.Alert{{Kind: detect.KindForecast, Epoch: 7, Value: 4100}})
+	var out bytes.Buffer
+	s.close(&out)
+
+	if f, ok := h.Failed(), h.Served(); f != 2 || ok != 1 {
+		t.Errorf("receiver saw %d failed + %d served attempts, want 2 + 1", f, ok)
+	}
+	if s.failed.Load() != 0 {
+		t.Errorf("failed = %d, want 0: transient failures must not count as lost", s.failed.Load())
+	}
+	if s.retries.Load() != 2 {
+		t.Errorf("retries = %d, want 2", s.retries.Load())
+	}
+	if !strings.Contains(out.String(), "2 retries") {
+		t.Errorf("close did not report retries: %q", out.String())
+	}
+}
+
+// TestWebhookSinkRetryBudgetExhausted: a receiver that never accepts
+// costs exactly maxAttempts attempts and one counted failure per payload,
+// then the sink moves on — no unbounded retry loop at shutdown.
+func TestWebhookSinkRetryBudgetExhausted(t *testing.T) {
+	h := &faults.FlakyHandler{}
+	h.FailNext(100, http.StatusServiceUnavailable) // never recovers within the budget
+	hook := httptest.NewServer(h)
+	defer hook.Close()
+
+	s := newWebhookSinkWithRetry(hook.URL, 3, 2*time.Millisecond, 10*time.Millisecond)
+	s.deliver([]detect.Alert{{Kind: detect.KindAnomaly, Epoch: 1, Metric: "packets"}})
+	var out bytes.Buffer
+	s.close(&out)
+
+	if got := h.Failed(); got != 3 {
+		t.Errorf("receiver saw %d attempts, want exactly the budget of 3", got)
+	}
+	if s.failed.Load() != 1 {
+		t.Errorf("failed = %d, want 1", s.failed.Load())
+	}
+	if !strings.Contains(out.String(), "1 failed") {
+		t.Errorf("close did not report the failure: %q", out.String())
+	}
+}
+
+func TestServeDurabilityFlagValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"serve", "-checkpoint", "x.ckpt", "-for", "1ms"}, &buf); err == nil {
+		t.Error("serve -checkpoint without -detect accepted")
+	}
+	if err := run([]string{"serve", "-fsync", "sometimes", "-for", "1ms"}, &buf); err == nil {
+		t.Error("serve -fsync sometimes accepted")
+	}
+	if err := run([]string{"serve", "-detect", "-checkpoint", "x.ckpt", "-ckptevery", "0", "-for", "1ms"}, &buf); err == nil {
+		t.Error("serve -ckptevery 0 accepted")
+	}
+}
+
+// TestServeAppendsAcrossRuns: a second serve run on the same store file
+// must append after the first run's epochs, not truncate them — the
+// reopen path that makes restarts safe.
+func TestServeAppendsAcrossRuns(t *testing.T) {
+	store := filepath.Join(t.TempDir(), "resume.frec")
+	oneRun := func() {
+		t.Helper()
+		udpProbe, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		port := udpProbe.LocalAddr().String()
+		udpProbe.Close()
+		var (
+			wg       sync.WaitGroup
+			serveOut bytes.Buffer
+			serveErr error
+		)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			serveErr = run([]string{"serve", "-listen", port, "-store", store,
+				"-fsync", "epoch", "-gap", "200ms", "-for", "2s"}, &serveOut)
+		}()
+		time.Sleep(300 * time.Millisecond)
+		var exportOut bytes.Buffer
+		if err := run([]string{"export", "-profile", "ISP2", "-flows", "200",
+			"-mem", "65536", "-to", port}, &exportOut); err != nil {
+			t.Fatalf("export: %v", err)
+		}
+		wg.Wait()
+		if serveErr != nil {
+			t.Fatalf("serve: %v", serveErr)
+		}
+	}
+
+	oneRun()
+	m, err := recordstore.OpenMapped(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after1 := m.Epochs()
+	m.Close()
+	if after1 == 0 {
+		t.Fatal("first run stored no epochs")
+	}
+
+	oneRun()
+	m, err = recordstore.OpenMapped(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if m.Epochs() <= after1 {
+		t.Fatalf("second run did not append: %d epochs before, %d after", after1, m.Epochs())
+	}
+}
+
+// TestServeGracefulSigterm: a termination signal mid-run must shut the
+// collector down cleanly — final epoch drained and stored, checkpoint
+// written, normal exit — well before the -for deadline.
+func TestServeGracefulSigterm(t *testing.T) {
+	udpProbe, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	port := udpProbe.LocalAddr().String()
+	udpProbe.Close()
+
+	dir := t.TempDir()
+	store := filepath.Join(dir, "sig.frec")
+	ckpt := filepath.Join(dir, "sig.ckpt")
+	out := &lockedBuf{}
+	serveDone := make(chan error, 1)
+	go func() {
+		serveDone <- run([]string{"serve", "-listen", port, "-store", store,
+			"-fsync", "epoch", "-gap", "200ms", "-for", "1h",
+			"-detect", "-checkpoint", ckpt}, out)
+	}()
+
+	// Wait for the serve loop to come up, feed it one epoch, let the quiet
+	// gap close it.
+	deadline := time.Now().Add(5 * time.Second)
+	for !strings.Contains(out.String(), "serving on") {
+		if time.Now().After(deadline) {
+			t.Fatalf("serve never came up: %q", out.String())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	var exportOut bytes.Buffer
+	if err := run([]string{"export", "-profile", "ISP2", "-flows", "200",
+		"-mem", "65536", "-to", port}, &exportOut); err != nil {
+		t.Fatalf("export: %v", err)
+	}
+	time.Sleep(500 * time.Millisecond)
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-serveDone:
+		if err != nil {
+			t.Fatalf("serve exited with error after SIGTERM: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("serve did not shut down within 10s of SIGTERM")
+	}
+	if !strings.Contains(out.String(), "shutting down") {
+		t.Errorf("no shutdown notice in output: %q", out.String())
+	}
+	if !strings.Contains(out.String(), "done:") {
+		t.Errorf("no final summary in output: %q", out.String())
+	}
+
+	// The drained epoch made it to the store and the checkpoint exists.
+	m, err := recordstore.OpenMapped(store)
+	if err != nil {
+		t.Fatalf("store after SIGTERM: %v", err)
+	}
+	defer m.Close()
+	if m.Epochs() == 0 {
+		t.Error("store empty after graceful shutdown")
+	}
+	d, err := detect.NewDetector(detect.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.LoadCheckpoint(ckpt); err != nil {
+		t.Fatalf("checkpoint after SIGTERM: %v", err)
+	}
+	if d.Epochs() == 0 {
+		t.Error("checkpoint holds no evaluated epochs")
 	}
 }

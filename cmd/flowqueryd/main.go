@@ -42,6 +42,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -49,8 +50,10 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"repro/collector"
@@ -103,6 +106,12 @@ func run(args []string, w io.Writer) error {
 	if *det && len(nfs) == 0 {
 		return errors.New("-detect needs a live feed: pass -netflow too")
 	}
+
+	// Catch termination signals from the start so a SIGTERM during setup
+	// still shuts the daemon down instead of killing it mid-listen.
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigCh)
 
 	cfg := query.Config{}
 
@@ -229,28 +238,46 @@ func run(args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	httpSrv := &http.Server{Handler: query.NewHandler(cfg), ReadHeaderTimeout: 5 * time.Second}
+	httpSrv := &http.Server{
+		Handler:           query.NewHandler(cfg),
+		ReadHeaderTimeout: 5 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       60 * time.Second,
+	}
 	if _, err := fmt.Fprintf(w, "flowqueryd serving on http://%s\n", ln.Addr()); err != nil {
 		ln.Close()
 		return err
 	}
 
+	// Serve until the deadline (if any) or a termination signal, then shut
+	// down gracefully: stop accepting, let in-flight queries finish under a
+	// deadline, and fall back to a hard close if they will not. The
+	// deferred collector Shutdowns then drain each vantage's in-flight
+	// epoch into its tracker/detector before the process exits.
+	done := make(chan error, 1)
+	go func() { done <- httpSrv.Serve(ln) }()
+	var deadline <-chan time.Time
 	if *runFor > 0 {
-		done := make(chan error, 1)
-		go func() { done <- httpSrv.Serve(ln) }()
-		select {
-		case err := <-done:
-			return err
-		case <-time.After(*runFor):
-		}
-		if err := httpSrv.Close(); err != nil {
+		deadline = time.After(*runFor)
+	}
+	select {
+	case err := <-done:
+		if !errors.Is(err, http.ErrServerClosed) {
 			return err
 		}
-		<-done // Serve always returns after Close; drain it
 		return nil
+	case <-deadline:
+	case sig := <-sigCh:
+		if _, err := fmt.Fprintf(w, "received %v, shutting down\n", sig); err != nil {
+			return err
+		}
 	}
-	if err := httpSrv.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
-		return err
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	err = httpSrv.Shutdown(ctx)
+	cancel()
+	if err != nil {
+		httpSrv.Close()
 	}
+	<-done // Serve always returns after Shutdown/Close; drain it
 	return nil
 }

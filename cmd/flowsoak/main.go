@@ -1,0 +1,809 @@
+// Command flowsoak is the kill/restart chaos harness for the collection
+// pipeline: it builds the real flowcollect and flowqueryd binaries, runs
+// them under sustained epoch-shaped NetFlow load, SIGKILLs the collectors
+// mid-epoch, restarts them on their own store files, and asserts the
+// crash-safety contract end to end:
+//
+//   - the restarted collector recovers its store (torn tail truncated, no
+//     decode error, epoch count off by at most one),
+//   - the detector restored from its checkpoint re-alerts on a slow ramp
+//     that was in progress across the crash within a bounded number of
+//     epochs, while an identical collector restarted WITHOUT a checkpoint
+//     stays blind to it — the controlled experiment that proves the
+//     checkpoint carries detection state, not just bytes,
+//   - a webhook receiver that 500s and stalls loses no alert deliveries
+//     (the sink retries under backoff),
+//   - flowqueryd answers /flows over the recovered store, and (full mode)
+//     survives its own kill/restart and keeps its cross-vantage
+//     correlator unwedged when one vantage goes dead,
+//   - final loss accounting is sane: no phantom losses from the restarts.
+//
+// The ramp parameters mirror the pinned scenario in
+// detect/checkpoint_test.go (TestCheckpointRampRestore); change them
+// there first.
+//
+//	flowsoak -quick   # one kill/restart cycle, ~30s: the CI smoke mode
+//	flowsoak          # adds a queryd kill/restart and dead-vantage checks
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro/flow"
+	"repro/internal/faults"
+	"repro/netflow"
+	"repro/query"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "flowsoak:", err)
+		os.Exit(1)
+	}
+}
+
+// Ramp scenario, pinned by detect/checkpoint_test.go: stable warmup at
+// rampBase, then +rampStep per epoch against a CUSUM threshold of
+// rampThreshold. Killed after rampKillAfter ramp epochs, a restored
+// detector re-alerts within rampBudget epochs; a cold one does not.
+const (
+	rampBase      = 2000
+	rampStep      = 300
+	rampThreshold = 2200
+	rampWarmup    = 10
+	rampKillAfter = 4
+	rampBudget    = 5
+)
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("flowsoak", flag.ContinueOnError)
+	quick := fs.Bool("quick", false, "one kill/restart cycle (~30s): the CI smoke mode")
+	keep := fs.Bool("keep", false, "keep the scratch directory for post-mortem")
+	epoch := fs.Duration("epoch", 500*time.Millisecond, "injected epoch period")
+	gap := fs.Duration("gap", 250*time.Millisecond, "collector quiet gap (must be under -epoch)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *gap >= *epoch {
+		return errors.New("-gap must be shorter than -epoch")
+	}
+
+	dir, err := os.MkdirTemp("", "flowsoak-*")
+	if err != nil {
+		return err
+	}
+	if *keep {
+		fmt.Fprintf(w, "scratch dir: %s (kept)\n", dir)
+	} else {
+		defer os.RemoveAll(dir)
+	}
+
+	s := &soak{
+		w:     w,
+		dir:   dir,
+		quick: *quick,
+		epoch: *epoch,
+		gap:   *gap,
+	}
+	defer s.reap()
+	return s.run()
+}
+
+// soak carries the harness state through the phases.
+type soak struct {
+	w     io.Writer
+	dir   string
+	quick bool
+	epoch time.Duration
+	gap   time.Duration
+
+	collectBin string
+	querydBin  string
+
+	hook   *faults.FlakyHandler
+	hookLn net.Listener
+
+	subject *member // checkpointed collector
+	control *member // identical, but restarts cold
+
+	procs []*proc // everything spawned, for reaping
+}
+
+// member is one collector under test: its network identity, files, load
+// feed, and current process.
+type member struct {
+	name      string
+	udpAddr   string
+	httpAddr  string
+	storePath string
+	ckptPath  string // empty for the control
+	feed      *vantage
+	proc      *proc
+}
+
+func (s *soak) logf(format string, a ...any) {
+	fmt.Fprintf(s.w, format+"\n", a...)
+}
+
+func (s *soak) run() error {
+	if err := s.build(); err != nil {
+		return err
+	}
+	if err := s.startWebhook(); err != nil {
+		return err
+	}
+	defer s.hookLn.Close()
+
+	// Phase 1: both collectors up, duplicated stable load.
+	sub, err := s.startMember("subject", true)
+	if err != nil {
+		return err
+	}
+	s.subject = sub
+	ctl, err := s.startMember("control", false)
+	if err != nil {
+		return err
+	}
+	s.control = ctl
+
+	s.logf("phase: warmup (%d stable epochs at %d pkts)", rampWarmup, rampBase)
+	for e := 0; e < rampWarmup; e++ {
+		if err := s.sendEpoch(0); err != nil {
+			return err
+		}
+	}
+	s.logf("phase: ramp (+%d pkts/epoch for %d epochs)", rampStep, rampKillAfter)
+	for r := 1; r <= rampKillAfter; r++ {
+		if err := s.sendEpoch(r); err != nil {
+			return err
+		}
+	}
+	// Let the final ramp epoch's quiet gap close and its checkpoint land.
+	time.Sleep(s.gap + 300*time.Millisecond)
+
+	preKill, err := s.epochCount(s.subject)
+	if err != nil {
+		return fmt.Errorf("pre-kill epoch count: %w", err)
+	}
+	if preKill == 0 {
+		return errors.New("no epochs stored before the kill: load never landed")
+	}
+	if n, err := s.forecastAlerts(s.subject); err != nil {
+		return err
+	} else if n != 0 {
+		return fmt.Errorf("subject alerted before the kill (%d forecast alerts): ramp fired early, scenario invalid", n)
+	}
+
+	// Phase 2: SIGKILL both mid-epoch — a fresh batch lands and the kill
+	// fires well inside the quiet gap, so the epoch is still open (and
+	// therefore lost) when the process dies.
+	s.logf("phase: SIGKILL both collectors mid-epoch (store holds %d epochs)", preKill)
+	for _, m := range []*member{s.subject, s.control} {
+		if err := m.feed.sendEpoch(rampRecords(rampKillAfter + 1)); err != nil {
+			return fmt.Errorf("kill-epoch feed %s: %w", m.name, err)
+		}
+	}
+	time.Sleep(s.gap / 4)
+	for _, m := range []*member{s.subject, s.control} {
+		if err := m.proc.kill9(); err != nil {
+			return fmt.Errorf("kill %s: %w", m.name, err)
+		}
+	}
+
+	// Phase 3: restart on the same stores; the recovery + checkpoint
+	// restore lines are the collector's own report of what it found.
+	s.logf("phase: restart both collectors on their own stores")
+	for _, m := range []*member{s.subject, s.control} {
+		if err := s.respawn(m); err != nil {
+			return err
+		}
+		line, err := m.proc.waitFor("store: recovered", 5*time.Second)
+		if err != nil {
+			return fmt.Errorf("%s printed no recovery line: %w", m.name, err)
+		}
+		var recovered int
+		if _, err := fmt.Sscanf(line[strings.Index(line, ":")+1:], " recovered %s %d epochs intact",
+			new(string), &recovered); err != nil {
+			// The line format carries the path; parse the count robustly.
+			recovered = -1
+		}
+		if recovered >= 0 && recovered < preKill-1 {
+			return fmt.Errorf("%s recovered %d epochs, had %d before the kill (allowed to lose at most 1)",
+				m.name, recovered, preKill)
+		}
+	}
+	if _, err := s.subject.proc.waitFor("checkpoint: restored", 5*time.Second); err != nil {
+		return fmt.Errorf("subject did not restore its checkpoint: %w", err)
+	}
+	postKill, err := s.epochCount(s.subject)
+	if err != nil {
+		return fmt.Errorf("post-restart epoch count (recovered store does not serve): %w", err)
+	}
+	if postKill < preKill-1 {
+		return fmt.Errorf("recovered store serves %d epochs, had %d pre-kill", postKill, preKill)
+	}
+	s.logf("recovery ok: %d epochs pre-kill, %d served after restart", preKill, postKill)
+
+	// Phase 4: flap the webhook receiver — the first two deliveries after
+	// restart get stalled 500s; the sink must retry them through.
+	s.hook.FailNext(2, http.StatusInternalServerError)
+	s.hook.StallNext(100 * time.Millisecond)
+
+	// Phase 5: the ramp continues where it left off. Within the budget the
+	// restored subject must re-alert; the cold control must not.
+	s.logf("phase: resume ramp for %d epochs (the re-alert budget)", rampBudget)
+	for i := 1; i <= rampBudget; i++ {
+		if err := s.sendEpoch(rampKillAfter + i); err != nil {
+			return err
+		}
+	}
+	time.Sleep(s.gap + 500*time.Millisecond) // close the last epoch, drain detection
+
+	subAlerts, err := s.forecastAlerts(s.subject)
+	if err != nil {
+		return err
+	}
+	ctlAlerts, err := s.forecastAlerts(s.control)
+	if err != nil {
+		return err
+	}
+	if subAlerts == 0 {
+		return fmt.Errorf("restored subject raised no forecast alert within %d epochs: checkpoint did not carry detection state", rampBudget)
+	}
+	if ctlAlerts != 0 {
+		return fmt.Errorf("cold control raised %d forecast alerts within %d epochs: scenario no longer isolates checkpoint value", ctlAlerts, rampBudget)
+	}
+	s.logf("detection continuity ok: subject re-alerted, control blind (as designed)")
+
+	// Phase 6: flowqueryd over the recovered (still-growing) store.
+	if err := s.checkQueryd(); err != nil {
+		return err
+	}
+
+	if !s.quick {
+		if err := s.fullModeChecks(); err != nil {
+			return err
+		}
+	}
+
+	// Phase 7: graceful shutdown; the final summaries carry the loss
+	// accounting the restarts must not have corrupted.
+	s.logf("phase: graceful shutdown")
+	for _, m := range []*member{s.subject, s.control} {
+		if err := m.proc.sigterm(10 * time.Second); err != nil {
+			return fmt.Errorf("%s: %w", m.name, err)
+		}
+		stats, err := parseDone(m.proc.output())
+		if err != nil {
+			return fmt.Errorf("%s final summary: %w", m.name, err)
+		}
+		if stats.bad != 0 {
+			return fmt.Errorf("%s counted %d bad datagrams on a clean loopback", m.name, stats.bad)
+		}
+		if stats.lost > stats.records {
+			return fmt.Errorf("%s loss accounting insane: %d lost > %d records", m.name, stats.lost, stats.records)
+		}
+		if stats.datagrams == 0 || stats.epochs == 0 {
+			return fmt.Errorf("%s summary empty after the soak: %+v", m.name, stats)
+		}
+		s.logf("%s accounting: %d datagrams, %d records, %d epochs, %d lost", m.name, stats.datagrams, stats.records, stats.epochs, stats.lost)
+	}
+
+	// The flapped webhook must have both injected failures and eventual
+	// successes: retried through, nothing abandoned.
+	if s.hook.Failed() == 0 {
+		return errors.New("webhook fault injection never triggered: no alert delivery hit the flapping window")
+	}
+	if s.hook.Served() == 0 {
+		return errors.New("no webhook delivery ever landed: the retrying sink lost everything")
+	}
+	s.logf("webhook ok: %d injected failures, %d deliveries landed", s.hook.Failed(), s.hook.Served())
+
+	s.logf("soak PASSED")
+	return nil
+}
+
+// build compiles the binaries under test into the scratch dir.
+func (s *soak) build() error {
+	s.logf("phase: build flowcollect + flowqueryd")
+	s.collectBin = filepath.Join(s.dir, "flowcollect")
+	s.querydBin = filepath.Join(s.dir, "flowqueryd")
+	for bin, pkg := range map[string]string{
+		s.collectBin: "repro/cmd/flowcollect",
+		s.querydBin:  "repro/cmd/flowqueryd",
+	} {
+		cmd := exec.Command("go", "build", "-o", bin, pkg)
+		if out, err := cmd.CombinedOutput(); err != nil {
+			return fmt.Errorf("go build %s: %v\n%s", pkg, err, out)
+		}
+	}
+	return nil
+}
+
+// startWebhook serves the fault-injectable alert receiver.
+func (s *soak) startWebhook() error {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	s.hook = &faults.FlakyHandler{}
+	s.hookLn = ln
+	srv := &http.Server{Handler: s.hook, ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	return nil
+}
+
+func (s *soak) hookURL() string {
+	return "http://" + s.hookLn.Addr().String() + "/alerts"
+}
+
+// collectArgs is the serve command line of one member; identical between
+// subject and control except for the checkpoint sidecar.
+func (s *soak) collectArgs(m *member) []string {
+	args := []string{"serve",
+		"-listen", m.udpAddr,
+		"-http", m.httpAddr,
+		"-store", m.storePath,
+		"-fsync", "epoch",
+		"-gap", s.gap.String(),
+		"-for", "1h",
+		"-detect",
+		// Only the forecast stage may alert in this scenario: the ramp
+		// must be invisible to the epoch-over-epoch delta pass.
+		"-forecast", fmt.Sprint(rampThreshold),
+		"-changedelta", "1000000000",
+		"-webhook", s.hookURL(),
+	}
+	if m.ckptPath != "" {
+		args = append(args, "-checkpoint", m.ckptPath, "-ckptevery", "1")
+	}
+	return args
+}
+
+// startMember provisions and starts one collector.
+func (s *soak) startMember(name string, checkpointed bool) (*member, error) {
+	udpAddr, err := probeUDP()
+	if err != nil {
+		return nil, err
+	}
+	httpAddr, err := probeTCP()
+	if err != nil {
+		return nil, err
+	}
+	m := &member{
+		name:      name,
+		udpAddr:   udpAddr,
+		httpAddr:  httpAddr,
+		storePath: filepath.Join(s.dir, name+".frec"),
+	}
+	if checkpointed {
+		m.ckptPath = filepath.Join(s.dir, name+".ckpt")
+	}
+	if err := s.respawn(m); err != nil {
+		return nil, err
+	}
+	if m.feed, err = dialVantage(udpAddr); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// respawn (re)starts a member's collector process and waits for it to
+// come up.
+func (s *soak) respawn(m *member) error {
+	p, err := startProc(m.name, s.collectBin, s.collectArgs(m)...)
+	if err != nil {
+		return err
+	}
+	m.proc = p
+	s.procs = append(s.procs, p)
+	if _, err := p.waitFor("serving on", 10*time.Second); err != nil {
+		return fmt.Errorf("%s never came up: %w", m.name, err)
+	}
+	return nil
+}
+
+// sendEpoch exports one epoch-shaped batch to both members and waits one
+// epoch period so the quiet gap closes it. rampEpoch 0 is the stable
+// phase; 1.. are ramp epochs.
+func (s *soak) sendEpoch(rampEpoch int) error {
+	recs := rampRecords(rampEpoch)
+	for _, m := range []*member{s.subject, s.control} {
+		if m == nil || m.feed == nil {
+			continue
+		}
+		if err := m.feed.sendEpoch(recs); err != nil {
+			return fmt.Errorf("feed %s: %w", m.name, err)
+		}
+	}
+	time.Sleep(s.epoch)
+	return nil
+}
+
+// rampRecords is the traffic of one epoch: the ramping subject flow plus
+// steady background flows, mirroring detect/checkpoint_test.go.
+func rampRecords(rampEpoch int) []flow.Record {
+	count := uint32(rampBase)
+	if rampEpoch > 0 {
+		count = uint32(rampBase + rampStep*rampEpoch)
+	}
+	return []flow.Record{
+		{Key: flow.Key{SrcIP: 0xc0a80001, DstIP: 0xc0a80002, SrcPort: 50000, DstPort: 443, Proto: 6}, Count: count},
+		{Key: flow.Key{SrcIP: 0x0a000001, DstIP: 0x0a000002, SrcPort: 40000, DstPort: 443, Proto: 6}, Count: 900},
+		{Key: flow.Key{SrcIP: 0x0a000003, DstIP: 0x0a000004, SrcPort: 40001, DstPort: 53, Proto: 17}, Count: 300},
+	}
+}
+
+// epochCount asks a member's own query API how many epochs its store
+// serves.
+func (s *soak) epochCount(m *member) (int, error) {
+	var eps query.EpochsResponse
+	if err := getJSON("http://"+m.httpAddr+"/epochs", &eps); err != nil {
+		return 0, err
+	}
+	return len(eps.Epochs), nil
+}
+
+// forecastAlerts counts a member's forecast alerts.
+func (s *soak) forecastAlerts(m *member) (int, error) {
+	var resp query.AlertsResponse
+	if err := getJSON("http://"+m.httpAddr+"/alerts?kind=forecast", &resp); err != nil {
+		return 0, err
+	}
+	return resp.Matched, nil
+}
+
+// checkQueryd runs flowqueryd over the subject's recovered store and
+// asserts /flows answers; in full mode it also kills and restarts it.
+func (s *soak) checkQueryd() error {
+	s.logf("phase: flowqueryd over the recovered store")
+	addr, err := probeTCP()
+	if err != nil {
+		return err
+	}
+	args := []string{"-listen", addr, "-store", s.subject.storePath}
+	qd, err := startProc("queryd", s.querydBin, args...)
+	if err != nil {
+		return err
+	}
+	s.procs = append(s.procs, qd)
+	if _, err := qd.waitFor("flowqueryd serving on", 10*time.Second); err != nil {
+		return err
+	}
+	flows, err := queryFlows(addr)
+	if err != nil {
+		return fmt.Errorf("/flows over recovered store: %w", err)
+	}
+	if flows == 0 {
+		return errors.New("/flows over recovered store returned nothing")
+	}
+	s.logf("queryd ok: /flows matched %d records", flows)
+
+	if !s.quick {
+		// Kill/restart the query daemon too: it must come back on the same
+		// (still-growing) store.
+		if err := qd.kill9(); err != nil {
+			return err
+		}
+		qd2, err := startProc("queryd2", s.querydBin, args...)
+		if err != nil {
+			return err
+		}
+		s.procs = append(s.procs, qd2)
+		if _, err := qd2.waitFor("flowqueryd serving on", 10*time.Second); err != nil {
+			return err
+		}
+		if flows, err = queryFlows(addr); err != nil || flows == 0 {
+			return fmt.Errorf("restarted queryd /flows: %d matched, err %v", flows, err)
+		}
+		if err := qd2.sigterm(10 * time.Second); err != nil {
+			return fmt.Errorf("queryd graceful shutdown: %w", err)
+		}
+		s.logf("queryd kill/restart ok")
+	} else {
+		if err := qd.sigterm(10 * time.Second); err != nil {
+			return fmt.Errorf("queryd graceful shutdown: %w", err)
+		}
+	}
+	return nil
+}
+
+// fullModeChecks runs the cross-vantage correlator scenario: a
+// two-vantage flowqueryd with one vantage going dead mid-run must keep
+// answering /netwide/alerts — silence at one vantage is data, not a
+// deadlock.
+func (s *soak) fullModeChecks() error {
+	s.logf("phase: two-vantage correlator with a dying vantage")
+	nfA, err := probeUDP()
+	if err != nil {
+		return err
+	}
+	nfB, err := probeUDP()
+	if err != nil {
+		return err
+	}
+	addr, err := probeTCP()
+	if err != nil {
+		return err
+	}
+	qd, err := startProc("queryd-corr", s.querydBin,
+		"-listen", addr, "-netflow", nfA, "-netflow", nfB,
+		"-gap", s.gap.String(), "-detect", "-changedelta", "500")
+	if err != nil {
+		return err
+	}
+	s.procs = append(s.procs, qd)
+	if _, err := qd.waitFor("flowqueryd serving on", 10*time.Second); err != nil {
+		return err
+	}
+	feedA, err := dialVantage(nfA)
+	if err != nil {
+		return err
+	}
+	feedB, err := dialVantage(nfB)
+	if err != nil {
+		return err
+	}
+
+	// Both vantages see a baseline epoch then a heavy change; then vantage
+	// B dies and A keeps reporting alone.
+	base := []flow.Record{{Key: flow.Key{SrcIP: 9, DstIP: 10, DstPort: 443, Proto: 6}, Count: 100}}
+	spike := []flow.Record{{Key: flow.Key{SrcIP: 9, DstIP: 10, DstPort: 443, Proto: 6}, Count: 9100}}
+	for _, recs := range [][]flow.Record{base, spike} {
+		if err := feedA.sendEpoch(recs); err != nil {
+			return err
+		}
+		if err := feedB.sendEpoch(recs); err != nil {
+			return err
+		}
+		time.Sleep(s.epoch)
+	}
+	feedB.close() // vantage B goes dead
+	for i := 0; i < 3; i++ {
+		if err := feedA.sendEpoch(base); err != nil {
+			return err
+		}
+		time.Sleep(s.epoch)
+	}
+	time.Sleep(s.gap + 300*time.Millisecond)
+
+	// The correlator must answer, not hang on the dead vantage, and the
+	// synchronized spike must have been promoted while B was alive.
+	var nw query.NetwideAlertsResponse
+	if err := getJSON("http://"+addr+"/netwide/alerts", &nw); err != nil {
+		return fmt.Errorf("/netwide/alerts with a dead vantage: %w", err)
+	}
+	if nw.Matched == 0 {
+		return errors.New("correlator promoted nothing despite a synchronized cross-vantage spike")
+	}
+	s.logf("correlator ok: %d netwide alerts, dead vantage did not wedge it", nw.Matched)
+	return qd.sigterm(10 * time.Second)
+}
+
+// reap kills anything still running so a failed soak leaves no orphans.
+func (s *soak) reap() {
+	for _, p := range s.procs {
+		p.reap()
+	}
+}
+
+// ---- child process management ----
+
+// lockedBuf is a goroutine-safe capture of a child's combined output.
+type lockedBuf struct {
+	mu  sync.Mutex
+	buf strings.Builder
+}
+
+func (b *lockedBuf) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuf) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// proc is one spawned child with captured output.
+type proc struct {
+	name string
+	cmd  *exec.Cmd
+	out  *lockedBuf
+	done chan error
+}
+
+func startProc(name, bin string, args ...string) (*proc, error) {
+	cmd := exec.Command(bin, args...)
+	out := &lockedBuf{}
+	cmd.Stdout, cmd.Stderr = out, out
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("start %s: %w", name, err)
+	}
+	p := &proc{name: name, cmd: cmd, out: out, done: make(chan error, 1)}
+	go func() { p.done <- cmd.Wait() }()
+	return p, nil
+}
+
+func (p *proc) output() string { return p.out.String() }
+
+// waitFor polls the child's output for substr, returning the full line
+// containing it.
+func (p *proc) waitFor(substr string, timeout time.Duration) (string, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		for _, line := range strings.Split(p.output(), "\n") {
+			if strings.Contains(line, substr) {
+				return line, nil
+			}
+		}
+		select {
+		case err := <-p.done:
+			p.done <- err // leave it consumable for kill/sigterm
+			return "", fmt.Errorf("%s exited (%v) before printing %q; output:\n%s",
+				p.name, err, substr, p.output())
+		default:
+		}
+		if time.Now().After(deadline) {
+			return "", fmt.Errorf("%s did not print %q within %v; output:\n%s",
+				p.name, substr, timeout, p.output())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// kill9 SIGKILLs the child — no cleanup, no flush, the crash under test.
+func (p *proc) kill9() error {
+	if err := p.cmd.Process.Kill(); err != nil {
+		return err
+	}
+	<-p.done
+	return nil
+}
+
+// sigterm asks the child to shut down gracefully and requires a clean
+// exit within the deadline.
+func (p *proc) sigterm(timeout time.Duration) error {
+	if err := p.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		return err
+	}
+	select {
+	case err := <-p.done:
+		if err != nil {
+			return fmt.Errorf("%s exited uncleanly after SIGTERM: %v; output:\n%s", p.name, err, p.output())
+		}
+		return nil
+	case <-time.After(timeout):
+		_ = p.cmd.Process.Kill()
+		return fmt.Errorf("%s ignored SIGTERM for %v", p.name, timeout)
+	}
+}
+
+// reap force-kills if still running; used on harness exit.
+func (p *proc) reap() {
+	select {
+	case err := <-p.done:
+		p.done <- err
+	default:
+		_ = p.cmd.Process.Kill()
+	}
+}
+
+// ---- load generation ----
+
+// vantage is one member's NetFlow feed.
+type vantage struct {
+	conn net.Conn
+	exp  *netflow.Exporter
+}
+
+func dialVantage(addr string) (*vantage, error) {
+	conn, err := net.Dial("udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	v := &vantage{conn: conn}
+	v.exp = netflow.NewExporter(func(b []byte) error {
+		_, err := conn.Write(b)
+		if err != nil {
+			// A connected UDP socket can surface one stale ICMP
+			// port-unreachable queued while the collector was down; the
+			// retry targets the restarted listener.
+			_, err = conn.Write(b)
+		}
+		return err
+	})
+	return v, nil
+}
+
+func (v *vantage) sendEpoch(recs []flow.Record) error {
+	return v.exp.Export(recs, 700)
+}
+
+func (v *vantage) close() { v.conn.Close() }
+
+// ---- plumbing ----
+
+// probeUDP reserves an ephemeral loopback UDP address.
+func probeUDP() (string, error) {
+	c, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		return "", err
+	}
+	addr := c.LocalAddr().String()
+	c.Close()
+	return addr, nil
+}
+
+// probeTCP reserves an ephemeral loopback TCP address.
+func probeTCP() (string, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", err
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr, nil
+}
+
+func getJSON(url string, out any) error {
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("status %d: %s", resp.StatusCode, b)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// queryFlows asks a flowqueryd for all stored flows and returns the
+// matched count.
+func queryFlows(addr string) (int, error) {
+	var resp query.FlowsResponse
+	if err := getJSON("http://"+addr+"/flows", &resp); err != nil {
+		return 0, err
+	}
+	return resp.Matched, nil
+}
+
+// doneStats is the parsed final summary of a collector.
+type doneStats struct {
+	datagrams, records, epochs, lost, bad int64
+}
+
+// parseDone extracts the "done: ..." summary line from a collector's
+// output.
+func parseDone(out string) (doneStats, error) {
+	for _, line := range strings.Split(out, "\n") {
+		i := strings.Index(line, "done: ")
+		if i < 0 {
+			continue
+		}
+		var st doneStats
+		if _, err := fmt.Sscanf(line[i:], "done: %d datagrams, %d records, %d epochs, %d lost, %d bad",
+			&st.datagrams, &st.records, &st.epochs, &st.lost, &st.bad); err != nil {
+			return doneStats{}, fmt.Errorf("unparseable summary %q: %w", line, err)
+		}
+		return st, nil
+	}
+	return doneStats{}, fmt.Errorf("no summary line in output:\n%s", out)
+}

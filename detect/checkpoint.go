@@ -1,0 +1,415 @@
+// Detector state checkpoints: the crash-safety half of the detection
+// subsystem. Every stateful detector input ramps up from nothing on a
+// cold start — the Holt/CUSUM forecast table needs epochs to re-lock its
+// levels and trends, the EWMA/MAD baselines need a warmup window before
+// anomaly scoring resumes, and the heavy-change pass needs a previous
+// epoch to diff against. A collector restart therefore re-opens exactly
+// the slow-ramp blind spot the forecaster exists to close: an attack
+// ramping through the restart looks like the new normal.
+//
+// WriteCheckpoint serializes that state — forecast level/trend/CUSUM
+// tables, baselines, the previous epoch's canonical record snapshot, and
+// the epoch cursor — and ReadCheckpoint restores it into a compatibly
+// configured detector, so detection quality survives a restart.
+// SaveCheckpoint/LoadCheckpoint add the file discipline: atomic
+// write-to-temp + rename + fsync, so a crash mid-checkpoint leaves the
+// previous checkpoint intact, never a torn one.
+//
+// The alert and change-summary rings are deliberately not checkpointed:
+// they are query-serving conveniences, and replaying stale alerts after
+// a restart would be worse than an empty ring.
+package detect
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+
+	"repro/flow"
+	"repro/internal/hashing"
+)
+
+// Checkpoint format constants.
+const (
+	ckptMagic   = "FDCK"
+	ckptVersion = 1
+)
+
+// ErrCheckpointMismatch is returned by ReadCheckpoint when the checkpoint
+// was written by a detector with an incompatible configuration (different
+// stages, table capacity, gains, or baseline geometry). The caller should
+// log it and cold-start rather than restore half-meaningful state.
+var ErrCheckpointMismatch = errors.New("detect: checkpoint written under an incompatible config")
+
+// ckptWriter accumulates the varint/float stream.
+type ckptWriter struct {
+	w   *bufio.Writer
+	buf [binary.MaxVarintLen64]byte
+	err error
+}
+
+func (c *ckptWriter) u64(v uint64) {
+	if c.err != nil {
+		return
+	}
+	n := binary.PutUvarint(c.buf[:], v)
+	_, c.err = c.w.Write(c.buf[:n])
+}
+
+func (c *ckptWriter) f64(v float64) { c.u64(math.Float64bits(v)) }
+
+// ckptReader decodes the stream with bounds discipline: every count is
+// range-checked by the caller before allocation.
+type ckptReader struct {
+	r *bufio.Reader
+}
+
+func (c *ckptReader) u64() (uint64, error) { return binary.ReadUvarint(c.r) }
+
+func (c *ckptReader) f64() (float64, error) {
+	v, err := c.u64()
+	return math.Float64frombits(v), err
+}
+
+// configFingerprint writes (or checks) the config fields that make
+// checkpointed state meaningful. Thresholds that only gate alerting
+// (ChangeMinDelta, AnomalyScore, fan-in/fanout) are deliberately not
+// fingerprinted: retuning them across a restart is legitimate and the
+// restored state stays valid.
+func (d *Detector) configFingerprint() []uint64 {
+	cfg := d.cfg
+	return []uint64{
+		uint64(cfg.Stages),
+		uint64(cfg.ForecastCapacity),
+		math.Float64bits(cfg.ForecastAlpha),
+		math.Float64bits(cfg.ForecastBeta),
+		math.Float64bits(cfg.ForecastSlack),
+		math.Float64bits(cfg.ForecastThreshold),
+		uint64(cfg.ForecastMinCount),
+		uint64(cfg.ForecastTTL),
+		uint64(cfg.BaselineWindow),
+		math.Float64bits(cfg.EWMAAlpha),
+	}
+}
+
+// WriteCheckpoint serializes the detector's evaluation state to w. It
+// must be called from the evaluating goroutine (between Observe calls) —
+// the state it walks is the same state Observe mutates.
+func (d *Detector) WriteCheckpoint(w io.Writer) error {
+	c := &ckptWriter{w: bufio.NewWriter(w)}
+	if _, err := c.w.WriteString(ckptMagic); err != nil {
+		return err
+	}
+	c.u64(ckptVersion)
+	for _, f := range d.configFingerprint() {
+		c.u64(f)
+	}
+	c.u64(d.seen)
+
+	// Previous epoch snapshot: the heavy-change comparison base. Key words
+	// raw (already compact), counts varint.
+	c.u64(uint64(len(d.prev)))
+	for _, r := range d.prev {
+		w1, w2 := r.Key.Words()
+		c.u64(w1)
+		c.u64(w2)
+		c.u64(uint64(r.Count))
+	}
+
+	// Anomaly baselines: EWMA center plus the MAD window ring, exactly.
+	c.u64(uint64(len(d.baselines)))
+	for _, b := range d.baselines {
+		c.f64(b.ewma)
+		c.u64(uint64(b.n))
+		c.u64(uint64(b.next))
+		c.u64(uint64(len(b.window)))
+		for _, v := range b.window {
+			c.f64(v)
+		}
+	}
+
+	// Forecast table: used slots only, `last` stored as an age relative to
+	// seen so restored epochs can renumber from any base.
+	if d.forecast == nil {
+		c.u64(0)
+	} else {
+		c.u64(uint64(d.forecast.n))
+		for i := range d.forecast.slots {
+			e := &d.forecast.slots[i]
+			if !e.used {
+				continue
+			}
+			w1, w2 := e.key.Words()
+			c.u64(w1)
+			c.u64(w2)
+			c.f64(e.level)
+			c.f64(e.trend)
+			c.f64(e.pos)
+			c.f64(e.neg)
+			age := int64(d.seen) - int64(e.last)
+			if age < 0 {
+				age = 0
+			}
+			c.u64(uint64(age))
+		}
+	}
+	if c.err != nil {
+		return c.err
+	}
+	return c.w.Flush()
+}
+
+// ReadCheckpoint restores state written by WriteCheckpoint into this
+// detector. The detector must be freshly constructed (or at least idle)
+// with a configuration compatible with the checkpoint's, and the call
+// must happen before evaluation starts. On any error the detector should
+// be considered cold (partially restored state is wiped).
+func (d *Detector) ReadCheckpoint(r io.Reader) (err error) {
+	defer func() {
+		if err != nil {
+			d.reset()
+		}
+	}()
+	c := &ckptReader{r: bufio.NewReader(r)}
+	var hdr [len(ckptMagic)]byte
+	if _, err := io.ReadFull(c.r, hdr[:]); err != nil {
+		return fmt.Errorf("detect: read checkpoint header: %w", err)
+	}
+	if string(hdr[:]) != ckptMagic {
+		return errors.New("detect: not a detector checkpoint")
+	}
+	ver, err := c.u64()
+	if err != nil {
+		return err
+	}
+	if ver != ckptVersion {
+		return fmt.Errorf("detect: unsupported checkpoint version %d", ver)
+	}
+	for _, want := range d.configFingerprint() {
+		got, err := c.u64()
+		if err != nil {
+			return err
+		}
+		if got != want {
+			return ErrCheckpointMismatch
+		}
+	}
+	seen, err := c.u64()
+	if err != nil {
+		return err
+	}
+
+	nPrev, err := c.u64()
+	if err != nil {
+		return err
+	}
+	if nPrev > 1<<28 {
+		return fmt.Errorf("detect: implausible checkpoint epoch size %d", nPrev)
+	}
+	prev := make([]flow.Record, 0, nPrev)
+	for i := uint64(0); i < nPrev; i++ {
+		w1, err := c.u64()
+		if err != nil {
+			return err
+		}
+		w2, err := c.u64()
+		if err != nil {
+			return err
+		}
+		cnt, err := c.u64()
+		if err != nil {
+			return err
+		}
+		if w2>>40 != 0 || cnt > math.MaxUint32 {
+			return fmt.Errorf("detect: corrupt checkpoint record %d", i)
+		}
+		prev = append(prev, flow.Record{
+			Key: flow.Key{
+				SrcIP: uint32(w1 >> 32), DstIP: uint32(w1),
+				SrcPort: uint16(w2 >> 24), DstPort: uint16(w2 >> 8), Proto: uint8(w2),
+			},
+			Count: uint32(cnt),
+		})
+	}
+
+	nBase, err := c.u64()
+	if err != nil {
+		return err
+	}
+	if nBase != uint64(len(d.baselines)) {
+		return ErrCheckpointMismatch
+	}
+	for _, b := range d.baselines {
+		if b.ewma, err = c.f64(); err != nil {
+			return err
+		}
+		n, err := c.u64()
+		if err != nil {
+			return err
+		}
+		next, err := c.u64()
+		if err != nil {
+			return err
+		}
+		wlen, err := c.u64()
+		if err != nil {
+			return err
+		}
+		if wlen != uint64(len(b.window)) {
+			return ErrCheckpointMismatch
+		}
+		if next >= wlen || n > math.MaxInt32 {
+			return fmt.Errorf("detect: corrupt baseline state (n=%d next=%d)", n, next)
+		}
+		b.n, b.next = int(n), int(next)
+		for i := range b.window {
+			if b.window[i], err = c.f64(); err != nil {
+				return err
+			}
+		}
+	}
+
+	nFc, err := c.u64()
+	if err != nil {
+		return err
+	}
+	if d.forecast == nil {
+		if nFc != 0 {
+			return ErrCheckpointMismatch
+		}
+	} else {
+		if nFc > uint64(d.forecast.capacity) {
+			return ErrCheckpointMismatch
+		}
+		clear(d.forecast.slots)
+		d.forecast.n = 0
+		for i := uint64(0); i < nFc; i++ {
+			var e forecastEntry
+			w1, err := c.u64()
+			if err != nil {
+				return err
+			}
+			w2, err := c.u64()
+			if err != nil {
+				return err
+			}
+			if w2>>40 != 0 {
+				return fmt.Errorf("detect: corrupt checkpoint forecast key %d", i)
+			}
+			e.key = flow.Key{
+				SrcIP: uint32(w1 >> 32), DstIP: uint32(w1),
+				SrcPort: uint16(w2 >> 24), DstPort: uint16(w2 >> 8), Proto: uint8(w2),
+			}
+			if e.level, err = c.f64(); err != nil {
+				return err
+			}
+			if e.trend, err = c.f64(); err != nil {
+				return err
+			}
+			if e.pos, err = c.f64(); err != nil {
+				return err
+			}
+			if e.neg, err = c.f64(); err != nil {
+				return err
+			}
+			age, err := c.u64()
+			if err != nil {
+				return err
+			}
+			last := int64(seen) - int64(age)
+			if last < math.MinInt32 {
+				last = math.MinInt32
+			}
+			e.last = int32(last)
+			if !d.forecast.insertRestored(e) {
+				return fmt.Errorf("detect: duplicate forecast key in checkpoint: %s", e.key)
+			}
+		}
+	}
+
+	d.prev = prev
+	d.seen = seen
+	d.mu.Lock()
+	d.epochs = seen
+	d.mu.Unlock()
+	return nil
+}
+
+// reset wipes evaluation state after a failed restore, leaving the
+// detector cold but usable.
+func (d *Detector) reset() {
+	d.prev = d.prev[:0]
+	d.seen = 0
+	if d.forecast != nil {
+		clear(d.forecast.slots)
+		d.forecast.n = 0
+	}
+	for i := range d.baselines {
+		b := d.baselines[i]
+		*b = *newBaseline(len(b.window), b.alpha)
+	}
+	d.mu.Lock()
+	d.epochs = 0
+	d.mu.Unlock()
+}
+
+// SaveCheckpoint writes the checkpoint to path atomically: temp file in
+// the same directory, fsync, rename over the target. A crash at any
+// point leaves either the old checkpoint or the new one, never a torn
+// file. Call from the evaluating goroutine.
+func (d *Detector) SaveCheckpoint(path string) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := d.WriteCheckpoint(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// LoadCheckpoint restores the checkpoint at path; a missing file is
+// reported as os.ErrNotExist (a normal first boot, not damage).
+func (d *Detector) LoadCheckpoint(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return d.ReadCheckpoint(f)
+}
+
+// insertRestored places a checkpointed entry at its home probe position,
+// refusing duplicates. It assumes the caller bounds insertions by the
+// table capacity.
+func (t *forecastTable) insertRestored(e forecastEntry) bool {
+	w1, w2 := e.key.Words()
+	e.hash = hashing.KeyHash(forecastSeed, w1, w2)
+	e.used = true
+	mask := uint64(len(t.slots) - 1)
+	i := e.hash & mask
+	for t.slots[i].used {
+		if t.slots[i].hash == e.hash && t.slots[i].key == e.key {
+			return false
+		}
+		i = (i + 1) & mask
+	}
+	t.slots[i] = e
+	t.n++
+	return true
+}

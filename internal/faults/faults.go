@@ -1,0 +1,183 @@
+// Package faults provides deterministic fault injection for the
+// crash-safety and degradation tests: writers that die mid-write exactly
+// the way a killed process tears an epoch frame, packet conns that drop
+// or delay datagrams the way a congested path does, and HTTP handlers
+// that fail or stall a bounded number of requests before recovering the
+// way a flapping webhook receiver does.
+//
+// Everything here is counter-driven, never randomized: a test that
+// injects "fail after 37 bytes" or "drop every 3rd datagram" reproduces
+// byte-for-byte on every run, which is the whole point — flaky fault
+// injection just converts real bugs into flaky tests.
+package faults
+
+import (
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjected is the default error injected wrappers return.
+var ErrInjected = errors.New("faults: injected failure")
+
+// Writer passes writes through to W until Limit bytes have been written,
+// then fails. A write straddling the limit is PARTIALLY applied — the
+// bytes up to the limit land, the rest do not, and the write reports the
+// short count with the error — which is exactly the torn-frame shape a
+// process killed mid-write leaves on disk. Every write after the limit
+// fails outright. Not safe for concurrent use, like most io.Writers.
+type Writer struct {
+	W     io.Writer
+	Limit int64 // bytes allowed through; < 0 means unlimited
+	Err   error // returned on failure; nil means ErrInjected
+
+	written int64
+	failed  bool
+}
+
+// NewWriter wraps w, allowing limit bytes through before failing.
+func NewWriter(w io.Writer, limit int64) *Writer {
+	return &Writer{W: w, Limit: limit}
+}
+
+func (w *Writer) Write(p []byte) (int, error) {
+	errInj := w.Err
+	if errInj == nil {
+		errInj = ErrInjected
+	}
+	if w.Limit < 0 {
+		n, err := w.W.Write(p)
+		w.written += int64(n)
+		return n, err
+	}
+	if w.failed || w.written >= w.Limit {
+		w.failed = true
+		return 0, errInj
+	}
+	if w.written+int64(len(p)) <= w.Limit {
+		n, err := w.W.Write(p)
+		w.written += int64(n)
+		return n, err
+	}
+	// Straddling write: tear it at the limit.
+	keep := int(w.Limit - w.written)
+	n, err := w.W.Write(p[:keep])
+	w.written += int64(n)
+	w.failed = true
+	if err != nil {
+		return n, err
+	}
+	return n, errInj
+}
+
+// Written returns how many bytes reached the underlying writer.
+func (w *Writer) Written() int64 { return w.written }
+
+// PacketConn wraps a net.PacketConn, deterministically dropping every
+// DropEvery-th successfully received datagram (1-based: DropEvery 3
+// drops the 3rd, 6th, ...) and delaying delivery of the survivors by
+// Delay. The zero values inject nothing. Safe for the concurrent reader
+// pattern collectors use.
+type PacketConn struct {
+	net.PacketConn
+	DropEvery int64         // drop every n-th received datagram; 0 disables
+	Delay     time.Duration // added before each delivered datagram
+
+	received atomic.Int64
+	dropped  atomic.Int64
+}
+
+// ReadFrom reads from the wrapped conn, consuming (and discarding)
+// dropped datagrams so the caller only ever sees the survivors.
+func (c *PacketConn) ReadFrom(p []byte) (int, net.Addr, error) {
+	for {
+		n, addr, err := c.PacketConn.ReadFrom(p)
+		if err != nil {
+			return n, addr, err
+		}
+		if c.DropEvery > 0 && c.received.Add(1)%c.DropEvery == 0 {
+			c.dropped.Add(1)
+			continue
+		}
+		if c.Delay > 0 {
+			time.Sleep(c.Delay)
+		}
+		return n, addr, nil
+	}
+}
+
+// Dropped returns how many datagrams were swallowed.
+func (c *PacketConn) Dropped() int64 { return c.dropped.Load() }
+
+// FlakyHandler wraps an http.Handler with scheduled failures: the next
+// FailNext requests get a failure status (after an optional stall), then
+// the handler recovers and serves Inner — the flapping-receiver shape
+// retrying sinks must survive. Safe for concurrent use.
+type FlakyHandler struct {
+	// Inner serves requests that are not failed; nil means 200 with an
+	// empty body.
+	Inner http.Handler
+
+	mu     sync.Mutex
+	fails  int
+	status int
+	stall  time.Duration
+
+	served atomic.Int64
+	failed atomic.Int64
+}
+
+// FailNext schedules the next n requests to be answered with status.
+func (h *FlakyHandler) FailNext(n, status int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.fails = n
+	h.status = status
+}
+
+// StallNext additionally delays each of the scheduled failures by d
+// before responding (simulating a hung receiver the client times out on
+// when d exceeds the client timeout).
+func (h *FlakyHandler) StallNext(d time.Duration) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.stall = d
+}
+
+func (h *FlakyHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h.mu.Lock()
+	fail := h.fails > 0
+	status := h.status
+	stall := h.stall
+	if fail {
+		h.fails--
+	}
+	h.mu.Unlock()
+	if fail {
+		if stall > 0 {
+			time.Sleep(stall)
+		}
+		h.failed.Add(1)
+		if status == 0 {
+			status = http.StatusInternalServerError
+		}
+		http.Error(w, "injected failure", status)
+		return
+	}
+	h.served.Add(1)
+	if h.Inner != nil {
+		h.Inner.ServeHTTP(w, r)
+	}
+}
+
+// Served returns how many requests were answered by Inner (or the
+// default 200).
+func (h *FlakyHandler) Served() int64 { return h.served.Load() }
+
+// Failed returns how many requests were answered with an injected
+// failure.
+func (h *FlakyHandler) Failed() int64 { return h.failed.Load() }

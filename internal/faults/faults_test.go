@@ -1,0 +1,178 @@
+package faults
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func TestWriterTearsAtLimit(t *testing.T) {
+	var sink bytes.Buffer
+	w := NewWriter(&sink, 10)
+
+	n, err := w.Write([]byte("12345678")) // 8 bytes, under the limit
+	if n != 8 || err != nil {
+		t.Fatalf("first write: n=%d err=%v", n, err)
+	}
+	n, err = w.Write([]byte("abcdef")) // straddles: 2 land, 4 torn off
+	if n != 2 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("straddling write: n=%d err=%v, want 2, ErrInjected", n, err)
+	}
+	if got := sink.String(); got != "12345678ab" {
+		t.Fatalf("underlying saw %q, want the torn prefix %q", got, "12345678ab")
+	}
+	if n, err = w.Write([]byte("x")); n != 0 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("post-failure write: n=%d err=%v, want 0, ErrInjected", n, err)
+	}
+	if w.Written() != 10 {
+		t.Fatalf("Written() = %d, want 10", w.Written())
+	}
+}
+
+func TestWriterExactLimitThenFail(t *testing.T) {
+	var sink bytes.Buffer
+	w := NewWriter(&sink, 4)
+	if n, err := w.Write([]byte("abcd")); n != 4 || err != nil {
+		t.Fatalf("exact-limit write: n=%d err=%v", n, err)
+	}
+	if _, err := w.Write([]byte("e")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("write past limit: err=%v, want ErrInjected", err)
+	}
+}
+
+func TestWriterCustomError(t *testing.T) {
+	boom := errors.New("boom")
+	w := &Writer{W: &bytes.Buffer{}, Limit: 0, Err: boom}
+	if _, err := w.Write([]byte("a")); !errors.Is(err, boom) {
+		t.Fatalf("err=%v, want the custom error", err)
+	}
+}
+
+func TestWriterUnlimited(t *testing.T) {
+	var sink bytes.Buffer
+	w := NewWriter(&sink, -1)
+	for i := 0; i < 100; i++ {
+		if _, err := w.Write([]byte("abc")); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	if sink.Len() != 300 {
+		t.Fatalf("underlying saw %d bytes, want 300", sink.Len())
+	}
+}
+
+func TestPacketConnDropsEveryNth(t *testing.T) {
+	inner, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inner.Close()
+	conn := &PacketConn{PacketConn: inner, DropEvery: 3}
+
+	send, err := net.Dial("udp", inner.LocalAddr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer send.Close()
+	for i := byte(0); i < 9; i++ {
+		if _, err := send.Write([]byte{i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// 9 sent, every 3rd dropped: datagrams 0,1,3,4,6,7 delivered.
+	var got []byte
+	buf := make([]byte, 16)
+	for i := 0; i < 6; i++ {
+		if err := inner.SetReadDeadline(time.Now().Add(2 * time.Second)); err != nil {
+			t.Fatal(err)
+		}
+		n, _, err := conn.ReadFrom(buf)
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		got = append(got, buf[:n]...)
+	}
+	want := []byte{0, 1, 3, 4, 6, 7}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("delivered %v, want %v", got, want)
+	}
+	// The 9th datagram is a drop: the read consumes and swallows it, then
+	// times out with nothing left to deliver.
+	if err := inner.SetReadDeadline(time.Now().Add(200 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	if n, _, err := conn.ReadFrom(buf); err == nil {
+		t.Fatalf("read after the stream should be dry delivered %v", buf[:n])
+	}
+	if conn.Dropped() != 3 {
+		t.Fatalf("Dropped() = %d, want 3", conn.Dropped())
+	}
+}
+
+func TestFlakyHandlerFailsThenRecovers(t *testing.T) {
+	h := &FlakyHandler{}
+	h.FailNext(2, http.StatusServiceUnavailable)
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	statuses := make([]int, 0, 4)
+	for i := 0; i < 4; i++ {
+		resp, err := http.Get(srv.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		statuses = append(statuses, resp.StatusCode)
+	}
+	want := []int{503, 503, 200, 200}
+	for i := range want {
+		if statuses[i] != want[i] {
+			t.Fatalf("statuses = %v, want %v", statuses, want)
+		}
+	}
+	if h.Failed() != 2 || h.Served() != 2 {
+		t.Fatalf("Failed=%d Served=%d, want 2 and 2", h.Failed(), h.Served())
+	}
+}
+
+func TestFlakyHandlerStall(t *testing.T) {
+	h := &FlakyHandler{}
+	h.FailNext(1, http.StatusInternalServerError)
+	h.StallNext(150 * time.Millisecond)
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	start := time.Now()
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if elapsed := time.Since(start); elapsed < 150*time.Millisecond {
+		t.Fatalf("stalled request returned in %v, want >= 150ms", elapsed)
+	}
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status %d, want 500", resp.StatusCode)
+	}
+}
+
+func TestFlakyHandlerInner(t *testing.T) {
+	h := &FlakyHandler{Inner: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusTeapot)
+	})}
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTeapot {
+		t.Fatalf("inner handler not reached: status %d", resp.StatusCode)
+	}
+}

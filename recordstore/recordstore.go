@@ -51,6 +51,11 @@ type Writer struct {
 	buf     []byte
 	lenBuf  [binary.MaxVarintLen64]byte // framing scratch: a local would escape into w.w.Write
 	counts  [radixPasses][256]uint32
+
+	// Durability policy (see durable.go); zero means never sync.
+	syncer   Syncer
+	policy   SyncPolicy
+	lastSync time.Time
 }
 
 // packedRec is a record pre-packed into its two key words, the form both
@@ -114,7 +119,7 @@ func (w *Writer) WriteEpoch(ts time.Time, records []flow.Record) error {
 		return fmt.Errorf("recordstore: write epoch body: %w", err)
 	}
 	w.epochs++
-	return nil
+	return w.maybeSync()
 }
 
 // radixPasses is one pass per significant byte of the packed 104-bit key:
