@@ -12,9 +12,11 @@ package adaptive
 import (
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"repro/flow"
 	"repro/flowmon"
+	"repro/telemetry"
 )
 
 // Sidecar is an auxiliary per-epoch structure that rotates with the
@@ -100,6 +102,12 @@ type Manager struct {
 	dets        []EpochObserver
 	drainErr    atomic.Pointer[error]
 	drainPanics atomic.Uint64
+
+	// metrics and onDrainErr are optional observability hooks, set
+	// before ingestion (SetMetrics, SetDrainErrorHook) and read without
+	// synchronization by the ingest path and the drain worker.
+	metrics    *Metrics
+	onDrainErr func(error)
 
 	// Double-buffered mode: the standby channel holds the reset recorder
 	// (with its sidecar) ready for the next swap, jobs carries full
@@ -238,12 +246,35 @@ func (m *Manager) safely(stage string, fn func()) (ok bool) {
 	defer func() {
 		if r := recover(); r != nil {
 			m.drainPanics.Add(1)
+			if mm := m.metrics; mm != nil {
+				mm.DrainPanics.Inc()
+			}
 			err := fmt.Errorf("adaptive: %s panicked: %v", stage, r)
-			m.drainErr.CompareAndSwap(nil, &err)
+			if m.drainErr.CompareAndSwap(nil, &err) {
+				// First panic recovered on this manager: tell whoever
+				// asked to be told, once, while it is happening.
+				if hook := m.onDrainErr; hook != nil {
+					hook(err)
+				}
+			}
 		}
 	}()
 	fn()
 	return true
+}
+
+// timed runs fn through safely, recording its wall time into h when
+// metrics are attached. The time.Now pair is skipped entirely for
+// uninstrumented managers; either way this runs once per stage per
+// epoch, never per packet.
+func (m *Manager) timed(h *telemetry.Histogram, stage string, fn func()) bool {
+	if m.metrics == nil {
+		return m.safely(stage, fn)
+	}
+	start := time.Now()
+	ok := m.safely(stage, fn)
+	h.ObserveDuration(time.Since(start))
+	return ok
 }
 
 // Sidecar returns the sidecar paired with the recorder currently filling,
@@ -274,22 +305,39 @@ func (m *Manager) flushWorker() {
 
 // drain processes one completed epoch on the worker.
 func (m *Manager) drain(epoch int, b buffer, buf *[]flow.Record) {
+	mm := m.metrics
+	var extractNs, flushNs, resetNs *telemetry.Histogram
+	if mm != nil {
+		extractNs, flushNs, resetNs = mm.ExtractNs, mm.FlushCbNs, mm.ResetNs
+	}
 	if m.flush != nil || len(m.dets) > 0 {
-		extracted := m.safely("extraction", func() {
+		extracted := m.timed(extractNs, "extraction", func() {
 			*buf = b.rec.AppendRecords((*buf)[:0])
 		})
 		if extracted {
 			if m.flush != nil {
-				m.safely("flush callback", func() { m.flush(epoch, *buf) })
+				m.timed(flushNs, "flush callback", func() { m.flush(epoch, *buf) })
 			}
-			for _, det := range m.dets {
-				m.safely("detector", func() { det.ObserveEpoch(epoch, *buf) })
+			for i, det := range m.dets {
+				var detNs *telemetry.Histogram
+				if mm != nil {
+					detNs = mm.detectorNs(i)
+				}
+				m.timed(detNs, "detector", func() { det.ObserveEpoch(epoch, *buf) })
 			}
 		}
+	}
+	var resetStart time.Time
+	if mm != nil {
+		resetStart = time.Now()
 	}
 	m.safely("recorder reset", b.rec.Reset)
 	if b.sc != nil {
 		m.safely("sidecar reset", b.sc.Reset)
+	}
+	if mm != nil {
+		resetNs.ObserveDuration(time.Since(resetStart))
+		mm.Epochs.Inc()
 	}
 }
 
@@ -329,6 +377,10 @@ func (m *Manager) UpdateBatch(pkts []flow.Packet) {
 // epoch (rotation outpacing extraction).
 func (m *Manager) Flush() {
 	if m.jobs != nil && !m.closed {
+		var stallStart time.Time
+		if m.metrics != nil {
+			stallStart = time.Now()
+		}
 		full := buffer{rec: m.rec, sc: m.sc}
 		next := <-m.standby
 		m.rec, m.sc = next.rec, next.sc
@@ -337,6 +389,9 @@ func (m *Manager) Flush() {
 			m.live.Store(&sc)
 		}
 		m.jobs <- flushJob{epoch: m.epoch, buf: full}
+		if mm := m.metrics; mm != nil {
+			mm.RotationStallNs.ObserveDuration(time.Since(stallStart))
+		}
 	} else {
 		if m.flush != nil || len(m.dets) > 0 {
 			m.buf = m.rec.AppendRecords(m.buf[:0])
@@ -352,6 +407,9 @@ func (m *Manager) Flush() {
 		m.rec.Reset()
 		if m.sc != nil {
 			m.sc.Reset()
+		}
+		if mm := m.metrics; mm != nil {
+			mm.Epochs.Inc()
 		}
 	}
 	m.epoch++

@@ -11,6 +11,7 @@ import (
 	"repro/netwide"
 	"repro/recordstore"
 	"repro/shard"
+	"repro/telemetry"
 	"repro/topk"
 	"repro/trace"
 )
@@ -354,6 +355,61 @@ func TestMappedEpochAllocFree(t *testing.T) {
 	if rerr != nil {
 		t.Fatal(rerr)
 	}
+}
+
+// TestTelemetryAllocFree pins the telemetry layer's core promise: the
+// instruments themselves never allocate — neither live ones on the
+// update path nor the nil receivers every uninstrumented call site
+// holds — and a fully instrumented sharded ingest stays exactly as
+// allocation-free as a bare one.
+func TestTelemetryAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are inflated by the race detector")
+	}
+	t.Run("Instruments", func(t *testing.T) {
+		var (
+			c    telemetry.Counter
+			g    telemetry.Gauge
+			h    telemetry.Histogram
+			nilC *telemetry.Counter
+			nilH *telemetry.Histogram
+		)
+		i := uint64(0)
+		if allocs := testing.AllocsPerRun(1000, func() {
+			c.Inc()
+			c.Add(i)
+			g.Set(int64(i))
+			g.Add(1)
+			h.Observe(i)
+			nilC.Inc()
+			nilH.Observe(i)
+			i++
+		}); allocs != 0 {
+			t.Errorf("instrument updates allocate %.0f times, want 0", allocs)
+		}
+	})
+
+	t.Run("InstrumentedIngest", func(t *testing.T) {
+		s, err := shard.NewUniform(4, flowmon.AlgorithmHashFlow,
+			flowmon.Config{MemoryBytes: benchMemory, Seed: benchSeed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		s.SetMetrics(shard.NewMetrics(telemetry.NewRegistry()))
+		tr, err := trace.Generate(trace.CAIDA, benchFlows, benchSeed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkts := tr.Packets(benchSeed)
+		batch := pkts[:collector.DefaultBatchSize]
+		s.UpdateBatch(batch) // warm the staging pool
+		if allocs := testing.AllocsPerRun(100, func() {
+			s.UpdateBatch(batch)
+		}); allocs != 0 {
+			t.Errorf("instrumented UpdateBatch allocates %.0f times per batch, want 0", allocs)
+		}
+	})
 }
 
 // writableBuffer is a minimal in-memory stream: bytes written are later

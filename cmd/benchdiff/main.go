@@ -46,6 +46,7 @@ func main() {
 var (
 	lowerBetter = []string{
 		"ns_per_pkt", "ns_per_record", "ns_per_epoch", "ns_per_access",
+		"ns_per_op",
 		"med_stall_us", "max_stall_us", "p50_us", "p95_us", "max_us",
 	}
 	higherBetter = []string{"mpps", "mrec_per_s"}

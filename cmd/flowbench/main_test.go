@@ -63,6 +63,23 @@ func TestRunFig2(t *testing.T) {
 	}
 }
 
+// TestRunTelemetryQuick runs the instrumented-vs-bare ingest comparison
+// end to end: it must produce both ingest rows, the instrument cost
+// table, and pass its own ≤5% overhead gate.
+func TestRunTelemetryQuick(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-quick", "-mem", "65536", "telemetry"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"bare", "instrumented", "overhead",
+		"counter_inc", "histogram_observe", "nil_counter_inc"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("telemetry output missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestRunHeavyHitterQuick(t *testing.T) {
 	var buf bytes.Buffer
 	if err := run([]string{"-quick", "-mem", "65536", "fig9"}, &buf); err != nil {

@@ -21,7 +21,11 @@
 // subsystem (heavy changers, slow-ramp forecasting, superspreaders,
 // victim fan-in, anomaly baselines) — alerts
 // are served on /alerts + /changes, printed to stdout with -alerts, and
-// POSTed as JSON to a webhook with -webhook:
+// POSTed as JSON to a webhook with -webhook. The -http listener also
+// carries the ops surface: /metrics (Prometheus text, or ?format=json),
+// /healthz (structured status including the store-recovery and
+// checkpoint-restore outcomes), and with -debug the /debug/pprof/
+// profiling endpoints:
 //
 //	flowcollect serve -listen 127.0.0.1:2055 -store records.frec -for 1m
 //	flowcollect serve -listen 127.0.0.1:2055 -store records.frec -http 127.0.0.1:8080
@@ -69,6 +73,7 @@ import (
 	"repro/pcapio"
 	"repro/query"
 	"repro/recordstore"
+	"repro/telemetry"
 	"repro/topk"
 	"repro/trace"
 )
@@ -131,6 +136,7 @@ func runServe(args []string, w io.Writer) error {
 	fsyncPol := fs.String("fsync", "off", "store durability policy: off, epoch, or a sync interval like 2s")
 	ckptPath := fs.String("checkpoint", "", "detector checkpoint sidecar file (with -detect): restored at startup, saved every -ckptevery epochs and at shutdown")
 	ckptEvery := fs.Int("ckptevery", 16, "checkpoint the detector every N evaluated epochs (with -checkpoint)")
+	debug := fs.Bool("debug", false, "also serve net/http/pprof under /debug/pprof/ (with -http)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -150,6 +156,17 @@ func runServe(args []string, w io.Writer) error {
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
 	defer signal.Stop(sigCh)
 
+	// The process-wide instrument registry behind /metrics, plus the
+	// last-error snapshot /healthz reports. Both exist even without
+	// -http: the instruments are cheap and the wiring stays uniform.
+	reg := telemetry.NewRegistry()
+	start := time.Now()
+	var lastErr atomic.Pointer[string]
+	setLastErr := func(err error) {
+		msg := err.Error()
+		lastErr.Store(&msg)
+	}
+
 	// Reopen the store for append, truncating the torn frame a killed
 	// predecessor may have left; a fresh path just creates the file.
 	fw, recov, err := recordstore.OpenFile(*storePath, pol)
@@ -157,21 +174,32 @@ func runServe(args []string, w io.Writer) error {
 		return err
 	}
 	defer fw.Close()
+	// The recovery outcome feeds /healthz so tooling can assert it
+	// without scraping the startup log line below.
+	storeHealth := &telemetry.StoreHealth{
+		Path: *storePath, State: "created",
+		EpochsRecovered: recov.Epochs, TornBytes: recov.TornBytes,
+	}
+	if !recov.Created {
+		storeHealth.State = "recovered"
+	}
 	if !recov.Created || recov.TornBytes > 0 {
 		if _, err := fmt.Fprintf(w, "store: recovered %s: %d epochs intact, %d torn bytes truncated\n",
 			*storePath, recov.Epochs, recov.TornBytes); err != nil {
 			return err
 		}
 	}
+	fw.SetMetrics(recordstore.NewMetrics(reg))
 	store := collector.NewEpochStore(fw.Writer)
 
 	// Detection runs on the collector's epoch goroutine — the serve-mode
 	// analogue of the export drain worker — with alerts fanned out to the
 	// query ring, stdout, and the async webhook sink.
 	var (
-		detector *detect.Detector
-		hook     *webhookSink
-		epochs   atomic.Uint64
+		detector   *detect.Detector
+		hook       *webhookSink
+		epochs     atomic.Uint64
+		ckptHealth *telemetry.CheckpointHealth
 	)
 	if *det {
 		detector, err = detect.NewDetector(detect.Config{
@@ -183,7 +211,9 @@ func runServe(args []string, w io.Writer) error {
 		if err != nil {
 			return err
 		}
+		detector.SetMetrics(detect.NewMetrics(reg))
 		if *ckptPath != "" {
+			ckptHealth = &telemetry.CheckpointHealth{Path: *ckptPath, State: "cold"}
 			// Restore pre-crash evaluation state so a ramp in progress
 			// across the restart still alerts; a missing sidecar is a
 			// normal first boot, anything else starts cold and says so.
@@ -193,9 +223,13 @@ func runServe(args []string, w io.Writer) error {
 					*ckptPath, detector.Epochs(), detector.ForecastTracked()); err != nil {
 					return err
 				}
+				ckptHealth.State = "restored"
+				ckptHealth.Epochs = detector.Epochs()
+				ckptHealth.ForecastKeys = detector.ForecastTracked()
 				epochs.Store(detector.Epochs())
 			case errors.Is(err, os.ErrNotExist):
 			default:
+				ckptHealth.Error = err.Error()
 				if _, err := fmt.Fprintf(w, "checkpoint: %s unusable (%v); starting cold\n", *ckptPath, err); err != nil {
 					return err
 				}
@@ -203,6 +237,8 @@ func runServe(args []string, w io.Writer) error {
 		}
 		if *webhook != "" {
 			hook = newWebhookSink(*webhook)
+			hook.instrument(reg)
+			hook.startLog(w, 10*time.Second)
 			defer hook.close(w)
 		}
 		printAlerts := *alerts
@@ -245,11 +281,31 @@ func runServe(args []string, w io.Writer) error {
 			detector.Observe(int(epochs.Load()), ts, records)
 			if *ckptPath != "" && detector.Epochs()%uint64(*ckptEvery) == 0 {
 				if err := detector.SaveCheckpoint(*ckptPath); err != nil {
+					setLastErr(fmt.Errorf("checkpoint save: %w", err))
 					fmt.Fprintf(w, "checkpoint: save failed: %v\n", err)
 				}
 			}
 		}
 		epochs.Add(1)
+	}
+	// The /healthz snapshot: liveness plus the store/checkpoint
+	// recovery facts, degraded when any component reported an error.
+	health := func() telemetry.Health {
+		h := telemetry.Health{
+			Status:        "ok",
+			UptimeSeconds: telemetry.Uptime(start),
+			Epochs:        epochs.Load(),
+			Store:         storeHealth,
+			Checkpoint:    ckptHealth,
+		}
+		if err := store.Err(); err != nil {
+			setLastErr(fmt.Errorf("store write (%d later epochs dropped): %w", store.Dropped(), err))
+		}
+		if p := lastErr.Load(); p != nil {
+			h.Status = "degraded"
+			h.LastError = *p
+		}
+		return h
 	}
 	if *httpAddr != "" {
 		cfg := query.Config{
@@ -265,8 +321,11 @@ func runServe(args []string, w io.Writer) error {
 		if err != nil {
 			return err
 		}
+		mux := http.NewServeMux()
+		mux.Handle("/", query.NewHandler(cfg))
+		telemetry.Ops{Registry: reg, Health: health, Debug: *debug}.Register(mux)
 		httpSrv = &http.Server{
-			Handler:           query.NewHandler(cfg),
+			Handler:           mux,
 			ReadHeaderTimeout: 5 * time.Second,
 			WriteTimeout:      30 * time.Second,
 			IdleTimeout:       60 * time.Second,
@@ -281,6 +340,7 @@ func runServe(args []string, w io.Writer) error {
 	srv, err := collector.Start(collector.Config{
 		Listen: *listen, EpochGap: *gap,
 		Readers: *readers, ReusePort: *reuseport,
+		Metrics: collector.NewMetrics(reg),
 	}, sink)
 	if err != nil {
 		if httpSrv != nil {
@@ -288,6 +348,7 @@ func runServe(args []string, w io.Writer) error {
 		}
 		return err
 	}
+	srv.RegisterMetrics(reg)
 	if _, err := fmt.Fprintf(w, "serving on %s for %v (%d readers, %d sockets, %s reads), storing to %s\n",
 		srv.Addr(), *runFor, srv.Readers(), srv.Sockets(), srv.BatchMode(), *storePath); err != nil {
 		srv.Shutdown()
@@ -374,6 +435,7 @@ type webhookSink struct {
 	client  *http.Client
 	ch      chan []byte
 	wg      sync.WaitGroup
+	queued  atomic.Uint64
 	dropped atomic.Uint64
 	failed  atomic.Uint64
 	retries atomic.Uint64
@@ -383,6 +445,12 @@ type webhookSink struct {
 	backoffBase time.Duration
 	backoffCap  time.Duration
 	rng         *rand.Rand // delivery goroutine only
+
+	// Optional observability, attached before delivery begins:
+	// deliveryNs times successful deliveries (retries included) and
+	// logStop ends the periodic status logger.
+	deliveryNs *telemetry.Histogram
+	logStop    chan struct{}
 }
 
 func newWebhookSink(url string) *webhookSink {
@@ -434,9 +502,52 @@ func (s *webhookSink) deliver(alerts []detect.Alert) {
 	}
 	select {
 	case s.ch <- b:
+		s.queued.Add(1)
 	default:
 		s.dropped.Add(1)
 	}
+}
+
+// instrument exposes the sink's live accounting — the counters that
+// used to surface only in the Close line — as scrape-time samples,
+// plus an event-time delivery-latency histogram.
+func (s *webhookSink) instrument(reg *telemetry.Registry) {
+	s.deliveryNs = reg.Histogram("webhook_delivery_ns",
+		"successful webhook delivery latency, retries included, ns")
+	reg.RegisterSampler(func(e *telemetry.Expo) {
+		e.Counter("webhook_queued_total", "alert payloads enqueued for delivery", s.queued.Load())
+		e.Counter("webhook_dropped_total", "payloads dropped on a full delivery queue", s.dropped.Load())
+		e.Counter("webhook_failed_total", "payloads that exhausted the retry budget", s.failed.Load())
+		e.Counter("webhook_retries_total", "delivery retries", s.retries.Load())
+		e.Gauge("webhook_queue_len", "payloads waiting for delivery", float64(len(s.ch)))
+	})
+}
+
+// startLog emits a periodic structured status line whenever the
+// delivery accounting moved since the last tick, so drops and retries
+// are visible while they happen instead of at shutdown.
+func (s *webhookSink) startLog(w io.Writer, every time.Duration) {
+	s.logStop = make(chan struct{})
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		t := time.NewTicker(every)
+		defer t.Stop()
+		var last [4]uint64
+		for {
+			select {
+			case <-s.logStop:
+				return
+			case <-t.C:
+				cur := [4]uint64{s.queued.Load(), s.dropped.Load(), s.failed.Load(), s.retries.Load()}
+				if cur != last {
+					fmt.Fprintf(w, "webhook: queued=%d dropped=%d failed=%d retries=%d queue_len=%d\n",
+						cur[0], cur[1], cur[2], cur[3], len(s.ch))
+					last = cur
+				}
+			}
+		}
+	}()
 }
 
 func (s *webhookSink) run() {
@@ -453,12 +564,19 @@ func (s *webhookSink) run() {
 // any transport error: the receiver did not take custody of the alerts.
 func (s *webhookSink) post(b []byte) bool {
 	backoff := s.backoffBase
+	var start time.Time
+	if s.deliveryNs != nil {
+		start = time.Now()
+	}
 	for attempt := 1; ; attempt++ {
 		resp, err := s.client.Post(s.url, "application/json", bytes.NewReader(b))
 		if err == nil {
 			_, _ = io.Copy(io.Discard, resp.Body)
 			resp.Body.Close()
 			if resp.StatusCode < 300 {
+				if s.deliveryNs != nil {
+					s.deliveryNs.ObserveDuration(time.Since(start))
+				}
 				return true
 			}
 		}
@@ -479,6 +597,9 @@ func (s *webhookSink) post(b []byte) bool {
 // close drains the queue, stops the delivery goroutine and reports drops.
 func (s *webhookSink) close(w io.Writer) {
 	close(s.ch)
+	if s.logStop != nil {
+		close(s.logStop)
+	}
 	s.wg.Wait()
 	if d, f, r := s.dropped.Load(), s.failed.Load(), s.retries.Load(); d+f+r > 0 {
 		fmt.Fprintf(w, "webhook: %d deliveries dropped, %d failed, %d retries\n", d, f, r)
@@ -532,6 +653,7 @@ func runExport(args []string, w io.Writer) error {
 	var (
 		update = rec.Update
 		finish func() (epochs int, exported uint64, exportErr error)
+		am     *adaptive.Metrics
 	)
 	if *epochPkts > 0 {
 		standby, err := flowmon.New(a, mcfg)
@@ -555,6 +677,16 @@ func runExport(args []string, w io.Writer) error {
 		if err != nil {
 			return err
 		}
+		// A panicking drain stage is sticky and otherwise only surfaces
+		// at Close; say so the moment it happens.
+		m.SetDrainErrorHook(func(err error) {
+			fmt.Fprintf(w, "warning: drain worker failed, epochs no longer exported: %v\n", err)
+		})
+		// Epoch-lifecycle instruments: export mode has no scrape
+		// endpoint, so the instruments feed a drain-timing summary
+		// printed with the final accounting instead.
+		am = adaptive.NewMetrics(telemetry.NewRegistry())
+		m.SetMetrics(am)
 		var detector *detect.Detector
 		if *det {
 			// Detection rides the same drain worker as the export: the
@@ -629,9 +761,11 @@ func runExport(args []string, w io.Writer) error {
 		if err != nil {
 			return err
 		}
-		_, err = fmt.Fprintf(w, "processed %d packets, exported %d flow records in %d epochs to %s\n",
-			pkts, exported, epochs, *to)
-		return err
+		if _, err = fmt.Fprintf(w, "processed %d packets, exported %d flow records in %d epochs to %s\n",
+			pkts, exported, epochs, *to); err != nil {
+			return err
+		}
+		return writeDrainSummary(w, am)
 	}
 	recs := rec.Records()
 	if err := exp.Export(recs, 700); err != nil {
@@ -640,6 +774,45 @@ func runExport(args []string, w io.Writer) error {
 	_, err = fmt.Fprintf(w, "processed %d packets, exported %d flow records to %s\n",
 		pkts, len(recs), *to)
 	return err
+}
+
+// writeDrainSummary prints the epoch-lifecycle timing the adaptive
+// instruments collected over an epoch-aligned export run: where drain
+// time went per stage, how long rotation stalled ingest, and whether
+// any drain stage panicked.
+func writeDrainSummary(w io.Writer, am *adaptive.Metrics) error {
+	if am == nil {
+		return nil
+	}
+	line := func(name string, h *telemetry.Histogram) error {
+		s := h.Snapshot()
+		if s.Count == 0 {
+			return nil
+		}
+		_, err := fmt.Fprintf(w, "drain %s: p50 %v p95 %v max %v over %d epochs\n",
+			name, time.Duration(s.Quantile(0.5)), time.Duration(s.Quantile(0.95)),
+			time.Duration(s.Max()), s.Count)
+		return err
+	}
+	for _, st := range []struct {
+		name string
+		h    *telemetry.Histogram
+	}{
+		{"extract", am.ExtractNs},
+		{"flush", am.FlushCbNs},
+		{"reset", am.ResetNs},
+		{"rotation-stall", am.RotationStallNs},
+	} {
+		if err := line(st.name, st.h); err != nil {
+			return err
+		}
+	}
+	if n := am.DrainPanics.Value(); n != 0 {
+		if _, err := fmt.Fprintf(w, "drain panics: %d\n", n); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func runCollect(args []string, w io.Writer) error {

@@ -24,6 +24,7 @@ import (
 	"repro/pcapio"
 	"repro/query"
 	"repro/recordstore"
+	"repro/telemetry"
 )
 
 func TestRunModes(t *testing.T) {
@@ -224,6 +225,13 @@ func TestExportEpochAligned(t *testing.T) {
 	if recs == 0 {
 		t.Error("no records exported")
 	}
+	// The drain-timing summary from the adaptive instruments rides the
+	// final accounting.
+	for _, stage := range []string{"drain extract:", "drain flush:", "drain reset:"} {
+		if !strings.Contains(out.String(), stage) {
+			t.Errorf("output missing %q summary:\n%s", stage, out.String())
+		}
+	}
 }
 
 // TestServeWithQueryAPI runs the full live loop: serve with -http, export
@@ -280,6 +288,48 @@ func TestServeWithQueryAPI(t *testing.T) {
 		t.Error("/epochs empty while the store has an epoch")
 	}
 
+	// The ops surface shares the query listener: Prometheus text and
+	// JSON metrics, plus the structured health snapshot.
+	prom := getBody(t, "http://"+httpAddr+"/metrics")
+	for _, want := range []string{
+		"collector_datagrams_total",
+		"collector_epoch_records",
+		"store_epochs_written_total",
+	} {
+		if !strings.Contains(prom, want) {
+			t.Errorf("/metrics missing %s:\n%s", want, prom)
+		}
+	}
+	var mj map[string]any
+	if err := getJSON("http://"+httpAddr+"/metrics?format=json", &mj); err != nil {
+		t.Fatalf("/metrics?format=json: %v", err)
+	}
+	if v, ok := mj["collector_datagrams_total"].(float64); !ok || v == 0 {
+		t.Errorf("json metrics: collector_datagrams_total = %v, want > 0", mj["collector_datagrams_total"])
+	}
+	var h telemetry.Health
+	if err := getJSON("http://"+httpAddr+"/healthz", &h); err != nil {
+		t.Fatalf("/healthz: %v", err)
+	}
+	if h.Status != "ok" {
+		t.Errorf("health status %q (last_error %q), want ok", h.Status, h.LastError)
+	}
+	if h.Store == nil || h.Store.State != "created" {
+		t.Errorf("health store = %+v, want state created", h.Store)
+	}
+	if h.Epochs == 0 {
+		t.Error("health reports zero epochs after an export landed")
+	}
+	// pprof must stay off without -debug.
+	if resp, err := http.Get("http://" + httpAddr + "/debug/pprof/"); err != nil {
+		t.Fatalf("pprof probe: %v", err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("/debug/pprof/ status %d without -debug, want 404", resp.StatusCode)
+		}
+	}
+
 	wg.Wait()
 	if serveErr != nil {
 		t.Fatalf("serve: %v", serveErr)
@@ -287,6 +337,23 @@ func TestServeWithQueryAPI(t *testing.T) {
 	if !strings.Contains(serveOut.String(), "query API on http://") {
 		t.Errorf("serve output missing query API line: %q", serveOut.String())
 	}
+}
+
+func getBody(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	return string(b)
 }
 
 func getJSON(url string, out any) error {

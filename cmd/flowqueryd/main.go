@@ -18,6 +18,10 @@
 //	GET /changes?k=10             per-epoch heavy-change top-k lists
 //	GET /netwide/alerts           cross-vantage correlated alerts with
 //	                              per-vantage evidence (-detect, 2+ feeds)
+//	GET /metrics                  runtime metrics, Prometheus text or
+//	                              ?format=json
+//	GET /healthz                  structured health snapshot (uptime,
+//	                              epochs, vantages)
 //
 // The primary store (first -store) is re-mapped per request, so a file a
 // collector is still appending to is always served current.
@@ -61,6 +65,7 @@ import (
 	"repro/flow"
 	"repro/query"
 	"repro/recordstore"
+	"repro/telemetry"
 	"repro/topk"
 )
 
@@ -97,6 +102,7 @@ func run(args []string, w io.Writer) error {
 	quorum := fs.Int("quorum", 0, "vantages that must alert on a key to promote it netwide (0 = min(2, vantages), with -detect)")
 	netwideDelta := fs.Uint64("netwidedelta", 0, "merged |delta| promoting a key netwide (0 = 4x changedelta, with -detect)")
 	runFor := fs.Duration("for", 0, "serve for this long then exit (0 = forever)")
+	debug := fs.Bool("debug", false, "also serve net/http/pprof under /debug/pprof/")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -114,6 +120,9 @@ func run(args []string, w io.Writer) error {
 	defer signal.Stop(sigCh)
 
 	cfg := query.Config{}
+	reg := telemetry.NewRegistry()
+	start := time.Now()
+	var vantageHealth []telemetry.VantageHealth
 
 	// Historical side: the primary store is re-mapped per request (it may
 	// still be growing); every store contributes its all-time summed view
@@ -202,12 +211,22 @@ func run(args []string, w io.Writer) error {
 				cfg.Alerts = detector
 			}
 		}
+		name := "live"
+		if len(nfs) > 1 {
+			name = "live:" + nf
+		}
+		if detector != nil {
+			detector.SetMetrics(detect.NewMetrics(reg, "vantage", nf))
+		}
 		// Detection epochs count per vantage (the correlator aligns
 		// epochs across vantages by index); the shared counter only
 		// versions the /netwide/topk cache.
 		d := detector
 		var vantageEpochs int
-		srv, err := collector.Start(collector.Config{Listen: nf, EpochGap: *gap},
+		srv, err := collector.Start(collector.Config{
+			Listen: nf, EpochGap: *gap,
+			Metrics: collector.NewMetrics(reg, "vantage", nf),
+		},
 			func(ts time.Time, records []flow.Record) {
 				tracker.AddRecords(records)
 				if d != nil {
@@ -220,12 +239,10 @@ func run(args []string, w io.Writer) error {
 			return err
 		}
 		defer srv.Shutdown()
+		srv.RegisterMetrics(reg, "vantage", nf)
+		vantageHealth = append(vantageHealth, telemetry.VantageHealth{Name: name})
 		if i == 0 {
 			cfg.TopK = tracker
-		}
-		name := "live"
-		if len(nfs) > 1 {
-			name = "live:" + nf
 		}
 		cfg.Netwide = append(cfg.Netwide, query.NamedSource{Name: name, Source: tracker})
 		if _, err := fmt.Fprintf(w, "ingesting NetFlow on %s\n", srv.Addr()); err != nil {
@@ -238,8 +255,22 @@ func run(args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
+	mux := http.NewServeMux()
+	mux.Handle("/", query.NewHandler(cfg))
+	telemetry.Ops{
+		Registry: reg,
+		Health: func() telemetry.Health {
+			return telemetry.Health{
+				Status:        "ok",
+				UptimeSeconds: telemetry.Uptime(start),
+				Epochs:        epochs.Load(),
+				Vantages:      vantageHealth,
+			}
+		},
+		Debug: *debug,
+	}.Register(mux)
 	httpSrv := &http.Server{
-		Handler:           query.NewHandler(cfg),
+		Handler:           mux,
 		ReadHeaderTimeout: 5 * time.Second,
 		WriteTimeout:      30 * time.Second,
 		IdleTimeout:       60 * time.Second,

@@ -17,6 +17,7 @@ import (
 	"repro/netflow"
 	"repro/query"
 	"repro/recordstore"
+	"repro/telemetry"
 )
 
 func writeStore(t *testing.T, name string, epochs ...[]flow.Record) string {
@@ -237,6 +238,38 @@ func TestDaemonCorrelatesVantages(t *testing.T) {
 	}
 	if al.Matched == 0 {
 		t.Errorf("first vantage's detector saw no heavy change")
+	}
+
+	// Ops surface: per-vantage metrics carry distinct labels, and the
+	// health snapshot lists both vantages.
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	promBytes := new(bytes.Buffer)
+	if _, err := promBytes.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	prom := promBytes.String()
+	for _, nf := range []string{nf1, nf2} {
+		want := fmt.Sprintf("collector_datagrams_total{vantage=%q}", nf)
+		if !strings.Contains(prom, want) {
+			t.Errorf("/metrics missing %s", want)
+		}
+	}
+	if !strings.Contains(prom, "detect_alerts_total") {
+		t.Error("/metrics missing detect_alerts_total")
+	}
+	var h telemetry.Health
+	if err := getJSON(t, base+"/healthz", &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || len(h.Vantages) != 2 {
+		t.Errorf("healthz = %+v, want ok with 2 vantages", h)
+	}
+	if h.Epochs == 0 {
+		t.Error("healthz reports zero epochs after live ingest")
 	}
 
 	wg.Wait()

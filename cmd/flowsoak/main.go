@@ -46,6 +46,7 @@ import (
 	"repro/internal/faults"
 	"repro/netflow"
 	"repro/query"
+	"repro/telemetry"
 )
 
 func main() {
@@ -186,6 +187,12 @@ func (s *soak) run() error {
 	} else if n != 0 {
 		return fmt.Errorf("subject alerted before the kill (%d forecast alerts): ramp fired early, scenario invalid", n)
 	}
+	// The live telemetry must already show the load that landed.
+	if v, err := s.metricValue(s.subject, "collector_datagrams_total"); err != nil {
+		return fmt.Errorf("pre-kill /metrics scrape: %w", err)
+	} else if v == 0 {
+		return errors.New("pre-kill /metrics reports zero datagrams while the store holds epochs")
+	}
 
 	// Phase 2: SIGKILL both mid-epoch — a fresh batch lands and the kill
 	// fires well inside the quiet gap, so the epoch is still open (and
@@ -235,7 +242,30 @@ func (s *soak) run() error {
 	if postKill < preKill-1 {
 		return fmt.Errorf("recovered store serves %d epochs, had %d pre-kill", postKill, preKill)
 	}
-	s.logf("recovery ok: %d epochs pre-kill, %d served after restart", preKill, postKill)
+	// The restarted daemons' own /healthz must report the same recovery
+	// the log lines above announced — the structured surface a monitor
+	// would watch instead of scraping stdout.
+	for _, m := range []*member{s.subject, s.control} {
+		h, err := s.healthz(m)
+		if err != nil {
+			return fmt.Errorf("%s /healthz: %w", m.name, err)
+		}
+		if h.Store == nil || h.Store.State != "recovered" {
+			return fmt.Errorf("%s /healthz store = %+v, want state recovered", m.name, h.Store)
+		}
+		if h.Store.EpochsRecovered < preKill-1 {
+			return fmt.Errorf("%s /healthz reports %d epochs recovered, had %d pre-kill",
+				m.name, h.Store.EpochsRecovered, preKill)
+		}
+		if m == s.subject {
+			if h.Checkpoint == nil || h.Checkpoint.State != "restored" {
+				return fmt.Errorf("subject /healthz checkpoint = %+v, want state restored", h.Checkpoint)
+			}
+		} else if h.Checkpoint != nil {
+			return fmt.Errorf("uncheckpointed control /healthz reports a checkpoint: %+v", h.Checkpoint)
+		}
+	}
+	s.logf("recovery ok: %d epochs pre-kill, %d served after restart (healthz agrees)", preKill, postKill)
 
 	// Phase 4: flap the webhook receiver — the first two deliveries after
 	// restart get stalled 500s; the sink must retry them through.
@@ -283,12 +313,40 @@ func (s *soak) run() error {
 	// accounting the restarts must not have corrupted.
 	s.logf("phase: graceful shutdown")
 	for _, m := range []*member{s.subject, s.control} {
+		// Scrape the final counters while the daemon is still up; the
+		// done line it prints at shutdown must agree with them (no
+		// traffic lands between scrape and SIGTERM, so only the
+		// shutdown flush itself may add one last epoch).
+		mDatagrams, err := s.metricValue(m, "collector_datagrams_total")
+		if err != nil {
+			return fmt.Errorf("%s final /metrics scrape: %w", m.name, err)
+		}
+		mLost, err := s.metricValue(m, "collector_lost_total")
+		if err != nil {
+			return fmt.Errorf("%s final /metrics scrape: %w", m.name, err)
+		}
+		mEpochs, err := s.metricValue(m, "collector_epochs_total")
+		if err != nil {
+			return fmt.Errorf("%s final /metrics scrape: %w", m.name, err)
+		}
 		if err := m.proc.sigterm(10 * time.Second); err != nil {
 			return fmt.Errorf("%s: %w", m.name, err)
 		}
 		stats, err := parseDone(m.proc.output())
 		if err != nil {
 			return fmt.Errorf("%s final summary: %w", m.name, err)
+		}
+		if int64(mDatagrams) != stats.datagrams {
+			return fmt.Errorf("%s /metrics counted %d datagrams, done line says %d",
+				m.name, int64(mDatagrams), stats.datagrams)
+		}
+		if int64(mLost) != stats.lost {
+			return fmt.Errorf("%s /metrics counted %d lost, done line says %d",
+				m.name, int64(mLost), stats.lost)
+		}
+		if e := int64(mEpochs); e != stats.epochs && e+1 != stats.epochs {
+			return fmt.Errorf("%s /metrics counted %d epochs, done line says %d",
+				m.name, e, stats.epochs)
 		}
 		if stats.bad != 0 {
 			return fmt.Errorf("%s counted %d bad datagrams on a clean loopback", m.name, stats.bad)
@@ -773,6 +831,39 @@ func getJSON(url string, out any) error {
 		return fmt.Errorf("status %d: %s", resp.StatusCode, b)
 	}
 	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// metricValue scrapes a member's /metrics (Prometheus text) and returns
+// the value of one exactly named sample line.
+func (s *soak) metricValue(m *member, metric string) (float64, error) {
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get("http://" + m.httpAddr + "/metrics")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, err
+	}
+	for _, line := range strings.Split(string(b), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) == 2 && fields[0] == metric {
+			var v float64
+			if _, err := fmt.Sscanf(fields[1], "%g", &v); err != nil {
+				return 0, fmt.Errorf("metric %s: unparseable value %q", metric, fields[1])
+			}
+			return v, nil
+		}
+	}
+	return 0, fmt.Errorf("metric %s absent from %s's exposition", metric, m.name)
+}
+
+// healthz fetches a member's structured health snapshot.
+func (s *soak) healthz(m *member) (telemetry.Health, error) {
+	var h telemetry.Health
+	err := getJSON("http://"+m.httpAddr+"/healthz", &h)
+	return h, err
 }
 
 // queryFlows asks a flowqueryd for all stored flows and returns the

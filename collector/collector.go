@@ -43,6 +43,11 @@ type Config struct {
 	// Batch caps the datagrams drained per reader wakeup where batched
 	// reads are available (default DefaultReadBatch).
 	Batch int
+	// Metrics, when non-nil, receives event-time epoch-flush
+	// observations (see NewMetrics). The datagram hot path is not
+	// instrumented here — its counters are exposed by the
+	// RegisterMetrics sampler instead.
+	Metrics *Metrics
 }
 
 // Stats summarizes a collector's lifetime counters, folded across all

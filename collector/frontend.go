@@ -220,6 +220,7 @@ func (s *Server) flushEpoch(recBuf []flow.Record) []flow.Record {
 	if !s.epochOpen.Swap(false) {
 		return recBuf
 	}
+	flushStart := time.Now()
 	start := time.Unix(0, s.epochStart.Load()).UTC()
 	recBuf = recBuf[:0]
 	var lost uint64
@@ -233,6 +234,7 @@ func (s *Server) flushEpoch(recBuf []flow.Record) []flow.Record {
 	s.lost.Add(lost)
 	s.epochs.Add(1)
 	s.sink(start, recBuf)
+	s.cfg.Metrics.observeFlush(len(recBuf), time.Since(flushStart))
 	return recBuf
 }
 

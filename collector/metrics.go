@@ -1,0 +1,91 @@
+package collector
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"repro/telemetry"
+)
+
+// Metrics carries the collector's event-time instruments: signals that
+// must be captured when they happen (sizes and latencies of epoch
+// flushes) rather than polled. Everything else the frontend counts —
+// datagrams, records, decode errors, sequence loss — already lives in
+// per-reader atomics, so RegisterMetrics exposes those through a
+// scrape-time sampler at zero hot-path cost.
+//
+// All fields are nil-safe; an entirely nil *Metrics in Config is the
+// uninstrumented default.
+type Metrics struct {
+	// EpochRecords is the merged record count per flushed epoch.
+	EpochRecords *telemetry.Histogram
+	// FlushNs is the wall time of one epoch flush: merging every
+	// reader's collector plus running the sink.
+	FlushNs *telemetry.Histogram
+}
+
+// NewMetrics registers the collector's event-time instruments under
+// the given label pairs (e.g. "vantage", name — empty for a
+// single-vantage daemon) and returns them for Config.Metrics.
+func NewMetrics(reg *telemetry.Registry, labelPairs ...string) *Metrics {
+	return &Metrics{
+		EpochRecords: reg.Histogram(
+			telemetry.Name("collector_epoch_records", labelPairs...),
+			"flow records per flushed epoch"),
+		FlushNs: reg.Histogram(
+			telemetry.Name("collector_epoch_flush_ns", labelPairs...),
+			"wall time of one epoch flush (merge all readers + sink), ns"),
+	}
+}
+
+// RegisterMetrics exposes the frontend's existing counters — folded
+// totals, the per-reader breakdown, and per-exporter sequence-loss
+// accounting — as a scrape-time sampler. Nothing on the datagram path
+// changes: the sampler polls the same atomics the readers already
+// maintain, only when /metrics is actually scraped.
+func (s *Server) RegisterMetrics(reg *telemetry.Registry, labelPairs ...string) {
+	reg.RegisterSampler(func(e *telemetry.Expo) {
+		st := s.Stats()
+		name := func(base string, extra ...string) string {
+			return telemetry.Name(base, append(append([]string{}, labelPairs...), extra...)...)
+		}
+		e.Counter(name("collector_datagrams_total"), "datagrams received", st.Datagrams)
+		e.Counter(name("collector_records_total"), "flow records decoded", st.Records)
+		e.Counter(name("collector_epochs_total"), "epochs flushed to the sink", st.Epochs)
+		e.Counter(name("collector_lost_total"), "records lost per exporter sequence gaps", st.Lost)
+		e.Counter(name("collector_bad_datagrams_total"), "undecodable datagrams", st.BadData)
+		for i, rs := range s.ReaderStats() {
+			r := strconv.Itoa(i)
+			e.Counter(name("collector_reader_datagrams_total", "reader", r),
+				"datagrams received by one reader", rs.Datagrams)
+			e.Counter(name("collector_reader_records_total", "reader", r),
+				"flow records decoded by one reader", rs.Records)
+			e.Counter(name("collector_reader_bad_datagrams_total", "reader", r),
+				"undecodable datagrams on one reader", rs.BadData)
+			e.Counter(name("collector_reader_batches_total", "reader", r),
+				"read wakeups on one reader (datagrams/batches = realized batch size)", rs.Batches)
+			e.Counter(name("collector_reader_read_errors_total", "reader", r),
+				"transient receive errors on one reader", rs.ReadErrs)
+		}
+		for key, src := range s.SourceStats() {
+			exp := fmt.Sprintf("%s/%d.%d", key.Addr, key.EngineType, key.EngineID)
+			e.Counter(name("collector_exporter_datagrams_total", "exporter", exp),
+				"datagrams received from one exporter stream", src.Datagrams)
+			e.Counter(name("collector_exporter_records_total", "exporter", exp),
+				"flow records decoded from one exporter stream", src.Records)
+			e.Counter(name("collector_exporter_lost_total", "exporter", exp),
+				"records lost to sequence gaps on one exporter stream", src.Lost)
+		}
+	})
+}
+
+// observeFlush records one epoch flush into the event-time
+// instruments; a nil receiver (telemetry not wired) is free.
+func (m *Metrics) observeFlush(records int, took time.Duration) {
+	if m == nil {
+		return
+	}
+	m.EpochRecords.Observe(uint64(records))
+	m.FlushNs.ObserveDuration(took)
+}

@@ -29,6 +29,7 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"time"
 
 	"repro/flow"
 	"repro/internal/hashing"
@@ -363,6 +364,10 @@ func (d *Detector) reset() {
 // point leaves either the old checkpoint or the new one, never a torn
 // file. Call from the evaluating goroutine.
 func (d *Detector) SaveCheckpoint(path string) error {
+	if m := d.metrics; m != nil {
+		start := time.Now()
+		defer func() { m.CheckpointSaveNs.ObserveDuration(time.Since(start)) }()
+	}
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
@@ -386,6 +391,10 @@ func (d *Detector) SaveCheckpoint(path string) error {
 // LoadCheckpoint restores the checkpoint at path; a missing file is
 // reported as os.ErrNotExist (a normal first boot, not damage).
 func (d *Detector) LoadCheckpoint(path string) error {
+	if m := d.metrics; m != nil {
+		start := time.Now()
+		defer func() { m.CheckpointLoadNs.ObserveDuration(time.Since(start)) }()
+	}
 	f, err := os.Open(path)
 	if err != nil {
 		return err

@@ -440,6 +440,10 @@ type Detector struct {
 	// ones included — a correlator counts silence too). Same goroutine
 	// and retention contract as sink.
 	summarySink func(ChangeSummary)
+
+	// metrics, when set (SetMetrics, before evaluation), receives
+	// per-epoch cost and alert attribution; nil-safe.
+	metrics *Metrics
 }
 
 // NewDetector builds a detector.
@@ -528,6 +532,10 @@ func (d *Detector) ObserveEpoch(epoch int, records []flow.Record) {
 // scratch, valid only until the next Observe. Steady-state evaluation
 // with stable epoch sizes is allocation-free.
 func (d *Detector) Observe(epoch int, ts time.Time, records []flow.Record) []Alert {
+	var evalStart time.Time
+	if d.metrics != nil {
+		evalStart = time.Now()
+	}
 	d.pending = d.pending[:0]
 
 	// Snapshot and canonicalize: the drain hands records in shard-then-key
@@ -569,6 +577,12 @@ func (d *Detector) Observe(epoch int, ts time.Time, records []flow.Record) []Ale
 
 	if d.sink != nil && len(d.pending) > 0 {
 		d.sink(d.pending)
+	}
+	if m := d.metrics; m != nil {
+		for _, a := range d.pending {
+			m.countAlert(a)
+		}
+		m.ObserveNs.ObserveDuration(time.Since(evalStart))
 	}
 	return d.pending
 }

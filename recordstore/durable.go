@@ -91,8 +91,16 @@ func (w *Writer) Sync() error {
 		return err
 	}
 	if w.syncer != nil {
+		var start time.Time
+		if w.metrics != nil {
+			start = time.Now()
+		}
 		if err := w.syncer.Sync(); err != nil {
 			return fmt.Errorf("recordstore: sync: %w", err)
+		}
+		if m := w.metrics; m != nil {
+			m.Fsyncs.Inc()
+			m.FsyncNs.ObserveDuration(time.Since(start))
 		}
 	}
 	w.lastSync = time.Now()

@@ -1,0 +1,45 @@
+package recordstore
+
+import (
+	"repro/telemetry"
+)
+
+// Metrics carries the write-side instruments of a store Writer. All
+// observations happen per epoch or per fsync — the record encode loop
+// itself is untouched and stays allocation-free.
+type Metrics struct {
+	// EpochsWritten counts epochs appended by this writer (this run,
+	// not the recovered prefix).
+	EpochsWritten *telemetry.Counter
+	// BytesWritten counts encoded bytes handed to the stream (frame
+	// length varint + body).
+	BytesWritten *telemetry.Counter
+	// Fsyncs counts fsync barriers and FsyncNs times them — the
+	// latency the durability policy is paying.
+	Fsyncs  *telemetry.Counter
+	FsyncNs *telemetry.Histogram
+}
+
+// NewMetrics registers the store instruments under the given label
+// pairs and returns them for Writer.SetMetrics.
+func NewMetrics(reg *telemetry.Registry, labelPairs ...string) *Metrics {
+	return &Metrics{
+		EpochsWritten: reg.Counter(
+			telemetry.Name("store_epochs_written_total", labelPairs...),
+			"epochs appended to the store this run"),
+		BytesWritten: reg.Counter(
+			telemetry.Name("store_bytes_written_total", labelPairs...),
+			"encoded epoch bytes written (frame + body)"),
+		Fsyncs: reg.Counter(
+			telemetry.Name("store_fsyncs_total", labelPairs...),
+			"fsync barriers issued by the durability policy"),
+		FsyncNs: reg.Histogram(
+			telemetry.Name("store_fsync_ns", labelPairs...),
+			"fsync latency, ns"),
+	}
+}
+
+// SetMetrics attaches write-side instruments. Call before writing, on
+// the goroutine that owns the Writer (the Writer is single-goroutine
+// by contract, so no synchronization is needed).
+func (w *Writer) SetMetrics(m *Metrics) { w.metrics = m }

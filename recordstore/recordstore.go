@@ -56,6 +56,9 @@ type Writer struct {
 	syncer   Syncer
 	policy   SyncPolicy
 	lastSync time.Time
+
+	// Optional write-side instruments (see metrics.go); nil-safe.
+	metrics *Metrics
 }
 
 // packedRec is a record pre-packed into its two key words, the form both
@@ -119,6 +122,10 @@ func (w *Writer) WriteEpoch(ts time.Time, records []flow.Record) error {
 		return fmt.Errorf("recordstore: write epoch body: %w", err)
 	}
 	w.epochs++
+	if m := w.metrics; m != nil {
+		m.EpochsWritten.Inc()
+		m.BytesWritten.Add(uint64(n + len(w.buf)))
+	}
 	return w.maybeSync()
 }
 

@@ -29,6 +29,7 @@ import (
 	"repro/flow"
 	"repro/flowmon"
 	"repro/internal/hashing"
+	"repro/telemetry"
 )
 
 // shardSeed salts the routing hash so it is independent of the hash
@@ -62,6 +63,12 @@ type Sharded struct {
 	// sidecars holds one optional observer per shard; nil when unset.
 	// Written by SetSidecars before ingestion, read by the appliers.
 	sidecars []Sidecar
+
+	// Ingestion instruments, nil unless SetMetrics attached them.
+	// Written before ingestion like sidecars; all are nil-safe.
+	mBatches       *telemetry.Counter
+	mBatchPackets  *telemetry.Histogram
+	mEnqueueStalls *telemetry.Counter
 
 	// staging pools per-call routing buffers so concurrent feeders do not
 	// contend on one scratch area and steady-state ingestion is
@@ -254,6 +261,8 @@ func (s *Sharded) UpdateBatch(pkts []flow.Packet) {
 	if len(pkts) == 0 {
 		return
 	}
+	s.mBatches.Inc()
+	s.mBatchPackets.Observe(uint64(len(pkts)))
 	if len(s.shards) == 1 && !s.async {
 		slot := &s.shards[0]
 		slot.mu.Lock()
@@ -285,7 +294,14 @@ func (s *Sharded) UpdateBatch(pkts []flow.Packet) {
 				// Ownership of the buffer passes to the worker; the staging
 				// slot restarts empty and the worker's buffer is recycled
 				// through the pool once recorded.
-				s.queues[i] <- task{pkts: st.bufs[i]}
+				select {
+				case s.queues[i] <- task{pkts: st.bufs[i]}:
+				default:
+					// Queue full: the workers are behind. Count the stall,
+					// then block as before — backpressure is the contract.
+					s.mEnqueueStalls.Inc()
+					s.queues[i] <- task{pkts: st.bufs[i]}
+				}
 				st.bufs[i] = nil
 			}
 			s.stateMu.RUnlock()

@@ -1,0 +1,7 @@
+//go:build race
+
+package telemetry
+
+// raceEnabled gates allocation-count assertions: the race detector's
+// instrumentation allocates, so AllocsPerRun is meaningless under -race.
+const raceEnabled = true

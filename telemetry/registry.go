@@ -1,0 +1,347 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// metricKind discriminates what a registered name exposes.
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// metric is one registered instrument.
+type metric struct {
+	name string
+	help string
+	kind metricKind
+	c    *Counter
+	g    *Gauge
+	h    *Histogram
+}
+
+// Registry owns a set of named instruments plus scrape-time samplers,
+// and renders them in Prometheus text format or JSON. Registration is
+// get-or-create by full name (labels included), so re-registering the
+// same metric — daemons restarted inside one process, tests calling
+// run() repeatedly — returns the existing instrument instead of
+// duplicating the series.
+//
+// Instruments are for event-time signals (latencies, sizes) the hot
+// path must record as they happen. Samplers are for state that already
+// lives in the instrumented packages' own atomics (reader counters,
+// queue depths): they run only at scrape time, so exposing them costs
+// the hot path nothing.
+type Registry struct {
+	mu       sync.Mutex
+	metrics  map[string]*metric
+	order    []string // registration order; sorted at exposition
+	samplers []func(*Expo)
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: make(map[string]*metric)}
+}
+
+// Name bakes label pairs into a metric name:
+// Name("x_total", "reader", "0") → `x_total{reader="0"}`.
+// Labels resolve once here, never on the hot path. Pairs must be
+// complete; values are escaped per the Prometheus text format.
+func Name(base string, labelPairs ...string) string {
+	if len(labelPairs) == 0 {
+		return base
+	}
+	if len(labelPairs)%2 != 0 {
+		panic("telemetry.Name: odd label pair count for " + base)
+	}
+	var b strings.Builder
+	b.WriteString(base)
+	b.WriteByte('{')
+	for i := 0; i < len(labelPairs); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(labelPairs[i])
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(labelPairs[i+1]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, `\"`+"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// Counter returns the counter registered under name, creating it if
+// needed. Panics if name is already registered as a different kind —
+// that is a programming error, not a runtime condition.
+func (r *Registry) Counter(name, help string) *Counter {
+	m := r.getOrCreate(name, help, kindCounter)
+	return m.c
+}
+
+// Gauge returns the gauge registered under name, creating it if needed.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	m := r.getOrCreate(name, help, kindGauge)
+	return m.g
+}
+
+// Histogram returns the histogram registered under name, creating it
+// if needed.
+func (r *Registry) Histogram(name, help string) *Histogram {
+	m := r.getOrCreate(name, help, kindHistogram)
+	return m.h
+}
+
+func (r *Registry) getOrCreate(name, help string, kind metricKind) *metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		if m.kind != kind {
+			panic(fmt.Sprintf("telemetry: %s registered as %s, requested as %s", name, m.kind, kind))
+		}
+		return m
+	}
+	m := &metric{name: name, help: help, kind: kind}
+	switch kind {
+	case kindCounter:
+		m.c = new(Counter)
+	case kindGauge:
+		m.g = new(Gauge)
+	case kindHistogram:
+		m.h = new(Histogram)
+	}
+	r.metrics[name] = m
+	r.order = append(r.order, name)
+	return m
+}
+
+// RegisterSampler adds a scrape-time callback. Samplers run on every
+// exposition, in registration order, and emit point-in-time samples
+// for state owned elsewhere. They must be safe to call concurrently
+// with the instrumented code (poll atomics, take read locks — never
+// block the hot path).
+func (r *Registry) RegisterSampler(fn func(*Expo)) {
+	r.mu.Lock()
+	r.samplers = append(r.samplers, fn)
+	r.mu.Unlock()
+}
+
+// Expo accumulates samples during one exposition pass.
+type Expo struct {
+	samples []sample
+}
+
+type sample struct {
+	name string
+	help string
+	kind metricKind
+	val  float64
+	hist HistSnapshot
+}
+
+// Counter emits a monotonic counter sample.
+func (e *Expo) Counter(name, help string, v uint64) {
+	e.samples = append(e.samples, sample{name: name, help: help, kind: kindCounter, val: float64(v)})
+}
+
+// Gauge emits an instantaneous sample.
+func (e *Expo) Gauge(name, help string, v float64) {
+	e.samples = append(e.samples, sample{name: name, help: help, kind: kindGauge, val: v})
+}
+
+// Histogram emits a histogram snapshot sample.
+func (e *Expo) Histogram(name, help string, s HistSnapshot) {
+	e.samples = append(e.samples, sample{name: name, help: help, kind: kindHistogram, hist: s})
+}
+
+// gather snapshots every registered instrument and runs every sampler,
+// returning samples sorted by (family, name) so each metric family is
+// contiguous in the output.
+func (r *Registry) gather() []sample {
+	r.mu.Lock()
+	metrics := make([]*metric, 0, len(r.order))
+	for _, name := range r.order {
+		metrics = append(metrics, r.metrics[name])
+	}
+	samplers := make([]func(*Expo), len(r.samplers))
+	copy(samplers, r.samplers)
+	r.mu.Unlock()
+
+	e := &Expo{samples: make([]sample, 0, len(metrics)+16)}
+	for _, m := range metrics {
+		switch m.kind {
+		case kindCounter:
+			e.Counter(m.name, m.help, m.c.Value())
+		case kindGauge:
+			e.Gauge(m.name, m.help, float64(m.g.Value()))
+		case kindHistogram:
+			e.Histogram(m.name, m.help, m.h.Snapshot())
+		}
+	}
+	for _, fn := range samplers {
+		fn(e)
+	}
+	sort.Slice(e.samples, func(i, j int) bool {
+		fi, _ := splitName(e.samples[i].name)
+		fj, _ := splitName(e.samples[j].name)
+		if fi != fj {
+			return fi < fj
+		}
+		return e.samples[i].name < e.samples[j].name
+	})
+	return e.samples
+}
+
+// splitName separates `base{labels}` into base and the labels body
+// (no braces); labels is empty for an unlabeled name.
+func splitName(name string) (base, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 && strings.HasSuffix(name, "}") {
+		return name[:i], name[i+1 : len(name)-1]
+	}
+	return name, ""
+}
+
+// WritePrometheus renders every metric in the Prometheus text
+// exposition format (version 0.0.4). Histograms emit cumulative
+// `_bucket{le=...}` series for non-empty buckets plus `+Inf`, `_sum`
+// and `_count`. Output is deterministic: families sorted by name,
+// HELP/TYPE emitted once per family.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	samples := r.gather()
+	var b strings.Builder
+	b.Grow(4096)
+	lastFamily := ""
+	for _, s := range samples {
+		family, labels := splitName(s.name)
+		if family != lastFamily {
+			b.WriteString("# HELP ")
+			b.WriteString(family)
+			b.WriteByte(' ')
+			b.WriteString(strings.ReplaceAll(s.help, "\n", " "))
+			b.WriteByte('\n')
+			b.WriteString("# TYPE ")
+			b.WriteString(family)
+			b.WriteByte(' ')
+			b.WriteString(s.kind.String())
+			b.WriteByte('\n')
+			lastFamily = family
+		}
+		switch s.kind {
+		case kindCounter, kindGauge:
+			b.WriteString(s.name)
+			b.WriteByte(' ')
+			b.WriteString(formatFloat(s.val))
+			b.WriteByte('\n')
+		case kindHistogram:
+			writePromHistogram(&b, family, labels, s.hist)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func writePromHistogram(b *strings.Builder, family, labels string, h HistSnapshot) {
+	writeBucket := func(le string, cum uint64) {
+		b.WriteString(family)
+		b.WriteString("_bucket{")
+		if labels != "" {
+			b.WriteString(labels)
+			b.WriteByte(',')
+		}
+		b.WriteString(`le="`)
+		b.WriteString(le)
+		b.WriteString(`"} `)
+		b.WriteString(strconv.FormatUint(cum, 10))
+		b.WriteByte('\n')
+	}
+	var cum uint64
+	for i, c := range h.Counts {
+		if c == 0 {
+			continue
+		}
+		cum += c
+		writeBucket(strconv.FormatUint(BucketBound(i), 10), cum)
+	}
+	writeBucket("+Inf", h.Count)
+	suffix := func(sfx, val string) {
+		b.WriteString(family)
+		b.WriteString(sfx)
+		if labels != "" {
+			b.WriteByte('{')
+			b.WriteString(labels)
+			b.WriteByte('}')
+		}
+		b.WriteByte(' ')
+		b.WriteString(val)
+		b.WriteByte('\n')
+	}
+	suffix("_sum", strconv.FormatUint(h.Sum, 10))
+	suffix("_count", strconv.FormatUint(h.Count, 10))
+}
+
+// formatFloat renders integral values without an exponent or trailing
+// zeros so counter output stays exact and grep-friendly.
+func formatFloat(v float64) string {
+	if v == float64(uint64(v)) {
+		return strconv.FormatUint(uint64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteJSON renders every metric as one flat JSON object keyed by full
+// metric name. Counters and gauges map to numbers; histograms map to
+// {count, sum, mean, p50, p95, p99, max}. Keys are sorted.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	samples := r.gather()
+	sort.Slice(samples, func(i, j int) bool { return samples[i].name < samples[j].name })
+	var b strings.Builder
+	b.Grow(4096)
+	b.WriteString("{\n")
+	for i, s := range samples {
+		if i > 0 {
+			b.WriteString(",\n")
+		}
+		b.WriteString("  ")
+		b.WriteString(strconv.Quote(s.name))
+		b.WriteString(": ")
+		switch s.kind {
+		case kindCounter, kindGauge:
+			b.WriteString(formatFloat(s.val))
+		case kindHistogram:
+			h := s.hist
+			fmt.Fprintf(&b, `{"count":%d,"sum":%d,"mean":%.1f,"p50":%d,"p95":%d,"p99":%d,"max":%d}`,
+				h.Count, h.Sum, h.Mean(), h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99), h.Max())
+		}
+	}
+	b.WriteString("\n}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,232 @@
+// Package telemetry provides process-wide runtime instrumentation for
+// the collection pipeline: zero-allocation atomic counters, gauges and
+// fixed-bucket power-of-two histograms, a registry with Prometheus
+// text-format and JSON exposition, and the shared ops HTTP surface
+// (/metrics, /healthz, optional pprof) both daemons mount.
+//
+// Design constraints, in order:
+//
+//   - The hot path must not notice. Every instrument method is a single
+//     atomic RMW on a fixed-size struct: no maps, no label hashing, no
+//     allocation, no locks. Label resolution happens once at
+//     registration time (labels are baked into the metric name), never
+//     per observation.
+//   - Nil instruments are valid and free. All methods are nil-receiver
+//     safe no-ops, so instrumented packages call m.Something.Add(1)
+//     unconditionally and pay one predictable branch when telemetry is
+//     not wired (benches, tests, library use).
+//   - Reads never perturb writers. Exposition loads the same atomics
+//     the writers touch; there is no snapshot lock, so a scrape racing
+//     an Observe may see a bucket count without the matching sum — the
+//     skew is bounded by in-flight operations and irrelevant at scrape
+//     granularity.
+package telemetry
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing uint64. The zero value is
+// ready to use; a nil *Counter is a no-op.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n. Counters only go up; deltas are the caller's job.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an instantaneous signed value. The zero value is ready to
+// use; a nil *Gauge is a no-op.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(n)
+}
+
+// Add moves the value by delta (may be negative).
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// HistBuckets is the number of histogram buckets: one per possible
+// bit-length of a uint64 (0..64). Bucket i holds values whose
+// bits.Len64 is i, i.e. bucket 0 holds exactly 0 and bucket i>0 holds
+// [2^(i-1), 2^i). Upper bounds are therefore powers of two, giving a
+// worst-case quantile error of 2x — plenty for latencies and sizes
+// that range over many orders of magnitude.
+const HistBuckets = 65
+
+// Histogram is a fixed-bucket power-of-two histogram of uint64
+// samples (typically nanoseconds or byte/record counts). Observe is
+// lock-free: one atomic add on the bucket plus one on the running sum.
+// The zero value is ready to use; a nil *Histogram is a no-op.
+type Histogram struct {
+	counts [HistBuckets]atomic.Uint64
+	sum    atomic.Uint64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v uint64) {
+	if h == nil {
+		return
+	}
+	h.counts[bits.Len64(v)].Add(1)
+	h.sum.Add(v)
+}
+
+// ObserveDuration records a duration in nanoseconds. Negative
+// durations (clock steps) are clamped to zero rather than wrapping.
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.Observe(uint64(d))
+}
+
+// HistSnapshot is a point-in-time copy of a histogram's state.
+type HistSnapshot struct {
+	Counts [HistBuckets]uint64
+	Count  uint64
+	Sum    uint64
+}
+
+// Snapshot copies the current bucket counts and sum. The copy is not
+// atomic across buckets; see the package comment on read skew.
+func (h *Histogram) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	if h == nil {
+		return s
+	}
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		s.Counts[i] = c
+		s.Count += c
+	}
+	s.Sum = h.sum.Load()
+	return s
+}
+
+// Merge adds other's samples into h. Used to fold per-shard or
+// per-reader histograms into one series at scrape time.
+func (h *Histogram) Merge(other *Histogram) {
+	if h == nil || other == nil {
+		return
+	}
+	for i := range other.counts {
+		if c := other.counts[i].Load(); c != 0 {
+			h.counts[i].Add(c)
+		}
+	}
+	h.sum.Add(other.sum.Load())
+}
+
+// BucketBound returns the inclusive upper bound of bucket i:
+// 0 for bucket 0, 2^i-1 for i in 1..63, and MaxUint64 for bucket 64.
+func BucketBound(i int) uint64 {
+	if i <= 0 {
+		return 0
+	}
+	if i >= 64 {
+		return math.MaxUint64
+	}
+	return 1<<uint(i) - 1
+}
+
+// Quantile estimates the q-th quantile (q in [0,1]) from the bucket
+// counts, linearly interpolating inside the winning bucket. With
+// power-of-two bounds the estimate is within a factor of two of the
+// exact sample quantile. Returns 0 for an empty histogram.
+func (s HistSnapshot) Quantile(q float64) uint64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// Rank of the target sample, 1-based: ceil(q*count), at least 1.
+	rank := uint64(math.Ceil(q * float64(s.Count)))
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for i, c := range s.Counts {
+		if c == 0 {
+			continue
+		}
+		if cum+c >= rank {
+			lo := float64(bucketLower(i))
+			hi := float64(BucketBound(i))
+			frac := float64(rank-cum) / float64(c)
+			return uint64(lo + (hi-lo)*frac)
+		}
+		cum += c
+	}
+	return BucketBound(HistBuckets - 1)
+}
+
+// Mean returns the arithmetic mean of the observed samples, exact up
+// to sum wraparound (2^64 ns ≈ 584 years).
+func (s HistSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Max returns the upper bound of the highest non-empty bucket — an
+// overestimate of the true max by at most 2x.
+func (s HistSnapshot) Max() uint64 {
+	for i := len(s.Counts) - 1; i >= 0; i-- {
+		if s.Counts[i] != 0 {
+			return BucketBound(i)
+		}
+	}
+	return 0
+}
+
+// bucketLower is the inclusive lower bound of bucket i.
+func bucketLower(i int) uint64 {
+	if i <= 0 {
+		return 0
+	}
+	return 1 << uint(i-1)
+}
