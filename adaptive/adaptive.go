@@ -103,11 +103,13 @@ type Manager struct {
 	drainErr    atomic.Pointer[error]
 	drainPanics atomic.Uint64
 
-	// metrics and onDrainErr are optional observability hooks, set
-	// before ingestion (SetMetrics, SetDrainErrorHook) and read without
-	// synchronization by the ingest path and the drain worker.
+	// metrics, onDrainErr and spanHook are optional observability hooks,
+	// set before ingestion (SetMetrics, SetDrainErrorHook, SetSpanHook)
+	// and read without synchronization by the ingest path and the drain
+	// worker.
 	metrics    *Metrics
 	onDrainErr func(error)
+	spanHook   func(StageSpan)
 
 	// Double-buffered mode: the standby channel holds the reset recorder
 	// (with its sidecar) ready for the next swap, jobs carries full
@@ -263,18 +265,31 @@ func (m *Manager) safely(stage string, fn func()) (ok bool) {
 	return true
 }
 
-// timed runs fn through safely, recording its wall time into h when
-// metrics are attached. The time.Now pair is skipped entirely for
-// uninstrumented managers; either way this runs once per stage per
-// epoch, never per packet.
-func (m *Manager) timed(h *telemetry.Histogram, stage string, fn func()) bool {
-	if m.metrics == nil {
-		return m.safely(stage, fn)
+// StageSpan is one drained epoch's stage timing summary, delivered to the
+// SetSpanHook callback: how long each drain stage took and how many records
+// the epoch held. Durations are wall nanoseconds; DetectNs sums over all
+// attached observers.
+type StageSpan struct {
+	Epoch     int
+	Records   int
+	ExtractNs int64
+	FlushNs   int64
+	DetectNs  int64
+	ResetNs   int64
+}
+
+// SetSpanHook installs a callback receiving a StageSpan for every epoch
+// processed by the double-buffered drain worker — the feed for epoch
+// timeline tracing (telemetry/events). The hook runs on the drain worker
+// after the epoch's reset, never on the packet path, and must not retain
+// references into the drained buffer (it receives only counts). Call
+// before ingestion begins; only the first hook wins, like
+// SetDrainErrorHook. Stage timing is enabled by either a hook or metrics,
+// so an uninstrumented, unhooked manager still skips every clock read.
+func (m *Manager) SetSpanHook(fn func(StageSpan)) {
+	if m.spanHook == nil {
+		m.spanHook = fn
 	}
-	start := time.Now()
-	ok := m.safely(stage, fn)
-	h.ObserveDuration(time.Since(start))
-	return ok
 }
 
 // Sidecar returns the sidecar paired with the recorder currently filling,
@@ -303,41 +318,66 @@ func (m *Manager) flushWorker() {
 	}
 }
 
-// drain processes one completed epoch on the worker.
+// drain processes one completed epoch on the worker. Stage timing runs
+// when either metrics or a span hook is attached — histograms are nil-safe,
+// so one clock pair per stage serves both consumers.
 func (m *Manager) drain(epoch int, b buffer, buf *[]flow.Record) {
 	mm := m.metrics
+	timing := mm != nil || m.spanHook != nil
+	sp := StageSpan{Epoch: epoch}
+	stage := func(h *telemetry.Histogram, dst *int64, name string, fn func()) bool {
+		if !timing {
+			return m.safely(name, fn)
+		}
+		start := time.Now()
+		ok := m.safely(name, fn)
+		d := time.Since(start)
+		h.ObserveDuration(d)
+		*dst += d.Nanoseconds()
+		return ok
+	}
 	var extractNs, flushNs, resetNs *telemetry.Histogram
 	if mm != nil {
 		extractNs, flushNs, resetNs = mm.ExtractNs, mm.FlushCbNs, mm.ResetNs
 	}
 	if m.flush != nil || len(m.dets) > 0 {
-		extracted := m.timed(extractNs, "extraction", func() {
+		extracted := stage(extractNs, &sp.ExtractNs, "extraction", func() {
 			*buf = b.rec.AppendRecords((*buf)[:0])
 		})
 		if extracted {
+			sp.Records = len(*buf)
 			if m.flush != nil {
-				m.timed(flushNs, "flush callback", func() { m.flush(epoch, *buf) })
+				stage(flushNs, &sp.FlushNs, "flush callback", func() { m.flush(epoch, *buf) })
 			}
 			for i, det := range m.dets {
 				var detNs *telemetry.Histogram
 				if mm != nil {
 					detNs = mm.detectorNs(i)
 				}
-				m.timed(detNs, "detector", func() { det.ObserveEpoch(epoch, *buf) })
+				stage(detNs, &sp.DetectNs, "detector", func() { det.ObserveEpoch(epoch, *buf) })
 			}
 		}
 	}
+	// Recorder and sidecar reset share one timing window so the ResetNs
+	// histogram keeps its one-observation-per-epoch shape.
 	var resetStart time.Time
-	if mm != nil {
+	if timing {
 		resetStart = time.Now()
 	}
 	m.safely("recorder reset", b.rec.Reset)
 	if b.sc != nil {
 		m.safely("sidecar reset", b.sc.Reset)
 	}
+	if timing {
+		d := time.Since(resetStart)
+		resetNs.ObserveDuration(d)
+		sp.ResetNs = d.Nanoseconds()
+	}
 	if mm != nil {
-		resetNs.ObserveDuration(time.Since(resetStart))
 		mm.Epochs.Inc()
+	}
+	if m.spanHook != nil {
+		m.spanHook(sp)
 	}
 }
 

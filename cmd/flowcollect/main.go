@@ -53,6 +53,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"math/rand"
 	"net"
 	"net/http"
@@ -74,6 +75,7 @@ import (
 	"repro/query"
 	"repro/recordstore"
 	"repro/telemetry"
+	"repro/telemetry/events"
 	"repro/topk"
 	"repro/trace"
 )
@@ -167,6 +169,16 @@ func runServe(args []string, w io.Writer) error {
 		lastErr.Store(&msg)
 	}
 
+	// The pipeline event layer: every operational log line, epoch span,
+	// alert and degradation lands on one bus (served as SSE on /events),
+	// and the tracer keeps the last epochs' stage timelines for
+	// /trace/epochs. The logger mirrors each line onto the bus, so stdout,
+	// the stream and the traces agree.
+	bus := events.NewBus(events.DefaultRingCap)
+	tracer := events.NewTracer(events.DefaultTraceKeep)
+	logger := slog.New(events.NewLogHandler(w, bus, "live"))
+	events.RegisterMetrics(reg, bus)
+
 	// Reopen the store for append, truncating the torn frame a killed
 	// predecessor may have left; a fresh path just creates the file.
 	fw, recov, err := recordstore.OpenFile(*storePath, pol)
@@ -184,10 +196,8 @@ func runServe(args []string, w io.Writer) error {
 		storeHealth.State = "recovered"
 	}
 	if !recov.Created || recov.TornBytes > 0 {
-		if _, err := fmt.Fprintf(w, "store: recovered %s: %d epochs intact, %d torn bytes truncated\n",
-			*storePath, recov.Epochs, recov.TornBytes); err != nil {
-			return err
-		}
+		logger.Info("store: recovered "+*storePath, "kind", "recovery",
+			"epochs_intact", recov.Epochs, "torn_bytes", recov.TornBytes)
 	}
 	fw.SetMetrics(recordstore.NewMetrics(reg))
 	store := collector.NewEpochStore(fw.Writer)
@@ -219,10 +229,8 @@ func runServe(args []string, w io.Writer) error {
 			// normal first boot, anything else starts cold and says so.
 			switch err := detector.LoadCheckpoint(*ckptPath); {
 			case err == nil:
-				if _, err := fmt.Fprintf(w, "checkpoint: restored %s: %d epochs, %d forecast keys\n",
-					*ckptPath, detector.Epochs(), detector.ForecastTracked()); err != nil {
-					return err
-				}
+				logger.Info("checkpoint: restored "+*ckptPath, "kind", "checkpoint",
+					"epochs", detector.Epochs(), "forecast_keys", detector.ForecastTracked())
 				ckptHealth.State = "restored"
 				ckptHealth.Epochs = detector.Epochs()
 				ckptHealth.ForecastKeys = detector.ForecastTracked()
@@ -230,19 +238,23 @@ func runServe(args []string, w io.Writer) error {
 			case errors.Is(err, os.ErrNotExist):
 			default:
 				ckptHealth.Error = err.Error()
-				if _, err := fmt.Fprintf(w, "checkpoint: %s unusable (%v); starting cold\n", *ckptPath, err); err != nil {
-					return err
-				}
+				logger.Warn(fmt.Sprintf("checkpoint: %s unusable; starting cold", *ckptPath),
+					"kind", "checkpoint", "error", err.Error())
 			}
 		}
 		if *webhook != "" {
 			hook = newWebhookSink(*webhook)
 			hook.instrument(reg)
-			hook.startLog(w, 10*time.Second)
+			hook.startLog(logger, 10*time.Second)
 			defer hook.close(w)
 		}
 		printAlerts := *alerts
 		detector.SetSink(func(as []detect.Alert) {
+			// Runs on the collector's epoch goroutine inside Observe —
+			// publishing here keeps alert events off the datagram path.
+			for _, a := range as {
+				bus.Publish(events.AlertEvent("live", a))
+			}
 			if printAlerts {
 				for _, a := range as {
 					fmt.Fprintln(w, a)
@@ -269,50 +281,57 @@ func runServe(args []string, w io.Writer) error {
 			return err
 		}
 	}
+	var storeDegraded bool // epoch goroutine only; degraded event fires once
 	sink := func(ts time.Time, records []flow.Record) {
+		ep := int(epochs.Load())
+		sp := events.Begin("live", ep, ts, len(records))
 		if tracker != nil {
-			tracker.AddRecords(records)
+			sp.Time("tracker", func() { tracker.AddRecords(records) })
 		}
-		store.Sink(ts, records)
+		preFsyncs := fw.Fsyncs()
+		sp.Time("store_write", func() { store.Sink(ts, records) })
 		if tracker != nil {
-			_ = store.Flush() // sticky; surfaced via store.Err at exit
+			// Sticky; surfaced via store.Err at exit and below as an event.
+			sp.Time("store_flush", func() { _ = store.Flush() })
+		}
+		// fsync happens inside the write/flush stages when the durability
+		// policy fires; report it as its own timeline entry too.
+		if fw.Fsyncs() > preFsyncs {
+			sp.StageNs("fsync", fw.LastFsyncNs())
+		}
+		if err := store.Err(); err != nil && !storeDegraded {
+			storeDegraded = true
+			setLastErr(fmt.Errorf("store write (%d later epochs dropped): %w", store.Dropped(), err))
+			logger.Error("store: write failed, later epochs dropped",
+				"kind", "degraded", "epoch", ep, "error", err.Error())
 		}
 		if detector != nil {
-			detector.Observe(int(epochs.Load()), ts, records)
+			var as []detect.Alert
+			sp.Time("detect", func() { as = detector.Observe(ep, ts, records) })
+			sp.AddAlerts(len(as))
 			if *ckptPath != "" && detector.Epochs()%uint64(*ckptEvery) == 0 {
-				if err := detector.SaveCheckpoint(*ckptPath); err != nil {
-					setLastErr(fmt.Errorf("checkpoint save: %w", err))
-					fmt.Fprintf(w, "checkpoint: save failed: %v\n", err)
-				}
+				sp.Time("checkpoint", func() {
+					if err := detector.SaveCheckpoint(*ckptPath); err != nil {
+						setLastErr(fmt.Errorf("checkpoint save: %w", err))
+						logger.Error("checkpoint: save failed",
+							"kind", "checkpoint", "epoch", ep, "error", err.Error())
+					}
+				})
 			}
 		}
+		sp.End(bus, tracer)
 		epochs.Add(1)
 	}
-	// The /healthz snapshot: liveness plus the store/checkpoint
-	// recovery facts, degraded when any component reported an error.
-	health := func() telemetry.Health {
-		h := telemetry.Health{
-			Status:        "ok",
-			UptimeSeconds: telemetry.Uptime(start),
-			Epochs:        epochs.Load(),
-			Store:         storeHealth,
-			Checkpoint:    ckptHealth,
-		}
-		if err := store.Err(); err != nil {
-			setLastErr(fmt.Errorf("store write (%d later epochs dropped): %w", store.Dropped(), err))
-		}
-		if p := lastErr.Load(); p != nil {
-			h.Status = "degraded"
-			h.LastError = *p
-		}
-		return h
-	}
+	health := serveHealth(start, &epochs, store, &lastErr, setLastErr, storeHealth, ckptHealth)
 	if *httpAddr != "" {
 		cfg := query.Config{
 			TopK:           tracker,
 			Store:          query.FileStore(*storePath),
 			Netwide:        []query.NamedSource{{Name: "live", Source: tracker}},
 			NetwideVersion: epochs.Load,
+			Events:         bus,
+			Trace:          tracer,
+			Registry:       reg,
 		}
 		if detector != nil {
 			cfg.Alerts = detector
@@ -325,16 +344,13 @@ func runServe(args []string, w io.Writer) error {
 		mux.Handle("/", query.NewHandler(cfg))
 		telemetry.Ops{Registry: reg, Health: health, Debug: *debug}.Register(mux)
 		httpSrv = &http.Server{
-			Handler:           mux,
+			Handler:           telemetry.InstrumentMux(reg, mux),
 			ReadHeaderTimeout: 5 * time.Second,
 			WriteTimeout:      30 * time.Second,
 			IdleTimeout:       60 * time.Second,
 		}
 		go func() { _ = httpSrv.Serve(httpLn) }()
-		if _, err := fmt.Fprintf(w, "query API on http://%s\n", httpLn.Addr()); err != nil {
-			httpSrv.Close()
-			return err
-		}
+		logger.Info(fmt.Sprintf("query API on http://%s", httpLn.Addr()))
 	}
 
 	srv, err := collector.Start(collector.Config{
@@ -349,14 +365,9 @@ func runServe(args []string, w io.Writer) error {
 		return err
 	}
 	srv.RegisterMetrics(reg)
-	if _, err := fmt.Fprintf(w, "serving on %s for %v (%d readers, %d sockets, %s reads), storing to %s\n",
-		srv.Addr(), *runFor, srv.Readers(), srv.Sockets(), srv.BatchMode(), *storePath); err != nil {
-		srv.Shutdown()
-		if httpSrv != nil {
-			httpSrv.Close()
-		}
-		return err
-	}
+	logger.Info(fmt.Sprintf("serving on %s", srv.Addr()), "for", (*runFor).String(),
+		"readers", srv.Readers(), "sockets", srv.Sockets(),
+		"reads", srv.BatchMode(), "store", *storePath)
 
 	// Run until the deadline or a termination signal, then shut down in
 	// dependency order: stop ingest and drain the in-flight epoch through
@@ -366,14 +377,12 @@ func runServe(args []string, w io.Writer) error {
 	select {
 	case <-time.After(*runFor):
 	case sig := <-sigCh:
-		if _, err := fmt.Fprintf(w, "received %v, shutting down\n", sig); err != nil {
-			return err
-		}
+		logger.Info(fmt.Sprintf("received %v, shutting down", sig))
 	}
 	srv.Shutdown()
 	if detector != nil && *ckptPath != "" {
 		if err := detector.SaveCheckpoint(*ckptPath); err != nil {
-			fmt.Fprintf(w, "checkpoint: final save failed: %v\n", err)
+			logger.Error("checkpoint: final save failed", "kind", "checkpoint", "error", err.Error())
 		}
 	}
 	// Err before Flush: Flush also returns the sticky write error, which
@@ -404,6 +413,32 @@ func runServe(args []string, w io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// serveHealth builds the /healthz snapshot closure: liveness plus the
+// store/checkpoint recovery facts, degraded when any component reported
+// an error. Factored out of runServe so the healthy→degraded transition
+// is testable without a full serve run.
+func serveHealth(start time.Time, epochs *atomic.Uint64, store *collector.EpochStore,
+	lastErr *atomic.Pointer[string], setLastErr func(error),
+	storeHealth *telemetry.StoreHealth, ckptHealth *telemetry.CheckpointHealth) func() telemetry.Health {
+	return func() telemetry.Health {
+		h := telemetry.Health{
+			Status:        "ok",
+			UptimeSeconds: telemetry.Uptime(start),
+			Epochs:        epochs.Load(),
+			Store:         storeHealth,
+			Checkpoint:    ckptHealth,
+		}
+		if err := store.Err(); err != nil {
+			setLastErr(fmt.Errorf("store write (%d later epochs dropped): %w", store.Dropped(), err))
+		}
+		if p := lastErr.Load(); p != nil {
+			h.Status = "degraded"
+			h.LastError = *p
+		}
+		return h
+	}
 }
 
 // webhookAlert is the JSON shape of one alert delivered to the -webhook
@@ -448,9 +483,12 @@ type webhookSink struct {
 
 	// Optional observability, attached before delivery begins:
 	// deliveryNs times successful deliveries (retries included) and
-	// logStop ends the periodic status logger.
+	// logStop ends the periodic status logger. notify wakes the status
+	// logger early so the first drop or failure after a healthy streak
+	// logs immediately instead of waiting out the tick.
 	deliveryNs *telemetry.Histogram
 	logStop    chan struct{}
+	notify     chan struct{}
 }
 
 func newWebhookSink(url string) *webhookSink {
@@ -466,6 +504,7 @@ func newWebhookSinkWithRetry(url string, maxAttempts int, base, cap time.Duratio
 		backoffBase: base,
 		backoffCap:  cap,
 		rng:         rand.New(rand.NewSource(time.Now().UnixNano())),
+		notify:      make(chan struct{}, 1),
 	}
 	s.wg.Add(1)
 	go s.run()
@@ -505,6 +544,16 @@ func (s *webhookSink) deliver(alerts []detect.Alert) {
 		s.queued.Add(1)
 	default:
 		s.dropped.Add(1)
+		s.nudge()
+	}
+}
+
+// nudge wakes the status logger without blocking the caller; a pending
+// wake-up is enough, extra ones coalesce.
+func (s *webhookSink) nudge() {
+	select {
+	case s.notify <- struct{}{}:
+	default:
 	}
 }
 
@@ -523,10 +572,12 @@ func (s *webhookSink) instrument(reg *telemetry.Registry) {
 	})
 }
 
-// startLog emits a periodic structured status line whenever the
-// delivery accounting moved since the last tick, so drops and retries
-// are visible while they happen instead of at shutdown.
-func (s *webhookSink) startLog(w io.Writer, every time.Duration) {
+// startLog emits a structured status line whenever the delivery
+// accounting moved since the last report, so drops and retries are
+// visible while they happen instead of at shutdown. Besides the periodic
+// tick, a nudge from the delivery path wakes it immediately on the first
+// drop or failure after a healthy streak.
+func (s *webhookSink) startLog(log *slog.Logger, every time.Duration) {
 	s.logStop = make(chan struct{})
 	s.wg.Add(1)
 	go func() {
@@ -539,13 +590,22 @@ func (s *webhookSink) startLog(w io.Writer, every time.Duration) {
 			case <-s.logStop:
 				return
 			case <-t.C:
-				cur := [4]uint64{s.queued.Load(), s.dropped.Load(), s.failed.Load(), s.retries.Load()}
-				if cur != last {
-					fmt.Fprintf(w, "webhook: queued=%d dropped=%d failed=%d retries=%d queue_len=%d\n",
-						cur[0], cur[1], cur[2], cur[3], len(s.ch))
-					last = cur
-				}
+			case <-s.notify:
 			}
+			cur := [4]uint64{s.queued.Load(), s.dropped.Load(), s.failed.Load(), s.retries.Load()}
+			if cur == last {
+				continue
+			}
+			attrs := []any{
+				"queued", cur[0], "dropped", cur[1], "failed", cur[2],
+				"retries", cur[3], "queue_len", len(s.ch),
+			}
+			if cur[1] != last[1] || cur[2] != last[2] {
+				log.Warn("webhook: deliveries degraded", append(attrs, "kind", "degraded")...)
+			} else {
+				log.Info("webhook: status", attrs...)
+			}
+			last = cur
 		}
 	}()
 }
@@ -555,6 +615,7 @@ func (s *webhookSink) run() {
 	for b := range s.ch {
 		if !s.post(b) {
 			s.failed.Add(1)
+			s.nudge()
 		}
 	}
 }
@@ -619,11 +680,16 @@ func runExport(args []string, w io.Writer) error {
 		"rotate and export an epoch every N packets via the double-buffered background drain (0 = one epoch at end)")
 	det := fs.Bool("detect", false,
 		"run detection on each drained epoch (with -epochpkts); alerts print to stdout")
+	traceN := fs.Int("trace", 0,
+		"keep the last N epoch stage timelines and print them after the run (with -epochpkts)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *det && *epochPkts == 0 {
 		return errors.New("-detect needs epoch rotation: pass -epochpkts too")
+	}
+	if *traceN > 0 && *epochPkts == 0 {
+		return errors.New("-trace needs epoch rotation: pass -epochpkts too")
 	}
 
 	a, err := flowmon.ParseAlgorithm(*algo)
@@ -654,6 +720,7 @@ func runExport(args []string, w io.Writer) error {
 		update = rec.Update
 		finish func() (epochs int, exported uint64, exportErr error)
 		am     *adaptive.Metrics
+		tr     *events.Tracer
 	)
 	if *epochPkts > 0 {
 		standby, err := flowmon.New(a, mcfg)
@@ -687,6 +754,22 @@ func runExport(args []string, w io.Writer) error {
 		// printed with the final accounting instead.
 		am = adaptive.NewMetrics(telemetry.NewRegistry())
 		m.SetMetrics(am)
+		if *traceN > 0 {
+			// Per-epoch stage timelines from the drain worker's span hook,
+			// printed after the summary (the hook never runs on the packet
+			// path).
+			tr = events.NewTracer(*traceN)
+			m.SetSpanHook(func(ss adaptive.StageSpan) {
+				sp := events.Begin("", ss.Epoch, time.Time{}, ss.Records)
+				sp.StageNs("extract", ss.ExtractNs)
+				sp.StageNs("flush", ss.FlushNs)
+				if ss.DetectNs > 0 {
+					sp.StageNs("detect", ss.DetectNs)
+				}
+				sp.StageNs("reset", ss.ResetNs)
+				sp.End(nil, tr)
+			})
+		}
 		var detector *detect.Detector
 		if *det {
 			// Detection rides the same drain worker as the export: the
@@ -765,7 +848,10 @@ func runExport(args []string, w io.Writer) error {
 			pkts, exported, epochs, *to); err != nil {
 			return err
 		}
-		return writeDrainSummary(w, am)
+		if err := writeDrainSummary(w, am); err != nil {
+			return err
+		}
+		return writeEpochTraces(w, tr)
 	}
 	recs := rec.Records()
 	if err := exp.Export(recs, 700); err != nil {
@@ -809,6 +895,28 @@ func writeDrainSummary(w io.Writer, am *adaptive.Metrics) error {
 	}
 	if n := am.DrainPanics.Value(); n != 0 {
 		if _, err := fmt.Fprintf(w, "drain panics: %d\n", n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeEpochTraces prints the retained per-epoch stage timelines from an
+// export run with -trace, oldest first.
+func writeEpochTraces(w io.Writer, tr *events.Tracer) error {
+	if tr == nil {
+		return nil
+	}
+	for _, et := range tr.Append(nil) {
+		if _, err := fmt.Fprintf(w, "trace epoch %d: %d records", et.Epoch, et.Records); err != nil {
+			return err
+		}
+		for _, st := range et.Stages {
+			if _, err := fmt.Fprintf(w, " %s=%v", st.Name, time.Duration(st.Ns)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
 			return err
 		}
 	}

@@ -22,6 +22,9 @@
 //	                              ?format=json
 //	GET /healthz                  structured health snapshot (uptime,
 //	                              epochs, vantages)
+//	GET /events?kind=alert        live pipeline events over SSE, resumable
+//	                              via Last-Event-ID
+//	GET /trace/epochs             recent per-epoch stage timelines
 //
 // The primary store (first -store) is re-mapped per request, so a file a
 // collector is still appending to is always served current.
@@ -51,6 +54,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -66,6 +70,7 @@ import (
 	"repro/query"
 	"repro/recordstore"
 	"repro/telemetry"
+	"repro/telemetry/events"
 	"repro/topk"
 )
 
@@ -123,6 +128,18 @@ func run(args []string, w io.Writer) error {
 	reg := telemetry.NewRegistry()
 	start := time.Now()
 	var vantageHealth []telemetry.VantageHealth
+
+	// The live-ops layer: one event bus and epoch tracer shared by every
+	// vantage (events carry their vantage label), served as /events SSE and
+	// /trace/epochs alongside the query endpoints. The logger mirrors
+	// operational lines onto the same bus.
+	bus := events.NewBus(events.DefaultRingCap)
+	tracer := events.NewTracer(events.DefaultTraceKeep)
+	logger := slog.New(events.NewLogHandler(w, bus, ""))
+	events.RegisterMetrics(reg, bus)
+	cfg.Events = bus
+	cfg.Trace = tracer
+	cfg.Registry = reg
 
 	// Historical side: the primary store is re-mapped per request (it may
 	// still be growing); every store contributes its all-time summed view
@@ -217,22 +234,35 @@ func run(args []string, w io.Writer) error {
 		}
 		if detector != nil {
 			detector.SetMetrics(detect.NewMetrics(reg, "vantage", nf))
+			// Alerts become bus events on the evaluating (epoch) goroutine,
+			// so a connected SSE client sees them within the epoch.
+			vantage := name
+			detector.SetSink(func(as []detect.Alert) {
+				for _, a := range as {
+					bus.Publish(events.AlertEvent(vantage, a))
+				}
+			})
 		}
 		// Detection epochs count per vantage (the correlator aligns
 		// epochs across vantages by index); the shared counter only
 		// versions the /netwide/topk cache.
 		d := detector
+		vantage := name
 		var vantageEpochs int
 		srv, err := collector.Start(collector.Config{
 			Listen: nf, EpochGap: *gap,
 			Metrics: collector.NewMetrics(reg, "vantage", nf),
 		},
 			func(ts time.Time, records []flow.Record) {
-				tracker.AddRecords(records)
+				sp := events.Begin(vantage, vantageEpochs, ts, len(records))
+				sp.Time("tracker", func() { tracker.AddRecords(records) })
 				if d != nil {
-					d.Observe(vantageEpochs, ts, records)
-					vantageEpochs++
+					var as []detect.Alert
+					sp.Time("detect", func() { as = d.Observe(vantageEpochs, ts, records) })
+					sp.AddAlerts(len(as))
 				}
+				sp.End(bus, tracer)
+				vantageEpochs++
 				epochs.Add(1)
 			})
 		if err != nil {
@@ -245,9 +275,7 @@ func run(args []string, w io.Writer) error {
 			cfg.TopK = tracker
 		}
 		cfg.Netwide = append(cfg.Netwide, query.NamedSource{Name: name, Source: tracker})
-		if _, err := fmt.Fprintf(w, "ingesting NetFlow on %s\n", srv.Addr()); err != nil {
-			return err
-		}
+		logger.Info(fmt.Sprintf("ingesting NetFlow on %s", srv.Addr()), "vantage", name)
 	}
 	cfg.NetwideVersion = epochs.Load
 
@@ -270,15 +298,12 @@ func run(args []string, w io.Writer) error {
 		Debug: *debug,
 	}.Register(mux)
 	httpSrv := &http.Server{
-		Handler:           mux,
+		Handler:           telemetry.InstrumentMux(reg, mux),
 		ReadHeaderTimeout: 5 * time.Second,
 		WriteTimeout:      30 * time.Second,
 		IdleTimeout:       60 * time.Second,
 	}
-	if _, err := fmt.Fprintf(w, "flowqueryd serving on http://%s\n", ln.Addr()); err != nil {
-		ln.Close()
-		return err
-	}
+	logger.Info(fmt.Sprintf("flowqueryd serving on http://%s", ln.Addr()))
 
 	// Serve until the deadline (if any) or a termination signal, then shut
 	// down gracefully: stop accepting, let in-flight queries finish under a
@@ -299,9 +324,7 @@ func run(args []string, w io.Writer) error {
 		return nil
 	case <-deadline:
 	case sig := <-sigCh:
-		if _, err := fmt.Fprintf(w, "received %v, shutting down\n", sig); err != nil {
-			return err
-		}
+		logger.Info(fmt.Sprintf("received %v, shutting down", sig))
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	err = httpSrv.Shutdown(ctx)

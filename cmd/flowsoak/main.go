@@ -27,16 +27,20 @@
 package main
 
 import (
+	"bufio"
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"sync"
 	"syscall"
@@ -47,6 +51,7 @@ import (
 	"repro/netflow"
 	"repro/query"
 	"repro/telemetry"
+	"repro/telemetry/events"
 )
 
 func main() {
@@ -94,6 +99,7 @@ func run(args []string, w io.Writer) error {
 
 	s := &soak{
 		w:     w,
+		log:   slog.New(events.NewLogHandler(w, nil, "")),
 		dir:   dir,
 		quick: *quick,
 		epoch: *epoch,
@@ -106,6 +112,7 @@ func run(args []string, w io.Writer) error {
 // soak carries the harness state through the phases.
 type soak struct {
 	w     io.Writer
+	log   *slog.Logger
 	dir   string
 	quick bool
 	epoch time.Duration
@@ -136,7 +143,7 @@ type member struct {
 }
 
 func (s *soak) logf(format string, a ...any) {
-	fmt.Fprintf(s.w, format+"\n", a...)
+	s.log.Info(fmt.Sprintf(format, a...))
 }
 
 func (s *soak) run() error {
@@ -159,6 +166,12 @@ func (s *soak) run() error {
 		return err
 	}
 	s.control = ctl
+
+	// A live /events client rides the subject through its kill/restart:
+	// the stream must deliver epoch events before the crash, reconnect on
+	// its own with Last-Event-ID, and carry the post-restart re-alert.
+	watch := watchEvents(s.subject.httpAddr)
+	defer watch.stop()
 
 	s.logf("phase: warmup (%d stable epochs at %d pkts)", rampWarmup, rampBase)
 	for e := 0; e < rampWarmup; e++ {
@@ -193,6 +206,9 @@ func (s *soak) run() error {
 	} else if v == 0 {
 		return errors.New("pre-kill /metrics reports zero datagrams while the store holds epochs")
 	}
+	if _, sseEpochs, _, _ := watch.stats(); sseEpochs == 0 {
+		return errors.New("SSE client saw no epoch events before the kill")
+	}
 
 	// Phase 2: SIGKILL both mid-epoch — a fresh batch lands and the kill
 	// fires well inside the quiet gap, so the epoch is still open (and
@@ -221,11 +237,15 @@ func (s *soak) run() error {
 		if err != nil {
 			return fmt.Errorf("%s printed no recovery line: %w", m.name, err)
 		}
-		var recovered int
-		if _, err := fmt.Sscanf(line[strings.Index(line, ":")+1:], " recovered %s %d epochs intact",
-			new(string), &recovered); err != nil {
-			// The line format carries the path; parse the count robustly.
-			recovered = -1
+		// The structured line carries the count as epochs_intact=N; an
+		// unparseable line only skips the count check.
+		recovered := -1
+		for _, f := range strings.Fields(line) {
+			if v, ok := strings.CutPrefix(f, "epochs_intact="); ok {
+				if n, err := strconv.Atoi(v); err == nil {
+					recovered = n
+				}
+			}
 		}
 		if recovered >= 0 && recovered < preKill-1 {
 			return fmt.Errorf("%s recovered %d epochs, had %d before the kill (allowed to lose at most 1)",
@@ -297,6 +317,22 @@ func (s *soak) run() error {
 		return fmt.Errorf("cold control raised %d forecast alerts within %d epochs: scenario no longer isolates checkpoint value", ctlAlerts, rampBudget)
 	}
 	s.logf("detection continuity ok: subject re-alerted, control blind (as designed)")
+
+	// The event stream must have survived the crash: reconnected by
+	// itself, kept sequence continuity within each connection, and carried
+	// the re-alert to a client that subscribed before the kill.
+	watch.stop()
+	sseConns, sseEpochs, sseAlerts, seqErr := watch.stats()
+	if seqErr != nil {
+		return fmt.Errorf("SSE sequence continuity: %w", seqErr)
+	}
+	if sseConns < 2 {
+		return fmt.Errorf("SSE client held %d connection(s); never reconnected across the kill", sseConns)
+	}
+	if sseAlerts == 0 {
+		return errors.New("restored subject's re-alert never reached the SSE stream")
+	}
+	s.logf("sse ok: %d connections, %d epoch events, %d alert events, resume clean", sseConns, sseEpochs, sseAlerts)
 
 	// Phase 6: flowqueryd over the recovered (still-growing) store.
 	if err := s.checkQueryd(); err != nil {
@@ -656,6 +692,122 @@ func (s *soak) reap() {
 	for _, p := range s.procs {
 		p.reap()
 	}
+}
+
+// ---- live event stream client ----
+
+// sseWatch holds a /events subscription on one member across its
+// kill/restart cycles, behaving like a real EventSource: on disconnect it
+// reconnects with the last seen event id, and it accounts connections,
+// epoch/alert frames, and sequence continuity (within one connection ids
+// must be strictly increasing with no gap beyond the bus ring bound; a
+// restarted daemon legitimately restarts its sequence on the next
+// connection and replays what its ring retained).
+type sseWatch struct {
+	url    string
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	mu     sync.Mutex
+	lastID string
+	conns  int
+	alerts int
+	epochs int
+	seqErr error
+}
+
+func watchEvents(httpAddr string) *sseWatch {
+	ctx, cancel := context.WithCancel(context.Background())
+	w := &sseWatch{
+		url:    "http://" + httpAddr + "/events?kind=alert,epoch",
+		cancel: cancel,
+		done:   make(chan struct{}),
+	}
+	go w.run(ctx)
+	return w
+}
+
+func (w *sseWatch) run(ctx context.Context) {
+	defer close(w.done)
+	for {
+		w.connect(ctx)
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
+}
+
+// connect holds one stream until it drops (daemon killed) or the watch
+// stops.
+func (w *sseWatch) connect(ctx context.Context) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, w.url, nil)
+	if err != nil {
+		return
+	}
+	w.mu.Lock()
+	if w.lastID != "" {
+		req.Header.Set("Last-Event-ID", w.lastID)
+	}
+	w.mu.Unlock()
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return
+	}
+	w.mu.Lock()
+	w.conns++
+	w.mu.Unlock()
+
+	sc := bufio.NewScanner(resp.Body)
+	var id, event string
+	var prev uint64
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "id: "):
+			id = line[4:]
+		case strings.HasPrefix(line, "event: "):
+			event = line[7:]
+		case line == "":
+			if id == "" {
+				continue // comment frame (heartbeat / drop note)
+			}
+			seq, err := strconv.ParseUint(id, 10, 64)
+			w.mu.Lock()
+			if err == nil {
+				if prev != 0 && (seq <= prev || seq-prev > events.DefaultRingCap) {
+					w.seqErr = fmt.Errorf("sequence %d after %d on one connection", seq, prev)
+				}
+				prev = seq
+				w.lastID = id
+			}
+			switch event {
+			case "alert":
+				w.alerts++
+			case "epoch":
+				w.epochs++
+			}
+			w.mu.Unlock()
+			id, event = "", ""
+		}
+	}
+}
+
+// stop ends the watch and waits the reader out.
+func (w *sseWatch) stop() {
+	w.cancel()
+	<-w.done
+}
+
+func (w *sseWatch) stats() (conns, epochs, alerts int, seqErr error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.conns, w.epochs, w.alerts, w.seqErr
 }
 
 // ---- child process management ----

@@ -6,6 +6,7 @@ import (
 
 	"repro/detect"
 	"repro/recordstore"
+	"repro/telemetry/events"
 )
 
 // FuzzParseQuery pins the HTTP-parameter → filter translation against
@@ -98,6 +99,56 @@ func FuzzParseAlertParams(f *testing.F) {
 		}
 		if p.Epoch < -1 {
 			t.Fatalf("epoch %d out of bounds", p.Epoch)
+		}
+	})
+}
+
+// FuzzParseEventParams must never panic, and every accepted parameter set
+// must be internally consistent: kinds in the mask round-trip through
+// their names, the severity round-trips, and the bounds hold.
+func FuzzParseEventParams(f *testing.F) {
+	f.Add("kind=alert&severity=warning")
+	f.Add("kind=alert,epoch,recovery&vantage=live")
+	f.Add("after=42&limit=100")
+	f.Add("kind=alert&kind=epoch")
+	f.Add("kind=")
+	f.Add("severity=nope")
+	f.Add("after=-1")
+	f.Add("after=99999999999999999999")
+	f.Fuzz(func(t *testing.T, raw string) {
+		q, err := url.ParseQuery(raw)
+		if err != nil {
+			return
+		}
+		p, err := ParseEventParams(q)
+		if err != nil {
+			return
+		}
+		if p.Filter.Kinds != 0 {
+			any := false
+			for k := events.KindLog; k <= events.KindDegraded; k++ {
+				if !p.Filter.Kinds.Has(k) {
+					continue
+				}
+				any = true
+				if again, err := events.ParseKind(k.String()); err != nil || again != k {
+					t.Fatalf("kind %v does not round-trip: %v", k, err)
+				}
+			}
+			if !any {
+				t.Fatalf("non-empty kind mask %#x matches no kind", uint16(p.Filter.Kinds))
+			}
+		}
+		if p.Filter.MinSeverity != 0 {
+			if again, err := events.ParseSeverity(p.Filter.MinSeverity.String()); err != nil || again != p.Filter.MinSeverity {
+				t.Fatalf("severity %v does not round-trip: %v", p.Filter.MinSeverity, err)
+			}
+		}
+		if p.Limit < 1 || p.Limit > MaxLimit {
+			t.Fatalf("limit %d out of bounds", p.Limit)
+		}
+		if p.After < -1 {
+			t.Fatalf("after %d out of bounds", p.After)
 		}
 	})
 }

@@ -2,7 +2,7 @@
 // surface answering live and historical flow questions without touching
 // the ingest hot path.
 //
-// Seven endpoints:
+// Nine endpoints:
 //
 //	GET /topk?k=10                  largest flows right now, from the live
 //	                                top-k tracker — no epoch dump involved
@@ -17,6 +17,11 @@
 //	GET /changes?k=10&epoch=        per-epoch heavy-change top-k lists
 //	GET /netwide/alerts?severity=   cross-vantage correlated alerts with
 //	                                per-vantage evidence
+//	GET /events?kind=&severity=     live SSE stream of structured pipeline
+//	                                events (epoch spans, alerts, recovery,
+//	                                degradation), resumable via Last-Event-ID
+//	GET /trace/epochs?limit=        the last K epoch timelines with
+//	                                per-stage drain durations
 //
 // The live side reads an online summary (topk.Tracker / topk.Set via the
 // TopKSource surface) that ingest maintains incrementally; the historical
@@ -31,10 +36,13 @@ import (
 	"net/http"
 	"slices"
 	"sync"
+	"time"
 
 	"repro/flow"
 	"repro/netwide"
 	"repro/recordstore"
+	"repro/telemetry"
+	"repro/telemetry/events"
 )
 
 // TopKSource serves live top-k snapshots; topk.Tracker and topk.Set
@@ -102,6 +110,18 @@ type Config struct {
 	// NetwideAlerts serves /netwide/alerts (the cross-vantage
 	// correlator's promotions with per-vantage evidence).
 	NetwideAlerts NetwideAlertSource
+	// Events serves /events: the daemon's pipeline event bus streamed as
+	// SSE, resumable via Last-Event-ID.
+	Events *events.Bus
+	// Trace serves /trace/epochs: the last K epoch stage timelines.
+	Trace *events.Tracer
+	// EventHeartbeat overrides the SSE keep-alive ping interval
+	// (DefaultEventHeartbeat if zero); tests shrink it.
+	EventHeartbeat time.Duration
+	// Registry, when non-nil, wraps the handler with per-endpoint access
+	// instrumentation (http_requests_total / http_request_ns by mux
+	// pattern).
+	Registry *telemetry.Registry
 }
 
 // FlowJSON is one flow record on the wire.
@@ -161,6 +181,11 @@ func NewHandler(cfg Config) http.Handler {
 	mux.HandleFunc("/netwide/alerts", h.netwideAlerts)
 	mux.HandleFunc("/alerts", h.alerts)
 	mux.HandleFunc("/changes", h.changes)
+	mux.HandleFunc("/events", h.events)
+	mux.HandleFunc("/trace/epochs", h.traceEpochs)
+	if cfg.Registry != nil {
+		return telemetry.InstrumentMux(cfg.Registry, mux)
+	}
 	return mux
 }
 

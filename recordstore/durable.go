@@ -91,21 +91,33 @@ func (w *Writer) Sync() error {
 		return err
 	}
 	if w.syncer != nil {
-		var start time.Time
-		if w.metrics != nil {
-			start = time.Now()
-		}
+		start := time.Now()
 		if err := w.syncer.Sync(); err != nil {
 			return fmt.Errorf("recordstore: sync: %w", err)
 		}
+		// Timing an fsync costs nothing next to the fsync itself, so the
+		// duration is kept unconditionally for epoch-trace spans; the
+		// histogram still only fills when metrics are wired.
+		elapsed := time.Since(start)
+		w.lastFsyncNs.Store(elapsed.Nanoseconds())
+		w.fsyncs.Add(1)
 		if m := w.metrics; m != nil {
 			m.Fsyncs.Inc()
-			m.FsyncNs.ObserveDuration(time.Since(start))
+			m.FsyncNs.ObserveDuration(elapsed)
 		}
 	}
 	w.lastSync = time.Now()
 	return nil
 }
+
+// Fsyncs returns how many fsyncs this Writer has issued, independent of
+// whether metrics are wired. Epoch-trace spans diff it around a write to
+// detect whether the durability policy fired.
+func (w *Writer) Fsyncs() uint64 { return w.fsyncs.Load() }
+
+// LastFsyncNs returns the wall duration of the most recent fsync in
+// nanoseconds (0 before the first).
+func (w *Writer) LastFsyncNs() int64 { return w.lastFsyncNs.Load() }
 
 // maybeSync applies the policy after one epoch write.
 func (w *Writer) maybeSync() error {

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"io"
 	"slices"
+	"sync/atomic"
 	"time"
 
 	"repro/flow"
@@ -53,9 +54,11 @@ type Writer struct {
 	counts  [radixPasses][256]uint32
 
 	// Durability policy (see durable.go); zero means never sync.
-	syncer   Syncer
-	policy   SyncPolicy
-	lastSync time.Time
+	syncer      Syncer
+	policy      SyncPolicy
+	lastSync    time.Time
+	fsyncs      atomic.Uint64
+	lastFsyncNs atomic.Int64
 
 	// Optional write-side instruments (see metrics.go); nil-safe.
 	metrics *Metrics

@@ -1,0 +1,67 @@
+package events
+
+import (
+	"strconv"
+
+	"repro/detect"
+	"repro/flow"
+	"repro/telemetry"
+)
+
+// AlertEvent converts a detection alert into a bus event. It is called from
+// detector sinks, which run on the epoch/drain goroutine — never the ingest
+// path — so the per-alert allocations here are off the hot path.
+func AlertEvent(vantage string, a detect.Alert) Event {
+	sev := SeverityWarning
+	if a.Severity >= detect.SeverityCritical {
+		sev = SeverityCritical
+	} else if a.Severity <= detect.SeverityInfo {
+		sev = SeverityInfo
+	}
+	// Subject mirrors query/alerts.go: full 5-tuple for key-carrying
+	// kinds, the relevant address for spreader/fan-in, the metric name
+	// for anomalies.
+	var subject string
+	switch a.Kind {
+	case detect.KindHeavyChange, detect.KindForecast, detect.KindNetwide:
+		subject = a.Key.String()
+	case detect.KindSuperspreader:
+		subject = flow.IPString(a.Key.SrcIP)
+	case detect.KindVictimFanIn:
+		subject = flow.IPString(a.Key.DstIP)
+	default:
+		subject = a.Metric
+	}
+	return Event{
+		Time:     a.Time,
+		Kind:     KindAlert,
+		Severity: sev,
+		Vantage:  vantage,
+		Epoch:    a.Epoch,
+		Msg:      "alert: " + a.Kind.String(),
+		Attrs: []Attr{
+			{Key: "alert_kind", Value: a.Kind.String()},
+			{Key: "alert_severity", Value: a.Severity.String()},
+			{Key: "subject", Value: subject},
+			{Key: "metric", Value: a.Metric},
+			{Key: "value", Value: strconv.FormatFloat(a.Value, 'g', -1, 64)},
+			{Key: "baseline", Value: strconv.FormatFloat(a.Baseline, 'g', -1, 64)},
+			{Key: "score", Value: strconv.FormatFloat(a.Score, 'g', -1, 64)},
+		},
+	}
+}
+
+// RegisterMetrics exposes bus totals in reg at scrape time: events
+// published, fan-out drops from stalled subscriber queues, and the live
+// subscriber count. labelPairs follow telemetry.Name conventions.
+func RegisterMetrics(reg *telemetry.Registry, b *Bus, labelPairs ...string) {
+	published := telemetry.Name("events_published_total", labelPairs...)
+	dropped := telemetry.Name("events_dropped_total", labelPairs...)
+	subs := telemetry.Name("events_subscribers", labelPairs...)
+	reg.RegisterSampler(func(e *telemetry.Expo) {
+		p, d, s := b.Stats()
+		e.Counter(published, "pipeline events published on the event bus", p)
+		e.Counter(dropped, "events discarded because a subscriber queue was full", d)
+		e.Gauge(subs, "live event-stream subscribers", float64(s))
+	})
+}

@@ -1,0 +1,180 @@
+package events
+
+import (
+	"context"
+	"io"
+	"log/slog"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// LogHandler is a slog.Handler that renders records as terse
+// "msg key=val ..." lines (no timestamp — the event carries it) and mirrors
+// every record onto an event bus, so logs, SSE consumers, and traces all
+// agree on what happened.
+//
+// Three attribute keys are lifted into event fields rather than rendered as
+// opaque attrs: "vantage" (string), "epoch" (int), and "kind" (a ParseKind
+// name — e.g. logging with kind=recovery publishes a KindRecovery event).
+// Severity follows the slog level: Error maps to critical, Warn to warning,
+// everything else to info.
+type LogHandler struct {
+	mu      *sync.Mutex
+	w       io.Writer
+	bus     *Bus
+	level   slog.Level
+	vantage string
+	kind    Kind
+	epoch   int
+	groups  []string
+	attrs   []Attr
+}
+
+// NewLogHandler writes rendered lines to w (nil discards them) and mirrors
+// records onto bus (nil skips publishing). vantage labels every published
+// event unless a record overrides it.
+func NewLogHandler(w io.Writer, bus *Bus, vantage string) *LogHandler {
+	return &LogHandler{
+		mu:      &sync.Mutex{},
+		w:       w,
+		bus:     bus,
+		level:   slog.LevelInfo,
+		vantage: vantage,
+		kind:    KindLog,
+		epoch:   NoEpoch,
+	}
+}
+
+// Enabled implements slog.Handler.
+func (h *LogHandler) Enabled(_ context.Context, lvl slog.Level) bool {
+	return lvl >= h.level
+}
+
+func severityFromLevel(lvl slog.Level) Severity {
+	switch {
+	case lvl >= slog.LevelError:
+		return SeverityCritical
+	case lvl >= slog.LevelWarn:
+		return SeverityWarning
+	default:
+		return SeverityInfo
+	}
+}
+
+// lift absorbs a into the event-field trio when its key matches, returning
+// true, or false when the attr should be kept verbatim.
+func lift(a slog.Attr, vantage *string, kind *Kind, epoch *int) bool {
+	switch a.Key {
+	case "vantage":
+		if a.Value.Kind() == slog.KindString {
+			*vantage = a.Value.String()
+			return true
+		}
+	case "epoch":
+		if a.Value.Kind() == slog.KindInt64 {
+			*epoch = int(a.Value.Int64())
+			return true
+		}
+	case "kind":
+		if k, err := ParseKind(a.Value.String()); err == nil {
+			*kind = k
+			return true
+		}
+	}
+	return false
+}
+
+func (h *LogHandler) render(a slog.Attr) Attr {
+	key := a.Key
+	if len(h.groups) > 0 {
+		key = strings.Join(h.groups, ".") + "." + key
+	}
+	return Attr{Key: key, Value: a.Value.String()}
+}
+
+// Handle implements slog.Handler.
+func (h *LogHandler) Handle(_ context.Context, r slog.Record) error {
+	ev := Event{
+		Time:     r.Time,
+		Kind:     h.kind,
+		Severity: severityFromLevel(r.Level),
+		Vantage:  h.vantage,
+		Epoch:    h.epoch,
+		Msg:      r.Message,
+	}
+	if len(h.attrs) > 0 {
+		ev.Attrs = append(ev.Attrs, h.attrs...)
+	}
+	r.Attrs(func(a slog.Attr) bool {
+		if len(h.groups) == 0 && lift(a, &ev.Vantage, &ev.Kind, &ev.Epoch) {
+			return true
+		}
+		ev.Attrs = append(ev.Attrs, h.render(a))
+		return true
+	})
+	if h.w != nil {
+		var sb strings.Builder
+		sb.Grow(len(r.Message) + 16*len(ev.Attrs) + 16)
+		sb.WriteString(r.Message)
+		if ev.Kind != KindLog {
+			sb.WriteString(" kind=")
+			sb.WriteString(ev.Kind.String())
+		}
+		if ev.Epoch != NoEpoch {
+			sb.WriteString(" epoch=")
+			sb.WriteString(strconv.Itoa(ev.Epoch))
+		}
+		for _, a := range ev.Attrs {
+			sb.WriteByte(' ')
+			sb.WriteString(a.Key)
+			sb.WriteByte('=')
+			if strings.ContainsAny(a.Value, " \t\n\"=") {
+				sb.WriteString(strconv.Quote(a.Value))
+			} else {
+				sb.WriteString(a.Value)
+			}
+		}
+		sb.WriteByte('\n')
+		h.mu.Lock()
+		_, err := io.WriteString(h.w, sb.String())
+		h.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	if h.bus != nil {
+		h.bus.Publish(ev)
+	}
+	return nil
+}
+
+// WithAttrs implements slog.Handler. Lifted keys (vantage/epoch/kind) set
+// the handler-level defaults for subsequent records.
+func (h *LogHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	nh := h.clone()
+	for _, a := range attrs {
+		if len(nh.groups) == 0 && lift(a, &nh.vantage, &nh.kind, &nh.epoch) {
+			continue
+		}
+		nh.attrs = append(nh.attrs, nh.render(a))
+	}
+	return nh
+}
+
+// WithGroup implements slog.Handler; group names prefix attr keys.
+func (h *LogHandler) WithGroup(name string) slog.Handler {
+	if name == "" {
+		return h
+	}
+	nh := h.clone()
+	nh.groups = append(nh.groups, name)
+	return nh
+}
+
+func (h *LogHandler) clone() *LogHandler {
+	nh := *h
+	nh.groups = append([]string(nil), h.groups...)
+	nh.attrs = append([]Attr(nil), h.attrs...)
+	return &nh
+}

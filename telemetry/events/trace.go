@@ -1,0 +1,147 @@
+package events
+
+import (
+	"strconv"
+	"sync"
+	"time"
+)
+
+// StageTiming is one named stage of an epoch's drain pipeline.
+type StageTiming struct {
+	Name string `json:"name"`
+	Ns   int64  `json:"ns"`
+}
+
+// EpochTrace is the full timeline of one measurement epoch: what ran, in
+// order, and how long each stage took.
+type EpochTrace struct {
+	Vantage string        `json:"vantage,omitempty"`
+	Epoch   int           `json:"epoch"`
+	Time    time.Time     `json:"time"`
+	Records int           `json:"records"`
+	Alerts  int           `json:"alerts"`
+	Stages  []StageTiming `json:"stages"`
+	TotalNs int64         `json:"total_ns"`
+}
+
+// Tracer retains the last K epoch traces in a ring.
+type Tracer struct {
+	mu       sync.Mutex
+	ring     []EpochTrace
+	start, n int
+}
+
+// DefaultTraceKeep is the trace retention when NewTracer is given a
+// non-positive size.
+const DefaultTraceKeep = 64
+
+// NewTracer returns a tracer retaining the last keep epochs
+// (DefaultTraceKeep if keep <= 0).
+func NewTracer(keep int) *Tracer {
+	if keep <= 0 {
+		keep = DefaultTraceKeep
+	}
+	return &Tracer{ring: make([]EpochTrace, keep)}
+}
+
+// Record retains tr, evicting the oldest trace when full.
+func (t *Tracer) Record(tr EpochTrace) {
+	t.mu.Lock()
+	if t.n < len(t.ring) {
+		t.ring[(t.start+t.n)%len(t.ring)] = tr
+		t.n++
+	} else {
+		t.ring[t.start] = tr
+		t.start = (t.start + 1) % len(t.ring)
+	}
+	t.mu.Unlock()
+}
+
+// Append appends the retained traces oldest-first and returns the extended
+// slice.
+func (t *Tracer) Append(dst []EpochTrace) []EpochTrace {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i := 0; i < t.n; i++ {
+		dst = append(dst, t.ring[(t.start+i)%len(t.ring)])
+	}
+	return dst
+}
+
+// Len returns how many traces are retained.
+func (t *Tracer) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.n
+}
+
+// Span accumulates one epoch's stage timings and finishes as both an
+// EpochTrace and a KindEpoch event. It is built and finished on the epoch
+// (drain) goroutine and is not safe for concurrent use.
+type Span struct {
+	trace EpochTrace
+}
+
+// Begin opens a span for one epoch. ts may be zero; End stamps the current
+// time then.
+func Begin(vantage string, epoch int, ts time.Time, records int) *Span {
+	return &Span{trace: EpochTrace{
+		Vantage: vantage,
+		Epoch:   epoch,
+		Time:    ts,
+		Records: records,
+	}}
+}
+
+// Time runs fn and records its wall duration as a stage.
+func (s *Span) Time(stage string, fn func()) {
+	start := time.Now()
+	fn()
+	s.StageNs(stage, time.Since(start).Nanoseconds())
+}
+
+// StageNs records an externally measured stage duration.
+func (s *Span) StageNs(stage string, ns int64) {
+	s.trace.Stages = append(s.trace.Stages, StageTiming{Name: stage, Ns: ns})
+	s.trace.TotalNs += ns
+}
+
+// AddAlerts notes alerts emitted during the epoch.
+func (s *Span) AddAlerts(n int) { s.trace.Alerts += n }
+
+// End finishes the span: the trace is retained by tr and a KindEpoch event
+// summarizing it is published on bus. Either may be nil. The published
+// event's attrs carry the record/alert counts and every stage duration.
+func (s *Span) End(bus *Bus, tr *Tracer) {
+	if s.trace.Time.IsZero() {
+		s.trace.Time = time.Now()
+	}
+	if tr != nil {
+		tr.Record(s.trace)
+	}
+	if bus == nil {
+		return
+	}
+	attrs := make([]Attr, 0, len(s.trace.Stages)+3)
+	attrs = append(attrs,
+		Attr{Key: "records", Value: strconv.Itoa(s.trace.Records)},
+		Attr{Key: "alerts", Value: strconv.Itoa(s.trace.Alerts)},
+		Attr{Key: "total_ns", Value: strconv.FormatInt(s.trace.TotalNs, 10)},
+	)
+	for _, st := range s.trace.Stages {
+		attrs = append(attrs, Attr{Key: st.Name + "_ns", Value: strconv.FormatInt(st.Ns, 10)})
+	}
+	sev := SeverityInfo
+	if s.trace.Alerts > 0 {
+		sev = SeverityWarning
+	}
+	bus.Publish(Event{
+		Time:     s.trace.Time,
+		Kind:     KindEpoch,
+		Severity: sev,
+		Vantage:  s.trace.Vantage,
+		Epoch:    s.trace.Epoch,
+		Msg:      "epoch drained",
+		Attrs:    attrs,
+	})
+}

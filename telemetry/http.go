@@ -1,0 +1,38 @@
+package telemetry
+
+import (
+	"net/http"
+	"time"
+)
+
+// InstrumentMux wraps mux with per-endpoint access instrumentation: every
+// request increments http_requests_total{endpoint=<pattern>} and records
+// its wall latency in http_request_ns{endpoint=<pattern>}, where <pattern>
+// is the mux pattern that matched (so cardinality is bounded by the
+// registered routes, not by request paths). Unmatched requests and the "/"
+// catch-all are passed through uninstrumented — the catch-all is how both
+// daemons delegate to the query sub-mux, which instruments its own routes.
+//
+// Instrument resolution is get-or-create on the registry per request; this
+// serves the HTTP surface, never the packet path, so the map lookup is
+// irrelevant next to request handling itself.
+func InstrumentMux(reg *Registry, mux *http.ServeMux, labelPairs ...string) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, pattern := mux.Handler(r)
+		if pattern == "" || pattern == "/" {
+			mux.ServeHTTP(w, r)
+			return
+		}
+		lbl := make([]string, 0, len(labelPairs)+2)
+		lbl = append(lbl, labelPairs...)
+		lbl = append(lbl, "endpoint", pattern)
+		reqs := reg.Counter(Name("http_requests_total", lbl...),
+			"HTTP requests served, by endpoint")
+		lat := reg.Histogram(Name("http_request_ns", lbl...),
+			"HTTP request wall latency in nanoseconds, by endpoint")
+		start := time.Now()
+		mux.ServeHTTP(w, r)
+		reqs.Inc()
+		lat.ObserveDuration(time.Since(start))
+	})
+}

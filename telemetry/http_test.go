@@ -1,0 +1,75 @@
+package telemetry
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestInstrumentMux(t *testing.T) {
+	reg := NewRegistry()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/topk", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusNotFound)
+	})
+	srv := httptest.NewServer(InstrumentMux(reg, mux, "vantage", "v1"))
+	defer srv.Close()
+
+	for i := 0; i < 3; i++ {
+		resp, err := http.Get(srv.URL + "/topk")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	// The catch-all is delegated uninstrumented.
+	resp, err := http.Get(srv.URL + "/other")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, `http_requests_total{vantage="v1",endpoint="/topk"} 3`) {
+		t.Fatalf("missing counter:\n%s", out)
+	}
+	if !strings.Contains(out, `http_request_ns_count{vantage="v1",endpoint="/topk"} 3`) {
+		t.Fatalf("missing histogram count:\n%s", out)
+	}
+	if strings.Contains(out, `endpoint="/"`) {
+		t.Fatalf("catch-all was instrumented:\n%s", out)
+	}
+}
+
+func TestInstrumentMuxStreamingWriter(t *testing.T) {
+	// The wrapper must pass the original ResponseWriter through so
+	// streaming handlers keep Flusher/deadline control (SSE).
+	reg := NewRegistry()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
+		if _, ok := w.(http.Flusher); !ok {
+			http.Error(w, "no flusher", http.StatusInternalServerError)
+			return
+		}
+		io.WriteString(w, "ok")
+	})
+	srv := httptest.NewServer(InstrumentMux(reg, mux))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+}
