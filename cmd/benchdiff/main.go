@@ -49,7 +49,7 @@ var (
 		"ns_per_op",
 		"med_stall_us", "max_stall_us", "p50_us", "p95_us", "max_us",
 	}
-	higherBetter = []string{"mpps", "mrec_per_s"}
+	higherBetter = []string{"mpps", "mrec_per_s", "_ratio"}
 	quality      = []string{"_precision", "_recall", "precision", "recall"}
 )
 

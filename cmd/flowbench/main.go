@@ -22,10 +22,13 @@
 // measures the multi-socket collection frontend — the no-socket
 // decode+sequence-accounting path scaled across reader goroutines, and
 // end-to-end loopback UDP delivery through a live collector.Server at
-// one socket vs N SO_REUSEPORT sockets; and telemetry, which proves
+// one socket vs N SO_REUSEPORT sockets; telemetry, which proves
 // the runtime instruments are free — batched shard ingest with metrics
 // attached vs bare (the run fails itself if the overhead exceeds 5%),
-// plus the micro-cost of each instrument operation.
+// plus the micro-cost of each instrument operation; and store, which
+// measures the tiered recordstore — cold-tier compression ratio on
+// sorted epoch data, cold-scan vs hot-scan decode throughput, and the
+// write-path stall of compaction's hot-file rewrite.
 //
 // Flags:
 //
@@ -263,6 +266,9 @@ func runOne(name string, cfg config, w io.Writer) error {
 
 	case "telemetry":
 		return runTelemetryBench(cfg, w)
+
+	case "store":
+		return runStoreBench(cfg, w)
 
 	default:
 		return fmt.Errorf("unknown experiment %q", name)

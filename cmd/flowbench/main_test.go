@@ -23,7 +23,7 @@ func TestRunQuickExperiments(t *testing.T) {
 	// Every experiment must produce a header and at least one data row in
 	// quick mode. fig6/fig9 subsume the cost of their siblings; run a
 	// representative subset to keep the test fast.
-	for _, exp := range []string{"table1", "fig3", "fig4", "fig5", "fig11"} {
+	for _, exp := range []string{"table1", "fig3", "fig4", "fig5", "fig11", "store"} {
 		t.Run(exp, func(t *testing.T) {
 			var buf bytes.Buffer
 			if err := run([]string{"-quick", "-mem", "65536", exp}, &buf); err != nil {

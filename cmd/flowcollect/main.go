@@ -32,6 +32,17 @@
 //	flowcollect serve -listen 127.0.0.1:2055 -store records.frec -detect -alerts \
 //	    -webhook http://127.0.0.1:9000/hook
 //
+// With any of -hotepochs / -compactevery / -retain (or a directory store
+// path), serve mode writes a tiered store instead of a flat file: the
+// newest epochs stay in the mmap hot tier, a background compactor
+// migrates older ones into delta-compressed cold segments, and -retain
+// downsamples expired segments into exact top-k rollups. -seedhistory N
+// (with -detect) replays the newest N stored epochs through the detector
+// at boot so forecasting and anomaly baselines resume warm:
+//
+//	flowcollect serve -listen 127.0.0.1:2055 -store store.d -hotepochs 64 \
+//	    -compactevery 64 -retain 720h -detect -seedhistory 256
+//
 // Export mode with -epochpkts rotates epochs while reading: a
 // double-buffered adaptive manager swaps recorders at each epoch boundary
 // and the background drain worker exports the completed epoch over UDP,
@@ -117,13 +128,29 @@ func (s *syncWriter) Write(p []byte) (int, error) {
 	return s.w.Write(p)
 }
 
+// storeHandle is the writer surface serve mode needs from either store
+// shape: a flat append-only file (recordstore.FileWriter) or a tiered
+// directory with compaction and retention (recordstore.Tiered).
+type storeHandle interface {
+	recordstore.EpochWriter
+	Sync() error
+	Close() error
+	Fsyncs() uint64
+	LastFsyncNs() int64
+	SetMetrics(*recordstore.Metrics)
+}
+
 func runServe(args []string, w io.Writer) error {
 	w = &syncWriter{w: w}
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
 	listen := fs.String("listen", "127.0.0.1:2055", "UDP listen address")
 	readers := fs.Int("readers", 1, "reader goroutines; >1 needs -reuseport on a supporting platform")
 	reuseport := fs.Bool("reuseport", false, "bind one SO_REUSEPORT socket per reader (kernel fans exporters out by 4-tuple)")
-	storePath := fs.String("store", "records.frec", "record store output file")
+	storePath := fs.String("store", "records.frec", "record store output: a flat .frec file, or a tiered directory when any tiered flag is set or the path is a directory")
+	hotEpochs := fs.Int("hotepochs", 64, "epochs kept in the mmap hot tier before compaction migrates them into compressed cold segments (tiered store)")
+	compactEvery := fs.Int("compactevery", 0, "compact in the background once the hot tier exceeds -hotepochs by this many epochs; 0 compacts only at shutdown (tiered store)")
+	retain := fs.Duration("retain", 0, "downsample cold segments entirely older than this (measured against the newest epoch) into exact top-k rollups; 0 keeps everything lossless (tiered store)")
+	seedHist := fs.Int("seedhistory", 0, "warm detection baselines by replaying this many stored epochs at boot (with -detect; skipped when a checkpoint restored)")
 	gap := fs.Duration("gap", time.Second, "quiet gap that closes an epoch")
 	runFor := fs.Duration("for", 30*time.Second, "how long to serve before shutting down")
 	httpAddr := fs.String("http", "", "also serve the live query API on this address")
@@ -142,8 +169,8 @@ func runServe(args []string, w io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if (*alerts || *webhook != "" || *ckptPath != "") && !*det {
-		return errors.New("-alerts/-webhook/-checkpoint need -detect")
+	if (*alerts || *webhook != "" || *ckptPath != "" || *seedHist > 0) && !*det {
+		return errors.New("-alerts/-webhook/-checkpoint/-seedhistory need -detect")
 	}
 	if *ckptEvery < 1 {
 		return errors.New("-ckptevery must be positive")
@@ -151,6 +178,18 @@ func runServe(args []string, w io.Writer) error {
 	pol, err := recordstore.ParseSyncPolicy(*fsyncPol)
 	if err != nil {
 		return err
+	}
+	// Tiered mode: any tiered flag opts in, and an existing directory at
+	// the store path is unambiguous on its own.
+	tiered := false
+	fs.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "hotepochs", "compactevery", "retain":
+			tiered = true
+		}
+	})
+	if st, err := os.Stat(*storePath); err == nil && st.IsDir() {
+		tiered = true
 	}
 	// Catch termination signals from the start: a SIGTERM during setup
 	// still lands in the channel and shuts the serve loop down promptly.
@@ -180,12 +219,47 @@ func runServe(args []string, w io.Writer) error {
 	events.RegisterMetrics(reg, bus)
 
 	// Reopen the store for append, truncating the torn frame a killed
-	// predecessor may have left; a fresh path just creates the file.
-	fw, recov, err := recordstore.OpenFile(*storePath, pol)
+	// predecessor may have left; a fresh path just creates the file (or
+	// tiered directory). The tiered store compacts hot epochs into
+	// compressed cold segments in the background and applies the -retain
+	// rollup policy; compaction outcomes land on the event bus.
+	var (
+		sh    storeHandle
+		tw    *recordstore.Tiered
+		recov recordstore.Recovery
+	)
+	if tiered {
+		tw, recov, err = recordstore.OpenTiered(*storePath, recordstore.TieredOptions{
+			HotEpochs:    *hotEpochs,
+			CompactEvery: *compactEvery,
+			Retain:       *retain,
+			Sync:         pol,
+			OnCompact: func(cs recordstore.CompactStats, err error) {
+				// Compaction goroutine; the logger and lastErr are safe.
+				if err != nil {
+					setLastErr(fmt.Errorf("compaction: %w", err))
+					logger.Error("store: compaction failed", "kind", "degraded", "error", err.Error())
+					return
+				}
+				if cs.Migrated == 0 && cs.RolledUp == 0 {
+					return
+				}
+				logger.Info("store: compacted", "kind", "compaction",
+					"migrated", cs.Migrated, "raw_bytes", cs.RawBytes,
+					"segment_bytes", cs.SegmentBytes, "rolled_up", cs.RolledUp,
+					"stall", time.Duration(cs.StallNs).String())
+			},
+		})
+		sh = tw
+	} else {
+		var fw *recordstore.FileWriter
+		fw, recov, err = recordstore.OpenFile(*storePath, pol)
+		sh = fw
+	}
 	if err != nil {
 		return err
 	}
-	defer fw.Close()
+	defer sh.Close()
 	// The recovery outcome feeds /healthz so tooling can assert it
 	// without scraping the startup log line below.
 	storeHealth := &telemetry.StoreHealth{
@@ -199,8 +273,8 @@ func runServe(args []string, w io.Writer) error {
 		logger.Info("store: recovered "+*storePath, "kind", "recovery",
 			"epochs_intact", recov.Epochs, "torn_bytes", recov.TornBytes)
 	}
-	fw.SetMetrics(recordstore.NewMetrics(reg))
-	store := collector.NewEpochStore(fw.Writer)
+	sh.SetMetrics(recordstore.NewMetrics(reg))
+	store := collector.NewEpochStore(sh)
 
 	// Detection runs on the collector's epoch goroutine — the serve-mode
 	// analogue of the export drain worker — with alerts fanned out to the
@@ -240,6 +314,27 @@ func runServe(args []string, w io.Writer) error {
 				ckptHealth.Error = err.Error()
 				logger.Warn(fmt.Sprintf("checkpoint: %s unusable; starting cold", *ckptPath),
 					"kind", "checkpoint", "error", err.Error())
+			}
+		}
+		// No checkpoint restored: approximate warm state by replaying
+		// stored history through the detector (alerts suppressed — they
+		// already fired when those epochs were live). The epoch counter
+		// advances past the replayed prefix so live evaluation continues
+		// where the history ends.
+		if *seedHist > 0 && epochs.Load() == 0 && !recov.Created {
+			if src, err := recordstore.Open(*storePath); err != nil {
+				logger.Warn("detect: history seed unavailable", "kind", "seed", "error", err.Error())
+			} else {
+				n, err := detector.SeedFromHistory(src, *seedHist)
+				src.Close()
+				if err != nil {
+					logger.Warn("detect: history seed failed", "kind", "seed",
+						"epochs", n, "error", err.Error())
+				} else if n > 0 {
+					epochs.Store(detector.Epochs())
+					logger.Info("detect: seeded baselines from history", "kind", "seed",
+						"epochs", n, "forecast_keys", detector.ForecastTracked())
+				}
 			}
 		}
 		if *webhook != "" {
@@ -288,7 +383,7 @@ func runServe(args []string, w io.Writer) error {
 		if tracker != nil {
 			sp.Time("tracker", func() { tracker.AddRecords(records) })
 		}
-		preFsyncs := fw.Fsyncs()
+		preFsyncs := sh.Fsyncs()
 		sp.Time("store_write", func() { store.Sink(ts, records) })
 		if tracker != nil {
 			// Sticky; surfaced via store.Err at exit and below as an event.
@@ -296,8 +391,8 @@ func runServe(args []string, w io.Writer) error {
 		}
 		// fsync happens inside the write/flush stages when the durability
 		// policy fires; report it as its own timeline entry too.
-		if fw.Fsyncs() > preFsyncs {
-			sp.StageNs("fsync", fw.LastFsyncNs())
+		if sh.Fsyncs() > preFsyncs {
+			sp.StageNs("fsync", sh.LastFsyncNs())
 		}
 		if err := store.Err(); err != nil && !storeDegraded {
 			storeDegraded = true
@@ -390,7 +485,15 @@ func runServe(args []string, w io.Writer) error {
 	if err := store.Err(); err != nil {
 		return fmt.Errorf("store write failed (%d later epochs dropped): %w", store.Dropped(), err)
 	}
-	if err := fw.Sync(); err != nil {
+	if tw != nil {
+		// Final synchronous compaction pass: with -compactevery 0 this is
+		// the only one, and either way the store lands compacted and
+		// retention-trimmed before the process exits.
+		if _, err := tw.Compact(); err != nil {
+			return fmt.Errorf("final compaction: %w", err)
+		}
+	}
+	if err := sh.Sync(); err != nil {
 		return err
 	}
 	if httpSrv != nil {

@@ -811,3 +811,84 @@ func TestServeGracefulSigterm(t *testing.T) {
 		t.Error("checkpoint holds no evaluated epochs")
 	}
 }
+
+// TestServeTieredStore: serve mode with tiered flags writes a tiered
+// directory — hot mmap tier plus compressed cold segments after the
+// shutdown compaction — and a second -detect run seeds its baselines
+// from that history.
+func TestServeTieredStore(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store.d")
+	oneRun := func(extra ...string) string {
+		t.Helper()
+		udpProbe, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		port := udpProbe.LocalAddr().String()
+		udpProbe.Close()
+		var (
+			wg       sync.WaitGroup
+			serveOut bytes.Buffer
+			serveErr error
+		)
+		args := append([]string{"serve", "-listen", port, "-store", dir,
+			"-hotepochs", "1", "-gap", "200ms", "-for", "2500ms"}, extra...)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			serveErr = run(args, &serveOut)
+		}()
+		time.Sleep(300 * time.Millisecond)
+		// Two quiet-gap separated exports: at least two epochs per run, so
+		// the shutdown compaction (hot window 1) always has work.
+		for i := 0; i < 2; i++ {
+			var exportOut bytes.Buffer
+			if err := run([]string{"export", "-profile", "ISP2", "-flows", "200",
+				"-mem", "65536", "-seed", fmt.Sprint(i + 1), "-to", port}, &exportOut); err != nil {
+				t.Fatalf("export: %v", err)
+			}
+			time.Sleep(400 * time.Millisecond)
+		}
+		wg.Wait()
+		if serveErr != nil {
+			t.Fatalf("serve: %v", serveErr)
+		}
+		return serveOut.String()
+	}
+
+	oneRun()
+	src, err := recordstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := src.Epochs()
+	if total < 2 {
+		t.Fatalf("tiered store holds %d epochs, want >= 2", total)
+	}
+	ts, ok := src.(*recordstore.TieredSource)
+	if !ok {
+		t.Fatalf("Open(%s) = %T, want *recordstore.TieredSource", dir, src)
+	}
+	if ts.Segments() == 0 {
+		t.Fatal("shutdown compaction left no cold segments")
+	}
+	if info := ts.EpochInfo(0); info.Tier != "cold" {
+		t.Fatalf("oldest epoch tier = %q, want cold", info.Tier)
+	}
+	src.Close()
+
+	// Second run on the same directory: -seedhistory warms the detector
+	// from the stored epochs before live traffic arrives.
+	out := oneRun("-detect", "-seedhistory", "16")
+	if !strings.Contains(out, "seeded baselines from history") {
+		t.Fatalf("second run did not seed from history:\n%s", out)
+	}
+	src, err = recordstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	if src.Epochs() <= total {
+		t.Fatalf("second run did not append: %d epochs before, %d after", total, src.Epochs())
+	}
+}

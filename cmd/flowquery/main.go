@@ -59,20 +59,24 @@ func run(args []string, w io.Writer) error {
 }
 
 func runLocal(store string, filter recordstore.Filter, top int, w io.Writer) error {
-	f, err := os.Open(store)
+	// Open auto-detects the store shape: a flat .frec file or a tiered
+	// directory (hot + cold + rollup epochs all list the same way).
+	src, err := recordstore.Open(store)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-
-	epochs, err := recordstore.NewReader(f).ReadAll()
-	if err != nil {
-		return err
-	}
+	defer src.Close()
 
 	var matched []flow.Record
 	var totalRecords int
-	for i, ep := range epochs {
+	var buf []flow.Record
+	epochs := src.Epochs()
+	for i := 0; i < epochs; i++ {
+		ep, err := src.AppendEpochAt(i, buf[:0])
+		if err != nil {
+			return err
+		}
+		buf = ep.Records
 		hits := filter.Apply(ep.Records)
 		totalRecords += len(ep.Records)
 		matched = append(matched, hits...)
@@ -82,7 +86,7 @@ func runLocal(store string, filter recordstore.Filter, top int, w io.Writer) err
 		}
 	}
 	if _, err := fmt.Fprintf(w, "total: %d epochs, %d records, %d matched\n",
-		len(epochs), totalRecords, len(matched)); err != nil {
+		epochs, totalRecords, len(matched)); err != nil {
 		return err
 	}
 
@@ -96,16 +100,17 @@ func runLocal(store string, filter recordstore.Filter, top int, w io.Writer) err
 	return nil
 }
 
-// runRemote answers the same questions through a flowqueryd daemon: the
-// epoch summary and filter counts come from /epochs + /flows (served off
-// the daemon's mmap store), the top listing from the live /topk.
+// runRemote answers the same questions through a flowqueryd daemon on
+// the versioned /v1 surface: the epoch summary and filter counts come
+// from /v1/epochs + /v1/flows (served off the daemon's store), the top
+// listing from the live /v1/topk.
 func runRemote(base string, filter recordstore.Filter, top int, w io.Writer) error {
 	client := &http.Client{Timeout: 10 * time.Second}
 	base = strings.TrimRight(base, "/")
 
 	var eps query.EpochsResponse
-	if err := getJSON(client, base+"/epochs", &eps); err != nil {
-		return fmt.Errorf("/epochs: %w", err)
+	if err := getJSON(client, base+"/v1/epochs", &eps); err != nil {
+		return fmt.Errorf("/v1/epochs: %w", err)
 	}
 	q := url.Values{}
 	if expr := filter.String(); expr != "" {
@@ -113,8 +118,8 @@ func runRemote(base string, filter recordstore.Filter, top int, w io.Writer) err
 	}
 	q.Set("limit", strconv.Itoa(query.MaxLimit))
 	var flows query.FlowsResponse
-	if err := getJSON(client, base+"/flows?"+q.Encode(), &flows); err != nil {
-		return fmt.Errorf("/flows: %w", err)
+	if err := getJSON(client, base+"/v1/flows?"+q.Encode(), &flows); err != nil {
+		return fmt.Errorf("/v1/flows: %w", err)
 	}
 
 	// Per-epoch matched counts recovered from the flow listing. When the
@@ -150,8 +155,8 @@ func runRemote(base string, filter recordstore.Filter, top int, w io.Writer) err
 			tq.Set("filter", expr)
 		}
 		var tk query.TopKResponse
-		if err := getJSON(client, base+"/topk?"+tq.Encode(), &tk); err != nil {
-			return fmt.Errorf("/topk: %w", err)
+		if err := getJSON(client, base+"/v1/topk?"+tq.Encode(), &tk); err != nil {
+			return fmt.Errorf("/v1/topk: %w", err)
 		}
 		for i, fl := range tk.Flows {
 			key := fmt.Sprintf("%s:%d -> %s:%d/%d", fl.Src, fl.Sport, fl.Dst, fl.Dport, fl.Proto)
@@ -170,9 +175,9 @@ func getJSON(client *http.Client, url string, out any) error {
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		var apiErr query.ErrorResponse
-		if json.NewDecoder(resp.Body).Decode(&apiErr) == nil && apiErr.Error != "" {
-			return fmt.Errorf("status %d: %s", resp.StatusCode, apiErr.Error)
+		var env query.ErrorEnvelope
+		if json.NewDecoder(resp.Body).Decode(&env) == nil && env.Error.Message != "" {
+			return fmt.Errorf("status %d: %s (%s)", resp.StatusCode, env.Error.Message, env.Error.Code)
 		}
 		return fmt.Errorf("status %d", resp.StatusCode)
 	}

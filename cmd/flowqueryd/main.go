@@ -26,8 +26,17 @@
 //	                              via Last-Event-ID
 //	GET /trace/epochs             recent per-epoch stage timelines
 //
-// The primary store (first -store) is re-mapped per request, so a file a
-// collector is still appending to is always served current.
+// Every endpoint is also served under /v1/ — the stable, versioned
+// surface with a structured {"error":{"code","message"}} envelope and
+// strict parameter validation. The unversioned paths are deprecated
+// aliases kept byte-compatible for existing clients (see API.md).
+//
+// The primary store (first -store) is re-opened per request, so a store a
+// collector is still appending to is always served current. A -store may
+// be a flat .frec file or a tiered directory (hot mmap tier + compressed
+// cold segments + rollups) written by flowcollect's tiered mode; with
+// -compactevery, flowqueryd itself applies the hot-window and retention
+// policy to the primary tiered store on a timer.
 //
 // -netflow is repeatable: each listener is one vantage point with its
 // own live tracker, all merged into /netwide/topk. With -detect, every
@@ -94,7 +103,10 @@ func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("flowqueryd", flag.ContinueOnError)
 	listen := fs.String("listen", "127.0.0.1:8080", "HTTP listen address")
 	var stores stringList
-	fs.Var(&stores, "store", "record store file (repeatable; first is the primary)")
+	fs.Var(&stores, "store", "record store: a flat .frec file or a tiered directory (repeatable; first is the primary)")
+	hotEpochs := fs.Int("hotepochs", 64, "hot-window size the maintenance compactor enforces on the primary tiered store (with -compactevery)")
+	retain := fs.Duration("retain", 0, "retention horizon the maintenance compactor applies: cold segments entirely older than this roll up to top-k summaries; 0 keeps everything (with -compactevery)")
+	compactEvery := fs.Duration("compactevery", 0, "run compaction + retention on the primary tiered -store directory at this interval; 0 never. The directory must not be owned by a running collector")
 	var nfs stringList
 	fs.Var(&nfs, "netflow", "ingest NetFlow v5 on this UDP address into a live tracker (repeatable; each is one vantage)")
 	gap := fs.Duration("gap", time.Second, "quiet gap closing a NetFlow epoch")
@@ -141,16 +153,16 @@ func run(args []string, w io.Writer) error {
 	cfg.Trace = tracer
 	cfg.Registry = reg
 
-	// Historical side: the primary store is re-mapped per request (it may
-	// still be growing); every store contributes its all-time summed view
-	// to the network-wide merge.
+	// Historical side: the primary store is re-opened per request (it may
+	// still be growing); every store — flat file or tiered directory —
+	// contributes its all-time summed view to the network-wide merge.
 	for i, path := range stores {
-		m, err := recordstore.OpenMapped(path)
+		src, err := recordstore.Open(path)
 		if err != nil {
 			return fmt.Errorf("open %s: %w", path, err)
 		}
-		static, err := query.SumStore(m)
-		m.Close()
+		static, err := query.SumStore(src)
+		src.Close()
 		if err != nil {
 			return fmt.Errorf("summarize %s: %w", path, err)
 		}
@@ -161,6 +173,55 @@ func run(args []string, w io.Writer) error {
 			cfg.Store = query.FileStore(path)
 			cfg.TopK = static // the live tracker below overrides this
 		}
+	}
+
+	// Maintenance compaction: when flowqueryd owns a tiered store no
+	// collector is appending to (the query-daemon-over-archive
+	// deployment), it can apply the hot-window and retention policy
+	// itself on a timer instead of leaving the store frozen as written.
+	if *compactEvery > 0 {
+		if len(stores) == 0 {
+			return errors.New("-compactevery needs a primary -store directory")
+		}
+		st, err := os.Stat(stores[0])
+		if err != nil {
+			return err
+		}
+		if !st.IsDir() {
+			return fmt.Errorf("-compactevery needs a tiered store directory; %s is a flat file", stores[0])
+		}
+		tw, _, err := recordstore.OpenTiered(stores[0], recordstore.TieredOptions{
+			HotEpochs: *hotEpochs,
+			Retain:    *retain,
+		})
+		if err != nil {
+			return err
+		}
+		defer tw.Close()
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			t := time.NewTicker(*compactEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-t.C:
+					stats, err := tw.Compact()
+					switch {
+					case err != nil:
+						logger.Error("store: compaction failed", "kind", "degraded", "error", err.Error())
+					case stats.Migrated > 0 || stats.RolledUp > 0:
+						logger.Info("store: compacted", "kind", "compaction",
+							"migrated", stats.Migrated, "rolled_up", stats.RolledUp,
+							"stall", time.Duration(stats.StallNs).String())
+					}
+				}
+			}
+		}()
+		logger.Info(fmt.Sprintf("compacting %s every %s", stores[0], *compactEvery),
+			"hotepochs", *hotEpochs, "retain", (*retain).String())
 	}
 
 	// Live side: NetFlow listeners feeding per-vantage online trackers,

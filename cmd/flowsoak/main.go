@@ -339,6 +339,12 @@ func (s *soak) run() error {
 		return err
 	}
 
+	// Phase 6b: a tiered-store collector killed while its background
+	// compactor is active must lose no closed epoch.
+	if err := s.tieredKillCheck(); err != nil {
+		return err
+	}
+
 	if !s.quick {
 		if err := s.fullModeChecks(); err != nil {
 			return err
@@ -544,8 +550,12 @@ func rampRecords(rampEpoch int) []flow.Record {
 // epochCount asks a member's own query API how many epochs its store
 // serves.
 func (s *soak) epochCount(m *member) (int, error) {
+	return epochCountAt(m.httpAddr)
+}
+
+func epochCountAt(httpAddr string) (int, error) {
 	var eps query.EpochsResponse
-	if err := getJSON("http://"+m.httpAddr+"/epochs", &eps); err != nil {
+	if err := getJSON("http://"+httpAddr+"/epochs", &eps); err != nil {
 		return 0, err
 	}
 	return len(eps.Epochs), nil
@@ -612,6 +622,98 @@ func (s *soak) checkQueryd() error {
 			return fmt.Errorf("queryd graceful shutdown: %w", err)
 		}
 	}
+	return nil
+}
+
+// tieredKillCheck runs a tiered-store collector with an aggressive
+// background compactor, SIGKILLs it right after a compaction pass ran
+// (and possibly during the next one), restarts it on the same directory,
+// and requires that no closed epoch was lost: the cold-tier swap is an
+// atomic rename and every closed hot epoch was fsynced, so the recovered
+// store must serve at least as many epochs as the pre-kill query saw.
+func (s *soak) tieredKillCheck() error {
+	s.logf("phase: tiered store killed during compaction")
+	udpAddr, err := probeUDP()
+	if err != nil {
+		return err
+	}
+	httpAddr, err := probeTCP()
+	if err != nil {
+		return err
+	}
+	args := []string{"serve",
+		"-listen", udpAddr,
+		"-http", httpAddr,
+		"-store", filepath.Join(s.dir, "tiered.d"),
+		"-hotepochs", "2",
+		"-compactevery", "1",
+		"-fsync", "epoch",
+		"-gap", s.gap.String(),
+		"-for", "1h",
+	}
+	p, err := startProc("tiered", s.collectBin, args...)
+	if err != nil {
+		return err
+	}
+	s.procs = append(s.procs, p)
+	if _, err := p.waitFor("serving on", 10*time.Second); err != nil {
+		return err
+	}
+	feed, err := dialVantage(udpAddr)
+	if err != nil {
+		return err
+	}
+	defer feed.close()
+
+	// Enough closed epochs that the background compactor has migrated at
+	// least one batch into a cold segment while load keeps arriving.
+	for e := 0; e < 6; e++ {
+		if err := feed.sendEpoch(rampRecords(0)); err != nil {
+			return err
+		}
+		time.Sleep(s.epoch)
+	}
+	if _, err := p.waitFor("store: compacted", 5*time.Second); err != nil {
+		return fmt.Errorf("background compactor never ran: %w", err)
+	}
+	preKill, err := epochCountAt(httpAddr)
+	if err != nil {
+		return fmt.Errorf("tiered pre-kill epoch count: %w", err)
+	}
+	if preKill == 0 {
+		return errors.New("tiered store served no epochs before the kill")
+	}
+
+	// One more batch lands and the kill fires inside the quiet gap: the
+	// open epoch dies with the process while the compactor may be mid-
+	// migration — exactly the window the atomic segment swap protects.
+	if err := feed.sendEpoch(rampRecords(0)); err != nil {
+		return err
+	}
+	time.Sleep(s.gap / 4)
+	if err := p.kill9(); err != nil {
+		return err
+	}
+
+	p2, err := startProc("tiered-restarted", s.collectBin, args...)
+	if err != nil {
+		return err
+	}
+	s.procs = append(s.procs, p2)
+	if _, err := p2.waitFor("store: recovered", 10*time.Second); err != nil {
+		return fmt.Errorf("restarted tiered collector reported no recovery: %w", err)
+	}
+	postKill, err := epochCountAt(httpAddr)
+	if err != nil {
+		return fmt.Errorf("tiered post-restart epoch count: %w", err)
+	}
+	if postKill < preKill {
+		return fmt.Errorf("tiered store lost closed epochs across the kill: %d before, %d after", preKill, postKill)
+	}
+	if err := p2.sigterm(10 * time.Second); err != nil {
+		return fmt.Errorf("tiered collector graceful shutdown: %w", err)
+	}
+	s.logf("tiered ok: %d epochs pre-kill, %d served after restart, compaction survived SIGKILL", preKill, postKill)
 	return nil
 }
 

@@ -12,23 +12,24 @@ import (
 	"repro/recordstore"
 )
 
-// EpochStore adapts a recordstore.Writer into a collector Sink. It is safe
-// for concurrent use and sticky on error: a failed WriteEpoch may have
-// left a partial epoch on the stream, so writing further epochs would
-// corrupt the store — later epochs are counted in Dropped and Err reports
-// the first failure (a UDP sink has nobody to return errors to
-// mid-stream). Empty epochs (e.g. a quiet-gap window that saw only
-// undecodable datagrams) are skipped, not persisted.
+// EpochStore adapts any recordstore.EpochWriter — a flat stream Writer,
+// a durable FileWriter, or a tiered directory store — into a collector
+// Sink. It is safe for concurrent use and sticky on error: a failed
+// WriteEpoch may have left a partial epoch on the stream, so writing
+// further epochs would corrupt the store — later epochs are counted in
+// Dropped and Err reports the first failure (a UDP sink has nobody to
+// return errors to mid-stream). Empty epochs (e.g. a quiet-gap window
+// that saw only undecodable datagrams) are skipped, not persisted.
 type EpochStore struct {
 	mu      sync.Mutex
-	w       *recordstore.Writer
+	w       recordstore.EpochWriter
 	err     error
 	epochs  uint64
 	dropped uint64
 }
 
 // NewEpochStore wraps w.
-func NewEpochStore(w *recordstore.Writer) *EpochStore {
+func NewEpochStore(w recordstore.EpochWriter) *EpochStore {
 	return &EpochStore{w: w}
 }
 

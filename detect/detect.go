@@ -441,6 +441,12 @@ type Detector struct {
 	// and retention contract as sink.
 	summarySink func(ChangeSummary)
 
+	// seeding suppresses alert retention and sink delivery while
+	// SeedFromHistory replays stored epochs: the replayed history still
+	// warms every baseline, but its alerts already fired when the epochs
+	// were live. Evaluating goroutine only.
+	seeding bool
+
 	// metrics, when set (SetMetrics, before evaluation), receives
 	// per-epoch cost and alert attribution; nil-safe.
 	metrics *Metrics
@@ -568,17 +574,19 @@ func (d *Detector) Observe(epoch int, ts time.Time, records []flow.Record) []Ale
 	d.seen++
 
 	d.mu.Lock()
-	for _, a := range d.pending {
-		d.alerts.push(a)
+	if !d.seeding {
+		for _, a := range d.pending {
+			d.alerts.push(a)
+		}
 	}
 	d.features = feats
 	d.epochs = d.seen
 	d.mu.Unlock()
 
-	if d.sink != nil && len(d.pending) > 0 {
+	if !d.seeding && d.sink != nil && len(d.pending) > 0 {
 		d.sink(d.pending)
 	}
-	if m := d.metrics; m != nil {
+	if m := d.metrics; m != nil && !d.seeding {
 		for _, a := range d.pending {
 			m.countAlert(a)
 		}
@@ -665,18 +673,20 @@ func (d *Detector) detectChanges(epoch int, ts time.Time) {
 	for alerted > 0 && d.changeBuf[alerted-1].Abs() < d.cfg.ChangeMinDelta {
 		alerted--
 	}
-	summary := ChangeSummary{Epoch: epoch, Time: ts}
-	d.mu.Lock()
-	// The ring entry owns its slice; recycle the slice of the entry about
-	// to be evicted so steady-state summaries do not allocate.
-	evicted := d.changes.evictee()
-	if evicted != nil {
-		summary.Changes = append(evicted.Changes[:0], d.changeBuf[:alerted]...)
-	} else {
-		summary.Changes = slices.Clone(d.changeBuf[:alerted])
+	if !d.seeding {
+		summary := ChangeSummary{Epoch: epoch, Time: ts}
+		d.mu.Lock()
+		// The ring entry owns its slice; recycle the slice of the entry
+		// about to be evicted so steady-state summaries do not allocate.
+		evicted := d.changes.evictee()
+		if evicted != nil {
+			summary.Changes = append(evicted.Changes[:0], d.changeBuf[:alerted]...)
+		} else {
+			summary.Changes = slices.Clone(d.changeBuf[:alerted])
+		}
+		d.changes.push(summary)
+		d.mu.Unlock()
 	}
-	d.changes.push(summary)
-	d.mu.Unlock()
 	d.emitSummary(ChangeSummary{Epoch: epoch, Time: ts, Changes: d.changeBuf})
 }
 
@@ -698,7 +708,7 @@ func sortByAbsDesc(changes []Change) {
 // Changes slice is detector scratch — the sink contract forbids
 // retaining it.
 func (d *Detector) emitSummary(s ChangeSummary) {
-	if d.summarySink != nil {
+	if d.summarySink != nil && !d.seeding {
 		d.summarySink(s)
 	}
 }

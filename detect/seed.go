@@ -1,0 +1,49 @@
+// Baseline seeding: replaying stored epochs through the detector at
+// boot, so forecasting, anomaly baselines and the heavy-change
+// comparison base resume warm from a store instead of re-learning from
+// scratch after every restart. This is the read-path complement to the
+// checkpoint sidecar — a checkpoint restores exact evaluation state,
+// seeding reconstructs an approximation from the data itself, which also
+// works across detector-version or configuration changes that invalidate
+// a checkpoint.
+package detect
+
+import (
+	"repro/flow"
+	"repro/recordstore"
+)
+
+// SeedFromHistory replays up to n of src's newest epochs through the
+// detector in stored order and returns how many it replayed. The replay
+// drives every evaluation stage — per-key forecasts, anomaly baselines,
+// the previous-epoch comparison base — but retains and delivers nothing:
+// the alert ring, change-summary ring, sinks and metrics all stay
+// untouched, because whatever the replayed history alerted on already
+// fired when those epochs were live.
+//
+// Epochs replay with indices 0..n-1, so Epochs() reports n afterwards
+// and live evaluation should continue at index n. Rollup epochs replay
+// like any other epoch (their truncated tails make the warmed baselines
+// slightly conservative). Call before live evaluation starts; not safe
+// concurrently with Observe.
+func (d *Detector) SeedFromHistory(src recordstore.EpochSource, n int) (int, error) {
+	if total := src.Epochs(); n > total {
+		n = total
+	}
+	if n <= 0 {
+		return 0, nil
+	}
+	d.seeding = true
+	defer func() { d.seeding = false }()
+	first := src.Epochs() - n
+	var buf []flow.Record
+	for i := 0; i < n; i++ {
+		ep, err := src.AppendEpochAt(first+i, buf[:0])
+		if err != nil {
+			return i, err
+		}
+		buf = ep.Records
+		d.Observe(i, ep.Time, ep.Records)
+	}
+	return n, nil
+}

@@ -1,0 +1,117 @@
+package detect
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/flow"
+	"repro/recordstore"
+)
+
+// seedStore writes a store whose one flow ramps slowly across epochs —
+// the pattern the forecast stage needs history to catch.
+func seedStore(t *testing.T, epochs int) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "seed.frec")
+	fw, _, err := recordstore.OpenFile(path, recordstore.SyncPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := time.Unix(1700000000, 0).UTC()
+	for e := 0; e < epochs; e++ {
+		recs := []flow.Record{
+			{Key: flow.Key{SrcIP: 0x0A000001, DstIP: 0x0A000002, DstPort: 443, Proto: 6},
+				Count: uint32(1000 + 200*e)}, // the ramp
+			{Key: flow.Key{SrcIP: 0x0A000003, DstIP: 0x0A000004, DstPort: 53, Proto: 17},
+				Count: 500}, // steady background
+		}
+		if err := fw.WriteEpoch(base.Add(time.Duration(e)*time.Minute), recs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestSeedFromHistory(t *testing.T) {
+	path := seedStore(t, 12)
+	src, err := recordstore.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+
+	d, err := NewDetector(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sunk int
+	d.SetSink(func(as []Alert) { sunk += len(as) })
+
+	n, err := d.SeedFromHistory(src, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 8 {
+		t.Fatalf("seeded %d epochs, want 8", n)
+	}
+	if got := d.Epochs(); got != 8 {
+		t.Fatalf("Epochs() = %d after seeding, want 8", got)
+	}
+	// Seeding warms state without emitting: no retained alerts, no
+	// summaries, no sink deliveries.
+	if as := d.AppendAlerts(nil); len(as) != 0 {
+		t.Fatalf("seeding retained %d alerts: %v", len(as), as)
+	}
+	if ss := d.AppendSummaries(nil); len(ss) != 0 {
+		t.Fatalf("seeding retained %d change summaries", len(ss))
+	}
+	if sunk != 0 {
+		t.Fatalf("seeding delivered %d alerts to the sink", sunk)
+	}
+	// But the forecast state is warm: the ramping and steady keys are
+	// tracked from history alone.
+	if got := d.ForecastTracked(); got != 2 {
+		t.Fatalf("ForecastTracked() = %d after seeding, want 2", got)
+	}
+
+	// A live epoch continuing the stored pattern evaluates against the
+	// seeded comparison base: the steady flow must not raise a
+	// heavy-change alert, which it would against an empty base.
+	live := []flow.Record{
+		{Key: flow.Key{SrcIP: 0x0A000001, DstIP: 0x0A000002, DstPort: 443, Proto: 6}, Count: 1000 + 200*8},
+		{Key: flow.Key{SrcIP: 0x0A000003, DstIP: 0x0A000004, DstPort: 53, Proto: 17}, Count: 500},
+	}
+	as := d.Observe(8, time.Unix(1700000000, 0).Add(8*time.Minute), live)
+	for _, a := range as {
+		if a.Kind == KindHeavyChange && a.Key.DstPort == 53 {
+			t.Fatalf("steady flow alerted despite seeded base: %v", a)
+		}
+	}
+	if sunk != len(as) {
+		t.Fatalf("live sink saw %d alerts, Observe returned %d", sunk, len(as))
+	}
+}
+
+func TestSeedFromHistoryClamps(t *testing.T) {
+	path := seedStore(t, 3)
+	src, err := recordstore.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+
+	d, err := NewDetector(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := d.SeedFromHistory(src, 100); err != nil || n != 3 {
+		t.Fatalf("SeedFromHistory(100) = %d, %v; want 3, nil", n, err)
+	}
+	if n, err := d.SeedFromHistory(src, 0); err != nil || n != 0 {
+		t.Fatalf("SeedFromHistory(0) = %d, %v; want 0, nil", n, err)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/url"
+	"strconv"
 
 	"repro/detect"
 	"repro/flow"
@@ -70,6 +71,9 @@ func ParseAlertParams(q url.Values) (AlertParams, error) {
 			p.Limit, err = parseBounded(val, 1, MaxLimit)
 		case "filter":
 			p.Filter, err = recordstore.ParseFilter(val)
+		case "strict":
+			// Consumed by the handler layer (checkStrict).
+			_, err = strconv.ParseBool(val)
 		default:
 			return AlertParams{}, fmt.Errorf("query: unknown parameter %q", key)
 		}
@@ -218,18 +222,23 @@ func netwideAlertJSON(a detect.NetwideAlert) NetwideAlertJSON {
 	return out
 }
 
-func (h *handler) alerts(w http.ResponseWriter, r *http.Request) {
+func (h *handler) alerts(w http.ResponseWriter, r *http.Request, v apiVersion) {
 	if h.cfg.Alerts == nil {
-		writeError(w, http.StatusNotFound, errors.New("no alert source configured"))
+		writeError(w, v, http.StatusNotFound, errors.New("no alert source configured"))
 		return
 	}
 	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, errors.New("GET only"))
+		writeError(w, v, http.StatusMethodNotAllowed, errors.New("GET only"))
 		return
 	}
-	p, err := ParseAlertParams(r.URL.Query())
+	q := r.URL.Query()
+	if err := checkStrict(v, q, alertParams); err != nil {
+		writeError(w, v, http.StatusBadRequest, err)
+		return
+	}
+	p, err := ParseAlertParams(q)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, v, http.StatusBadRequest, err)
 		return
 	}
 	all := h.cfg.Alerts.AppendAlerts(nil)
@@ -250,18 +259,23 @@ func (h *handler) alerts(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-func (h *handler) netwideAlerts(w http.ResponseWriter, r *http.Request) {
+func (h *handler) netwideAlerts(w http.ResponseWriter, r *http.Request, v apiVersion) {
 	if h.cfg.NetwideAlerts == nil {
-		writeError(w, http.StatusNotFound, errors.New("no netwide alert source configured"))
+		writeError(w, v, http.StatusNotFound, errors.New("no netwide alert source configured"))
 		return
 	}
 	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, errors.New("GET only"))
+		writeError(w, v, http.StatusMethodNotAllowed, errors.New("GET only"))
 		return
 	}
-	p, err := ParseAlertParams(r.URL.Query())
+	q := r.URL.Query()
+	if err := checkStrict(v, q, alertParams); err != nil {
+		writeError(w, v, http.StatusBadRequest, err)
+		return
+	}
+	p, err := ParseAlertParams(q)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, v, http.StatusBadRequest, err)
 		return
 	}
 	all := h.cfg.NetwideAlerts.AppendNetwideAlerts(nil)
@@ -280,12 +294,12 @@ func (h *handler) netwideAlerts(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-func (h *handler) changes(w http.ResponseWriter, r *http.Request) {
+func (h *handler) changes(w http.ResponseWriter, r *http.Request, v apiVersion) {
 	if h.cfg.Alerts == nil {
-		writeError(w, http.StatusNotFound, errors.New("no alert source configured"))
+		writeError(w, v, http.StatusNotFound, errors.New("no alert source configured"))
 		return
 	}
-	p, ok := decode(w, r)
+	p, ok := decode(w, r, v, changeParams)
 	if !ok {
 		return
 	}

@@ -25,8 +25,14 @@
 //
 // The live side reads an online summary (topk.Tracker / topk.Set via the
 // TopKSource surface) that ingest maintains incrementally; the historical
-// side random-accesses a recordstore.Mapped. Both are query-time-only
-// costs: ingestion never blocks on a query.
+// side random-accesses a recordstore.EpochSource — a flat mmap store or a
+// tiered directory with compressed cold segments, transparently. Both are
+// query-time-only costs: ingestion never blocks on a query.
+//
+// Every endpoint is served twice: under its legacy unversioned path
+// (payloads frozen byte-for-byte, plus a Deprecation header) and under
+// /v1/ (structured {"error":{"code","message"}} envelope, strict
+// parameter validation). New clients use /v1; see API.md.
 package query
 
 import (
@@ -34,6 +40,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/url"
 	"slices"
 	"sync"
 	"time"
@@ -65,27 +72,28 @@ type NamedSource struct {
 }
 
 // StoreOpener yields the historical store for one request plus a release
-// function. StaticStore shares one mapping; FileStore re-opens per request
-// so a store still being written is always seen current.
-type StoreOpener func() (*recordstore.Mapped, func() error, error)
+// function. StaticStore shares one long-lived source; FileStore re-opens
+// per request so a store still being written is always seen current.
+type StoreOpener func() (recordstore.EpochSource, func() error, error)
 
-// StaticStore serves every request from one long-lived mapping.
-func StaticStore(m *recordstore.Mapped) StoreOpener {
-	return func() (*recordstore.Mapped, func() error, error) {
-		return m, func() error { return nil }, nil
+// StaticStore serves every request from one long-lived source.
+func StaticStore(src recordstore.EpochSource) StoreOpener {
+	return func() (recordstore.EpochSource, func() error, error) {
+		return src, func() error { return nil }, nil
 	}
 }
 
-// FileStore maps the file fresh per request — the mode a collector's
-// live, still-growing store needs. OpenMapped tolerates the truncated
-// final frame such a file usually has.
+// FileStore opens the store at path fresh per request — the mode a
+// collector's live, still-growing store needs. recordstore.Open
+// auto-detects flat files and tiered directories; the flat open
+// tolerates the truncated final frame a live file usually has.
 func FileStore(path string) StoreOpener {
-	return func() (*recordstore.Mapped, func() error, error) {
-		m, err := recordstore.OpenMapped(path)
+	return func() (recordstore.EpochSource, func() error, error) {
+		src, err := recordstore.Open(path)
 		if err != nil {
 			return nil, nil, err
 		}
-		return m, m.Close, nil
+		return src, src.Close, nil
 	}
 }
 
@@ -144,17 +152,28 @@ type TopKResponse struct {
 	Cached  bool       `json:"cached,omitempty"`
 }
 
-// EpochJSON is one epoch in the /epochs listing.
+// EpochJSON is one epoch in the /epochs listing. The tier fields only
+// appear for epochs outside the hot tier, so flat-store listings render
+// exactly as they always have.
 type EpochJSON struct {
 	Index   int    `json:"index"`
 	Time    string `json:"time"`
 	Records int    `json:"records"`
+	// Tier is "cold" or "rollup" for migrated epochs; omitted for hot.
+	Tier string `json:"tier,omitempty"`
+	// Span / TotalRecords / TotalPackets describe what a rollup epoch
+	// folds together; omitted outside rollups.
+	Span         int    `json:"span,omitempty"`
+	TotalRecords uint64 `json:"total_records,omitempty"`
+	TotalPackets uint64 `json:"total_packets,omitempty"`
 }
 
 // EpochsResponse is the /epochs payload.
 type EpochsResponse struct {
 	Epochs    []EpochJSON `json:"epochs"`
 	Truncated bool        `json:"truncated"`
+	// Limited reports that an explicit limit= cut the listing short.
+	Limited bool `json:"limited,omitempty"`
 }
 
 // FlowsResponse is the /flows payload.
@@ -163,26 +182,82 @@ type FlowsResponse struct {
 	Matched       int        `json:"matched"`
 	Limited       bool       `json:"limited"`
 	Flows         []FlowJSON `json:"flows"`
+	// RollupEpochs counts scanned epochs that are downsampled rollups —
+	// a caller's signal that tail flows in that range were dropped by
+	// retention. Omitted when the scan touched none.
+	RollupEpochs int `json:"rollup_epochs,omitempty"`
 }
 
-// ErrorResponse is the error payload of every endpoint.
+// ErrorResponse is the legacy error payload: a bare string. The /v1
+// surface wraps errors in ErrorEnvelope instead.
 type ErrorResponse struct {
 	Error string `json:"error"`
 }
 
-// NewHandler builds the HTTP handler serving cfg's sources.
+// ErrorEnvelope is the /v1 error payload: {"error":{"code","message"}}.
+type ErrorEnvelope struct {
+	Error ErrorBody `json:"error"`
+}
+
+// ErrorBody is the structured error of the /v1 surface.
+type ErrorBody struct {
+	// Code is a stable machine-readable identifier (bad_request,
+	// not_found, method_not_allowed, unavailable, internal).
+	Code string `json:"code"`
+	// Message is the human-readable detail.
+	Message string `json:"message"`
+}
+
+// apiVersion selects the response conventions of one registered path:
+// the frozen legacy surface or /v1.
+type apiVersion int
+
+const (
+	apiLegacy apiVersion = iota
+	apiV1
+)
+
+// Per-endpoint parameter vocabularies, enforced on /v1 (always) and on
+// legacy paths under strict=1. The legacy default keeps accepting any
+// globally-known parameter for compatibility, even where it has no
+// effect.
+var (
+	topkParams   = []string{"k", "filter"}
+	epochsParams = []string{"from", "to", "limit"}
+	flowsParams  = []string{"filter", "epoch", "limit", "from", "to"}
+	changeParams = []string{"k", "epoch", "limit", "filter"}
+	alertParams  = []string{"kind", "severity", "epoch", "limit", "filter"}
+	eventParams  = []string{"kind", "severity", "vantage", "after"}
+	traceParams  = []string{"vantage", "limit"}
+)
+
+// NewHandler builds the HTTP handler serving cfg's sources. Every
+// endpoint is registered under its legacy unversioned path and under
+// /v1/; the legacy registration stamps Deprecation and successor-version
+// Link headers on every response.
 func NewHandler(cfg Config) http.Handler {
 	h := &handler{cfg: cfg}
 	mux := http.NewServeMux()
-	mux.HandleFunc("/topk", h.topK)
-	mux.HandleFunc("/epochs", h.epochs)
-	mux.HandleFunc("/flows", h.flows)
-	mux.HandleFunc("/netwide/topk", h.netwideTopK)
-	mux.HandleFunc("/netwide/alerts", h.netwideAlerts)
-	mux.HandleFunc("/alerts", h.alerts)
-	mux.HandleFunc("/changes", h.changes)
-	mux.HandleFunc("/events", h.events)
-	mux.HandleFunc("/trace/epochs", h.traceEpochs)
+	register := func(path string, fn func(http.ResponseWriter, *http.Request, apiVersion)) {
+		successor := `</v1` + path + `>; rel="successor-version"`
+		mux.HandleFunc(path, func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Deprecation", "true")
+			w.Header().Set("Link", successor)
+			fn(w, r, apiLegacy)
+		})
+		mux.HandleFunc("/v1"+path, func(w http.ResponseWriter, r *http.Request) {
+			fn(w, r, apiV1)
+		})
+	}
+	register("/topk", h.topK)
+	register("/epochs", h.epochs)
+	register("/flows", h.flows)
+	register("/netwide/topk", h.netwideTopK)
+	register("/netwide/alerts", h.netwideAlerts)
+	register("/alerts", h.alerts)
+	register("/changes", h.changes)
+	register("/events", h.events)
+	register("/trace/epochs", h.traceEpochs)
 	if cfg.Registry != nil {
 		return telemetry.InstrumentMux(cfg.Registry, mux)
 	}
@@ -221,19 +296,67 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v) // the connection is the only failure mode left
 }
 
-func writeError(w http.ResponseWriter, status int, err error) {
+// writeError renders err in the version's error shape: the legacy bare
+// {"error": "..."} string or the /v1 {"error":{"code","message"}}
+// envelope.
+func writeError(w http.ResponseWriter, v apiVersion, status int, err error) {
+	if v == apiV1 {
+		writeJSON(w, status, ErrorEnvelope{Error: ErrorBody{
+			Code:    errorCode(status),
+			Message: err.Error(),
+		}})
+		return
+	}
 	writeJSON(w, status, ErrorResponse{Error: err.Error()})
 }
 
-// decode enforces GET and parses parameters.
-func decode(w http.ResponseWriter, r *http.Request) (Params, bool) {
+// errorCode maps an HTTP status to the /v1 stable error code.
+func errorCode(status int) string {
+	switch status {
+	case http.StatusBadRequest:
+		return "bad_request"
+	case http.StatusNotFound:
+		return "not_found"
+	case http.StatusMethodNotAllowed:
+		return "method_not_allowed"
+	case http.StatusServiceUnavailable:
+		return "unavailable"
+	default:
+		return "internal"
+	}
+}
+
+// checkStrict rejects parameters outside the endpoint's vocabulary when
+// the request is strict: always on /v1, opt-in via strict=1 on legacy
+// paths (whose lenient default — accepting any globally-known parameter,
+// effective or not — is frozen for compatibility).
+func checkStrict(v apiVersion, q url.Values, allowed []string) error {
+	if v != apiV1 && q.Get("strict") != "1" {
+		return nil
+	}
+	for key := range q {
+		if key == "strict" || slices.Contains(allowed, key) {
+			continue
+		}
+		return fmt.Errorf("query: parameter %q is not accepted by this endpoint", key)
+	}
+	return nil
+}
+
+// decode enforces GET, strictness, and parses parameters.
+func decode(w http.ResponseWriter, r *http.Request, v apiVersion, allowed []string) (Params, bool) {
 	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, errors.New("GET only"))
+		writeError(w, v, http.StatusMethodNotAllowed, errors.New("GET only"))
 		return Params{}, false
 	}
-	p, err := ParseParams(r.URL.Query())
+	q := r.URL.Query()
+	if err := checkStrict(v, q, allowed); err != nil {
+		writeError(w, v, http.StatusBadRequest, err)
+		return Params{}, false
+	}
+	p, err := ParseParams(q)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, v, http.StatusBadRequest, err)
 		return Params{}, false
 	}
 	return p, true
@@ -252,13 +375,13 @@ func recordJSON(epoch int, r flow.Record) FlowJSON {
 	}
 }
 
-func (h *handler) topK(w http.ResponseWriter, r *http.Request) {
-	p, ok := decode(w, r)
+func (h *handler) topK(w http.ResponseWriter, r *http.Request, v apiVersion) {
+	p, ok := decode(w, r, v, topkParams)
 	if !ok {
 		return
 	}
 	if h.cfg.TopK == nil {
-		writeError(w, http.StatusNotFound, errors.New("no live top-k source configured"))
+		writeError(w, v, http.StatusNotFound, errors.New("no live top-k source configured"))
 		return
 	}
 	// With a filter, the top k *matching* flows are wanted, which may sit
@@ -282,13 +405,13 @@ func (h *handler) topK(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-func (h *handler) netwideTopK(w http.ResponseWriter, r *http.Request) {
-	p, ok := decode(w, r)
+func (h *handler) netwideTopK(w http.ResponseWriter, r *http.Request, v apiVersion) {
+	p, ok := decode(w, r, v, topkParams)
 	if !ok {
 		return
 	}
 	if len(h.cfg.Netwide) == 0 {
-		writeError(w, http.StatusNotFound, errors.New("no netwide sources configured"))
+		writeError(w, v, http.StatusNotFound, errors.New("no netwide sources configured"))
 		return
 	}
 
@@ -351,60 +474,86 @@ func (h *handler) netwideTopK(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-func (h *handler) epochs(w http.ResponseWriter, r *http.Request) {
-	if _, ok := decode(w, r); !ok {
+func (h *handler) epochs(w http.ResponseWriter, r *http.Request, v apiVersion) {
+	p, ok := decode(w, r, v, epochsParams)
+	if !ok {
 		return
 	}
-	m, release, ok := h.openStore(w)
+	src, release, ok := h.openStore(w, v)
 	if !ok {
 		return
 	}
 	defer release()
-	resp := EpochsResponse{Epochs: make([]EpochJSON, m.Epochs()), Truncated: m.Truncated()}
-	for i := range resp.Epochs {
-		resp.Epochs[i] = EpochJSON{
+
+	lo, hi := 0, src.Epochs()
+	if !p.From.IsZero() || !p.To.IsZero() {
+		lo, hi = src.Range(p.From, p.To)
+	}
+	// The limit only bites when given explicitly: the legacy contract is
+	// "list everything" and stays that way without a limit=.
+	limited := false
+	if r.URL.Query().Has("limit") && hi-lo > p.Limit {
+		hi = lo + p.Limit
+		limited = true
+	}
+
+	info, _ := src.(recordstore.InfoSource)
+	resp := EpochsResponse{Epochs: make([]EpochJSON, 0, hi-lo), Limited: limited}
+	if ts, ok := src.(recordstore.TruncatedSource); ok {
+		resp.Truncated = ts.Truncated()
+	}
+	for i := lo; i < hi; i++ {
+		ej := EpochJSON{
 			Index:   i,
-			Time:    m.EpochTime(i).Format(timeFormat),
-			Records: m.EpochLen(i),
+			Time:    src.EpochTime(i).Format(timeFormat),
+			Records: src.EpochLen(i),
 		}
+		if info != nil {
+			if ei := info.EpochInfo(i); ei.Tier != "" && ei.Tier != "hot" {
+				ej.Tier = ei.Tier
+				if ei.Span > 1 {
+					ej.Span = ei.Span
+					ej.TotalRecords = ei.TotalRecords
+					ej.TotalPackets = ei.TotalPackets
+				}
+			}
+		}
+		resp.Epochs = append(resp.Epochs, ej)
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
-func (h *handler) flows(w http.ResponseWriter, r *http.Request) {
-	p, ok := decode(w, r)
+func (h *handler) flows(w http.ResponseWriter, r *http.Request, v apiVersion) {
+	p, ok := decode(w, r, v, flowsParams)
 	if !ok {
 		return
 	}
-	m, release, ok := h.openStore(w)
+	src, release, ok := h.openStore(w, v)
 	if !ok {
 		return
 	}
 	defer release()
 
-	lo, hi := 0, m.Epochs()
-	if !p.From.IsZero() || !p.To.IsZero() {
-		lo, hi = m.Range(p.From, p.To)
+	lo, hi, err := recordstore.SourceRange(src, p.Epoch, p.From, p.To)
+	if err != nil {
+		writeError(w, v, http.StatusBadRequest, err)
+		return
 	}
-	if p.Epoch >= 0 {
-		if p.Epoch >= m.Epochs() {
-			writeError(w, http.StatusBadRequest,
-				fmt.Errorf("epoch %d out of range [0,%d)", p.Epoch, m.Epochs()))
-			return
-		}
-		lo, hi = p.Epoch, p.Epoch+1
-	}
+	info, _ := src.(recordstore.InfoSource)
 
 	resp := FlowsResponse{}
 	var buf []flow.Record
 	for i := lo; i < hi && !resp.Limited; i++ {
-		ep, err := m.AppendEpochAt(i, buf[:0])
+		ep, err := src.AppendEpochAt(i, buf[:0])
 		if err != nil {
-			writeError(w, http.StatusInternalServerError, err)
+			writeError(w, v, http.StatusInternalServerError, err)
 			return
 		}
 		buf = ep.Records
 		resp.EpochsScanned++
+		if info != nil && info.EpochInfo(i).Tier == "rollup" {
+			resp.RollupEpochs++
+		}
 		for _, rec := range ep.Records {
 			if !p.Filter.Match(rec) {
 				continue
@@ -425,17 +574,17 @@ func (h *handler) flows(w http.ResponseWriter, r *http.Request) {
 
 // openStore resolves the request's store; on failure the response is
 // already written and ok is false.
-func (h *handler) openStore(w http.ResponseWriter) (m *recordstore.Mapped, release func() error, ok bool) {
+func (h *handler) openStore(w http.ResponseWriter, v apiVersion) (src recordstore.EpochSource, release func() error, ok bool) {
 	if h.cfg.Store == nil {
-		writeError(w, http.StatusNotFound, errors.New("no store configured"))
+		writeError(w, v, http.StatusNotFound, errors.New("no store configured"))
 		return nil, nil, false
 	}
-	m, release, err := h.cfg.Store()
+	src, release, err := h.cfg.Store()
 	if err != nil {
-		writeError(w, http.StatusServiceUnavailable, err)
+		writeError(w, v, http.StatusServiceUnavailable, err)
 		return nil, nil, false
 	}
-	return m, release, true
+	return src, release, true
 }
 
 // selectTopK reorders recs by count descending (key tiebreak) in place

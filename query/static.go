@@ -47,14 +47,15 @@ func (s *Static) AppendSorted(dst []flow.Record) []flow.Record {
 // Len returns the frozen record count.
 func (s *Static) Len() int { return len(s.byKey) }
 
-// SumStore folds every epoch of a mapped store into one per-flow summed
-// record set via the k-way sorted merge (epochs are stored key-sorted),
-// the whole-history view a store contributes to /netwide/topk.
-func SumStore(m *recordstore.Mapped) (*Static, error) {
-	views := make([]netwide.View, m.Epochs())
-	bufs := make([][]flow.Record, m.Epochs())
+// SumStore folds every epoch of a store into one per-flow summed record
+// set via the k-way sorted merge (epochs are stored key-sorted in every
+// tier), the whole-history view a store contributes to /netwide/topk.
+// Works over any EpochSource — flat, tiered, rollup epochs included.
+func SumStore(src recordstore.EpochSource) (*Static, error) {
+	views := make([]netwide.View, src.Epochs())
+	bufs := make([][]flow.Record, src.Epochs())
 	for i := range views {
-		ep, err := m.AppendEpochAt(i, nil)
+		ep, err := src.AppendEpochAt(i, nil)
 		if err != nil {
 			return nil, err
 		}

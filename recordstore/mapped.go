@@ -39,6 +39,11 @@ type Mapped struct {
 // truncated final epoch frame — the normal state of a store still being
 // written — is tolerated: the index stops before it and Truncated reports
 // the condition. Close releases the mapping.
+//
+// Calling OpenMapped directly is deprecated outside this package: it
+// only understands the flat hot-file layout. Call sites should use
+// recordstore.Open, which auto-detects flat files and tiered
+// directories and returns either through the same EpochSource surface.
 func OpenMapped(path string) (*Mapped, error) {
 	f, err := os.Open(path)
 	if err != nil {

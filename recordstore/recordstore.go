@@ -240,6 +240,12 @@ type Reader struct {
 }
 
 // NewReader wraps r; the header is validated on the first read.
+//
+// Constructing a Reader directly is deprecated outside this package:
+// it hard-codes the flat hot-file layout and streams epochs in file
+// order only. Call sites should use recordstore.Open, which serves any
+// store layout (flat file or tiered directory) through EpochSource with
+// random access.
 func NewReader(r io.Reader) *Reader {
 	return &Reader{r: bufio.NewReader(r)}
 }
