@@ -441,6 +441,15 @@ func (s *Segment) buildIndex(off int) error {
 		if blk.compLen < 0 {
 			return fmt.Errorf("corrupt block at byte %d: headers overrun frame", off)
 		}
+		// DEFLATE expands each compressed byte to at most ~1032 raw bytes
+		// (a 258-byte match costs no less than two bits), so headers
+		// declaring more raw data than the stream could possibly inflate
+		// are corruption. Rejecting here keeps blockRaw from allocating a
+		// multi-gigabyte buffer on the say-so of a tiny hostile file.
+		const maxInflateRatio = 1032
+		if blk.rawLen > blk.compLen*maxInflateRatio+64 {
+			return fmt.Errorf("block at byte %d declares %d raw bytes from a %d-byte stream", off, blk.rawLen, blk.compLen)
+		}
 		s.metas = append(s.metas, hdrs...)
 		s.blks = append(s.blks, blk)
 		off = body + int(frameLen)

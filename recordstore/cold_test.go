@@ -2,6 +2,7 @@ package recordstore
 
 import (
 	"bytes"
+	"encoding/binary"
 	"math/rand/v2"
 	"os"
 	"path/filepath"
@@ -437,4 +438,29 @@ func TestOpenAutoDetect(t *testing.T) {
 	}
 	src.Close()
 	_ = os.Remove(filePath)
+}
+
+// TestColdRejectsImplausibleRawLen: a block whose headers declare far
+// more raw data than its DEFLATE stream could possibly inflate (the
+// format's ~1032x ceiling) must be rejected at open, before blockRaw
+// would allocate the declared size — a tiny hostile file must not be
+// able to trigger a multi-gigabyte allocation.
+func TestColdRejectsImplausibleRawLen(t *testing.T) {
+	frame := binary.AppendUvarint(nil, 1) // one epoch in the block
+	frame = binary.AppendUvarint(frame, uint64(time.Unix(1700000000, 0).UnixNano()))
+	frame = binary.AppendUvarint(frame, 1)     // record count
+	frame = binary.AppendUvarint(frame, 1<<30) // keysLen: passes the per-field cap
+	frame = binary.AppendUvarint(frame, 1<<30) // countsLen
+	frame = binary.AppendUvarint(frame, 1)     // span
+	frame = binary.AppendUvarint(frame, 1)     // totalRecords
+	frame = binary.AppendUvarint(frame, 1)     // totalPackets
+	frame = append(frame, 0xde, 0xad)          // 2-byte "compressed" stream
+
+	data := append([]byte(segMagic), segVersion, byte(SegmentCold))
+	data = binary.AppendUvarint(data, uint64(len(frame)))
+	data = append(data, frame...)
+
+	if _, err := OpenSegmentBytes(data); err == nil {
+		t.Fatal("segment declaring 2 GiB of raw data from a 2-byte stream opened without error")
+	}
 }

@@ -209,6 +209,7 @@ type Tiered struct {
 	lastNanos atomic.Int64 // newest data timestamp seen (retention clock)
 
 	compacting  atomic.Bool
+	compactMu   sync.Mutex // serializes Compact passes (auto and explicit)
 	lastStallNs atomic.Int64
 	compactWG   sync.WaitGroup
 
@@ -301,11 +302,16 @@ func gcOrphans(dir string, man manifest) error {
 func (t *Tiered) WriteEpoch(ts time.Time, records []flow.Record) error {
 	t.mu.Lock()
 	err := t.fw.WriteEpoch(ts, records)
+	if err == nil {
+		// Under mu so a concurrent rewriteHot (which counts kept epochs
+		// and stores hotLive under the same lock) can't double-count this
+		// epoch.
+		t.hotLive.Add(1)
+	}
 	t.mu.Unlock()
 	if err != nil {
 		return err
 	}
-	t.hotLive.Add(1)
 	if n := ts.UnixNano(); n > t.lastNanos.Load() {
 		t.lastNanos.Store(n)
 	}
@@ -370,11 +376,13 @@ func (t *Tiered) LastStallNs() int64 { return t.lastStallNs.Load() }
 // Dir returns the store's root directory.
 func (t *Tiered) Dir() string { return t.dir }
 
-// Close waits out any in-flight compaction, then syncs and closes the
-// hot writer.
+// Close waits out any in-flight compaction (automatic or explicit),
+// then syncs and closes the hot writer. Compact calls after Close fail.
 func (t *Tiered) Close() error {
-	t.closed.Store(true)
 	t.compactWG.Wait()
+	t.compactMu.Lock()
+	defer t.compactMu.Unlock()
+	t.closed.Store(true)
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.fw.Close()
@@ -383,11 +391,18 @@ func (t *Tiered) Close() error {
 // Compact runs one full compaction pass: migrate hot epochs beyond the
 // window into a new cold segment, swap the trimmed hot file in, then
 // apply retention (downsampling expired cold segments into rollups).
-// Safe to call concurrently with WriteEpoch; concurrent Compact calls
-// are the caller's responsibility (WriteEpoch's automatic trigger
-// already serializes itself).
+// Safe to call concurrently with WriteEpoch and with itself: passes are
+// serialized internally, so an explicit call (e.g. a shutdown path)
+// simply waits out any automatic pass still in flight rather than
+// racing it for the same segment sequence number. Fails once the store
+// is closed.
 func (t *Tiered) Compact() (CompactStats, error) {
+	t.compactMu.Lock()
+	defer t.compactMu.Unlock()
 	var stats CompactStats
+	if t.closed.Load() {
+		return stats, errors.New("recordstore: Compact on closed store")
+	}
 	if err := t.Flush(); err != nil {
 		return stats, err
 	}
@@ -777,11 +792,20 @@ type TieredSource struct {
 	hotDecodes atomic.Uint64
 }
 
+// errManifestChanged signals that a compactor published a new manifest
+// between openTieredOnce's manifest read and its hot-file open: the
+// segments opened reflect the old manifest while the hot file may
+// already be trimmed past the new cutoff, so the combined view could
+// silently miss the just-migrated epochs. Retrying converges because
+// every manifest publish strictly advances Seq.
+var errManifestChanged = errors.New("recordstore: manifest changed during open")
+
 // OpenTieredSource opens the tiered store directory at dir read-only. A
-// compactor retiring a manifest-listed segment between the manifest read
-// and the segment open surfaces as ENOENT; the open re-reads the
-// manifest and retries, which converges because every manifest publish
-// strictly advances.
+// compactor mutating the directory mid-open surfaces either as ENOENT
+// (a manifest-listed segment retired before we opened it) or as a
+// manifest Seq advance (the hot file trimmed under us); both re-read
+// the manifest and retry, which converges because every manifest
+// publish strictly advances.
 func OpenTieredSource(dir string) (*TieredSource, error) {
 	var lastErr error
 	for attempt := 0; attempt < 5; attempt++ {
@@ -789,7 +813,7 @@ func OpenTieredSource(dir string) (*TieredSource, error) {
 		if err == nil {
 			return src, nil
 		}
-		if !errors.Is(err, os.ErrNotExist) {
+		if !errors.Is(err, os.ErrNotExist) && !errors.Is(err, errManifestChanged) {
 			return nil, err
 		}
 		lastErr = err
@@ -827,6 +851,19 @@ func openTieredOnce(dir string) (*TieredSource, error) {
 		src.hot = m
 	} else if err != nil && !errors.Is(err, os.ErrNotExist) {
 		return nil, err
+	}
+
+	// The hot file was opened after the segments; if a compactor
+	// published a manifest in between, the hot mapping may already be
+	// trimmed to a newer cutoff than the segment set covers. Re-read and
+	// compare: any publish bumps Seq, so an unchanged Seq proves the
+	// segments and hot snapshot describe the same store generation.
+	man2, err := readManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	if man2.Seq != man.Seq {
+		return nil, errManifestChanged
 	}
 
 	for si, seg := range src.segs {

@@ -552,3 +552,56 @@ func TestTieredCompactionDuringQueryRace(t *testing.T) {
 		t.Fatalf("tiers cover %d source epochs, want 200", covered)
 	}
 }
+
+// TestTieredExplicitCompactRacesAuto: an explicit Compact (the daemons'
+// shutdown path) must serialize against an automatic pass still in
+// flight from the last WriteEpoch. Unserialized, both passes compute the
+// same next segment sequence, write the same temp file, and the second
+// manifest publish drops the first's segment after its hot rewrite
+// already trimmed those epochs — permanent loss this test would surface
+// as a short epoch count (and as -race reports).
+func TestTieredExplicitCompactRacesAuto(t *testing.T) {
+	dir := t.TempDir()
+	tw, _, err := OpenTiered(dir, TieredOptions{HotEpochs: 4, CompactEvery: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const total = 120
+	for e := 0; e < total; e++ {
+		if err := tw.WriteEpoch(epochTime(e), epochRecords(e, 24)); err != nil {
+			t.Fatal(err)
+		}
+		// Explicit pass immediately after the write that may have kicked
+		// off an automatic one — maximal overlap with the background
+		// goroutine.
+		if e%8 == 7 {
+			if _, err := tw.Compact(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if _, err := tw.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	checkTiered(t, dir, total).Close()
+}
+
+// TestTieredCompactAfterClose: Compact on a closed store must fail fast
+// instead of running against a closed hot writer.
+func TestTieredCompactAfterClose(t *testing.T) {
+	dir := t.TempDir()
+	tw, _, err := OpenTiered(dir, TieredOptions{HotEpochs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillTiered(t, tw, 0, 8)
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tw.Compact(); err == nil {
+		t.Fatal("Compact on a closed store succeeded")
+	}
+}
